@@ -1,0 +1,103 @@
+//! Substrate micro-benchmarks: packet parse/emit throughput, trace
+//! generation rate, flow assembly, pcap IO, and tokenizer throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nfm_model::tokenize::bytes::ByteTokenizer;
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_model::tokenize::Tokenizer;
+use nfm_net::flow::FlowTable;
+use nfm_net::packet::Packet;
+use nfm_traffic::netsim::{simulate, SimConfig};
+
+fn sample_trace() -> nfm_net::Trace {
+    simulate(&SimConfig { n_sessions: 80, n_general_hosts: 4, n_iot_sets: 1, ..SimConfig::default() })
+        .trace
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let trace = sample_trace();
+    let frames: Vec<Vec<u8>> = trace.packets().iter().take(512).map(|p| p.frame.clone()).collect();
+    let bytes: usize = frames.iter().map(|f| f.len()).sum();
+    let mut g = c.benchmark_group("packet");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("parse_512", |b| {
+        b.iter(|| {
+            let mut ok = 0usize;
+            for f in &frames {
+                if Packet::parse(f).is_ok() {
+                    ok += 1;
+                }
+            }
+            ok
+        })
+    });
+    let parsed: Vec<Packet> = frames.iter().filter_map(|f| Packet::parse(f).ok()).collect();
+    g.bench_function("emit_512", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for p in &parsed {
+                n += p.emit().len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic");
+    g.sample_size(10);
+    g.bench_function("simulate_40_sessions", |b| {
+        b.iter(|| {
+            simulate(&SimConfig {
+                n_sessions: 40,
+                n_general_hosts: 4,
+                n_iot_sets: 1,
+                boot_dhcp: false,
+                ..SimConfig::default()
+            })
+            .trace
+            .len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_flows_and_pcap(c: &mut Criterion) {
+    let trace = sample_trace();
+    let mut g = c.benchmark_group("trace");
+    g.sample_size(20);
+    g.bench_function("flow_assembly", |b| {
+        b.iter(|| FlowTable::from_trace(trace.packets().iter()).len())
+    });
+    g.bench_function("pcap_write_read", |b| {
+        b.iter_batched(
+            Vec::new,
+            |mut buf| {
+                nfm_net::pcap::write(&mut buf, &trace).expect("in-memory");
+                nfm_net::pcap::read(&mut buf.as_slice()).expect("round trip").len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_tokenizers(c: &mut Criterion) {
+    let trace = sample_trace();
+    let packets: Vec<Packet> =
+        trace.packets().iter().take(256).filter_map(|p| p.parse().ok()).collect();
+    let mut g = c.benchmark_group("tokenize");
+    let field = FieldTokenizer::new();
+    g.bench_function("field_256_packets", |b| {
+        b.iter(|| packets.iter().map(|p| field.tokenize(p).len()).sum::<usize>())
+    });
+    let bytes = ByteTokenizer::new();
+    g.bench_function("bytes_256_packets", |b| {
+        b.iter(|| packets.iter().map(|p| bytes.tokenize(p).len()).sum::<usize>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_generation, bench_flows_and_pcap, bench_tokenizers);
+criterion_main!(benches);

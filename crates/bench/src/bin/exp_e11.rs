@@ -1,0 +1,78 @@
+//! E11 — common cross-protocol representation (paper §4.1.1).
+//!
+//! Claim: "a natural first step is for us to learn common representations
+//! within a single network protocol and then expand the foundation model to
+//! the multi-lingual domain" — the multilingual argument (RoBERTa →
+//! XLM-RoBERTa). We pre-train specialists on single-protocol slices of the
+//! corpus and one unified model on everything, then evaluate all of them on
+//! the full multi-protocol downstream task.
+
+use nfm_bench::{banner, emit, pipeline_config, train_family, ModelFamily, Scale};
+use nfm_core::netglue::Task;
+use nfm_core::pipeline::FoundationModel;
+use nfm_core::report::{f3, Table};
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_net::capture::Trace;
+use nfm_traffic::dataset::{extract_flows, split_train_val, Environment};
+
+fn protocol_slice(trace: &Trace, ports: &[u16]) -> Trace {
+    trace.filter(|p| {
+        let sp = p.transport.src_port().unwrap_or(0);
+        let dp = p.transport.dst_port().unwrap_or(0);
+        ports.contains(&sp) || ports.contains(&dp)
+    })
+}
+
+fn main() {
+    banner(
+        "E11",
+        "§4.1.1 (common representation)",
+        "one cross-protocol model beats per-protocol specialists on a\n  multi-protocol task",
+    );
+    let scale = Scale::from_env();
+    let tokenizer = FieldTokenizer::new();
+    let task = Task::AppClassification;
+
+    let envs = Environment::pretrain_mix(scale.pretrain_sessions);
+    let traces: Vec<Trace> = envs.iter().map(|e| e.simulate().trace).collect();
+
+    let lt_a = Environment::env_a(scale.labeled_sessions).simulate();
+    let flows = extract_flows(&lt_a, 2);
+    let (train_flows, eval_flows) = split_train_val(flows, 0.3);
+    let train = task.examples(&train_flows, &tokenizer, 94);
+    let eval = task.examples(&eval_flows, &tokenizer, 94);
+
+    let corpora: [(&str, Option<Vec<u16>>); 4] = [
+        ("dns-specialist", Some(vec![53])),
+        ("web-specialist", Some(vec![80, 8080])),
+        ("tls-specialist", Some(vec![443, 8443])),
+        ("unified", None),
+    ];
+
+    let mut table =
+        Table::new(&["pretrain corpus", "corpus packets", "vocab", "downstream acc", "downstream f1"]);
+    for (name, ports) in corpora {
+        let sliced: Vec<Trace> = match &ports {
+            Some(ports) => traces.iter().map(|t| protocol_slice(t, ports)).collect(),
+            None => traces.clone(),
+        };
+        let n_packets: usize = sliced.iter().map(|t| t.len()).sum();
+        println!("pretraining {name} on {n_packets} packets…");
+        let refs: Vec<&Trace> = sliced.iter().collect();
+        let cfg = pipeline_config(&scale);
+        let (fm, _) = FoundationModel::pretrain_on(&refs, &tokenizer, &cfg);
+        let model = train_family(ModelFamily::FmFinetuned, &fm, &train, task.n_classes(), &scale);
+        let confusion = model.evaluate(&eval);
+        table.row(&[
+            name.to_string(),
+            n_packets.to_string(),
+            fm.vocab.len().to_string(),
+            f3(confusion.accuracy()),
+            f3(confusion.macro_f1()),
+        ]);
+    }
+    println!();
+    emit(&table);
+    println!("paper shape: unified > every specialist on the multi-protocol task,");
+    println!("because specialists lack the other protocols' vocabulary entirely.");
+}

@@ -1,0 +1,94 @@
+//! E12 — the NetGLUE benchmark leaderboard (paper §4.2).
+//!
+//! Claim: the community needs "benchmarks [comprising] a dozen of network
+//! downstream tasks including device classification, flow classification,
+//! performance prediction, … malware detection". This binary runs the whole
+//! suite across all four model families and prints the leaderboard — the
+//! repository's flagship table.
+
+use nfm_bench::{banner, emit, pretrain_standard, train_family, ModelFamily, Scale};
+use nfm_core::netglue::{Task, TaskResult};
+use nfm_core::report::{f3, Table};
+use nfm_model::pretrain::TaskMix;
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_traffic::dataset::{extract_flows, split_train_val, Environment};
+use nfm_traffic::SimConfig;
+
+fn main() {
+    banner(
+        "E12",
+        "§4.2 (public benchmarks)",
+        "a GLUE-style multi-task benchmark separates model families",
+    );
+    let scale = Scale::from_env();
+    let tokenizer = FieldTokenizer::new();
+
+    println!("pretraining foundation model…\n");
+    let fm = pretrain_standard(&scale, &tokenizer, TaskMix::default());
+
+    // A single labeled environment with attacks enabled so the malware task
+    // has positives.
+    let mut env = Environment::env_a(scale.labeled_sessions);
+    env.config = SimConfig { anomaly_fraction: 0.15, ..env.config };
+    let lt = env.simulate();
+    let flows = extract_flows(&lt, 2);
+    let (train_flows, eval_flows) = split_train_val(flows, 0.3);
+
+    let mut results: Vec<TaskResult> = Vec::new();
+    for task in Task::ALL {
+        let train = task.examples(&train_flows, &tokenizer, 94);
+        let eval = task.examples(&eval_flows, &tokenizer, 94);
+        if train.is_empty() || eval.is_empty() {
+            continue;
+        }
+        println!(
+            "task {} — {} train / {} eval, {} classes",
+            task.name(),
+            train.len(),
+            eval.len(),
+            task.n_classes()
+        );
+        for family in ModelFamily::ALL {
+            let model = train_family(family, &fm, &train, task.n_classes(), &scale);
+            let confusion = model.evaluate(&eval);
+            results.push(TaskResult {
+                task,
+                model: family.name().to_string(),
+                accuracy: confusion.accuracy(),
+                macro_f1: confusion.macro_f1(),
+                n_eval: eval.len(),
+            });
+        }
+    }
+
+    // Leaderboard: rows = model families, columns = tasks (macro F1) + mean.
+    println!();
+    let mut header = vec!["model".to_string()];
+    header.extend(Task::ALL.iter().map(|t| t.name().to_string()));
+    header.push("mean f1".to_string());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+    for family in ModelFamily::ALL {
+        let mut row = vec![family.name().to_string()];
+        let mut scores = Vec::new();
+        for task in Task::ALL {
+            let score = results
+                .iter()
+                .find(|r| r.task == task && r.model == family.name())
+                .map(|r| r.macro_f1);
+            match score {
+                Some(s) => {
+                    scores.push(s);
+                    row.push(f3(s));
+                }
+                None => row.push("-".to_string()),
+            }
+        }
+        let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+        row.push(f3(mean));
+        table.row(&row);
+    }
+    emit(&table);
+    println!("paper shape: fm-finetuned leads the mean column; the benchmark");
+    println!("separates families the way GLUE separates NLP models.");
+}

@@ -1,0 +1,90 @@
+//! E3 — NetBERT-style analogy probes (paper §3.4).
+//!
+//! Claim: networking embeddings support analogies like "BGP is to router as
+//! STP is to switch". On traffic tokens, the analogous regularities are
+//! role-preserving shifts: query↔response across protocols, request verb ↔
+//! status across applications, sibling ciphersuites across key lengths.
+//! Compared across Word2Vec skip-gram embeddings and the FM's input
+//! embeddings, over the same field-token corpus.
+
+use nfm_bench::{banner, emit, pretrain_standard, Scale};
+use nfm_core::report::Table;
+use nfm_model::context::{contexts_from_trace, ContextStrategy};
+use nfm_model::embed::analysis::analogy;
+use nfm_model::embed::word2vec::{Word2Vec, Word2VecConfig};
+use nfm_model::pretrain::TaskMix;
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_model::vocab::Vocab;
+use nfm_tensor::matrix::Matrix;
+use nfm_traffic::dataset::Environment;
+
+/// a : b :: c : expected
+const ANALOGIES: [(&str, &str, &str, &str); 5] = [
+    ("DNS_QUERY", "DNS_RESP", "TLS_CLIENT_HELLO", "TLS_SERVER_HELLO"),
+    ("PORT_80", "HTTP_GET", "PORT_53", "DNS_QUERY"),
+    ("CS_C02F", "CS_C030", "CS_C02B", "CS_C02C"),
+    ("PORT_25", "MAIL_EHLO", "PORT_123", "NTP_CLIENT"),
+    ("HTTP_GET", "HTTP_2XX", "MAIL_EHLO", "MAIL_250"),
+];
+
+fn probe(table: &mut Table, name: &str, emb: &Matrix, vocab: &Vocab) {
+    for (a, b, c, expected) in ANALOGIES {
+        let ids = [a, b, c, expected].map(|t| vocab.id_exact(t));
+        let [Some(ia), Some(ib), Some(ic), Some(ie)] = ids else {
+            table.row(&[
+                name.into(),
+                format!("{a}:{b} :: {c}:?"),
+                expected.into(),
+                "token missing".into(),
+                "-".into(),
+            ]);
+            continue;
+        };
+        let candidates = analogy(emb, vocab, ia, ib, ic, 10);
+        let rank = candidates
+            .iter()
+            .position(|n| n.id == ie)
+            .map(|p| (p + 1).to_string())
+            .unwrap_or(">10".to_string());
+        let top: Vec<&str> = candidates.iter().take(3).map(|n| n.token.as_str()).collect();
+        table.row(&[
+            name.into(),
+            format!("{a}:{b} :: {c}:?"),
+            expected.into(),
+            rank,
+            top.join(" "),
+        ]);
+    }
+}
+
+fn main() {
+    banner(
+        "E3",
+        "§3.4 (NetBERT analogies)",
+        "embedding arithmetic recovers protocol-role analogies",
+    );
+    let scale = Scale::from_env();
+    let tokenizer = FieldTokenizer::new();
+
+    // Build the shared corpus once.
+    let envs = Environment::pretrain_mix(scale.pretrain_sessions);
+    let traces: Vec<_> = envs.iter().map(|e| e.simulate().trace).collect();
+    let mut contexts = Vec::new();
+    for t in &traces {
+        contexts.extend(contexts_from_trace(t, &tokenizer, ContextStrategy::Flow, 94));
+    }
+    let vocab = Vocab::from_sequences(&contexts, 2);
+    let encoded: Vec<Vec<usize>> = contexts.iter().map(|c| vocab.encode(c)).collect();
+
+    println!("training word2vec skip-gram on {} contexts…", contexts.len());
+    let w2v = Word2Vec::train(&encoded, &vocab, &Word2VecConfig { dim: 32, epochs: 6, ..Word2VecConfig::default() });
+
+    println!("pretraining foundation model…\n");
+    let fm = pretrain_standard(&scale, &tokenizer, TaskMix::default());
+
+    let mut table = Table::new(&["embeddings", "analogy", "expected", "rank", "top-3"]);
+    probe(&mut table, "word2vec", &w2v.embeddings, &vocab);
+    probe(&mut table, "fm-input", fm.encoder.token_embeddings(), &fm.vocab);
+    emit(&table);
+    println!("paper shape: the expected completion ranks at or near the top.");
+}

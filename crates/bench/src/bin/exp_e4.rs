@@ -1,0 +1,90 @@
+//! E4 — tokenizer ablation (paper §4.1.2).
+//!
+//! Claim: "recognizing the network protocol and tokenizing it based on
+//! protocol format … would preserve the semantics of the tokens" — i.e. the
+//! field-aware tokenizer should beat raw bytes (and learned BPE over bytes)
+//! on downstream quality at the same budget, while byte-level models pay a
+//! long-sequence tax.
+
+use nfm_bench::{banner, emit, pipeline_config, train_family, ModelFamily, Scale};
+use nfm_core::netglue::Task;
+use nfm_core::pipeline::FoundationModel;
+use nfm_core::report::{f3, Table};
+use nfm_model::tokenize::bpe::BpeTokenizer;
+use nfm_model::tokenize::bytes::ByteTokenizer;
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_model::tokenize::Tokenizer;
+use nfm_net::capture::Trace;
+use nfm_traffic::dataset::{extract_flows, split_train_val, Environment};
+
+fn run_one(
+    name: &str,
+    tokenizer: &dyn Tokenizer,
+    traces: &[&Trace],
+    scale: &Scale,
+    table: &mut Table,
+) {
+    let cfg = pipeline_config(scale);
+    let (fm, stats) = FoundationModel::pretrain_on(traces, tokenizer, &cfg);
+
+    let task = Task::AppClassification;
+    let lt_a = Environment::env_a(scale.labeled_sessions).simulate();
+    let flows = extract_flows(&lt_a, 2);
+    let (train_flows, eval_flows) = split_train_val(flows, 0.3);
+    let train = task.examples(&train_flows, tokenizer, 94);
+    let eval = task.examples(&eval_flows, tokenizer, 94);
+
+    let model = train_family(ModelFamily::FmFinetuned, &fm, &train, task.n_classes(), scale);
+    let confusion = model.evaluate(&eval);
+    let mean_len: f64 = eval.iter().map(|e| e.tokens.len()).sum::<usize>() as f64
+        / eval.len().max(1) as f64;
+    table.row(&[
+        name.to_string(),
+        fm.vocab.len().to_string(),
+        format!("{mean_len:.1}"),
+        f3(stats.final_mlm_accuracy as f64),
+        f3(confusion.accuracy()),
+        f3(confusion.macro_f1()),
+    ]);
+}
+
+fn main() {
+    banner(
+        "E4",
+        "§4.1.2 (tokenizer design)",
+        "protocol-field tokenization beats byte-level and BPE at equal budget",
+    );
+    let scale = Scale::from_env();
+    let envs = Environment::pretrain_mix(scale.pretrain_sessions);
+    let traces: Vec<Trace> = envs.iter().map(|e| e.simulate().trace).collect();
+    let refs: Vec<&Trace> = traces.iter().collect();
+
+    let mut table = Table::new(&[
+        "tokenizer",
+        "vocab",
+        "mean seq len",
+        "mlm acc",
+        "downstream acc",
+        "downstream f1",
+    ]);
+
+    println!("field tokenizer…");
+    run_one("field", &FieldTokenizer::new(), &refs, &scale, &mut table);
+
+    println!("byte tokenizer…");
+    run_one("bytes", &ByteTokenizer::new(), &refs, &scale, &mut table);
+
+    println!("training BPE merges…");
+    let frames: Vec<Vec<u8>> = traces
+        .iter()
+        .flat_map(|t| t.packets().iter().take(1500).map(|p| p.frame.clone()))
+        .collect();
+    let bpe = BpeTokenizer::train(&frames, 160);
+    println!("bpe tokenizer ({} merges)…", bpe.n_merges());
+    run_one("bpe", &bpe, &refs, &scale, &mut table);
+
+    println!();
+    emit(&table);
+    println!("paper shape: field > bpe > bytes on downstream quality; bytes pay");
+    println!("a long-sequence tax (mean seq len) for the same packet budget.");
+}

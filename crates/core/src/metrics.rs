@@ -1,0 +1,205 @@
+//! Evaluation metrics: confusion matrix, accuracy, macro-averaged
+//! precision/recall/F1 (the NorBERT comparison metric), and AUROC for the
+//! OOD experiments.
+
+/// A square confusion matrix over `n` classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Confusion {
+    n: usize,
+    /// counts[true][pred]
+    counts: Vec<Vec<usize>>,
+}
+
+impl Confusion {
+    /// Empty matrix for `n` classes.
+    pub fn new(n: usize) -> Confusion {
+        Confusion { n, counts: vec![vec![0; n]; n] }
+    }
+
+    /// Build from parallel label/prediction slices.
+    pub fn from_pairs(n: usize, truths: &[usize], preds: &[usize]) -> Confusion {
+        assert_eq!(truths.len(), preds.len());
+        let mut c = Confusion::new(n);
+        for (&t, &p) in truths.iter().zip(preds) {
+            c.add(t, p);
+        }
+        c
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.n && pred < self.n);
+        self.counts[truth][pred] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class precision (None when the class was never predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let predicted: usize = (0..self.n).map(|t| self.counts[t][class]).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / predicted as f64)
+        }
+    }
+
+    /// Per-class recall (None when the class never occurred).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / actual as f64)
+        }
+    }
+
+    /// Per-class F1 (0 when degenerate; None when the class never occurred).
+    pub fn f1(&self, class: usize) -> Option<f64> {
+        let r = self.recall(class)?;
+        let p = self.precision(class).unwrap_or(0.0);
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Macro-averaged F1 over classes that actually occur.
+    pub fn macro_f1(&self) -> f64 {
+        let scores: Vec<f64> = (0..self.n).filter_map(|c| self.f1(c)).collect();
+        if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        }
+    }
+
+    /// Raw counts, `counts[truth][pred]`.
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
+    }
+}
+
+/// Area under the ROC curve for `scores` where higher means "positive".
+/// Computed exactly via the rank statistic with midrank tie handling.
+pub fn auroc(scores_pos: &[f64], scores_neg: &[f64]) -> f64 {
+    let np = scores_pos.len();
+    let nn = scores_neg.len();
+    if np == 0 || nn == 0 {
+        return 0.5;
+    }
+    let mut all: Vec<(f64, bool)> = scores_pos
+        .iter()
+        .map(|&s| (s, true))
+        .chain(scores_neg.iter().map(|&s| (s, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    // Midranks.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < all.len() {
+        let mut j = i;
+        while j + 1 < all.len() && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &all[i..=j] {
+            if item.1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - np as f64 * (np as f64 + 1.0) / 2.0) / (np as f64 * nn as f64)
+}
+
+/// Mean and sample standard deviation of a slice.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let c = Confusion::from_pairs(3, &[0, 1, 2, 0], &[0, 1, 2, 0]);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.macro_f1(), 1.0);
+        assert_eq!(c.f1(0), Some(1.0));
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // truth:  0 0 0 1 1
+        // pred:   0 0 1 1 0
+        let c = Confusion::from_pairs(2, &[0, 0, 0, 1, 1], &[0, 0, 1, 1, 0]);
+        assert!((c.accuracy() - 0.6).abs() < 1e-9);
+        assert!((c.precision(0).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((c.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((c.precision(1).unwrap() - 0.5).abs() < 1e-9);
+        assert!((c.recall(1).unwrap() - 0.5).abs() < 1e-9);
+        let f0 = 2.0 / 3.0;
+        let f1 = 0.5;
+        assert!((c.macro_f1() - (f0 + f1) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absent_class_excluded_from_macro() {
+        let c = Confusion::from_pairs(3, &[0, 0], &[0, 0]);
+        assert_eq!(c.f1(2), None);
+        assert_eq!(c.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn auroc_extremes() {
+        assert_eq!(auroc(&[0.9, 0.8], &[0.1, 0.2]), 1.0);
+        assert_eq!(auroc(&[0.1, 0.2], &[0.9, 0.8]), 0.0);
+        assert_eq!(auroc(&[], &[0.5]), 0.5);
+    }
+
+    #[test]
+    fn auroc_known_value() {
+        // pos: 0.8, 0.4; neg: 0.6, 0.2 → pairs won: (0.8>0.6),(0.8>0.2),(0.4<0.6),(0.4>0.2) = 3/4.
+        assert!((auroc(&[0.8, 0.4], &[0.6, 0.2]) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auroc_handles_ties_as_half() {
+        // All equal → 0.5.
+        assert!((auroc(&[0.5, 0.5], &[0.5, 0.5]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_std_values() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-9);
+        assert!((s - 1.0).abs() < 1e-9);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]).1, 0.0);
+    }
+}

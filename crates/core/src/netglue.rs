@@ -1,0 +1,215 @@
+//! NetGLUE — the benchmark the paper asks the community for (§4.2):
+//! "Benchmarks could comprise a dozen of network downstream tasks including
+//! device classification, flow classification, performance prediction,
+//! congestion prediction, malware detection."
+//!
+//! Each task turns labeled flows into classification examples with a
+//! standard label mapping; the runner in `nfm-bench` evaluates model
+//! families across all of them.
+
+use nfm_model::context::first_m_of_n_context;
+use nfm_model::tokenize::Tokenizer;
+use nfm_traffic::dataset::LabeledFlow;
+use nfm_traffic::label::{AppClass, DeviceClass};
+
+use crate::pipeline::{examples_from_flows, TextExample};
+
+/// A NetGLUE task definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Classify the application class of a flow (9-way).
+    AppClassification,
+    /// Classify the originating device (client flows only, 6-way).
+    DeviceClassification,
+    /// Detect whether a flow is malicious (binary).
+    MalwareDetection,
+    /// Predict the flow's eventual size bucket from its first 4 packets
+    /// (performance prediction, 4-way).
+    PerformancePrediction,
+}
+
+impl Task {
+    /// All tasks, stable order.
+    pub const ALL: [Task; 4] = [
+        Task::AppClassification,
+        Task::DeviceClassification,
+        Task::MalwareDetection,
+        Task::PerformancePrediction,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Task::AppClassification => "app-class",
+            Task::DeviceClassification => "device-class",
+            Task::MalwareDetection => "malware",
+            Task::PerformancePrediction => "perf-predict",
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        match self {
+            Task::AppClassification => AppClass::ALL.len(),
+            Task::DeviceClassification => DeviceClass::ALL.len() - 1, // no Server
+            Task::MalwareDetection => 2,
+            Task::PerformancePrediction => 4,
+        }
+    }
+
+    /// Human-readable class name.
+    pub fn class_name(&self, id: usize) -> String {
+        match self {
+            Task::AppClassification => {
+                AppClass::from_id(id).map(|c| c.name().to_string()).unwrap_or("?".into())
+            }
+            Task::DeviceClassification => {
+                DeviceClass::from_id(id).map(|c| c.name().to_string()).unwrap_or("?".into())
+            }
+            Task::MalwareDetection => ["benign", "malicious"][id.min(1)].to_string(),
+            Task::PerformancePrediction => {
+                ["tiny(<2KB)", "small(<16KB)", "medium(<128KB)", "large"][id.min(3)].to_string()
+            }
+        }
+    }
+
+    /// Size bucket for performance prediction.
+    pub fn size_bucket(total_bytes: usize) -> usize {
+        match total_bytes {
+            0..=2047 => 0,
+            2048..=16383 => 1,
+            16384..=131071 => 2,
+            _ => 3,
+        }
+    }
+
+    /// Build examples for this task from labeled flows.
+    ///
+    /// Performance prediction deliberately restricts the input to the first
+    /// 4 packets (forecasting, not hindsight); every other task sees the
+    /// flow context up to `max_tokens`.
+    pub fn examples(
+        &self,
+        flows: &[LabeledFlow],
+        tokenizer: &dyn Tokenizer,
+        max_tokens: usize,
+    ) -> Vec<TextExample> {
+        match self {
+            Task::AppClassification => {
+                examples_from_flows(flows, tokenizer, max_tokens, |f| Some(f.label.app.id()))
+            }
+            Task::DeviceClassification => {
+                examples_from_flows(flows, tokenizer, max_tokens, |f| {
+                    (f.label.device != DeviceClass::Server).then(|| f.label.device.id())
+                })
+            }
+            Task::MalwareDetection => examples_from_flows(flows, tokenizer, max_tokens, |f| {
+                Some(usize::from(f.label.is_malicious()))
+            }),
+            Task::PerformancePrediction => flows
+                .iter()
+                .filter_map(|f| {
+                    if f.packets.len() < 5 {
+                        return None; // need a future to predict
+                    }
+                    let tokens =
+                        first_m_of_n_context(&f.packets, tokenizer, 12, 4, max_tokens);
+                    if tokens.is_empty() {
+                        return None;
+                    }
+                    Some(TextExample {
+                        tokens,
+                        label: Self::size_bucket(f.stats.total_bytes()),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One row of a NetGLUE report.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// Task evaluated.
+    pub task: Task,
+    /// Model family name.
+    pub model: String,
+    /// Accuracy on the evaluation split.
+    pub accuracy: f64,
+    /// Macro F1 on the evaluation split.
+    pub macro_f1: f64,
+    /// Number of evaluation examples.
+    pub n_eval: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_model::tokenize::field::FieldTokenizer;
+    use nfm_traffic::dataset::extract_flows;
+    use nfm_traffic::netsim::{simulate, SimConfig};
+
+    fn flows() -> Vec<LabeledFlow> {
+        let lt = simulate(&SimConfig {
+            n_sessions: 60,
+            n_general_hosts: 4,
+            n_iot_sets: 1,
+            anomaly_fraction: 0.2,
+            ..SimConfig::default()
+        });
+        extract_flows(&lt, 1)
+    }
+
+    #[test]
+    fn every_task_produces_examples_with_valid_labels() {
+        let flows = flows();
+        let tok = FieldTokenizer::new();
+        for task in Task::ALL {
+            let examples = task.examples(&flows, &tok, 64);
+            assert!(!examples.is_empty(), "{}", task.name());
+            for e in &examples {
+                assert!(e.label < task.n_classes(), "{}: label {}", task.name(), e.label);
+                assert!(!e.tokens.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn malware_task_has_both_classes() {
+        let flows = flows();
+        let tok = FieldTokenizer::new();
+        let examples = Task::MalwareDetection.examples(&flows, &tok, 64);
+        let malicious = examples.iter().filter(|e| e.label == 1).count();
+        let benign = examples.iter().filter(|e| e.label == 0).count();
+        assert!(malicious > 0 && benign > 0);
+    }
+
+    #[test]
+    fn perf_prediction_uses_only_prefixes() {
+        let flows = flows();
+        let tok = FieldTokenizer::new();
+        let examples = Task::PerformancePrediction.examples(&flows, &tok, 256);
+        // First-4-packets × 12 tokens cap.
+        assert!(examples.iter().all(|e| e.tokens.len() <= 48));
+    }
+
+    #[test]
+    fn size_buckets_are_monotone() {
+        assert_eq!(Task::size_bucket(0), 0);
+        assert_eq!(Task::size_bucket(2048), 1);
+        assert_eq!(Task::size_bucket(20_000), 2);
+        assert_eq!(Task::size_bucket(1_000_000), 3);
+    }
+
+    #[test]
+    fn names_and_classes() {
+        for task in Task::ALL {
+            assert!(!task.name().is_empty());
+            assert!(task.n_classes() >= 2);
+            for id in 0..task.n_classes() {
+                assert!(!task.class_name(id).is_empty());
+            }
+        }
+        assert_eq!(Task::DeviceClassification.n_classes(), 6);
+    }
+}

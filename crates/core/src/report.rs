@@ -1,0 +1,149 @@
+//! Plain-text table emitters for experiment binaries: aligned console
+//! tables and CSV, so every experiment prints "the same rows the paper
+//! reports" in a greppable form.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of displayable items.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Format a fraction as a fixed-precision string (e.g. `0.934`).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a count with thousands separators.
+pub fn count(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["model", "f1"]);
+        t.row(&["fm".into(), "0.93".into()]);
+        t.row(&["gru-random".into(), "0.61".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("model"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "0.93" starts at the same offset in both data rows.
+        let off2 = lines[2].find("0.93").unwrap();
+        let off3 = lines[3].find("0.61").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x,y".into(), "quote\"d".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"quote\"\"d\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.93456), "0.935");
+        assert_eq!(count(1234567), "1,234,567");
+        assert_eq!(count(42), "42");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based invariants for metrics and reporting: AUROC rank
+//! statistics, confusion-matrix identities, table rendering.
+
+use nfm_core::metrics::{auroc, mean_std, Confusion};
+use nfm_core::report::Table;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn auroc_is_in_unit_interval(
+        pos in proptest::collection::vec(-100.0f64..100.0, 1..40),
+        neg in proptest::collection::vec(-100.0f64..100.0, 1..40),
+    ) {
+        let a = auroc(&pos, &neg);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn auroc_complementary(
+        pos in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        neg in proptest::collection::vec(-10.0f64..10.0, 1..20),
+    ) {
+        // Swapping the classes reflects the score around 0.5.
+        let a = auroc(&pos, &neg);
+        let b = auroc(&neg, &pos);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b}");
+    }
+
+    #[test]
+    fn auroc_invariant_under_monotone_transform(
+        pos in proptest::collection::vec(0.001f64..10.0, 1..20),
+        neg in proptest::collection::vec(0.001f64..10.0, 1..20),
+    ) {
+        // AUROC is a rank statistic: x → ln(x) must not change it.
+        let a = auroc(&pos, &neg);
+        let lp: Vec<f64> = pos.iter().map(|v| v.ln()).collect();
+        let ln: Vec<f64> = neg.iter().map(|v| v.ln()).collect();
+        let b = auroc(&lp, &ln);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_separated_scores_give_extremes(
+        pos in proptest::collection::vec(10.0f64..20.0, 1..10),
+        neg in proptest::collection::vec(-20.0f64..-10.0, 1..10),
+    ) {
+        prop_assert_eq!(auroc(&pos, &neg), 1.0);
+        prop_assert_eq!(auroc(&neg, &pos), 0.0);
+    }
+
+    #[test]
+    fn confusion_identities(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..60),
+    ) {
+        let truths: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let preds: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let c = Confusion::from_pairs(4, &truths, &preds);
+        prop_assert_eq!(c.total(), pairs.len());
+        prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&c.macro_f1()));
+        // Sum over the matrix equals total.
+        let sum: usize = c.counts().iter().map(|r| r.iter().sum::<usize>()).sum();
+        prop_assert_eq!(sum, pairs.len());
+        // Per-class precision/recall bounded.
+        for k in 0..4 {
+            if let Some(p) = c.precision(k) {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            if let Some(r) = c.recall(k) {
+                prop_assert!((0.0..=1.0).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_maximize_all_metrics(
+        truths in proptest::collection::vec(0usize..5, 1..40),
+    ) {
+        let c = Confusion::from_pairs(5, &truths, &truths);
+        prop_assert_eq!(c.accuracy(), 1.0);
+        prop_assert_eq!(c.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn mean_std_sane(values in proptest::collection::vec(-1e3f64..1e3, 0..50)) {
+        let (mean, std) = mean_std(&values);
+        prop_assert!(std >= 0.0);
+        if !values.is_empty() {
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn table_render_and_csv_have_all_rows(
+        rows in proptest::collection::vec(("[a-z]{1,8}", "[0-9]{1,4}"), 0..20),
+    ) {
+        let mut t = Table::new(&["name", "value"]);
+        for (a, b) in &rows {
+            t.row(&[a.clone(), b.clone()]);
+        }
+        let rendered = t.render();
+        prop_assert_eq!(rendered.lines().count(), 2 + rows.len());
+        let csv = t.to_csv();
+        prop_assert_eq!(csv.lines().count(), 1 + rows.len());
+    }
+}

@@ -1,0 +1,153 @@
+//! Embedding-space analysis: nearest neighbors and analogy arithmetic — the
+//! probes behind NetBERT's "BGP is to router as STP is to switch" and
+//! NorBERT's "nearest neighbor of port 80 is port 443" findings (§3.4).
+
+use nfm_tensor::matrix::{cosine, Matrix};
+
+use crate::vocab::Vocab;
+
+/// A token's similarity score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// Token id.
+    pub id: usize,
+    /// Token text.
+    pub token: String,
+    /// Cosine similarity to the query.
+    pub similarity: f32,
+}
+
+/// The `k` nearest neighbors of `query_id` by cosine over `embeddings`
+/// (`vocab × dim`), excluding the query itself and the special tokens.
+pub fn nearest_neighbors(
+    embeddings: &Matrix,
+    vocab: &Vocab,
+    query_id: usize,
+    k: usize,
+) -> Vec<Neighbor> {
+    let q = embeddings.row(query_id);
+    let mut scored: Vec<Neighbor> = (0..embeddings.rows())
+        .filter(|&i| i != query_id && i >= 5) // skip specials
+        .map(|i| Neighbor {
+            id: i,
+            token: vocab.token(i).to_string(),
+            similarity: cosine(q, embeddings.row(i)),
+        })
+        .collect();
+    scored.sort_by(|a, b| b.similarity.partial_cmp(&a.similarity).expect("finite"));
+    scored.truncate(k);
+    scored
+}
+
+/// Solve the analogy `a : b :: c : ?` via `vec(b) − vec(a) + vec(c)`,
+/// returning the `k` best candidates excluding `a`, `b`, `c`.
+pub fn analogy(
+    embeddings: &Matrix,
+    vocab: &Vocab,
+    a: usize,
+    b: usize,
+    c: usize,
+    k: usize,
+) -> Vec<Neighbor> {
+    let dim = embeddings.cols();
+    let mut target = vec![0.0f32; dim];
+    for i in 0..dim {
+        target[i] = embeddings.row(b)[i] - embeddings.row(a)[i] + embeddings.row(c)[i];
+    }
+    let mut scored: Vec<Neighbor> = (0..embeddings.rows())
+        .filter(|&i| i != a && i != b && i != c && i >= 5)
+        .map(|i| Neighbor {
+            id: i,
+            token: vocab.token(i).to_string(),
+            similarity: cosine(&target, embeddings.row(i)),
+        })
+        .collect();
+    scored.sort_by(|x, y| y.similarity.partial_cmp(&x.similarity).expect("finite"));
+    scored.truncate(k);
+    scored
+}
+
+/// Rank (1-based) of `expected_id` in the nearest-neighbor list of
+/// `query_id`; `None` if outside the top `limit`.
+pub fn neighbor_rank(
+    embeddings: &Matrix,
+    vocab: &Vocab,
+    query_id: usize,
+    expected_id: usize,
+    limit: usize,
+) -> Option<usize> {
+    nearest_neighbors(embeddings, vocab, query_id, limit)
+        .iter()
+        .position(|n| n.id == expected_id)
+        .map(|p| p + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Hand-built embedding space with known geometry:
+    /// tokens t0..t3 along axis 0, t4..t5 along axis 1, and a perfect
+    /// parallelogram for the analogy test.
+    fn setup() -> (Matrix, Vocab) {
+        let mut counts = HashMap::new();
+        for (i, name) in ["t0", "t1", "t2", "t3", "t4", "t5"].iter().enumerate() {
+            counts.insert(name.to_string(), 100 - i);
+        }
+        let vocab = Vocab::build(&counts, 1);
+        // Rows: 5 specials + 6 tokens (dim 3).
+        let mut data = vec![0.0f32; (5 + 6) * 3];
+        let rows: [[f32; 3]; 6] = [
+            [1.0, 0.0, 0.0],   // t0
+            [0.95, 0.05, 0.0], // t1 ~ t0
+            [1.0, 1.0, 0.0],   // t2 = t0 + y  (analogy corner)
+            [0.0, 1.0, 0.0],   // t3 = y
+            [0.0, 0.9, 0.3],   // t4 ~ t3
+            [-1.0, 0.0, 0.0],  // t5 opposite t0
+        ];
+        for (i, row) in rows.iter().enumerate() {
+            let base = (5 + i) * 3;
+            data[base..base + 3].copy_from_slice(row);
+        }
+        (Matrix::from_vec(11, 3, data), vocab)
+    }
+
+    #[test]
+    fn nearest_neighbor_finds_the_close_token() {
+        let (emb, vocab) = setup();
+        let t0 = vocab.id("t0");
+        let nn = nearest_neighbors(&emb, &vocab, t0, 2);
+        assert_eq!(nn[0].token, "t1");
+        assert!(nn[0].similarity > 0.99);
+        // The opposite vector is nowhere near the top.
+        assert!(nn.iter().all(|n| n.token != "t5"));
+    }
+
+    #[test]
+    fn analogy_parallelogram() {
+        let (emb, vocab) = setup();
+        // t0 : t2 :: t3 : ?  → t2 - t0 + ... wait: b - a + c with
+        // a=t0 (x), b=t2 (x+y), c=... we want ? = y + something.
+        // b - a + c = (x+y) - x + t3(y) = 2y → nearest is t4 (≈y direction).
+        let result = analogy(&emb, &vocab, vocab.id("t0"), vocab.id("t2"), vocab.id("t3"), 1);
+        assert_eq!(result[0].token, "t4");
+    }
+
+    #[test]
+    fn neighbor_rank_reports_position() {
+        let (emb, vocab) = setup();
+        let t0 = vocab.id("t0");
+        let t1 = vocab.id("t1");
+        assert_eq!(neighbor_rank(&emb, &vocab, t0, t1, 5), Some(1));
+        let t5 = vocab.id("t5");
+        assert_eq!(neighbor_rank(&emb, &vocab, t0, t5, 2), None);
+    }
+
+    #[test]
+    fn specials_excluded() {
+        let (emb, vocab) = setup();
+        let nn = nearest_neighbors(&emb, &vocab, vocab.id("t0"), 10);
+        assert!(nn.iter().all(|n| n.id >= 5));
+    }
+}

@@ -1,0 +1,179 @@
+//! GloVe (Pennington et al., cited §3.4): context-independent embeddings fit
+//! to the log co-occurrence matrix with AdaGrad — the baseline NorBERT
+//! compared against.
+
+use std::collections::HashMap;
+
+use nfm_tensor::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct GloveConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Co-occurrence window radius.
+    pub window: usize,
+    /// Weighting cap `x_max`.
+    pub x_max: f64,
+    /// Weighting exponent `alpha`.
+    pub alpha: f64,
+    /// AdaGrad learning rate.
+    pub lr: f32,
+    /// Training epochs over the co-occurrence entries.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GloveConfig {
+    fn default() -> Self {
+        GloveConfig { dim: 32, window: 4, x_max: 100.0, alpha: 0.75, lr: 0.05, epochs: 20, seed: 1 }
+    }
+}
+
+/// Trained GloVe embeddings.
+#[derive(Debug, Clone)]
+pub struct Glove {
+    /// Sum of word and context vectors (the standard output), `vocab × dim`.
+    pub embeddings: Matrix,
+}
+
+impl Glove {
+    /// Accumulate the windowed co-occurrence counts (1/distance weighting).
+    pub fn cooccurrences(sequences: &[Vec<usize>], window: usize) -> HashMap<(usize, usize), f64> {
+        let mut counts: HashMap<(usize, usize), f64> = HashMap::new();
+        for seq in sequences {
+            for (i, &w) in seq.iter().enumerate() {
+                let hi = (i + window + 1).min(seq.len());
+                for (dist, j) in (i + 1..hi).enumerate() {
+                    let c = seq[j];
+                    let weight = 1.0 / (dist as f64 + 1.0);
+                    *counts.entry((w, c)).or_insert(0.0) += weight;
+                    *counts.entry((c, w)).or_insert(0.0) += weight;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Train on encoded sequences over a vocabulary of size `vocab_size`.
+    pub fn train(sequences: &[Vec<usize>], vocab_size: usize, config: &GloveConfig) -> Glove {
+        let d = config.dim;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let cooc: Vec<((usize, usize), f64)> =
+            Self::cooccurrences(sequences, config.window).into_iter().collect();
+        // Sort entries for determinism (HashMap order is random).
+        let mut cooc = cooc;
+        cooc.sort_by_key(|a| a.0);
+
+        let scale = 0.5 / d as f32;
+        let mut w = Matrix::from_fn(vocab_size, d, |_, _| (rng.gen::<f32>() - 0.5) * scale);
+        let mut wc = Matrix::from_fn(vocab_size, d, |_, _| (rng.gen::<f32>() - 0.5) * scale);
+        let mut b = vec![0.0f32; vocab_size];
+        let mut bc = vec![0.0f32; vocab_size];
+        // AdaGrad accumulators.
+        let mut gw = Matrix::from_fn(vocab_size, d, |_, _| 1.0);
+        let mut gwc = Matrix::from_fn(vocab_size, d, |_, _| 1.0);
+        let mut gb = vec![1.0f32; vocab_size];
+        let mut gbc = vec![1.0f32; vocab_size];
+
+        for _ in 0..config.epochs {
+            for &((i, j), x) in &cooc {
+                let weight = if x < config.x_max {
+                    (x / config.x_max).powf(config.alpha)
+                } else {
+                    1.0
+                } as f32;
+                let dot: f32 = w.row(i).iter().zip(wc.row(j)).map(|(a, b)| a * b).sum();
+                let diff = dot + b[i] + bc[j] - (x as f32).ln();
+                let fdiff = weight * diff;
+                // Gradients.
+                let wi: Vec<f32> = w.row(i).to_vec();
+                let wj: Vec<f32> = wc.row(j).to_vec();
+                for k in 0..d {
+                    let gi = fdiff * wj[k];
+                    let gj = fdiff * wi[k];
+                    let wi_row = w.row_mut(i);
+                    wi_row[k] -= config.lr * gi / gw.row(i)[k].sqrt();
+                    let wj_row = wc.row_mut(j);
+                    wj_row[k] -= config.lr * gj / gwc.row(j)[k].sqrt();
+                    gw.row_mut(i)[k] += gi * gi;
+                    gwc.row_mut(j)[k] += gj * gj;
+                }
+                b[i] -= config.lr * fdiff / gb[i].sqrt();
+                bc[j] -= config.lr * fdiff / gbc[j].sqrt();
+                gb[i] += fdiff * fdiff;
+                gbc[j] += fdiff * fdiff;
+            }
+        }
+        let mut emb = w;
+        emb.add_assign(&wc);
+        Glove { embeddings: emb }
+    }
+
+    /// The embedding vector for a token id.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        self.embeddings.row(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+    use nfm_tensor::matrix::cosine;
+
+    fn clustered_corpus() -> Vec<Vec<String>> {
+        let a = ["a0", "a1", "a2"];
+        let b = ["b0", "b1", "b2"];
+        let mut seqs = Vec::new();
+        for i in 0..200 {
+            let group: &[&str] = if i % 2 == 0 { &a } else { &b };
+            let seq: Vec<String> =
+                (0..8).map(|j| group[(i + j) % 3].to_string()).collect();
+            seqs.push(seq);
+        }
+        seqs
+    }
+
+    #[test]
+    fn cooccurrence_symmetry_and_weighting() {
+        let seqs = vec![vec![0usize, 1, 2]];
+        let cooc = Glove::cooccurrences(&seqs, 2);
+        assert_eq!(cooc[&(0, 1)], cooc[&(1, 0)]);
+        // Adjacent pair weight 1.0; distance-2 pair weight 0.5.
+        assert!((cooc[&(0, 1)] - 1.0).abs() < 1e-9);
+        assert!((cooc[&(0, 2)] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn glove_separates_clusters() {
+        let seqs = clustered_corpus();
+        let vocab = Vocab::from_sequences(&seqs, 1);
+        let encoded: Vec<Vec<usize>> = seqs.iter().map(|s| vocab.encode(s)).collect();
+        let glove = Glove::train(
+            &encoded,
+            vocab.len(),
+            &GloveConfig { dim: 8, epochs: 300, ..GloveConfig::default() },
+        );
+        let sim =
+            |x: &str, y: &str| cosine(glove.vector(vocab.id(x)), glove.vector(vocab.id(y)));
+        let within = sim("a0", "a1");
+        let cross = sim("a0", "b1");
+        assert!(within > cross, "within {within} cross {cross}");
+        assert!(glove.embeddings.is_finite());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let seqs = clustered_corpus();
+        let vocab = Vocab::from_sequences(&seqs, 1);
+        let encoded: Vec<Vec<usize>> = seqs.iter().map(|s| vocab.encode(s)).collect();
+        let cfg = GloveConfig { dim: 8, epochs: 2, ..GloveConfig::default() };
+        let a = Glove::train(&encoded, vocab.len(), &cfg);
+        let b = Glove::train(&encoded, vocab.len(), &cfg);
+        assert_eq!(a.embeddings.data(), b.embeddings.data());
+    }
+}

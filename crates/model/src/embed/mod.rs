@@ -1,0 +1,7 @@
+//! Context-independent embedding baselines (Word2Vec skip-gram with negative
+//! sampling, GloVe) and embedding-space analysis (nearest neighbors,
+//! analogies) — the pre-BERT lineage the paper's §2 walks through.
+
+pub mod analysis;
+pub mod glove;
+pub mod word2vec;

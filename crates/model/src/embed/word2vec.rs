@@ -1,0 +1,248 @@
+//! Word2Vec skip-gram with negative sampling (Mikolov et al., cited §2),
+//! trained on token-id sequences.
+
+use nfm_tensor::layers::sigmoid;
+use nfm_tensor::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::Vocab;
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct Word2VecConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Learning rate (linearly decayed to 10%).
+    pub lr: f32,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Frequent-token subsampling threshold `t` (word2vec's `-sample`);
+    /// occurrences of a token with corpus frequency `f` are kept with
+    /// probability `min(1, sqrt(t/f) + t/f)`. 0 disables. Without it,
+    /// ultra-frequent header tokens dominate every context and all
+    /// embeddings collapse toward one direction.
+    pub subsample: f64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Word2VecConfig {
+            dim: 32,
+            window: 4,
+            negatives: 5,
+            lr: 0.025,
+            epochs: 3,
+            seed: 1,
+            subsample: 1e-3,
+        }
+    }
+}
+
+/// Trained skip-gram embeddings.
+#[derive(Debug, Clone)]
+pub struct Word2Vec {
+    /// Input-side embeddings, `vocab × dim` (the ones consumers use).
+    pub embeddings: Matrix,
+}
+
+impl Word2Vec {
+    /// Train on encoded sequences. Special-token ids (0..5) participate but
+    /// are rarely informative; callers typically pass raw encoded contexts.
+    pub fn train(sequences: &[Vec<usize>], vocab: &Vocab, config: &Word2VecConfig) -> Word2Vec {
+        let v = vocab.len();
+        let d = config.dim;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Init: input in U(-0.5/d, 0.5/d), output zeros (word2vec.c style).
+        let mut win =
+            Matrix::from_fn(v, d, |_, _| (rng.gen::<f32>() - 0.5) / d as f32);
+        let mut wout = Matrix::zeros(v, d);
+
+        // Unigram^0.75 negative-sampling table.
+        let mut counts = vec![1.0f64; v];
+        let mut total_tokens = 0usize;
+        for seq in sequences {
+            for &t in seq {
+                counts[t] += 1.0;
+                total_tokens += 1;
+            }
+        }
+        let powered: Vec<f64> = counts.iter().map(|c| c.powf(0.75)).collect();
+        let sum: f64 = powered.iter().sum();
+        let mut neg_table = Vec::with_capacity(1 << 16);
+        {
+            let mut acc = 0.0;
+            let mut idx = 0usize;
+            for i in 0..(1 << 16) {
+                let frac = (i as f64 + 0.5) / (1 << 16) as f64;
+                while acc + powered[idx] / sum < frac && idx + 1 < v {
+                    acc += powered[idx] / sum;
+                    idx += 1;
+                }
+                neg_table.push(idx);
+            }
+        }
+
+        // Keep probability per token id for frequent-token subsampling.
+        let keep_prob: Vec<f64> = counts
+            .iter()
+            .map(|&c| {
+                if config.subsample <= 0.0 {
+                    return 1.0;
+                }
+                let f = c / total_tokens.max(1) as f64;
+                ((config.subsample / f).sqrt() + config.subsample / f).min(1.0)
+            })
+            .collect();
+
+        let total_steps = (config.epochs * total_tokens).max(1);
+        let mut step = 0usize;
+        for _ in 0..config.epochs {
+            for full_seq in sequences {
+                // Subsample this epoch's view of the sequence.
+                let seq: Vec<usize> = full_seq
+                    .iter()
+                    .copied()
+                    .filter(|&t| keep_prob[t] >= 1.0 || rng.gen_bool(keep_prob[t]))
+                    .collect();
+                for (i, &center) in seq.iter().enumerate() {
+                    step += 1;
+                    let progress = step as f32 / total_steps as f32;
+                    let lr = config.lr * (1.0 - 0.9 * progress);
+                    let lo = i.saturating_sub(config.window);
+                    let hi = (i + config.window + 1).min(seq.len());
+                    for j in lo..hi {
+                        if j == i {
+                            continue;
+                        }
+                        let context = seq[j];
+                        // One positive + k negative updates on (center, x).
+                        let mut grad_center = vec![0.0f32; d];
+                        for k in 0..=config.negatives {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                (neg_table[rng.gen_range(0..neg_table.len())], 0.0f32)
+                            };
+                            if k > 0 && target == context {
+                                continue;
+                            }
+                            let dot: f32 = win
+                                .row(center)
+                                .iter()
+                                .zip(wout.row(target))
+                                .map(|(a, b)| a * b)
+                                .sum();
+                            let g = (sigmoid(dot) - label) * lr;
+                            for (gc, &o) in grad_center.iter_mut().zip(wout.row(target)) {
+                                *gc += g * o;
+                            }
+                            let center_row: Vec<f32> = win.row(center).to_vec();
+                            for (o, c) in wout.row_mut(target).iter_mut().zip(&center_row) {
+                                *o -= g * c;
+                            }
+                        }
+                        for (c, g) in win.row_mut(center).iter_mut().zip(&grad_center) {
+                            *c -= g;
+                        }
+                    }
+                }
+            }
+        }
+        Word2Vec { embeddings: win }
+    }
+
+    /// The embedding vector for a token id.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        self.embeddings.row(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_tensor::matrix::cosine;
+
+    /// A toy corpus with two hard clusters: tokens `a*` co-occur only with
+    /// each other, likewise `b*`.
+    fn clustered_corpus() -> (Vec<Vec<String>>, Vec<&'static str>, Vec<&'static str>) {
+        let a = vec!["a0", "a1", "a2", "a3"];
+        let b = vec!["b0", "b1", "b2", "b3"];
+        let mut seqs = Vec::new();
+        let mut rng_state = 7u64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng_state >> 33) as usize
+        };
+        for i in 0..300 {
+            let group = if i % 2 == 0 { &a } else { &b };
+            let seq: Vec<String> = (0..8).map(|_| group[next() % 4].to_string()).collect();
+            seqs.push(seq);
+        }
+        (seqs, a, b)
+    }
+
+    #[test]
+    fn skipgram_separates_cooccurrence_clusters() {
+        let (seqs, a, b) = clustered_corpus();
+        let vocab = Vocab::from_sequences(&seqs, 1);
+        let encoded: Vec<Vec<usize>> = seqs.iter().map(|s| vocab.encode(s)).collect();
+        let w2v = Word2Vec::train(
+            &encoded,
+            &vocab,
+            &Word2VecConfig { dim: 16, epochs: 4, subsample: 0.0, ..Word2VecConfig::default() },
+        );
+        // Mean within-cluster similarity must exceed cross-cluster.
+        let sim = |x: &str, y: &str| {
+            cosine(w2v.vector(vocab.id(x)), w2v.vector(vocab.id(y)))
+        };
+        let mut within = 0.0;
+        let mut cross = 0.0;
+        let mut nw = 0;
+        let mut nc = 0;
+        for &x in &a {
+            for &y in &a {
+                if x != y {
+                    within += sim(x, y);
+                    nw += 1;
+                }
+            }
+            for &y in &b {
+                cross += sim(x, y);
+                nc += 1;
+            }
+        }
+        let within = within / nw as f32;
+        let cross = cross / nc as f32;
+        assert!(
+            within > cross + 0.3,
+            "within {within} should exceed cross {cross}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (seqs, _, _) = clustered_corpus();
+        let vocab = Vocab::from_sequences(&seqs, 1);
+        let encoded: Vec<Vec<usize>> = seqs.iter().map(|s| vocab.encode(s)).collect();
+        let cfg = Word2VecConfig { dim: 8, epochs: 1, subsample: 0.0, ..Word2VecConfig::default() };
+        let a = Word2Vec::train(&encoded, &vocab, &cfg);
+        let b = Word2Vec::train(&encoded, &vocab, &cfg);
+        assert_eq!(a.embeddings.data(), b.embeddings.data());
+    }
+
+    #[test]
+    fn embeddings_are_finite() {
+        let (seqs, _, _) = clustered_corpus();
+        let vocab = Vocab::from_sequences(&seqs, 1);
+        let encoded: Vec<Vec<usize>> = seqs.iter().map(|s| vocab.encode(s)).collect();
+        let w2v = Word2Vec::train(&encoded, &vocab, &Word2VecConfig::default());
+        assert!(w2v.embeddings.is_finite());
+    }
+}

@@ -1,0 +1,27 @@
+//! # nfm-model — NLP machinery adapted to network traffic
+//!
+//! Everything between raw packets and a trained model: vocabularies,
+//! tokenizers (byte-level, learned BPE, protocol-field-aware — §4.1.2),
+//! context builders (§4.1.3), context-independent embedding baselines
+//! (Word2Vec, GloVe — §2), the transformer encoder and GRU baseline, and
+//! self-supervised pre-training objectives (MLM, next-flow prediction, DNS
+//! query–answer — §4.1.4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod embed;
+pub mod generate;
+pub mod nn;
+pub mod pretrain;
+pub mod tokenize;
+pub mod vocab;
+
+pub use context::{contexts_from_trace, flow_context, ContextStrategy};
+pub use nn::gru::GruClassifier;
+pub use nn::transformer::{Encoder, EncoderConfig};
+pub use pretrain::{pretrain, PretrainConfig, TaskMix};
+pub use tokenize::field::FieldTokenizer;
+pub use tokenize::Tokenizer;
+pub use vocab::Vocab;

@@ -1,0 +1,303 @@
+//! Multi-head self-attention with an explicit, gradient-checked backward
+//! pass. Sequences are processed unpadded one at a time (T×d matrices), so
+//! no attention mask is needed.
+
+use nfm_tensor::layers::{Linear, Module};
+use nfm_tensor::matrix::Matrix;
+use rand::Rng;
+
+/// Multi-head self-attention: `Y = concat_h(softmax(Q_h K_hᵀ/√d_h) V_h) W_o`.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    /// Number of heads (must divide the model dimension).
+    pub n_heads: usize,
+    /// Model dimension.
+    pub d_model: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Per-head post-softmax attention probabilities (T×T each).
+    probs: Vec<Matrix>,
+    /// Concatenated head outputs before W_o (T×d).
+    concat: Matrix,
+}
+
+fn head_slice(m: &Matrix, head: usize, d_head: usize) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), d_head);
+    for r in 0..m.rows() {
+        let src = &m.row(r)[head * d_head..(head + 1) * d_head];
+        out.row_mut(r).copy_from_slice(src);
+    }
+    out
+}
+
+fn head_insert(dst: &mut Matrix, src: &Matrix, head: usize, d_head: usize) {
+    for r in 0..src.rows() {
+        let row = src.row(r).to_vec();
+        dst.row_mut(r)[head * d_head..(head + 1) * d_head].copy_from_slice(&row);
+    }
+}
+
+impl MultiHeadAttention {
+    /// Create with `n_heads` dividing `d_model`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, d_model: usize, n_heads: usize) -> MultiHeadAttention {
+        assert!(d_model.is_multiple_of(n_heads), "heads must divide d_model");
+        MultiHeadAttention {
+            wq: Linear::new(rng, d_model, d_model),
+            wk: Linear::new(rng, d_model, d_model),
+            wv: Linear::new(rng, d_model, d_model),
+            wo: Linear::new(rng, d_model, d_model),
+            n_heads,
+            d_model,
+            cache: None,
+        }
+    }
+
+    /// Forward pass over one sequence `x` (T×d), caching for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (y, cache) = self.compute(x, true);
+        self.cache = cache;
+        y
+    }
+
+    /// Forward without caching.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let d_head = self.d_model / self.n_heads;
+        let q = self.wq.forward_inference(x);
+        let k = self.wk.forward_inference(x);
+        let v = self.wv.forward_inference(x);
+        let mut concat = Matrix::zeros(x.rows(), self.d_model);
+        for h in 0..self.n_heads {
+            let (oh, _) = attend(&q, &k, &v, h, d_head);
+            head_insert(&mut concat, &oh, h, d_head);
+        }
+        self.wo.forward_inference(&concat)
+    }
+
+    /// Attention probabilities per head from the last cached forward.
+    pub fn last_attention(&self) -> Option<&[Matrix]> {
+        self.cache.as_ref().map(|c| c.probs.as_slice())
+    }
+
+    fn compute(&mut self, x: &Matrix, train: bool) -> (Matrix, Option<Cache>) {
+        let d_head = self.d_model / self.n_heads;
+        let (q, k, v) = if train {
+            (self.wq.forward(x), self.wk.forward(x), self.wv.forward(x))
+        } else {
+            (
+                self.wq.forward_inference(x),
+                self.wk.forward_inference(x),
+                self.wv.forward_inference(x),
+            )
+        };
+        let mut concat = Matrix::zeros(x.rows(), self.d_model);
+        let mut probs = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let (oh, p) = attend(&q, &k, &v, h, d_head);
+            head_insert(&mut concat, &oh, h, d_head);
+            probs.push(p);
+        }
+        let y = if train { self.wo.forward(&concat) } else { self.wo.forward_inference(&concat) };
+        let cache = train.then(|| Cache { q, k, v, probs, concat: concat.clone() });
+        (y, cache)
+    }
+
+    /// Backward pass; returns dL/dx.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("forward before backward");
+        let d_head = self.d_model / self.n_heads;
+        let scale = 1.0 / (d_head as f32).sqrt();
+
+        let dconcat = self.wo.backward(dy);
+        let t = cache.concat.rows();
+        let mut dq = Matrix::zeros(t, self.d_model);
+        let mut dk = Matrix::zeros(t, self.d_model);
+        let mut dv = Matrix::zeros(t, self.d_model);
+        for h in 0..self.n_heads {
+            let doh = head_slice(&dconcat, h, d_head);
+            let p = &cache.probs[h];
+            let qh = head_slice(&cache.q, h, d_head);
+            let kh = head_slice(&cache.k, h, d_head);
+            let vh = head_slice(&cache.v, h, d_head);
+            // dP = dOh · Vhᵀ ; dVh = Pᵀ · dOh
+            let dp = doh.matmul_nt(&vh);
+            let dvh = p.matmul_tn(&doh);
+            // Softmax backward per row: dS = P ⊙ (dP − rowsum(dP⊙P)).
+            let mut ds = Matrix::zeros(t, t);
+            for r in 0..t {
+                let prow = p.row(r);
+                let dprow = dp.row(r);
+                let dot: f32 = prow.iter().zip(dprow).map(|(a, b)| a * b).sum();
+                for c in 0..t {
+                    ds.set(r, c, prow[c] * (dprow[c] - dot));
+                }
+            }
+            ds.scale(scale);
+            // dQh = dS · Kh ; dKh = dSᵀ · Qh
+            let dqh = ds.matmul(&kh);
+            let dkh = ds.matmul_tn(&qh);
+            head_insert(&mut dq, &dqh, h, d_head);
+            head_insert(&mut dk, &dkh, h, d_head);
+            head_insert(&mut dv, &dvh, h, d_head);
+        }
+        let mut dx = self.wq.backward(&dq);
+        dx.add_assign(&self.wk.backward(&dk));
+        dx.add_assign(&self.wv.backward(&dv));
+        dx
+    }
+}
+
+/// One head's attention: returns (output T×d_head, probs T×T).
+fn attend(q: &Matrix, k: &Matrix, v: &Matrix, head: usize, d_head: usize) -> (Matrix, Matrix) {
+    let qh = head_slice(q, head, d_head);
+    let kh = head_slice(k, head, d_head);
+    let vh = head_slice(v, head, d_head);
+    let mut scores = qh.matmul_nt(&kh);
+    scores.scale(1.0 / (d_head as f32).sqrt());
+    scores.softmax_rows();
+    let out = scores.matmul(&vh);
+    (out, scores)
+}
+
+impl Module for MultiHeadAttention {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_and_prob_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut attn = MultiHeadAttention::new(&mut rng, 16, 4);
+        let x = init::normal(&mut rng, 6, 16, 1.0);
+        let y = attn.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (6, 16));
+        for p in attn.last_attention().unwrap() {
+            for r in 0..p.rows() {
+                let s: f32 = p.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn train_and_inference_forward_agree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = init::normal(&mut rng, 4, 8, 1.0);
+        let y_train = attn.forward(&x);
+        let y_inf = attn.forward_inference(&x);
+        for (a, b) in y_train.data().iter().zip(y_inf.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = init::normal(&mut rng, 3, 8, 0.5);
+        // L = ½‖y‖² so dL/dy = y.
+        let y = attn.forward(&x);
+        let dx = attn.backward(&y);
+
+        let eps = 1e-2;
+        let loss = |attn: &MultiHeadAttention, x: &Matrix| -> f32 {
+            let y = attn.forward_inference(x);
+            0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
+        };
+        let mut max_rel = 0.0f32;
+        for (r, c) in [(0, 0), (1, 3), (2, 7)] {
+            let mut xp = x.clone();
+            xp.set(r, c, x.get(r, c) + eps);
+            let mut xm = x.clone();
+            xm.set(r, c, x.get(r, c) - eps);
+            let numeric = (loss(&attn, &xp) - loss(&attn, &xm)) / (2.0 * eps);
+            let analytic = dx.get(r, c);
+            let rel = (numeric - analytic).abs() / numeric.abs().max(1e-3);
+            max_rel = max_rel.max(rel);
+        }
+        assert!(max_rel < 0.07, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = init::normal(&mut rng, 3, 8, 0.5);
+        attn.zero_grad();
+        let y = attn.forward(&x);
+        attn.backward(&y);
+        // Grab dL/d(wq[0,0]).
+        let mut analytic = 0.0;
+        let mut slot = 0;
+        attn.visit_params(&mut |_, g| {
+            if slot == 0 {
+                analytic = g[0];
+            }
+            slot += 1;
+        });
+        let eps = 1e-2;
+        let loss = |attn: &MultiHeadAttention, x: &Matrix| -> f32 {
+            let y = attn.forward_inference(x);
+            0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
+        };
+        let mut orig = 0.0;
+        let mut slot = 0;
+        attn.visit_params(&mut |p, _| {
+            if slot == 0 {
+                orig = p[0];
+                p[0] = orig + eps;
+            }
+            slot += 1;
+        });
+        let lp = loss(&attn, &x);
+        let mut slot = 0;
+        attn.visit_params(&mut |p, _| {
+            if slot == 0 {
+                p[0] = orig - eps;
+            }
+            slot += 1;
+        });
+        let lm = loss(&attn, &x);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() / numeric.abs().max(1e-3) < 0.07,
+            "numeric {numeric} analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut attn = MultiHeadAttention::new(&mut rng, 16, 4);
+        // 4 linears of 16×16 + bias 16.
+        assert_eq!(attn.n_params(), 4 * (16 * 16 + 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide")]
+    fn invalid_head_count_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = MultiHeadAttention::new(&mut rng, 10, 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Task heads attached to the encoder: the MLM head for pre-training, a
+//! [CLS] classification head for fine-tuning, and a regression head for
+//! performance prediction.
+
+use nfm_tensor::layers::{Gelu, LayerNorm, Linear, Module};
+use nfm_tensor::matrix::Matrix;
+use rand::Rng;
+
+/// BERT-style MLM head: dense → GELU → LayerNorm → vocabulary projection.
+#[derive(Debug, Clone)]
+pub struct MlmHead {
+    dense: Linear,
+    act: Gelu,
+    ln: LayerNorm,
+    proj: Linear,
+}
+
+impl MlmHead {
+    /// Create for hidden size `d_model` and `vocab` output classes.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, d_model: usize, vocab: usize) -> MlmHead {
+        MlmHead {
+            dense: Linear::new(rng, d_model, d_model),
+            act: Gelu::new(),
+            ln: LayerNorm::new(d_model),
+            proj: Linear::new(rng, d_model, vocab),
+        }
+    }
+
+    /// Hidden states (T×d) → vocabulary logits (T×V). Training mode.
+    pub fn forward(&mut self, hidden: &Matrix) -> Matrix {
+        let h = self.ln.forward(&self.act.forward(&self.dense.forward(hidden)));
+        self.proj.forward(&h)
+    }
+
+    /// Inference mode.
+    pub fn forward_inference(&self, hidden: &Matrix) -> Matrix {
+        let h = self
+            .ln
+            .forward_inference(&self.act.forward_inference(&self.dense.forward_inference(hidden)));
+        self.proj.forward_inference(&h)
+    }
+
+    /// Backward from dL/dlogits; returns dL/dhidden.
+    pub fn backward(&mut self, dlogits: &Matrix) -> Matrix {
+        let dh = self.proj.backward(dlogits);
+        self.dense.backward(&self.act.backward(&self.ln.backward(&dh)))
+    }
+}
+
+impl Module for MlmHead {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.dense.visit_params(f);
+        self.ln.visit_params(f);
+        self.proj.visit_params(f);
+    }
+}
+
+/// Classification head over the [CLS] position: dense → GELU → logits.
+#[derive(Debug, Clone)]
+pub struct ClsHead {
+    dense: Linear,
+    act: Gelu,
+    out: Linear,
+}
+
+impl ClsHead {
+    /// Create for `n_classes` outputs.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, d_model: usize, n_classes: usize) -> ClsHead {
+        ClsHead {
+            dense: Linear::new(rng, d_model, d_model),
+            act: Gelu::new(),
+            out: Linear::new(rng, d_model, n_classes),
+        }
+    }
+
+    /// [CLS] row (1×d) → logits (1×n_classes). Training mode.
+    pub fn forward(&mut self, cls: &Matrix) -> Matrix {
+        self.out.forward(&self.act.forward(&self.dense.forward(cls)))
+    }
+
+    /// Inference mode.
+    pub fn forward_inference(&self, cls: &Matrix) -> Matrix {
+        self.out
+            .forward_inference(&self.act.forward_inference(&self.dense.forward_inference(cls)))
+    }
+
+    /// Backward from dL/dlogits; returns dL/dcls.
+    pub fn backward(&mut self, dlogits: &Matrix) -> Matrix {
+        self.dense.backward(&self.act.backward(&self.out.backward(dlogits)))
+    }
+}
+
+impl Module for ClsHead {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.dense.visit_params(f);
+        self.out.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlm_head_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = MlmHead::new(&mut rng, 8, 30);
+        let hidden = init::normal(&mut rng, 5, 8, 1.0);
+        let logits = head.forward(&hidden);
+        assert_eq!((logits.rows(), logits.cols()), (5, 30));
+        let dh = head.backward(&logits);
+        assert_eq!((dh.rows(), dh.cols()), (5, 8));
+        assert!(dh.is_finite());
+    }
+
+    #[test]
+    fn cls_head_shapes_and_agreement() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = ClsHead::new(&mut rng, 8, 4);
+        let cls = init::normal(&mut rng, 1, 8, 1.0);
+        let a = head.forward(&cls);
+        let b = head.forward_inference(&cls);
+        assert_eq!((a.rows(), a.cols()), (1, 4));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn heads_expose_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlm = MlmHead::new(&mut rng, 8, 30);
+        // dense (8·8+8) + ln (8+8) + proj (8·30+30)
+        assert_eq!(mlm.n_params(), 8 * 8 + 8 + 16 + 8 * 30 + 30);
+        let mut cls = ClsHead::new(&mut rng, 8, 4);
+        assert_eq!(cls.n_params(), 8 * 8 + 8 + 8 * 4 + 4);
+    }
+}

@@ -1,0 +1,8 @@
+//! Neural sequence models: multi-head self-attention, the transformer
+//! encoder (the foundation model), task heads, and the GRU baseline NorBERT
+//! compared against.
+
+pub mod attention;
+pub mod gru;
+pub mod heads;
+pub mod transformer;

@@ -1,0 +1,369 @@
+//! The BERT-style transformer encoder: token + learned position embeddings,
+//! post-LN encoder blocks (attention and feed-forward sublayers with
+//! residuals), processed one unpadded sequence at a time.
+
+use nfm_tensor::layers::{Embedding, Gelu, LayerNorm, Linear, Module};
+use nfm_tensor::matrix::Matrix;
+use rand::Rng;
+
+use super::attention::MultiHeadAttention;
+
+/// Encoder hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model dimension.
+    pub d_model: usize,
+    /// Attention heads.
+    pub n_heads: usize,
+    /// Encoder blocks.
+    pub n_layers: usize,
+    /// Feed-forward inner dimension.
+    pub d_ff: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_len: usize,
+}
+
+impl EncoderConfig {
+    /// A small default suited to CPU training.
+    pub fn small(vocab: usize) -> EncoderConfig {
+        EncoderConfig { vocab, d_model: 32, n_heads: 4, n_layers: 2, d_ff: 64, max_len: 128 }
+    }
+}
+
+/// One post-LN encoder block.
+#[derive(Debug, Clone)]
+pub struct EncoderBlock {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff1: Linear,
+    gelu: Gelu,
+    ff2: Linear,
+    ln2: LayerNorm,
+}
+
+impl EncoderBlock {
+    fn new<R: Rng + ?Sized>(rng: &mut R, cfg: &EncoderConfig) -> EncoderBlock {
+        EncoderBlock {
+            attn: MultiHeadAttention::new(rng, cfg.d_model, cfg.n_heads),
+            ln1: LayerNorm::new(cfg.d_model),
+            ff1: Linear::new(rng, cfg.d_model, cfg.d_ff),
+            gelu: Gelu::new(),
+            ff2: Linear::new(rng, cfg.d_ff, cfg.d_model),
+            ln2: LayerNorm::new(cfg.d_model),
+        }
+    }
+
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let a = self.attn.forward(x);
+        let mut r1 = x.clone();
+        r1.add_assign(&a);
+        let h1 = self.ln1.forward(&r1);
+        let f = self.ff2.forward(&self.gelu.forward(&self.ff1.forward(&h1)));
+        let mut r2 = h1.clone();
+        r2.add_assign(&f);
+        self.ln2.forward(&r2)
+    }
+
+    fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let a = self.attn.forward_inference(x);
+        let mut r1 = x.clone();
+        r1.add_assign(&a);
+        let h1 = self.ln1.forward_inference(&r1);
+        let f = self
+            .ff2
+            .forward_inference(&self.gelu.forward_inference(&self.ff1.forward_inference(&h1)));
+        let mut r2 = h1.clone();
+        r2.add_assign(&f);
+        self.ln2.forward_inference(&r2)
+    }
+
+    fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let dr2 = self.ln2.backward(dy);
+        // r2 = h1 + f
+        let df = dr2.clone();
+        let dff = self.ff1.backward(&self.gelu.backward(&self.ff2.backward(&df)));
+        let mut dh1 = dr2;
+        dh1.add_assign(&dff);
+        let dr1 = self.ln1.backward(&dh1);
+        // r1 = x + attn(x)
+        let da = dr1.clone();
+        let mut dx = dr1;
+        dx.add_assign(&self.attn.backward(&da));
+        dx
+    }
+
+    /// Attention probabilities from the last training forward.
+    pub fn last_attention(&self) -> Option<&[Matrix]> {
+        self.attn.last_attention()
+    }
+}
+
+impl Module for EncoderBlock {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.attn.visit_params(f);
+        self.ln1.visit_params(f);
+        self.ff1.visit_params(f);
+        self.ff2.visit_params(f);
+        self.ln2.visit_params(f);
+    }
+}
+
+/// The full encoder.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    /// Hyperparameters.
+    pub config: EncoderConfig,
+    tok_emb: Embedding,
+    pos_emb: Embedding,
+    blocks: Vec<EncoderBlock>,
+    emb_ln: LayerNorm,
+}
+
+impl Encoder {
+    /// Create with random initialization.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: EncoderConfig) -> Encoder {
+        Encoder {
+            tok_emb: Embedding::new(rng, config.vocab, config.d_model),
+            pos_emb: Embedding::new(rng, config.max_len, config.d_model),
+            blocks: (0..config.n_layers).map(|_| EncoderBlock::new(rng, &config)).collect(),
+            emb_ln: LayerNorm::new(config.d_model),
+            config,
+        }
+    }
+
+    /// Replace the token-embedding table (e.g. with pre-trained GloVe
+    /// vectors). Panics on shape mismatch.
+    pub fn set_token_embeddings(&mut self, table: Matrix) {
+        assert_eq!(table.rows(), self.config.vocab);
+        assert_eq!(table.cols(), self.config.d_model);
+        self.tok_emb.table.data_mut().copy_from_slice(table.data());
+    }
+
+    /// A copy of the token-embedding table (vocab × d_model).
+    pub fn token_embeddings(&self) -> &Matrix {
+        &self.tok_emb.table
+    }
+
+    /// Zero the token-embedding gradients accumulated this step. Calling
+    /// this before every optimizer step freezes the embedding table (with
+    /// optimizers whose state starts at zero), preserving pre-trained token
+    /// geometry — including for tokens the fine-tuning set never contains.
+    pub fn zero_token_embedding_grads(&mut self) {
+        self.tok_emb.zero_grad();
+    }
+
+    fn clamp_ids<'a>(&self, ids: &'a [usize]) -> &'a [usize] {
+        &ids[..ids.len().min(self.config.max_len)]
+    }
+
+    /// Forward one sequence of token ids (training mode; caches for
+    /// backward). Returns hidden states (T×d).
+    pub fn forward(&mut self, ids: &[usize]) -> Matrix {
+        let ids = self.clamp_ids(ids);
+        assert!(!ids.is_empty(), "empty sequence");
+        let positions: Vec<usize> = (0..ids.len()).collect();
+        let mut x = self.tok_emb.forward(ids);
+        x.add_assign(&self.pos_emb.forward(&positions));
+        let mut h = self.emb_ln.forward(&x);
+        for block in &mut self.blocks {
+            h = block.forward(&h);
+        }
+        h
+    }
+
+    /// Forward without caching (inference).
+    pub fn forward_inference(&self, ids: &[usize]) -> Matrix {
+        let ids = self.clamp_ids(ids);
+        assert!(!ids.is_empty(), "empty sequence");
+        let positions: Vec<usize> = (0..ids.len()).collect();
+        let mut x = self.tok_emb.lookup(ids);
+        x.add_assign(&self.pos_emb.lookup(&positions));
+        let mut h = self.emb_ln.forward_inference(&x);
+        for block in &self.blocks {
+            h = block.forward_inference(&h);
+        }
+        h
+    }
+
+    /// Backward from dL/dhidden; accumulates gradients in all submodules.
+    pub fn backward(&mut self, dhidden: &Matrix) {
+        let mut d = dhidden.clone();
+        for block in self.blocks.iter_mut().rev() {
+            d = block.backward(&d);
+        }
+        let dx = self.emb_ln.backward(&d);
+        self.tok_emb.backward(&dx);
+        self.pos_emb.backward(&dx);
+    }
+
+    /// Attention maps of the last training forward, per layer then head.
+    pub fn last_attention(&self) -> Vec<&[Matrix]> {
+        self.blocks.iter().filter_map(|b| b.last_attention()).collect()
+    }
+
+    /// The [CLS] (first-position) embedding of a sequence, inference mode.
+    pub fn cls_embedding(&self, ids: &[usize]) -> Vec<f32> {
+        self.forward_inference(ids).row(0).to_vec()
+    }
+
+    /// Mean-pooled hidden state, inference mode.
+    pub fn mean_embedding(&self, ids: &[usize]) -> Vec<f32> {
+        let h = self.forward_inference(ids);
+        let mut out = vec![0.0f32; h.cols()];
+        for r in 0..h.rows() {
+            for (o, v) in out.iter_mut().zip(h.row(r)) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= h.rows() as f32;
+        }
+        out
+    }
+}
+
+impl Module for Encoder {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.tok_emb.visit_params(f);
+        self.pos_emb.visit_params(f);
+        self.emb_ln.visit_params(f);
+        for block in &mut self.blocks {
+            block.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> (Encoder, StdRng) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let enc = Encoder::new(&mut rng, EncoderConfig { vocab: 20, d_model: 16, n_heads: 2, n_layers: 2, d_ff: 32, max_len: 16 });
+        (enc, rng)
+    }
+
+    #[test]
+    fn forward_shapes_and_finiteness() {
+        let (mut enc, _) = small();
+        let h = enc.forward(&[2, 5, 6, 7, 3]);
+        assert_eq!((h.rows(), h.cols()), (5, 16));
+        assert!(h.is_finite());
+    }
+
+    #[test]
+    fn train_and_inference_agree() {
+        let (mut enc, _) = small();
+        let ids = [2usize, 9, 10, 3];
+        let a = enc.forward(&ids);
+        let b = enc.forward_inference(&ids);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sequences_longer_than_max_len_are_clamped() {
+        let (mut enc, _) = small();
+        let ids: Vec<usize> = (0..40).map(|i| i % 20).collect();
+        let h = enc.forward(&ids);
+        assert_eq!(h.rows(), 16);
+    }
+
+    #[test]
+    fn contextual_embeddings_differ_by_context() {
+        // The same token in different contexts gets different vectors —
+        // the BERT-vs-Word2Vec distinction the paper's §2 highlights.
+        let (mut enc, _) = small();
+        let h1 = enc.forward(&[2, 7, 8, 3]);
+        let h2 = enc.forward(&[2, 7, 15, 3]);
+        // Token 7 at position 1 in both, different right context.
+        let v1 = h1.row(1);
+        let v2 = h2.row(1);
+        let diff: f32 = v1.iter().zip(v2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-3, "contextual embeddings should differ: {diff}");
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        let (mut enc, _) = small();
+        let ids = [2usize, 6, 11, 3];
+        // L = ½‖h‖².
+        let h = enc.forward(&ids);
+        enc.zero_grad();
+        // Re-run forward so caches match the graded pass.
+        let h = {
+            let h2 = enc.forward(&ids);
+            assert_eq!(h.data(), h2.data());
+            h2
+        };
+        enc.backward(&h);
+        // Numeric check on one token-embedding entry.
+        let eps = 1e-2;
+        let token = ids[1];
+        let dim0 = 0usize;
+        let idx = token * 16 + dim0;
+        let mut analytic = 0.0;
+        let mut slot = 0;
+        enc.visit_params(&mut |_, g| {
+            if slot == 0 {
+                analytic = g[idx];
+            }
+            slot += 1;
+        });
+        let loss = |enc: &Encoder| -> f32 {
+            let h = enc.forward_inference(&ids);
+            0.5 * h.data().iter().map(|v| v * v).sum::<f32>()
+        };
+        let mut orig = 0.0;
+        let mut slot = 0;
+        enc.visit_params(&mut |p, _| {
+            if slot == 0 {
+                orig = p[idx];
+                p[idx] = orig + eps;
+            }
+            slot += 1;
+        });
+        let lp = loss(&enc);
+        let mut slot = 0;
+        enc.visit_params(&mut |p, _| {
+            if slot == 0 {
+                p[idx] = orig - eps;
+            }
+            slot += 1;
+        });
+        let lm = loss(&enc);
+        let mut slot = 0;
+        enc.visit_params(&mut |p, _| {
+            if slot == 0 {
+                p[idx] = orig;
+            }
+            slot += 1;
+        });
+        let numeric = (lp - lm) / (2.0 * eps);
+        let rel = (numeric - analytic).abs() / numeric.abs().max(1e-2);
+        assert!(rel < 0.1, "numeric {numeric} analytic {analytic}");
+    }
+
+    #[test]
+    fn set_token_embeddings_replaces_table() {
+        let (mut enc, mut rng) = small();
+        let table = nfm_tensor::init::normal(&mut rng, 20, 16, 0.1);
+        enc.set_token_embeddings(table.clone());
+        assert_eq!(enc.token_embeddings().data(), table.data());
+    }
+
+    #[test]
+    fn cls_and_mean_embeddings() {
+        let (enc, _) = small();
+        let cls = enc.cls_embedding(&[2, 5, 3]);
+        let mean = enc.mean_embedding(&[2, 5, 3]);
+        assert_eq!(cls.len(), 16);
+        assert_eq!(mean.len(), 16);
+        assert_ne!(cls, mean);
+    }
+}

@@ -1,0 +1,461 @@
+//! Self-supervised pre-training (paper §2, §4.1.4): masked language
+//! modelling over packet-token contexts, next-flow prediction (the NSP
+//! analogue for traffic), and a DNS query–answer objective — the
+//! network-specific pre-training task the paper calls for ("new training
+//! tasks may be required to capture the nature of the relationships between
+//! a query and its answers").
+
+use nfm_tensor::layers::Module;
+use nfm_tensor::loss::{softmax_cross_entropy, IGNORE_INDEX};
+use nfm_tensor::matrix::Matrix;
+use nfm_tensor::optim::{clip_global_norm, Adam, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::nn::heads::{ClsHead, MlmHead};
+use crate::nn::transformer::{Encoder, EncoderConfig};
+use crate::vocab::Vocab;
+
+/// Which pre-training objectives are active (experiment E6 sweeps this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskMix {
+    /// Masked language modelling.
+    pub mlm: bool,
+    /// Next-flow prediction (NSP analogue).
+    pub next_flow: bool,
+    /// DNS query→answer masking.
+    pub query_answer: bool,
+}
+
+impl Default for TaskMix {
+    fn default() -> Self {
+        TaskMix { mlm: true, next_flow: true, query_answer: true }
+    }
+}
+
+impl TaskMix {
+    /// MLM only.
+    pub fn mlm_only() -> TaskMix {
+        TaskMix { mlm: true, next_flow: false, query_answer: false }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> String {
+        let mut parts = Vec::new();
+        if self.mlm {
+            parts.push("mlm");
+        }
+        if self.next_flow {
+            parts.push("nfp");
+        }
+        if self.query_answer {
+            parts.push("qa");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Pre-training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct PretrainConfig {
+    /// Fraction of tokens masked for MLM.
+    pub mask_prob: f64,
+    /// Epochs over the context corpus.
+    pub epochs: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Sequences per optimizer step.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Active objectives.
+    pub tasks: TaskMix,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig {
+            mask_prob: 0.15,
+            epochs: 3,
+            lr: 3e-3,
+            batch_size: 8,
+            seed: 1,
+            tasks: TaskMix::default(),
+        }
+    }
+}
+
+/// Per-epoch pre-training statistics.
+#[derive(Debug, Clone)]
+pub struct PretrainStats {
+    /// Mean MLM loss per epoch.
+    pub mlm_loss: Vec<f32>,
+    /// Mean next-flow loss per epoch (empty when the task is off).
+    pub next_flow_loss: Vec<f32>,
+    /// Final masked-token top-1 accuracy on the training corpus.
+    pub final_mlm_accuracy: f32,
+}
+
+/// Apply BERT masking to an encoded sequence. Positions holding special
+/// tokens are never masked. Returns `(input_ids, targets)` where targets is
+/// [`IGNORE_INDEX`] at unmasked positions.
+///
+/// `qa_mode`: when true, positions whose token text carries DNS answer
+/// semantics (`ATYPE_*`, `ANCOUNT_*`, `RCODE_*`) are always masked — the
+/// query→answer objective.
+pub fn mask_sequence(
+    rng: &mut StdRng,
+    ids: &[usize],
+    vocab: &Vocab,
+    mask_prob: f64,
+    qa_mode: bool,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut input = ids.to_vec();
+    let mut targets = vec![IGNORE_INDEX; ids.len()];
+    let mut n_masked = 0;
+    for (i, &id) in ids.iter().enumerate() {
+        if id < 5 {
+            continue; // specials
+        }
+        let token_text = vocab.token(id);
+        let is_answer_token = qa_mode
+            && (token_text.starts_with("ATYPE_")
+                || token_text.starts_with("ANCOUNT_")
+                || token_text.starts_with("RCODE_"));
+        // Name tokens (QD_/SNI_/HOST_) carry the long-tail semantics the
+        // paper cares about; boost their masking rate so prediction
+        // pressure concentrates on them rather than on the frequent
+        // header tokens (the MLM analogue of word2vec's subsampling).
+        let effective_prob = if token_text.starts_with("QD_")
+            || token_text.starts_with("SNI_")
+            || token_text.starts_with("HOST_")
+        {
+            (mask_prob * 2.5).min(0.5)
+        } else {
+            mask_prob
+        };
+        if !is_answer_token && !rng.gen_bool(effective_prob) {
+            continue;
+        }
+        targets[i] = id;
+        n_masked += 1;
+        let roll: f64 = rng.gen();
+        input[i] = if roll < 0.8 {
+            vocab.mask_id()
+        } else if roll < 0.9 {
+            rng.gen_range(5..vocab.len())
+        } else {
+            id
+        };
+    }
+    // Guarantee at least one masked position on non-trivial sequences.
+    if n_masked == 0 {
+        if let Some(i) = ids.iter().position(|&id| id >= 5) {
+            targets[i] = ids[i];
+            input[i] = vocab.mask_id();
+        }
+    }
+    (input, targets)
+}
+
+/// Wrap a context with [CLS] … [SEP] and encode, truncating to `max_len`.
+pub fn encode_context(vocab: &Vocab, ctx: &[String], max_len: usize) -> Vec<usize> {
+    let body = ctx.len().min(max_len.saturating_sub(2));
+    let mut ids = Vec::with_capacity(body + 2);
+    ids.push(vocab.cls_id());
+    for t in &ctx[..body] {
+        ids.push(vocab.id(t));
+    }
+    ids.push(vocab.sep_id());
+    ids
+}
+
+/// Build a [CLS] A [SEP] B [SEP] pair for next-flow prediction.
+pub fn encode_pair(vocab: &Vocab, a: &[String], b: &[String], max_len: usize) -> Vec<usize> {
+    let budget = max_len.saturating_sub(3);
+    let half = budget / 2;
+    let mut ids = vec![vocab.cls_id()];
+    for t in a.iter().take(half) {
+        ids.push(vocab.id(t));
+    }
+    ids.push(vocab.sep_id());
+    for t in b.iter().take(budget - ids.len().saturating_sub(2).min(budget)) {
+        if ids.len() >= max_len - 1 {
+            break;
+        }
+        ids.push(vocab.id(t));
+    }
+    ids.push(vocab.sep_id());
+    ids
+}
+
+/// Pre-train an encoder on `contexts` (token sequences in capture order).
+/// Returns the trained encoder, the MLM head, and statistics.
+pub fn pretrain(
+    contexts: &[Vec<String>],
+    vocab: &Vocab,
+    encoder_config: EncoderConfig,
+    config: &PretrainConfig,
+) -> (Encoder, MlmHead, PretrainStats) {
+    assert!(!contexts.is_empty(), "need at least one context");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut encoder = Encoder::new(&mut rng, encoder_config);
+    let mut mlm_head = MlmHead::new(&mut rng, encoder_config.d_model, vocab.len());
+    let mut nfp_head = ClsHead::new(&mut rng, encoder_config.d_model, 2);
+    let max_len = encoder_config.max_len;
+
+    let encoded: Vec<Vec<usize>> =
+        contexts.iter().map(|c| encode_context(vocab, c, max_len)).collect();
+
+    let steps_per_epoch = encoded.len().div_ceil(config.batch_size);
+    let total = (steps_per_epoch * config.epochs).max(1);
+    let schedule =
+        Schedule::WarmupLinear { peak: config.lr, warmup: total / 10 + 1, total: total + 1 };
+    let mut opt_enc = Adam::new(schedule);
+    let mut opt_mlm = Adam::new(schedule);
+    let mut opt_nfp = Adam::new(schedule);
+
+    let mut stats = PretrainStats {
+        mlm_loss: Vec::new(),
+        next_flow_loss: Vec::new(),
+        final_mlm_accuracy: 0.0,
+    };
+
+    let mut order: Vec<usize> = (0..encoded.len()).collect();
+    for _epoch in 0..config.epochs {
+        // Deterministic shuffle.
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut epoch_mlm = 0.0f64;
+        let mut epoch_nfp = 0.0f64;
+        let mut n_mlm = 0usize;
+        let mut n_nfp = 0usize;
+        for batch in order.chunks(config.batch_size) {
+            encoder.zero_grad();
+            mlm_head.zero_grad();
+            nfp_head.zero_grad();
+            for &idx in batch {
+                let ids = &encoded[idx];
+                if ids.len() < 3 {
+                    continue;
+                }
+                if config.tasks.mlm || config.tasks.query_answer {
+                    let qa = config.tasks.query_answer;
+                    let mask_prob = if config.tasks.mlm { config.mask_prob } else { 0.02 };
+                    let (input, targets) =
+                        mask_sequence(&mut rng, ids, vocab, mask_prob, qa);
+                    let hidden = encoder.forward(&input);
+                    let logits = mlm_head.forward(&hidden);
+                    let (loss, dlogits) = softmax_cross_entropy(&logits, &targets);
+                    if loss > 0.0 {
+                        epoch_mlm += loss as f64;
+                        n_mlm += 1;
+                        let dhidden = mlm_head.backward(&dlogits);
+                        encoder.backward(&dhidden);
+                    }
+                }
+                if config.tasks.next_flow && encoded.len() > 2 {
+                    // Positive: the temporally-next context. Negative: a
+                    // random one.
+                    let is_next = rng.gen_bool(0.5);
+                    let other = if is_next && idx + 1 < contexts.len() {
+                        idx + 1
+                    } else {
+                        rng.gen_range(0..contexts.len())
+                    };
+                    let label = usize::from(is_next && other == idx + 1);
+                    let pair = encode_pair(vocab, &contexts[idx], &contexts[other], max_len);
+                    let hidden = encoder.forward(&pair);
+                    let cls = hidden.rows_slice(0, 1);
+                    let logits = nfp_head.forward(&cls);
+                    let (loss, dlogits) = softmax_cross_entropy(&logits, &[label]);
+                    epoch_nfp += loss as f64;
+                    n_nfp += 1;
+                    let dcls = nfp_head.backward(&dlogits);
+                    // Scatter dcls back into a full dhidden (only row 0).
+                    let mut dhidden = Matrix::zeros(hidden.rows(), hidden.cols());
+                    dhidden.row_mut(0).copy_from_slice(dcls.row(0));
+                    encoder.backward(&dhidden);
+                }
+            }
+            clip_global_norm(&mut encoder, 5.0);
+            clip_global_norm(&mut mlm_head, 5.0);
+            opt_enc.step(&mut encoder);
+            opt_mlm.step(&mut mlm_head);
+            if config.tasks.next_flow {
+                clip_global_norm(&mut nfp_head, 5.0);
+                opt_nfp.step(&mut nfp_head);
+            }
+        }
+        stats.mlm_loss.push(if n_mlm > 0 { (epoch_mlm / n_mlm as f64) as f32 } else { 0.0 });
+        if config.tasks.next_flow {
+            stats
+                .next_flow_loss
+                .push(if n_nfp > 0 { (epoch_nfp / n_nfp as f64) as f32 } else { 0.0 });
+        }
+    }
+
+    // Final masked-prediction accuracy over a sample of the corpus.
+    let mut correct = 0usize;
+    let mut total_masked = 0usize;
+    let sample = encoded.len().min(200);
+    for ids in encoded.iter().take(sample) {
+        if ids.len() < 3 {
+            continue;
+        }
+        let (input, targets) = mask_sequence(&mut rng, ids, vocab, config.mask_prob, false);
+        let hidden = encoder.forward_inference(&input);
+        let logits = mlm_head.forward_inference(&hidden);
+        let preds = logits.argmax_rows();
+        for (i, &t) in targets.iter().enumerate() {
+            if t != IGNORE_INDEX {
+                total_masked += 1;
+                if preds[i] == t {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    stats.final_mlm_accuracy =
+        if total_masked > 0 { correct as f32 / total_masked as f32 } else { 0.0 };
+
+    (encoder, mlm_head, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_vocab_and_contexts() -> (Vocab, Vec<Vec<String>>) {
+        // Deterministic bigram structure: "x_i" is always followed by
+        // "y_i" — MLM can learn to fill either from the other.
+        let mut contexts = Vec::new();
+        for i in 0..120 {
+            let k = i % 4;
+            let ctx: Vec<String> = (0..6)
+                .flat_map(|_| vec![format!("x{k}"), format!("y{k}")])
+                .collect();
+            contexts.push(ctx);
+        }
+        let vocab = Vocab::from_sequences(&contexts, 1);
+        (vocab, contexts)
+    }
+
+    #[test]
+    fn masking_respects_specials_and_rate() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let ids = encode_context(&vocab, &contexts[0], 32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut masked_total = 0;
+        for _ in 0..100 {
+            let (input, targets) = mask_sequence(&mut rng, &ids, &vocab, 0.15, false);
+            assert_eq!(input.len(), ids.len());
+            // CLS/SEP untouched.
+            assert_eq!(input[0], vocab.cls_id());
+            assert_eq!(*input.last().unwrap(), vocab.sep_id());
+            assert_eq!(targets[0], IGNORE_INDEX);
+            for (i, &t) in targets.iter().enumerate() {
+                if t != IGNORE_INDEX {
+                    masked_total += 1;
+                    assert_eq!(t, ids[i], "target restores the original id");
+                }
+            }
+        }
+        // ~15% of 12 maskable positions × 100 trials ≈ 180.
+        assert!((100..300).contains(&masked_total), "masked {masked_total}");
+    }
+
+    #[test]
+    fn masking_always_masks_at_least_one() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let ids = encode_context(&vocab, &contexts[0][..1], 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let (_, targets) = mask_sequence(&mut rng, &ids, &vocab, 0.01, false);
+            assert!(targets.iter().any(|&t| t != IGNORE_INDEX));
+        }
+    }
+
+    #[test]
+    fn qa_mode_masks_answer_tokens() {
+        let ctx: Vec<String> = vec![
+            "DNS_RESP".into(),
+            "QD_com".into(),
+            "RCODE_NOERROR".into(),
+            "ANCOUNT_2".into(),
+            "ATYPE_A".into(),
+        ];
+        let vocab = Vocab::from_sequences(std::iter::once(&ctx), 1);
+        let ids = encode_context(&vocab, &ctx, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, targets) = mask_sequence(&mut rng, &ids, &vocab, 0.0, true);
+        // The three answer tokens are always masked (positions 3, 4, 5 after
+        // CLS at 0).
+        let masked: Vec<usize> =
+            targets.iter().enumerate().filter(|(_, &t)| t != IGNORE_INDEX).map(|(i, _)| i).collect();
+        let answer_positions: Vec<usize> = ids
+            .iter()
+            .enumerate()
+            .filter(|(_, &id)| {
+                let t = vocab.token(id);
+                t.starts_with("ATYPE") || t.starts_with("ANCOUNT") || t.starts_with("RCODE")
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(masked, answer_positions);
+    }
+
+    #[test]
+    fn encode_pair_structure() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let pair = encode_pair(&vocab, &contexts[0], &contexts[1], 32);
+        assert_eq!(pair[0], vocab.cls_id());
+        assert_eq!(pair.iter().filter(|&&i| i == vocab.sep_id()).count(), 2);
+        assert!(pair.len() <= 32);
+    }
+
+    #[test]
+    fn pretraining_reduces_mlm_loss_and_beats_chance() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let cfg = EncoderConfig { vocab: vocab.len(), d_model: 16, n_heads: 2, n_layers: 1, d_ff: 32, max_len: 16 };
+        let (_, _, stats) = pretrain(
+            &contexts,
+            &vocab,
+            cfg,
+            &PretrainConfig { epochs: 4, tasks: TaskMix::mlm_only(), ..PretrainConfig::default() },
+        );
+        let first = stats.mlm_loss[0];
+        let last = *stats.mlm_loss.last().unwrap();
+        assert!(last < first, "loss should fall: {first} → {last}");
+        // Chance over ~13 vocab entries is ~8%; the bigram structure makes
+        // much higher accuracy learnable.
+        assert!(
+            stats.final_mlm_accuracy > 0.5,
+            "accuracy {}",
+            stats.final_mlm_accuracy
+        );
+    }
+
+    #[test]
+    fn next_flow_task_trains() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let cfg = EncoderConfig { vocab: vocab.len(), d_model: 16, n_heads: 2, n_layers: 1, d_ff: 32, max_len: 24 };
+        let (_, _, stats) = pretrain(
+            &contexts[..40],
+            &vocab,
+            cfg,
+            &PretrainConfig {
+                epochs: 2,
+                tasks: TaskMix { mlm: true, next_flow: true, query_answer: false },
+                ..PretrainConfig::default()
+            },
+        );
+        assert_eq!(stats.next_flow_loss.len(), 2);
+        assert!(stats.next_flow_loss.iter().all(|l| l.is_finite()));
+    }
+}

@@ -1,0 +1,172 @@
+//! Byte-pair encoding learned over packet bytes — the learned middle ground
+//! between raw bytes and hand-built field tokens (§4.1.2 cites BPE as
+//! RoBERTa's subword scheme).
+//!
+//! Symbols start as the 256 byte values; training repeatedly merges the most
+//! frequent adjacent pair into a new symbol. Encoding replays the merges in
+//! learned order.
+
+use std::collections::HashMap;
+
+use nfm_net::packet::Packet;
+
+use super::bytes::ByteTokenizer;
+use super::Tokenizer;
+
+/// A trained BPE tokenizer over packet bytes.
+#[derive(Debug, Clone)]
+pub struct BpeTokenizer {
+    /// Learned merges in priority order: (left, right) → new symbol id.
+    merges: Vec<(u32, u32)>,
+    /// Byte extraction configuration shared with the byte baseline.
+    pub byte_config: ByteTokenizer,
+}
+
+fn frame_symbols(byte_config: &ByteTokenizer, frame: &[u8]) -> Vec<u32> {
+    let start = if byte_config.skip_ethernet { 14.min(frame.len()) } else { 0 };
+    frame[start..].iter().take(byte_config.max_bytes).map(|&b| b as u32).collect()
+}
+
+impl BpeTokenizer {
+    /// Learn `n_merges` merges from a corpus of raw frames.
+    pub fn train(frames: &[Vec<u8>], n_merges: usize) -> BpeTokenizer {
+        let byte_config = ByteTokenizer::new();
+        let mut seqs: Vec<Vec<u32>> =
+            frames.iter().map(|f| frame_symbols(&byte_config, f)).collect();
+        let mut merges = Vec::with_capacity(n_merges);
+        let mut next_symbol: u32 = 256;
+        for _ in 0..n_merges {
+            // Count adjacent pairs.
+            let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+            for seq in &seqs {
+                for w in seq.windows(2) {
+                    *counts.entry((w[0], w[1])).or_insert(0) += 1;
+                }
+            }
+            // Deterministic argmax: highest count, then smallest pair.
+            let Some((&pair, &count)) = counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break; // nothing left worth merging
+            }
+            merges.push(pair);
+            let sym = next_symbol;
+            next_symbol += 1;
+            for seq in &mut seqs {
+                merge_in_place(seq, pair, sym);
+            }
+        }
+        BpeTokenizer { merges, byte_config }
+    }
+
+    /// Number of learned merges.
+    pub fn n_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Encode raw frame bytes into BPE symbol tokens.
+    pub fn encode_frame(&self, frame: &[u8]) -> Vec<String> {
+        let mut seq = frame_symbols(&self.byte_config, frame);
+        for (i, &pair) in self.merges.iter().enumerate() {
+            merge_in_place(&mut seq, pair, 256 + i as u32);
+        }
+        seq.iter().map(|&s| format!("S{s}")).collect()
+    }
+}
+
+/// Replace every adjacent occurrence of `pair` by `sym`, left to right.
+fn merge_in_place(seq: &mut Vec<u32>, pair: (u32, u32), sym: u32) {
+    let mut out = Vec::with_capacity(seq.len());
+    let mut i = 0;
+    while i < seq.len() {
+        if i + 1 < seq.len() && seq[i] == pair.0 && seq[i + 1] == pair.1 {
+            out.push(sym);
+            i += 2;
+        } else {
+            out.push(seq[i]);
+            i += 1;
+        }
+    }
+    *seq = out;
+}
+
+impl Tokenizer for BpeTokenizer {
+    fn tokenize(&self, packet: &Packet) -> Vec<String> {
+        self.encode_frame(&packet.emit())
+    }
+
+    fn name(&self) -> &'static str {
+        "bpe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_in_place_basics() {
+        let mut seq = vec![1, 2, 1, 2, 3, 1];
+        merge_in_place(&mut seq, (1, 2), 256);
+        assert_eq!(seq, vec![256, 256, 3, 1]);
+        // Overlapping occurrences resolved left to right.
+        let mut seq = vec![1, 1, 1];
+        merge_in_place(&mut seq, (1, 1), 256);
+        assert_eq!(seq, vec![256, 1]);
+    }
+
+    #[test]
+    fn training_compresses_repetitive_corpus() {
+        // A corpus with a strongly repeated 4-byte motif after a fake
+        // 14-byte header.
+        let mut frames = Vec::new();
+        for i in 0..50u8 {
+            let mut f = vec![0u8; 14];
+            for _ in 0..8 {
+                f.extend_from_slice(&[0xAA, 0xBB, 0xCC, i % 3]);
+            }
+            frames.push(f);
+        }
+        let bpe = BpeTokenizer::train(&frames, 20);
+        assert!(bpe.n_merges() > 0);
+        let tokens = bpe.encode_frame(&frames[0]);
+        // 32 payload bytes compress well below 32 tokens.
+        assert!(tokens.len() < 20, "{} tokens", tokens.len());
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_consistent() {
+        let frames: Vec<Vec<u8>> =
+            (0..20).map(|i| (0..60).map(|j| ((i * 7 + j) % 11) as u8).collect()).collect();
+        let bpe = BpeTokenizer::train(&frames, 10);
+        let a = bpe.encode_frame(&frames[0]);
+        let b = bpe.encode_frame(&frames[0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_merges_learned_from_unique_noise() {
+        // All pairs unique → count < 2 → no merges.
+        let frames = vec![(0..40u8).map(|b| b.wrapping_mul(17)).collect::<Vec<u8>>()];
+        let bpe = BpeTokenizer::train(&frames, 10);
+        assert_eq!(bpe.n_merges(), 0);
+        let toks = bpe.encode_frame(&frames[0]);
+        assert_eq!(toks.len(), 40 - 14);
+    }
+
+    #[test]
+    fn train_stops_at_requested_merges() {
+        let mut frames = Vec::new();
+        for _ in 0..30 {
+            let mut f = vec![0u8; 14];
+            f.extend(std::iter::repeat_n([1u8, 2, 3, 4], 8).flatten());
+            frames.push(f);
+        }
+        let bpe = BpeTokenizer::train(&frames, 5);
+        assert!(bpe.n_merges() <= 5);
+    }
+}

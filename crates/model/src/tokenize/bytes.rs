@@ -1,0 +1,103 @@
+//! The character/byte-level baseline tokenizer (§4.1.2's first option):
+//! every byte of the headers and the payload prefix becomes one token.
+
+use nfm_net::packet::Packet;
+
+use super::Tokenizer;
+
+/// Byte-level tokenizer: emits `Bxx` hex tokens for up to `max_bytes` of the
+/// emitted frame (headers first, so the informative bytes survive the cap).
+#[derive(Debug, Clone)]
+pub struct ByteTokenizer {
+    /// Maximum bytes (tokens) emitted per packet.
+    pub max_bytes: usize,
+    /// Skip the Ethernet header (MACs carry no transferable semantics).
+    pub skip_ethernet: bool,
+}
+
+impl Default for ByteTokenizer {
+    fn default() -> Self {
+        ByteTokenizer { max_bytes: 48, skip_ethernet: true }
+    }
+}
+
+impl ByteTokenizer {
+    /// Default configuration (48 bytes, Ethernet skipped).
+    pub fn new() -> ByteTokenizer {
+        ByteTokenizer::default()
+    }
+
+    /// Tokenize raw frame bytes directly.
+    pub fn tokenize_bytes(&self, frame: &[u8]) -> Vec<String> {
+        let start = if self.skip_ethernet { 14.min(frame.len()) } else { 0 };
+        frame[start..]
+            .iter()
+            .take(self.max_bytes)
+            .map(|b| format!("B{b:02x}"))
+            .collect()
+    }
+}
+
+impl Tokenizer for ByteTokenizer {
+    fn tokenize(&self, packet: &Packet) -> Vec<String> {
+        self.tokenize_bytes(&packet.emit())
+    }
+
+    fn name(&self) -> &'static str {
+        "bytes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_net::addr::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn sample() -> Packet {
+        Packet::udp_v4(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1234,
+            53,
+            64,
+            vec![0xde, 0xad],
+        )
+    }
+
+    #[test]
+    fn emits_hex_byte_tokens() {
+        let toks = ByteTokenizer::new().tokenize(&sample());
+        assert!(toks.len() <= 48);
+        // First byte after Ethernet is the IPv4 version/IHL byte 0x45.
+        assert_eq!(toks[0], "B45");
+        assert!(toks.iter().all(|t| t.len() == 3 && t.starts_with('B')));
+    }
+
+    #[test]
+    fn cap_respected_and_header_prioritized() {
+        let t = ByteTokenizer { max_bytes: 8, skip_ethernet: true };
+        let toks = t.tokenize(&sample());
+        assert_eq!(toks.len(), 8);
+    }
+
+    #[test]
+    fn ethernet_included_when_asked() {
+        let t = ByteTokenizer { max_bytes: 64, skip_ethernet: false };
+        let toks = t.tokenize(&sample());
+        // Destination MAC (from_index(2)) leads: 02 00 00 ...
+        assert_eq!(toks[0], "B02");
+    }
+
+    #[test]
+    fn vocabulary_is_small() {
+        // At most 256 distinct tokens regardless of traffic.
+        let toks = ByteTokenizer::new().tokenize(&sample());
+        for t in toks {
+            let v = u8::from_str_radix(&t[1..], 16);
+            assert!(v.is_ok());
+        }
+    }
+}

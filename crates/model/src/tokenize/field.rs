@@ -1,0 +1,399 @@
+//! The protocol-field-aware tokenizer — the paper's proposed alternative to
+//! byte-level tokenization (§4.1.2): "recognizing the network protocol and
+//! tokenizing it based on protocol format (e.g., 4 byte IP address, 2 byte
+//! port number, one byte TCP flag, HTTP fields, etc.). This would preserve
+//! the semantics of the tokens as per the underlying network protocol
+//! specifications."
+//!
+//! Emitted token families (each a categorical symbol):
+//! `IP4`/`IP6`, `PROTO_*`, `TTL_*` (bucketed), `LEN_B*` (log₂-binned wire
+//! length), `PORT_*`, `FLAGS_*`, `WIN_B*`, and application-layer tokens for
+//! DNS (direction, rcode, qname labels reversed so the TLD and the
+//! category-bearing domain come first, answer types/counts), TLS (record
+//! types, handshake kinds, ciphersuites as `CS_xxxx`, SNI labels), HTTP
+//! (method, status class, path root, User-Agent product), NTP, DHCP, and
+//! MQTT-over-1883 heuristics.
+
+use nfm_net::packet::{IpRepr, Packet, Transport};
+use nfm_net::wire::dns;
+use nfm_net::wire::http;
+use nfm_net::wire::ntp;
+use nfm_net::wire::tls;
+
+use super::{log2_bin, port_token, Tokenizer};
+
+/// The field-aware tokenizer. Stateless; configuration selects how much
+/// application-layer detail to emit.
+#[derive(Debug, Clone)]
+pub struct FieldTokenizer {
+    /// Include application-layer (DNS/TLS/HTTP/…) tokens.
+    pub app_layer: bool,
+    /// Maximum DNS/SNI name labels emitted per name.
+    pub max_name_labels: usize,
+}
+
+impl Default for FieldTokenizer {
+    fn default() -> Self {
+        FieldTokenizer { app_layer: true, max_name_labels: 4 }
+    }
+}
+
+impl FieldTokenizer {
+    /// Tokenizer with application-layer parsing enabled.
+    pub fn new() -> FieldTokenizer {
+        FieldTokenizer::default()
+    }
+
+    /// Header-only variant (network + transport tokens).
+    pub fn headers_only() -> FieldTokenizer {
+        FieldTokenizer { app_layer: false, max_name_labels: 0 }
+    }
+
+    fn ttl_token(ttl: u8) -> String {
+        // Initial-TTL buckets: 32/64/128/255 separate OS families.
+        let bucket = match ttl {
+            0..=32 => 32,
+            33..=64 => 64,
+            65..=128 => 128,
+            _ => 255,
+        };
+        format!("TTL_{bucket}")
+    }
+
+    fn name_tokens(&self, out: &mut Vec<String>, prefix: &str, name: &dns::Name) {
+        // Reversed labels: TLD first, then the semantically-loaded domain.
+        for label in name.labels().iter().rev().take(self.max_name_labels) {
+            out.push(format!("{prefix}_{label}"));
+        }
+    }
+
+    fn dns_tokens(&self, out: &mut Vec<String>, payload: &[u8]) {
+        let Ok(msg) = dns::Message::parse(payload) else {
+            out.push("DNS_MALFORMED".to_string());
+            return;
+        };
+        out.push(if msg.is_response { "DNS_RESP" } else { "DNS_QUERY" }.to_string());
+        for q in msg.questions.iter().take(2) {
+            out.push(format!("QTYPE_{:?}", q.rtype).to_ascii_uppercase());
+            // Long first labels are a tunneling tell; emit a length bucket.
+            if let Some(first) = q.name.labels().first() {
+                out.push(format!("QLABLEN_B{}", log2_bin(first.len())));
+            }
+            self.name_tokens(out, "QD", &q.name);
+        }
+        if msg.is_response {
+            out.push(format!("RCODE_{:?}", msg.rcode).to_ascii_uppercase());
+            out.push(format!("ANCOUNT_{}", msg.answers.len().min(7)));
+            for a in msg.answers.iter().take(3) {
+                out.push(format!("ATYPE_{:?}", a.rtype).to_ascii_uppercase());
+            }
+        }
+    }
+
+    fn tls_tokens(&self, out: &mut Vec<String>, payload: &[u8]) {
+        let Ok(records) = tls::Record::parse_all(payload) else {
+            // Mid-stream segment: count it as opaque TLS continuation.
+            out.push("TLS_CONT".to_string());
+            return;
+        };
+        for rec in records.iter().take(3) {
+            match rec.content_type {
+                tls::ContentType::Handshake => {
+                    if let Ok(ch) = tls::ClientHello::parse(&rec.payload) {
+                        out.push("TLS_CLIENT_HELLO".to_string());
+                        for cs in ch.ciphersuites.iter().take(6) {
+                            out.push(format!("CS_{cs:04X}"));
+                        }
+                        if let Some(sni) = &ch.server_name {
+                            if let Ok(name) = dns::Name::parse_str(sni) {
+                                self.name_tokens(out, "SNI", &name);
+                            }
+                        }
+                    } else if let Ok(sh) = tls::ServerHello::parse(&rec.payload) {
+                        out.push("TLS_SERVER_HELLO".to_string());
+                        out.push(format!("CS_{:04X}", sh.ciphersuite));
+                    } else {
+                        out.push("TLS_HANDSHAKE".to_string());
+                    }
+                }
+                tls::ContentType::ApplicationData => {
+                    out.push("TLS_APPDATA".to_string());
+                    out.push(format!("TLSLEN_B{}", log2_bin(rec.payload.len())));
+                }
+                tls::ContentType::Alert => out.push("TLS_ALERT".to_string()),
+                tls::ContentType::ChangeCipherSpec => out.push("TLS_CCS".to_string()),
+                tls::ContentType::Other(_) => out.push("TLS_OTHER".to_string()),
+            }
+        }
+    }
+
+    fn http_tokens(&self, out: &mut Vec<String>, payload: &[u8]) {
+        if let Ok(req) = http::Request::parse(payload) {
+            out.push(format!("HTTP_{}", req.method));
+            let root = req.target.trim_start_matches('/').split(['/', '?']).next().unwrap_or("");
+            out.push(format!(
+                "PATH_{}",
+                if root.is_empty() { "root".to_string() } else { root.to_ascii_lowercase() }
+            ));
+            if let Some(ua) = req.user_agent() {
+                let product = ua.split(['/', ' ']).next().unwrap_or("ua");
+                out.push(format!("UA_{}", product.to_ascii_lowercase()));
+            }
+            if let Some(host) = req.host() {
+                if let Ok(name) = dns::Name::parse_str(host) {
+                    self.name_tokens(out, "HOST", &name);
+                }
+            }
+        } else if let Ok(resp) = http::Response::parse(payload) {
+            out.push(format!("HTTP_{}XX", resp.status / 100));
+            if let Some(ct) = resp.content_type() {
+                let major = ct.split('/').next().unwrap_or("other");
+                out.push(format!("CT_{}", major.to_ascii_lowercase()));
+            }
+            out.push(format!("BODY_B{}", log2_bin(resp.body.len())));
+        } else {
+            // Continuation segment of a larger HTTP message.
+            out.push("HTTP_CONT".to_string());
+        }
+    }
+
+    fn ntp_tokens(&self, out: &mut Vec<String>, payload: &[u8]) {
+        match ntp::Packet::parse(payload) {
+            Ok(p) => {
+                out.push(format!("NTP_{:?}", p.mode).to_ascii_uppercase());
+                out.push(format!("STRATUM_{}", p.stratum.min(9)));
+            }
+            Err(_) => out.push("NTP_MALFORMED".to_string()),
+        }
+    }
+
+    fn dhcp_tokens(&self, out: &mut Vec<String>, payload: &[u8]) {
+        match nfm_net::wire::dhcp::Message::parse(payload) {
+            Ok(m) => {
+                out.push(format!("DHCP_{:?}", m.msg_type).to_ascii_uppercase());
+                if let Some(h) = &m.hostname {
+                    // The device-type prefix of the hostname, not the index.
+                    let prefix = h.split('-').next().unwrap_or("host");
+                    out.push(format!("HOSTNAME_{}", prefix.to_ascii_lowercase()));
+                }
+            }
+            Err(_) => out.push("DHCP_MALFORMED".to_string()),
+        }
+    }
+
+    fn app_tokens(&self, out: &mut Vec<String>, sport: u16, dport: u16, payload: &[u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let port = sport.min(dport);
+        match port {
+            53 => self.dns_tokens(out, payload),
+            443 | 8443 => self.tls_tokens(out, payload),
+            80 | 8080 => self.http_tokens(out, payload),
+            123 => self.ntp_tokens(out, payload),
+            67 | 68 => self.dhcp_tokens(out, payload),
+            25 | 143 => {
+                // Mail verbs: the first ASCII word of the line.
+                let line = payload.split(|&b| b == b'\r' || b == b'\n').next().unwrap_or(b"");
+                let word: String = line
+                    .iter()
+                    .take(8)
+                    .take_while(|b| b.is_ascii_alphanumeric() || **b == b'*')
+                    .map(|&b| b.to_ascii_uppercase() as char)
+                    .collect();
+                if word.is_empty() {
+                    out.push("MAIL_DATA".to_string());
+                } else {
+                    out.push(format!("MAIL_{word}"));
+                }
+            }
+            1883 => {
+                // MQTT control-packet type nibble.
+                let kind = payload[0] >> 4;
+                out.push(format!("MQTT_{kind}"));
+            }
+            554 => {
+                let is_text = payload.iter().take(8).all(|b| b.is_ascii());
+                out.push(if is_text { "RTSP_CTRL" } else { "RTSP_DATA" }.to_string());
+            }
+            _ => {
+                out.push(format!("PAYLEN_B{}", log2_bin(payload.len())));
+            }
+        }
+    }
+}
+
+impl Tokenizer for FieldTokenizer {
+    fn tokenize(&self, packet: &Packet) -> Vec<String> {
+        let mut out = Vec::with_capacity(16);
+        match &packet.ip {
+            IpRepr::V4(_) => out.push("IP4".to_string()),
+            IpRepr::V6(_) => out.push("IP6".to_string()),
+        }
+        out.push(format!("PROTO_{:?}", packet.ip.protocol()).to_ascii_uppercase());
+        out.push(Self::ttl_token(packet.ip.ttl()));
+        out.push(format!("LEN_B{}", log2_bin(packet.wire_len())));
+        match &packet.transport {
+            Transport::Tcp { repr, payload } => {
+                out.push(port_token(repr.src_port));
+                out.push(port_token(repr.dst_port));
+                out.push(format!("FLAGS_{}", repr.flags.mnemonic()));
+                out.push(format!("WIN_B{}", log2_bin(repr.window as usize)));
+                if self.app_layer {
+                    self.app_tokens(&mut out, repr.src_port, repr.dst_port, payload);
+                }
+            }
+            Transport::Udp { repr, payload } => {
+                out.push(port_token(repr.src_port));
+                out.push(port_token(repr.dst_port));
+                if self.app_layer {
+                    self.app_tokens(&mut out, repr.src_port, repr.dst_port, payload);
+                }
+            }
+            Transport::Icmp { repr, .. } => {
+                out.push(format!("ICMP_{:?}", repr.kind).to_ascii_uppercase());
+            }
+            Transport::Other { payload } => {
+                out.push(format!("PAYLEN_B{}", log2_bin(payload.len())));
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "field"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_net::addr::MacAddr;
+    use nfm_net::wire::dns::{Message, Name, RecordType};
+    use std::net::Ipv4Addr;
+
+    fn udp_dns_query() -> Packet {
+        let q = Message::query(7, Name::parse_str("www.acme-video3.com").unwrap(), RecordType::A);
+        Packet::udp_v4(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(192, 168, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 53),
+            40000,
+            53,
+            64,
+            q.emit(),
+        )
+    }
+
+    #[test]
+    fn dns_query_tokens_expose_hierarchy() {
+        let toks = FieldTokenizer::new().tokenize(&udp_dns_query());
+        assert!(toks.contains(&"IP4".to_string()));
+        assert!(toks.contains(&"PROTO_UDP".to_string()));
+        assert!(toks.contains(&"PORT_53".to_string()));
+        assert!(toks.contains(&"PORT_EPH".to_string()));
+        assert!(toks.contains(&"DNS_QUERY".to_string()));
+        assert!(toks.contains(&"QTYPE_A".to_string()));
+        // Reversed labels: TLD before brand before host.
+        let i_com = toks.iter().position(|t| t == "QD_com").unwrap();
+        let i_domain = toks.iter().position(|t| t == "QD_acme-video3").unwrap();
+        let i_www = toks.iter().position(|t| t == "QD_www").unwrap();
+        assert!(i_com < i_domain && i_domain < i_www);
+    }
+
+    #[test]
+    fn headers_only_emits_no_app_tokens() {
+        let toks = FieldTokenizer::headers_only().tokenize(&udp_dns_query());
+        assert!(toks.iter().all(|t| !t.starts_with("DNS")));
+        assert!(toks.contains(&"PORT_53".to_string()));
+    }
+
+    #[test]
+    fn tls_client_hello_tokens_include_suites() {
+        let hello = nfm_net::wire::tls::ClientHello {
+            version: 0x0303,
+            random: [1; 32],
+            ciphersuites: vec![0xc02f, 0xc030],
+            server_name: Some("api.example.net".to_string()),
+        };
+        let rec = nfm_net::wire::tls::Record {
+            content_type: nfm_net::wire::tls::ContentType::Handshake,
+            version: 0x0301,
+            payload: hello.emit(),
+        };
+        let p = Packet::tcp_v4(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(192, 168, 0, 2),
+            Ipv4Addr::new(198, 18, 0, 1),
+            nfm_net::wire::tcp::Repr {
+                src_port: 50000,
+                dst_port: 443,
+                seq: 0,
+                ack: 0,
+                flags: nfm_net::wire::tcp::Flags::PSH_ACK,
+                window: 64000,
+            },
+            64,
+            rec.emit(),
+        );
+        let toks = FieldTokenizer::new().tokenize(&p);
+        assert!(toks.contains(&"TLS_CLIENT_HELLO".to_string()));
+        assert!(toks.contains(&"CS_C02F".to_string()));
+        assert!(toks.contains(&"CS_C030".to_string()));
+        assert!(toks.contains(&"SNI_net".to_string()));
+        assert!(toks.contains(&"FLAGS_AP".to_string()));
+    }
+
+    #[test]
+    fn http_request_tokens() {
+        let req = nfm_net::wire::http::Request::get("example.com", "/api/v1/items?q=1", "nfm-browser/1.0");
+        let p = Packet::tcp_v4(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(192, 168, 0, 2),
+            Ipv4Addr::new(198, 18, 0, 1),
+            nfm_net::wire::tcp::Repr {
+                src_port: 50000,
+                dst_port: 80,
+                seq: 0,
+                ack: 0,
+                flags: nfm_net::wire::tcp::Flags::PSH_ACK,
+                window: 64000,
+            },
+            128,
+            req.emit(),
+        );
+        let toks = FieldTokenizer::new().tokenize(&p);
+        assert!(toks.contains(&"HTTP_GET".to_string()));
+        assert!(toks.contains(&"PATH_api".to_string()));
+        assert!(toks.contains(&"UA_nfm-browser".to_string()));
+        assert!(toks.contains(&"TTL_128".to_string()));
+    }
+
+    #[test]
+    fn malformed_payloads_tokenize_gracefully() {
+        let p = Packet::udp_v4(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            40000,
+            53,
+            64,
+            vec![0xff; 7],
+        );
+        let toks = FieldTokenizer::new().tokenize(&p);
+        assert!(toks.contains(&"DNS_MALFORMED".to_string()));
+    }
+
+    #[test]
+    fn ttl_buckets() {
+        assert_eq!(FieldTokenizer::ttl_token(64), "TTL_64");
+        assert_eq!(FieldTokenizer::ttl_token(63), "TTL_64");
+        assert_eq!(FieldTokenizer::ttl_token(128), "TTL_128");
+        assert_eq!(FieldTokenizer::ttl_token(255), "TTL_255");
+        assert_eq!(FieldTokenizer::ttl_token(5), "TTL_32");
+    }
+}

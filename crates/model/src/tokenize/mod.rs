@@ -1,0 +1,71 @@
+//! Tokenizers for packet traces (paper §4.1.2).
+//!
+//! "With packet traces being often viewed as sequences of bytes, with no
+//! clear delimiters…how should network data get tokenized? One approach
+//! could consist in applying character-based tokenizers. Another approach
+//! may consist in recognizing the network protocol and tokenizing it based
+//! on protocol format." Both are implemented here (plus learned BPE over
+//! bytes), and experiment E4 ablates them.
+
+pub mod bpe;
+pub mod bytes;
+pub mod field;
+
+use nfm_net::packet::Packet;
+
+/// Turns one parsed packet into a sequence of string tokens.
+pub trait Tokenizer {
+    /// Tokenize a parsed packet.
+    fn tokenize(&self, packet: &Packet) -> Vec<String>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Bin a byte count into a log₂ bucket token suffix, e.g. 0, 1, 2, 4, 8 …
+/// Keeps numeric fields categorical but ordered, as §3.3 suggests for
+/// "numerical variables".
+pub fn log2_bin(n: usize) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        usize::BITS - n.leading_zeros()
+    }
+}
+
+/// Canonical token for a port: well-known ports keep their number (they are
+/// semantic anchors like `PORT_443`); ephemeral ports collapse to one token.
+pub fn port_token(port: u16) -> String {
+    if port >= 32768 {
+        "PORT_EPH".to_string()
+    } else {
+        format!("PORT_{port}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bins_are_monotone() {
+        let mut last = 0;
+        for n in [0usize, 1, 2, 3, 4, 7, 8, 100, 1500, 65535] {
+            let b = log2_bin(n);
+            assert!(b >= last);
+            last = b;
+        }
+        assert_eq!(log2_bin(0), 0);
+        assert_eq!(log2_bin(1), 1);
+        assert_eq!(log2_bin(2), 2);
+        assert_eq!(log2_bin(1024), 11);
+    }
+
+    #[test]
+    fn port_tokens_keep_wellknown_collapse_ephemeral() {
+        assert_eq!(port_token(443), "PORT_443");
+        assert_eq!(port_token(53), "PORT_53");
+        assert_eq!(port_token(49152), "PORT_EPH");
+        assert_eq!(port_token(60000), "PORT_EPH");
+    }
+}

@@ -1,0 +1,180 @@
+//! Token vocabulary with the BERT-style special tokens.
+
+use std::collections::HashMap;
+
+/// Padding token (id 0).
+pub const PAD: &str = "[PAD]";
+/// Unknown token (id 1).
+pub const UNK: &str = "[UNK]";
+/// Sequence-start / classification token (id 2).
+pub const CLS: &str = "[CLS]";
+/// Separator token (id 3).
+pub const SEP: &str = "[SEP]";
+/// Mask token for MLM pre-training (id 4).
+pub const MASK: &str = "[MASK]";
+
+/// The special tokens, in id order.
+pub const SPECIALS: [&str; 5] = [PAD, UNK, CLS, SEP, MASK];
+
+/// A bidirectional token ↔ id mapping.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    to_id: HashMap<String, usize>,
+    to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Build from token frequency counts, keeping tokens with frequency at
+    /// least `min_freq`, most frequent first (ties broken lexicographically
+    /// so construction is deterministic).
+    pub fn build(counts: &HashMap<String, usize>, min_freq: usize) -> Vocab {
+        let mut items: Vec<(&String, &usize)> =
+            counts.iter().filter(|(_, &c)| c >= min_freq).collect();
+        items.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        let mut to_token: Vec<String> = SPECIALS.iter().map(|s| s.to_string()).collect();
+        to_token.extend(items.into_iter().map(|(t, _)| t.clone()));
+        let to_id = to_token.iter().cloned().enumerate().map(|(i, t)| (t, i)).collect();
+        Vocab { to_id, to_token }
+    }
+
+    /// Build by counting tokens across `sequences`.
+    pub fn from_sequences<'a>(
+        sequences: impl IntoIterator<Item = &'a Vec<String>>,
+        min_freq: usize,
+    ) -> Vocab {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for seq in sequences {
+            for tok in seq {
+                *counts.entry(tok.clone()).or_insert(0) += 1;
+            }
+        }
+        Vocab::build(&counts, min_freq)
+    }
+
+    /// Vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.to_token.len()
+    }
+
+    /// Never true (specials always present).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Id of `token`, or the [`UNK`] id.
+    pub fn id(&self, token: &str) -> usize {
+        self.to_id.get(token).copied().unwrap_or(1)
+    }
+
+    /// Id of `token` only if present.
+    pub fn id_exact(&self, token: &str) -> Option<usize> {
+        self.to_id.get(token).copied()
+    }
+
+    /// Token for `id` (UNK for out-of-range).
+    pub fn token(&self, id: usize) -> &str {
+        self.to_token.get(id).map(|s| s.as_str()).unwrap_or(UNK)
+    }
+
+    /// Encode a token sequence.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Decode an id sequence.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        ids.iter().map(|&i| self.token(i).to_string()).collect()
+    }
+
+    /// Ids of the special tokens.
+    pub fn pad_id(&self) -> usize {
+        0
+    }
+    /// Id of [`UNK`].
+    pub fn unk_id(&self) -> usize {
+        1
+    }
+    /// Id of [`CLS`].
+    pub fn cls_id(&self) -> usize {
+        2
+    }
+    /// Id of [`SEP`].
+    pub fn sep_id(&self) -> usize {
+        3
+    }
+    /// Id of [`MASK`].
+    pub fn mask_id(&self) -> usize {
+        4
+    }
+
+    /// Iterate `(id, token)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.to_token.iter().enumerate().map(|(i, t)| (i, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Vocab {
+        let seqs = vec![
+            vec!["a".to_string(), "b".to_string(), "a".to_string()],
+            vec!["a".to_string(), "c".to_string()],
+        ];
+        Vocab::from_sequences(&seqs, 1)
+    }
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = toy();
+        assert_eq!(v.id(PAD), 0);
+        assert_eq!(v.id(UNK), 1);
+        assert_eq!(v.id(CLS), 2);
+        assert_eq!(v.id(SEP), 3);
+        assert_eq!(v.id(MASK), 4);
+        assert_eq!(v.pad_id(), 0);
+        assert_eq!(v.mask_id(), 4);
+    }
+
+    #[test]
+    fn frequency_ordering() {
+        let v = toy();
+        // 'a' (3 occurrences) gets the first non-special id.
+        assert_eq!(v.id("a"), 5);
+        assert_eq!(v.len(), 5 + 3);
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let v = toy();
+        assert_eq!(v.id("zzz"), v.unk_id());
+        assert_eq!(v.id_exact("zzz"), None);
+        assert_eq!(v.token(9999), UNK);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_known() {
+        let v = toy();
+        let tokens: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let ids = v.encode(&tokens);
+        assert_eq!(v.decode(&ids), tokens);
+    }
+
+    #[test]
+    fn min_freq_filters() {
+        let seqs = vec![vec!["rare".to_string()], vec!["common".to_string(), "common".to_string()]];
+        let v = Vocab::from_sequences(&seqs, 2);
+        assert_eq!(v.id_exact("rare"), None);
+        assert!(v.id_exact("common").is_some());
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = toy();
+        let b = toy();
+        for (id, tok) in a.iter() {
+            assert_eq!(b.token(id), tok);
+        }
+    }
+}

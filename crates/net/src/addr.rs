@@ -1,0 +1,87 @@
+//! Link-layer addresses. IP addresses reuse `std::net::{Ipv4Addr, Ipv6Addr}`.
+
+use std::fmt;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Construct from a byte slice; returns `None` unless exactly 6 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<MacAddr> {
+        let arr: [u8; 6] = bytes.try_into().ok()?;
+        Some(MacAddr(arr))
+    }
+
+    /// Raw bytes in network order.
+    pub fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+
+    /// True when the least-significant bit of the first octet is set
+    /// (multicast, which includes broadcast).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True when the locally-administered bit is set.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// A deterministic locally-administered unicast address derived from an
+    /// index, handy for synthetic topologies.
+    pub fn from_index(index: u64) -> MacAddr {
+        let b = index.to_be_bytes();
+        // 0x02 => locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip() {
+        let mac = MacAddr([0x02, 0x00, 0x5e, 0x10, 0x00, 0x01]);
+        assert_eq!(mac.to_string(), "02:00:5e:10:00:01");
+    }
+
+    #[test]
+    fn multicast_and_local_bits() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        let unicast = MacAddr::from_index(7);
+        assert!(!unicast.is_multicast());
+        assert!(unicast.is_local());
+    }
+
+    #[test]
+    fn from_bytes_checks_length() {
+        assert!(MacAddr::from_bytes(&[1, 2, 3]).is_none());
+        assert_eq!(
+            MacAddr::from_bytes(&[1, 2, 3, 4, 5, 6]),
+            Some(MacAddr([1, 2, 3, 4, 5, 6]))
+        );
+    }
+
+    #[test]
+    fn from_index_is_deterministic_and_distinct() {
+        assert_eq!(MacAddr::from_index(1), MacAddr::from_index(1));
+        assert_ne!(MacAddr::from_index(1), MacAddr::from_index(2));
+    }
+}

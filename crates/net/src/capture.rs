@@ -1,0 +1,189 @@
+//! Timestamped packet traces, as produced by a capture point: merging,
+//! filtering, and time-windowing.
+
+use crate::packet::Packet;
+
+/// One captured frame with a microsecond timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracePacket {
+    /// Capture timestamp in microseconds since an arbitrary epoch.
+    pub ts_us: u64,
+    /// Raw frame bytes (Ethernet onward).
+    pub frame: Vec<u8>,
+}
+
+impl TracePacket {
+    /// Build from an owned packet at the given timestamp.
+    pub fn from_packet(ts_us: u64, packet: &Packet) -> TracePacket {
+        TracePacket { ts_us, frame: packet.emit() }
+    }
+
+    /// Parse the frame back into a layered packet.
+    pub fn parse(&self) -> Result<Packet, crate::error::ParseError> {
+        Packet::parse(&self.frame)
+    }
+}
+
+/// An ordered sequence of captured packets.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    packets: Vec<TracePacket>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Build from a vector, sorting by timestamp (stable, so ties keep
+    /// insertion order).
+    pub fn from_packets(mut packets: Vec<TracePacket>) -> Trace {
+        packets.sort_by_key(|p| p.ts_us);
+        Trace { packets }
+    }
+
+    /// Append a packet; callers must keep timestamps non-decreasing or call
+    /// [`Trace::sort`] afterwards.
+    pub fn push(&mut self, packet: TracePacket) {
+        self.packets.push(packet);
+    }
+
+    /// Restore timestamp order after arbitrary pushes.
+    pub fn sort(&mut self) {
+        self.packets.sort_by_key(|p| p.ts_us);
+    }
+
+    /// The packets in timestamp order.
+    pub fn packets(&self) -> &[TracePacket] {
+        &self.packets
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when the trace holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total bytes across all frames.
+    pub fn total_bytes(&self) -> usize {
+        self.packets.iter().map(|p| p.frame.len()).sum()
+    }
+
+    /// Merge two traces into one, interleaving by timestamp. This models a
+    /// capture point observing several endpoints at once (paper §4.1.3).
+    pub fn merge(traces: Vec<Trace>) -> Trace {
+        let mut all: Vec<TracePacket> =
+            traces.into_iter().flat_map(|t| t.packets.into_iter()).collect();
+        all.sort_by_key(|p| p.ts_us);
+        Trace { packets: all }
+    }
+
+    /// Keep only packets for which `pred` returns true on the parsed form
+    /// (unparseable packets are dropped).
+    pub fn filter(&self, mut pred: impl FnMut(&Packet) -> bool) -> Trace {
+        Trace {
+            packets: self
+                .packets
+                .iter()
+                .filter(|tp| tp.parse().map(|p| pred(&p)).unwrap_or(false))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Packets with `start_us <= ts < end_us`.
+    pub fn window(&self, start_us: u64, end_us: u64) -> Trace {
+        Trace {
+            packets: self
+                .packets
+                .iter()
+                .filter(|p| p.ts_us >= start_us && p.ts_us < end_us)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Duration between first and last packet in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => b.ts_us - a.ts_us,
+            _ => 0,
+        }
+    }
+}
+
+impl FromIterator<TracePacket> for Trace {
+    fn from_iter<I: IntoIterator<Item = TracePacket>>(iter: I) -> Self {
+        Trace::from_packets(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn pkt(ts: u64, dst_port: u16) -> TracePacket {
+        let p = Packet::udp_v4(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            4000,
+            dst_port,
+            64,
+            vec![1, 2, 3],
+        );
+        TracePacket::from_packet(ts, &p)
+    }
+
+    #[test]
+    fn from_packets_sorts_by_time() {
+        let t = Trace::from_packets(vec![pkt(30, 1), pkt(10, 2), pkt(20, 3)]);
+        let ts: Vec<u64> = t.packets().iter().map(|p| p.ts_us).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = Trace::from_packets(vec![pkt(10, 1), pkt(30, 1)]);
+        let b = Trace::from_packets(vec![pkt(20, 2), pkt(40, 2)]);
+        let merged = Trace::merge(vec![a, b]);
+        let ports: Vec<u16> = merged
+            .packets()
+            .iter()
+            .map(|p| p.parse().unwrap().transport.dst_port().unwrap())
+            .collect();
+        assert_eq!(ports, vec![1, 2, 1, 2]);
+        assert_eq!(merged.duration_us(), 30);
+    }
+
+    #[test]
+    fn filter_by_parsed_fields() {
+        let t = Trace::from_packets(vec![pkt(1, 53), pkt(2, 80), pkt(3, 53)]);
+        let dns = t.filter(|p| p.transport.dst_port() == Some(53));
+        assert_eq!(dns.len(), 2);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let t = Trace::from_packets(vec![pkt(10, 1), pkt(20, 1), pkt(30, 1)]);
+        let w = t.window(10, 30);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn unparseable_packets_dropped_by_filter() {
+        let mut t = Trace::new();
+        t.push(pkt(1, 53));
+        t.push(TracePacket { ts_us: 2, frame: vec![0xde, 0xad] });
+        let kept = t.filter(|_| true);
+        assert_eq!(kept.len(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! RFC 1071 Internet checksum, plus the TCP/UDP pseudo-header variants.
+
+use std::net::Ipv4Addr;
+
+/// One's-complement sum over `data`, folded to 16 bits (not yet negated).
+fn ones_complement_sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Compute the Internet checksum of `data` (e.g. an IPv4 header with its
+/// checksum field zeroed).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(ones_complement_sum(0, data))
+}
+
+/// Verify a buffer that *includes* its checksum field: the folded sum must be
+/// `0xffff`.
+pub fn verify(data: &[u8]) -> bool {
+    fold(ones_complement_sum(0, data)) == 0xffff
+}
+
+/// Compute the TCP/UDP checksum over the IPv4 pseudo-header plus `segment`
+/// (the transport header and payload with its checksum field zeroed).
+pub fn pseudo_header_checksum_v4(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: u8,
+    segment: &[u8],
+) -> u16 {
+    let mut acc = 0u32;
+    acc = ones_complement_sum(acc, &src.octets());
+    acc = ones_complement_sum(acc, &dst.octets());
+    acc += u32::from(protocol);
+    acc += segment.len() as u32;
+    acc = ones_complement_sum(acc, segment);
+    let sum = !fold(acc);
+    // Per RFC 768 a transmitted UDP checksum of zero means "no checksum";
+    // an all-zero computed value is sent as 0xffff instead.
+    if sum == 0 {
+        0xffff
+    } else {
+        sum
+    }
+}
+
+/// Compute the TCP/UDP checksum over the IPv6 pseudo-header plus `segment`.
+pub fn pseudo_header_checksum_v6(
+    src: std::net::Ipv6Addr,
+    dst: std::net::Ipv6Addr,
+    next_header: u8,
+    segment: &[u8],
+) -> u16 {
+    let mut acc = 0u32;
+    acc = ones_complement_sum(acc, &src.octets());
+    acc = ones_complement_sum(acc, &dst.octets());
+    acc += segment.len() as u32;
+    acc += u32::from(next_header);
+    acc = ones_complement_sum(acc, segment);
+    let sum = !fold(acc);
+    if sum == 0 {
+        0xffff
+    } else {
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Worked example from RFC 1071 §3.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = fold(ones_complement_sum(0, &data));
+        assert_eq!(sum, 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn verify_accepts_correct_checksum() {
+        let mut header = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0,
+                              0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7];
+        let sum = internet_checksum(&header);
+        header[10..12].copy_from_slice(&sum.to_be_bytes());
+        assert!(verify(&header));
+        header[13] ^= 0x40;
+        assert!(!verify(&header));
+    }
+
+    #[test]
+    fn odd_length_padded_with_zero() {
+        // Appending a zero byte must not change the checksum.
+        let odd = [0x12u8, 0x34, 0x56];
+        let even = [0x12u8, 0x34, 0x56, 0x00];
+        assert_eq!(internet_checksum(&odd), internet_checksum(&even));
+    }
+
+    #[test]
+    fn pseudo_header_zero_maps_to_ffff() {
+        // Regardless of input, the function never returns 0.
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        for payload_len in 0..16 {
+            let seg = vec![0u8; payload_len];
+            assert_ne!(pseudo_header_checksum_v4(src, dst, 17, &seg), 0);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types shared across the wire-format parsers and emitters.
+//!
+//! Parsing network input must never panic: every malformed input maps to a
+//! [`ParseError`] variant that says what was wrong and (where useful) where.
+
+use std::fmt;
+
+/// Error returned when a byte buffer cannot be parsed as a given protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the protocol's minimum header.
+    Truncated {
+        /// Protocol whose header was truncated.
+        what: &'static str,
+        /// Bytes required (minimum) to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A length field points outside the buffer or contradicts another field.
+    BadLength {
+        /// Protocol or field with the inconsistent length.
+        what: &'static str,
+    },
+    /// A version/type/magic field has a value this implementation rejects.
+    BadValue {
+        /// Field with the unsupported value.
+        what: &'static str,
+        /// The offending value, widened for display.
+        value: u64,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Protocol whose checksum failed.
+        what: &'static str,
+    },
+    /// DNS name compression loop or pointer past the end of the message.
+    BadName,
+    /// A text protocol line violated its grammar.
+    BadSyntax {
+        /// Description of the violated rule.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { what, needed, got } => {
+                write!(f, "{what}: truncated (need {needed} bytes, got {got})")
+            }
+            ParseError::BadLength { what } => write!(f, "{what}: inconsistent length field"),
+            ParseError::BadValue { what, value } => {
+                write!(f, "{what}: unsupported value {value:#x}")
+            }
+            ParseError::BadChecksum { what } => write!(f, "{what}: checksum mismatch"),
+            ParseError::BadName => write!(f, "dns: malformed or looping compressed name"),
+            ParseError::BadSyntax { what } => write!(f, "syntax error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error returned when an owned representation cannot be serialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The destination buffer is too small for the encoded form.
+    BufferTooSmall {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A field value cannot be represented on the wire (e.g. name too long).
+    FieldTooLarge {
+        /// Field that overflowed its wire encoding.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::BufferTooSmall { needed, got } => {
+                write!(f, "buffer too small (need {needed} bytes, got {got})")
+            }
+            BuildError::FieldTooLarge { what } => write!(f, "{what}: value too large for wire"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::Truncated { what: "ipv4", needed: 20, got: 3 };
+        assert_eq!(e.to_string(), "ipv4: truncated (need 20 bytes, got 3)");
+        let e = ParseError::BadValue { what: "ipv4 version", value: 6 };
+        assert!(e.to_string().contains("0x6"));
+        let e = BuildError::BufferTooSmall { needed: 64, got: 8 };
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ParseError>();
+        assert_err::<BuildError>();
+    }
+}

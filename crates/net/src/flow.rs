@@ -1,0 +1,378 @@
+//! Flow identification and assembly: group packets into bidirectional
+//! five-tuple flows and compute per-flow statistics.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use crate::capture::TracePacket;
+use crate::packet::{Packet, Transport};
+use crate::wire::ipv4::Protocol;
+use crate::wire::tcp::Flags;
+
+/// A directed five-tuple identifying one direction of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source IP.
+    pub src_ip: IpAddr,
+    /// Destination IP.
+    pub dst_ip: IpAddr,
+    /// Source port (0 for port-less protocols).
+    pub src_port: u16,
+    /// Destination port (0 for port-less protocols).
+    pub dst_port: u16,
+    /// Transport protocol number.
+    pub protocol: u8,
+}
+
+impl FlowKey {
+    /// Extract the directed key from a parsed packet.
+    pub fn from_packet(packet: &Packet) -> FlowKey {
+        FlowKey {
+            src_ip: packet.ip.src(),
+            dst_ip: packet.ip.dst(),
+            src_port: packet.transport.src_port().unwrap_or(0),
+            dst_port: packet.transport.dst_port().unwrap_or(0),
+            protocol: packet.transport.protocol().map(u8::from).unwrap_or_else(|| {
+                u8::from(packet.ip.protocol())
+            }),
+        }
+    }
+
+    /// The same tuple with endpoints swapped.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A direction-independent canonical form: the lexicographically smaller
+    /// of `self` and `self.reversed()`. Both directions of a conversation
+    /// canonicalize to the same key.
+    pub fn canonical(&self) -> FlowKey {
+        let rev = self.reversed();
+        if *self <= rev {
+            *self
+        } else {
+            rev
+        }
+    }
+
+    /// True when `self` and `other` are the two directions of one flow.
+    pub fn same_flow(&self, other: &FlowKey) -> bool {
+        self.canonical() == other.canonical()
+    }
+}
+
+/// Direction of a packet within a bidirectional flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Matches the initiator→responder orientation.
+    Forward,
+    /// Matches the responder→initiator orientation.
+    Backward,
+}
+
+/// A packet index plus direction within a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowPacket {
+    /// Index into the originating trace.
+    pub index: usize,
+    /// Microsecond timestamp copied from the trace.
+    pub ts_us: u64,
+    /// Direction relative to the flow initiator.
+    pub direction: Direction,
+    /// Application payload length.
+    pub payload_len: usize,
+    /// Total frame length.
+    pub wire_len: usize,
+    /// TCP flags if TCP, else empty.
+    pub tcp_flags: Flags,
+}
+
+/// Aggregate statistics for a bidirectional flow.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowStats {
+    /// Packets initiator→responder.
+    pub fwd_packets: usize,
+    /// Packets responder→initiator.
+    pub bwd_packets: usize,
+    /// Payload bytes initiator→responder.
+    pub fwd_bytes: usize,
+    /// Payload bytes responder→initiator.
+    pub bwd_bytes: usize,
+    /// First packet timestamp (µs).
+    pub first_ts_us: u64,
+    /// Last packet timestamp (µs).
+    pub last_ts_us: u64,
+    /// Count of SYN flags seen.
+    pub syn_count: usize,
+    /// Count of FIN flags seen.
+    pub fin_count: usize,
+    /// Count of RST flags seen.
+    pub rst_count: usize,
+}
+
+impl FlowStats {
+    /// Flow duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.last_ts_us.saturating_sub(self.first_ts_us)
+    }
+
+    /// Total packets both directions.
+    pub fn total_packets(&self) -> usize {
+        self.fwd_packets + self.bwd_packets
+    }
+
+    /// Total payload bytes both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.fwd_bytes + self.bwd_bytes
+    }
+
+    /// Mean payload bytes per packet (0 when empty).
+    pub fn mean_payload(&self) -> f64 {
+        let n = self.total_packets();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / n as f64
+        }
+    }
+}
+
+/// A bidirectional flow: key (oriented by first packet seen), packets, stats.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Key oriented initiator→responder (first packet's direction).
+    pub key: FlowKey,
+    /// Member packets in arrival order.
+    pub packets: Vec<FlowPacket>,
+    /// Aggregate statistics.
+    pub stats: FlowStats,
+}
+
+/// Assembles parsed packets into bidirectional flows keyed by canonical
+/// five-tuple. The first packet seen for a conversation fixes the forward
+/// direction.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    flows: Vec<Flow>,
+    index: HashMap<FlowKey, usize>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Add a packet (with its trace index and timestamp).
+    pub fn push(&mut self, index: usize, ts_us: u64, packet: &Packet) {
+        let key = FlowKey::from_packet(packet);
+        let canon = key.canonical();
+        let flow_idx = *self.index.entry(canon).or_insert_with(|| {
+            self.flows.push(Flow { key, packets: Vec::new(), stats: FlowStats::default() });
+            self.flows.len() - 1
+        });
+        let flow = &mut self.flows[flow_idx];
+        let direction =
+            if key == flow.key { Direction::Forward } else { Direction::Backward };
+        let payload_len = packet.transport.payload().len();
+        let tcp_flags = match &packet.transport {
+            Transport::Tcp { repr, .. } => repr.flags,
+            _ => Flags(0),
+        };
+        if flow.packets.is_empty() {
+            flow.stats.first_ts_us = ts_us;
+        }
+        flow.stats.last_ts_us = ts_us.max(flow.stats.last_ts_us);
+        match direction {
+            Direction::Forward => {
+                flow.stats.fwd_packets += 1;
+                flow.stats.fwd_bytes += payload_len;
+            }
+            Direction::Backward => {
+                flow.stats.bwd_packets += 1;
+                flow.stats.bwd_bytes += payload_len;
+            }
+        }
+        if tcp_flags.contains(Flags::SYN) {
+            flow.stats.syn_count += 1;
+        }
+        if tcp_flags.contains(Flags::FIN) {
+            flow.stats.fin_count += 1;
+        }
+        if tcp_flags.contains(Flags::RST) {
+            flow.stats.rst_count += 1;
+        }
+        flow.packets.push(FlowPacket {
+            index,
+            ts_us,
+            direction,
+            payload_len,
+            wire_len: packet.wire_len(),
+            tcp_flags,
+        });
+    }
+
+    /// Assemble a whole trace (packets that fail to parse are skipped).
+    pub fn from_trace<'a>(packets: impl Iterator<Item = &'a TracePacket>) -> FlowTable {
+        let mut table = FlowTable::new();
+        for (i, tp) in packets.enumerate() {
+            if let Ok(parsed) = Packet::parse(&tp.frame) {
+                table.push(i, tp.ts_us, &parsed);
+            }
+        }
+        table
+    }
+
+    /// The assembled flows in first-seen order.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows have been assembled.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Look up the flow containing `key` (either direction).
+    pub fn get(&self, key: &FlowKey) -> Option<&Flow> {
+        self.index.get(&key.canonical()).map(|&i| &self.flows[i])
+    }
+}
+
+/// Well-known destination ports used as a weak protocol prior (and as
+/// ground-truth echoes in the token vocabulary).
+pub fn service_name(port: u16, protocol: Protocol) -> Option<&'static str> {
+    match (port, protocol) {
+        (53, _) => Some("dns"),
+        (80, Protocol::Tcp) => Some("http"),
+        (443, Protocol::Tcp) => Some("https"),
+        (443, Protocol::Udp) => Some("quic"),
+        (25, Protocol::Tcp) => Some("smtp"),
+        (143, Protocol::Tcp) => Some("imap"),
+        (993, Protocol::Tcp) => Some("imaps"),
+        (110, Protocol::Tcp) => Some("pop3"),
+        (123, Protocol::Udp) => Some("ntp"),
+        (67 | 68, Protocol::Udp) => Some("dhcp"),
+        (22, Protocol::Tcp) => Some("ssh"),
+        (1883, Protocol::Tcp) => Some("mqtt"),
+        (554, Protocol::Tcp) => Some("rtsp"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use crate::wire::tcp;
+    use std::net::Ipv4Addr;
+
+    fn udp_packet(sp: u16, dp: u16, payload: usize) -> Packet {
+        Packet::udp_v4(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            sp,
+            dp,
+            64,
+            vec![0; payload],
+        )
+    }
+
+    fn reply_packet(sp: u16, dp: u16, payload: usize) -> Packet {
+        Packet::udp_v4(
+            MacAddr::from_index(2),
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            sp,
+            dp,
+            64,
+            vec![0; payload],
+        )
+    }
+
+    #[test]
+    fn canonical_key_is_direction_independent() {
+        let k = FlowKey::from_packet(&udp_packet(5000, 53, 10));
+        let r = FlowKey::from_packet(&reply_packet(53, 5000, 20));
+        assert_ne!(k, r);
+        assert_eq!(k.canonical(), r.canonical());
+        assert!(k.same_flow(&r));
+        assert_eq!(k.reversed(), r);
+        assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn bidirectional_assembly_and_stats() {
+        let mut table = FlowTable::new();
+        table.push(0, 1_000, &udp_packet(5000, 53, 30));
+        table.push(1, 2_000, &reply_packet(53, 5000, 120));
+        table.push(2, 9_000, &udp_packet(6000, 53, 31)); // second flow
+        assert_eq!(table.len(), 2);
+        let flow = &table.flows()[0];
+        assert_eq!(flow.stats.fwd_packets, 1);
+        assert_eq!(flow.stats.bwd_packets, 1);
+        assert_eq!(flow.stats.fwd_bytes, 30);
+        assert_eq!(flow.stats.bwd_bytes, 120);
+        assert_eq!(flow.stats.duration_us(), 1_000);
+        assert_eq!(flow.packets[0].direction, Direction::Forward);
+        assert_eq!(flow.packets[1].direction, Direction::Backward);
+        assert!((flow.stats.mean_payload() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tcp_flag_counters() {
+        let mk = |flags: Flags| {
+            Packet::tcp_v4(
+                MacAddr::from_index(1),
+                MacAddr::from_index(2),
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                tcp::Repr { src_port: 9999, dst_port: 80, seq: 0, ack: 0, flags, window: 1000 },
+                64,
+                vec![],
+            )
+        };
+        let mut table = FlowTable::new();
+        table.push(0, 0, &mk(Flags::SYN));
+        table.push(1, 10, &mk(Flags::PSH_ACK));
+        table.push(2, 20, &mk(Flags::FIN_ACK));
+        let flow = &table.flows()[0];
+        assert_eq!(flow.stats.syn_count, 1);
+        assert_eq!(flow.stats.fin_count, 1);
+        assert_eq!(flow.stats.rst_count, 0);
+        assert_eq!(flow.stats.total_packets(), 3);
+    }
+
+    #[test]
+    fn lookup_by_either_direction() {
+        let mut table = FlowTable::new();
+        let p = udp_packet(1234, 53, 1);
+        table.push(0, 0, &p);
+        let k = FlowKey::from_packet(&p);
+        assert!(table.get(&k).is_some());
+        assert!(table.get(&k.reversed()).is_some());
+        assert!(table.get(&FlowKey { src_port: 9, ..k }).is_none());
+    }
+
+    #[test]
+    fn service_names() {
+        assert_eq!(service_name(53, Protocol::Udp), Some("dns"));
+        assert_eq!(service_name(443, Protocol::Tcp), Some("https"));
+        assert_eq!(service_name(443, Protocol::Udp), Some("quic"));
+        assert_eq!(service_name(4444, Protocol::Tcp), None);
+    }
+}

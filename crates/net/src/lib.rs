@@ -1,0 +1,49 @@
+//! # nfm-net — packet and protocol substrate
+//!
+//! Typed, checked wire formats for the protocols the network-foundation-model
+//! stack works with, plus flow assembly, capture traces, and pcap file IO.
+//!
+//! The design follows `smoltcp`'s idiom: zero-copy `Packet<T: AsRef<[u8]>>`
+//! views with checked constructors for reading, and owned `Repr` structs with
+//! `emit` for writing. Parsing never panics on malformed input — every error
+//! is a [`error::ParseError`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nfm_net::addr::MacAddr;
+//! use nfm_net::packet::Packet;
+//! use std::net::Ipv4Addr;
+//!
+//! let packet = Packet::udp_v4(
+//!     MacAddr::from_index(1),
+//!     MacAddr::from_index(2),
+//!     Ipv4Addr::new(10, 0, 0, 1),
+//!     Ipv4Addr::new(10, 0, 0, 53),
+//!     40000,
+//!     53,
+//!     64,
+//!     b"payload".to_vec(),
+//! );
+//! let bytes = packet.emit();
+//! let parsed = Packet::parse(&bytes).unwrap();
+//! assert_eq!(parsed, packet);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod capture;
+pub mod checksum;
+pub mod error;
+pub mod flow;
+pub mod packet;
+pub mod pcap;
+pub mod wire;
+
+pub use addr::MacAddr;
+pub use capture::{Trace, TracePacket};
+pub use error::{BuildError, ParseError};
+pub use flow::{Flow, FlowKey, FlowTable};
+pub use packet::{IpRepr, Packet, Transport};

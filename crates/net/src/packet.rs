@@ -1,0 +1,451 @@
+//! Owned, layered packet representation tying the wire formats together:
+//! Ethernet → IPv4/IPv6 → TCP/UDP/ICMP/other → opaque application payload.
+//!
+//! `Packet::emit` produces a complete valid frame (lengths and checksums
+//! computed); `Packet::parse` inverts it, validating as it descends.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use crate::addr::MacAddr;
+use crate::checksum;
+use crate::error::ParseError;
+use crate::wire::ipv4::Protocol;
+use crate::wire::ethernet::EtherType;
+use crate::wire::{ethernet, icmp, ipv4, ipv6, tcp, udp, Writer};
+
+// Re-export for convenience at the packet level.
+pub use crate::wire::ethernet::EtherType as LinkType;
+
+/// Network-layer header: IPv4 or IPv6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpRepr {
+    /// An IPv4 header.
+    V4(ipv4::Repr),
+    /// An IPv6 header.
+    V6(ipv6::Repr),
+}
+
+impl IpRepr {
+    /// Source IP address.
+    pub fn src(&self) -> IpAddr {
+        match self {
+            IpRepr::V4(r) => IpAddr::V4(r.src),
+            IpRepr::V6(r) => IpAddr::V6(r.src),
+        }
+    }
+
+    /// Destination IP address.
+    pub fn dst(&self) -> IpAddr {
+        match self {
+            IpRepr::V4(r) => IpAddr::V4(r.dst),
+            IpRepr::V6(r) => IpAddr::V6(r.dst),
+        }
+    }
+
+    /// Transport protocol / next header.
+    pub fn protocol(&self) -> Protocol {
+        match self {
+            IpRepr::V4(r) => r.protocol,
+            IpRepr::V6(r) => r.next_header,
+        }
+    }
+
+    /// TTL or hop limit.
+    pub fn ttl(&self) -> u8 {
+        match self {
+            IpRepr::V4(r) => r.ttl,
+            IpRepr::V6(r) => r.hop_limit,
+        }
+    }
+}
+
+/// Transport layer content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// A TCP segment with application payload.
+    Tcp {
+        /// Header fields.
+        repr: tcp::Repr,
+        /// Application bytes.
+        payload: Vec<u8>,
+    },
+    /// A UDP datagram with application payload.
+    Udp {
+        /// Header fields.
+        repr: udp::Repr,
+        /// Application bytes.
+        payload: Vec<u8>,
+    },
+    /// An ICMP message.
+    Icmp {
+        /// Header fields.
+        repr: icmp::Repr,
+        /// Message data.
+        payload: Vec<u8>,
+    },
+    /// An unparsed transport protocol.
+    Other {
+        /// Raw bytes after the IP header.
+        payload: Vec<u8>,
+    },
+}
+
+impl Transport {
+    /// Encoded length of this transport segment.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Transport::Tcp { payload, .. } => tcp::HEADER_LEN + payload.len(),
+            Transport::Udp { payload, .. } => udp::HEADER_LEN + payload.len(),
+            Transport::Icmp { payload, .. } => icmp::HEADER_LEN + payload.len(),
+            Transport::Other { payload } => payload.len(),
+        }
+    }
+
+    /// The IP protocol number implied by the variant (`None` for `Other`).
+    pub fn protocol(&self) -> Option<Protocol> {
+        match self {
+            Transport::Tcp { .. } => Some(Protocol::Tcp),
+            Transport::Udp { .. } => Some(Protocol::Udp),
+            Transport::Icmp { .. } => Some(Protocol::Icmp),
+            Transport::Other { .. } => None,
+        }
+    }
+
+    /// The application payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            Transport::Tcp { payload, .. }
+            | Transport::Udp { payload, .. }
+            | Transport::Icmp { payload, .. }
+            | Transport::Other { payload } => payload,
+        }
+    }
+
+    /// Source port, when the transport has ports.
+    pub fn src_port(&self) -> Option<u16> {
+        match self {
+            Transport::Tcp { repr, .. } => Some(repr.src_port),
+            Transport::Udp { repr, .. } => Some(repr.src_port),
+            _ => None,
+        }
+    }
+
+    /// Destination port, when the transport has ports.
+    pub fn dst_port(&self) -> Option<u16> {
+        match self {
+            Transport::Tcp { repr, .. } => Some(repr.dst_port),
+            Transport::Udp { repr, .. } => Some(repr.dst_port),
+            _ => None,
+        }
+    }
+}
+
+/// A complete owned packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Link-layer header.
+    pub eth: ethernet::Repr,
+    /// Network-layer header.
+    pub ip: IpRepr,
+    /// Transport layer and payload.
+    pub transport: Transport,
+}
+
+impl Packet {
+    /// Build a UDP packet over IPv4 with sensible defaults.
+    #[allow(clippy::too_many_arguments)]
+    pub fn udp_v4(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        ttl: u8,
+        payload: Vec<u8>,
+    ) -> Packet {
+        let transport = Transport::Udp { repr: udp::Repr { src_port, dst_port }, payload };
+        Packet {
+            eth: ethernet::Repr { src: src_mac, dst: dst_mac, ethertype: EtherType::Ipv4 },
+            ip: IpRepr::V4(ipv4::Repr {
+                src,
+                dst,
+                protocol: Protocol::Udp,
+                payload_len: transport.wire_len(),
+                ttl,
+                ident: 0,
+                dont_frag: true,
+                dscp_ecn: 0,
+            }),
+            transport,
+        }
+    }
+
+    /// Build a TCP packet over IPv4 with sensible defaults.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp_v4(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        repr: tcp::Repr,
+        ttl: u8,
+        payload: Vec<u8>,
+    ) -> Packet {
+        let transport = Transport::Tcp { repr, payload };
+        Packet {
+            eth: ethernet::Repr { src: src_mac, dst: dst_mac, ethertype: EtherType::Ipv4 },
+            ip: IpRepr::V4(ipv4::Repr {
+                src,
+                dst,
+                protocol: Protocol::Tcp,
+                payload_len: transport.wire_len(),
+                ttl,
+                ident: 0,
+                dont_frag: true,
+                dscp_ecn: 0,
+            }),
+            transport,
+        }
+    }
+
+    /// Total frame length when emitted.
+    pub fn wire_len(&self) -> usize {
+        let ip_len = match self.ip {
+            IpRepr::V4(_) => ipv4::HEADER_LEN,
+            IpRepr::V6(_) => ipv6::HEADER_LEN,
+        };
+        ethernet::HEADER_LEN + ip_len + self.transport.wire_len()
+    }
+
+    /// Encode the full frame, recomputing lengths and checksums.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.wire_len());
+        self.eth.emit(&mut w);
+        match self.ip {
+            IpRepr::V4(mut r) => {
+                r.payload_len = self.transport.wire_len();
+                if let Some(p) = self.transport.protocol() {
+                    r.protocol = p;
+                }
+                r.emit(&mut w);
+                self.emit_transport_v4(&mut w, r.src, r.dst);
+            }
+            IpRepr::V6(mut r) => {
+                r.payload_len = self.transport.wire_len();
+                if let Some(p) = self.transport.protocol() {
+                    r.next_header = p;
+                }
+                r.emit(&mut w);
+                self.emit_transport_v6(&mut w, r.src, r.dst);
+            }
+        }
+        w.into_vec()
+    }
+
+    fn emit_transport_v4(&self, w: &mut Writer, src: Ipv4Addr, dst: Ipv4Addr) {
+        match &self.transport {
+            Transport::Tcp { repr, payload } => repr.emit(w, src, dst, payload),
+            Transport::Udp { repr, payload } => repr.emit(w, src, dst, payload),
+            Transport::Icmp { repr, payload } => repr.emit(w, payload),
+            Transport::Other { payload } => w.bytes(payload),
+        }
+    }
+
+    fn emit_transport_v6(&self, w: &mut Writer, src: Ipv6Addr, dst: Ipv6Addr) {
+        match &self.transport {
+            // Emit with a zeroed v4-style checksum first, then patch using
+            // the v6 pseudo-header over the emitted bytes.
+            Transport::Tcp { repr, payload } => {
+                let start = w.len();
+                repr.emit(w, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, payload);
+                w.patch_u16(start + 16, 0).expect("segment just written");
+                let sum =
+                    checksum::pseudo_header_checksum_v6(src, dst, 6, &w.as_slice()[start..]);
+                w.patch_u16(start + 16, sum).expect("segment just written");
+            }
+            Transport::Udp { repr, payload } => {
+                let start = w.len();
+                repr.emit(w, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, payload);
+                w.patch_u16(start + 6, 0).expect("datagram just written");
+                let sum =
+                    checksum::pseudo_header_checksum_v6(src, dst, 17, &w.as_slice()[start..]);
+                w.patch_u16(start + 6, sum).expect("datagram just written");
+            }
+            Transport::Icmp { repr, payload } => repr.emit(w, payload),
+            Transport::Other { payload } => w.bytes(payload),
+        }
+    }
+
+    /// Parse a full frame, validating each layer.
+    pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
+        let frame = ethernet::Frame::new_checked(bytes)?;
+        let eth = ethernet::Repr::parse(&frame);
+        let (ip, payload): (IpRepr, &[u8]) = match eth.ethertype {
+            EtherType::Ipv4 => {
+                let p = ipv4::Packet::new_checked(frame.payload())?;
+                let repr = ipv4::Repr::parse(&p)?;
+                // Borrow payload from the original buffer to outlive `p`.
+                let start = ethernet::HEADER_LEN + p.header_len();
+                let end = ethernet::HEADER_LEN + p.total_len();
+                (IpRepr::V4(repr), &bytes[start..end])
+            }
+            EtherType::Ipv6 => {
+                let p = ipv6::Packet::new_checked(frame.payload())?;
+                let repr = ipv6::Repr::parse(&p);
+                let start = ethernet::HEADER_LEN + ipv6::HEADER_LEN;
+                let end = start + p.payload_len();
+                (IpRepr::V6(repr), &bytes[start..end])
+            }
+            other => {
+                return Err(ParseError::BadValue {
+                    what: "ethertype",
+                    value: u16::from(other) as u64,
+                })
+            }
+        };
+        let transport = match ip.protocol() {
+            Protocol::Tcp => {
+                let seg = tcp::Segment::new_checked(payload)?;
+                Transport::Tcp { repr: tcp::Repr::parse(&seg), payload: seg.payload().to_vec() }
+            }
+            Protocol::Udp => {
+                let d = udp::Datagram::new_checked(payload)?;
+                Transport::Udp { repr: udp::Repr::parse(&d), payload: d.payload().to_vec() }
+            }
+            Protocol::Icmp => {
+                let m = icmp::Message::new_checked(payload)?;
+                Transport::Icmp { repr: icmp::Repr::parse(&m)?, payload: m.payload().to_vec() }
+            }
+            _ => Transport::Other { payload: payload.to_vec() },
+        };
+        Ok(Packet { eth, ip, transport })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::tcp::Flags;
+
+    fn macs() -> (MacAddr, MacAddr) {
+        (MacAddr::from_index(1), MacAddr::from_index(2))
+    }
+
+    #[test]
+    fn udp_v4_round_trip() {
+        let (s, d) = macs();
+        let p = Packet::udp_v4(
+            s,
+            d,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            53,
+            64,
+            b"dns-query".to_vec(),
+        );
+        let bytes = p.emit();
+        assert_eq!(bytes.len(), p.wire_len());
+        let parsed = Packet::parse(&bytes).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.transport.payload(), b"dns-query");
+        assert_eq!(parsed.transport.dst_port(), Some(53));
+    }
+
+    #[test]
+    fn tcp_v4_round_trip() {
+        let (s, d) = macs();
+        let repr = tcp::Repr {
+            src_port: 49152,
+            dst_port: 443,
+            seq: 1,
+            ack: 0,
+            flags: Flags::SYN,
+            window: 64240,
+        };
+        let p = Packet::tcp_v4(s, d, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), repr, 63, vec![]);
+        let parsed = Packet::parse(&p.emit()).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.ip.ttl(), 63);
+    }
+
+    #[test]
+    fn tcp_v6_round_trip() {
+        let (s, d) = macs();
+        let transport = Transport::Tcp {
+            repr: tcp::Repr { src_port: 1000, dst_port: 80, seq: 9, ack: 9, flags: Flags::PSH_ACK, window: 1024 },
+            payload: b"GET /".to_vec(),
+        };
+        let p = Packet {
+            eth: ethernet::Repr { src: s, dst: d, ethertype: EtherType::Ipv6 },
+            ip: IpRepr::V6(ipv6::Repr {
+                src: "fdaa::1".parse().unwrap(),
+                dst: "fdaa::2".parse().unwrap(),
+                next_header: Protocol::Tcp,
+                payload_len: transport.wire_len(),
+                hop_limit: 64,
+                flow_label: 7,
+            }),
+            transport,
+        };
+        let parsed = Packet::parse(&p.emit()).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.ip.src(), "fdaa::1".parse::<IpAddr>().unwrap());
+    }
+
+    #[test]
+    fn icmp_round_trip() {
+        let (s, d) = macs();
+        let transport = Transport::Icmp {
+            repr: icmp::Repr { kind: icmp::Kind::EchoRequest, ident: 5, seq_no: 1 },
+            payload: vec![0xaa; 16],
+        };
+        let p = Packet {
+            eth: ethernet::Repr { src: s, dst: d, ethertype: EtherType::Ipv4 },
+            ip: IpRepr::V4(ipv4::Repr {
+                src: Ipv4Addr::new(10, 0, 0, 1),
+                dst: Ipv4Addr::new(8, 8, 8, 8),
+                protocol: Protocol::Icmp,
+                payload_len: transport.wire_len(),
+                ttl: 64,
+                ident: 77,
+                dont_frag: false,
+                dscp_ecn: 0,
+            }),
+            transport,
+        };
+        let parsed = Packet::parse(&p.emit()).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn corrupt_frames_never_panic() {
+        let (s, d) = macs();
+        let p = Packet::udp_v4(s, d, Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(4, 3, 2, 1), 9, 9, 1, vec![1, 2, 3]);
+        let bytes = p.emit();
+        // Flip every single byte and make sure parse returns Ok or Err
+        // without panicking.
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0xff;
+            let _ = Packet::parse(&m);
+        }
+        // Truncate at every length.
+        for i in 0..bytes.len() {
+            let _ = Packet::parse(&bytes[..i]);
+        }
+    }
+
+    #[test]
+    fn non_ip_ethertype_rejected() {
+        let (s, d) = macs();
+        let mut w = Writer::new();
+        ethernet::Repr { src: s, dst: d, ethertype: EtherType::Arp }.emit(&mut w);
+        w.bytes(&[0u8; 28]);
+        assert!(matches!(
+            Packet::parse(w.as_slice()),
+            Err(ParseError::BadValue { what: "ethertype", .. })
+        ));
+    }
+}

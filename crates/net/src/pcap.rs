@@ -1,0 +1,199 @@
+//! Classic libpcap file format (the `0xa1b2c3d4` magic, microsecond
+//! resolution, LINKTYPE_ETHERNET) reading and writing, so generated traces
+//! interoperate with tcpdump/Wireshark.
+
+use std::io::{self, Read, Write};
+
+use crate::capture::{Trace, TracePacket};
+use crate::error::ParseError;
+
+/// Classic pcap magic (big-endian byte order as written here).
+pub const MAGIC: u32 = 0xa1b2_c3d4;
+
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Write `trace` to `out` in classic pcap format.
+pub fn write<W: Write>(out: &mut W, trace: &Trace) -> io::Result<()> {
+    out.write_all(&MAGIC.to_be_bytes())?;
+    out.write_all(&2u16.to_be_bytes())?; // version major
+    out.write_all(&4u16.to_be_bytes())?; // version minor
+    out.write_all(&0u32.to_be_bytes())?; // thiszone
+    out.write_all(&0u32.to_be_bytes())?; // sigfigs
+    out.write_all(&65535u32.to_be_bytes())?; // snaplen
+    out.write_all(&LINKTYPE_ETHERNET.to_be_bytes())?;
+    for p in trace.packets() {
+        let secs = (p.ts_us / 1_000_000) as u32;
+        let usecs = (p.ts_us % 1_000_000) as u32;
+        out.write_all(&secs.to_be_bytes())?;
+        out.write_all(&usecs.to_be_bytes())?;
+        out.write_all(&(p.frame.len() as u32).to_be_bytes())?;
+        out.write_all(&(p.frame.len() as u32).to_be_bytes())?;
+        out.write_all(&p.frame)?;
+    }
+    Ok(())
+}
+
+/// Read a classic pcap file (either byte order) from `input`.
+pub fn read<R: Read>(input: &mut R) -> Result<Trace, ReadError> {
+    let mut header = [0u8; 24];
+    input.read_exact(&mut header).map_err(ReadError::Io)?;
+    let magic = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+    let big_endian = match magic {
+        MAGIC => true,
+        m if m.swap_bytes() == MAGIC => false,
+        other => {
+            return Err(ReadError::Parse(ParseError::BadValue {
+                what: "pcap magic",
+                value: other as u64,
+            }))
+        }
+    };
+    let u32_at = |b: &[u8], at: usize| {
+        let arr: [u8; 4] = b[at..at + 4].try_into().expect("in-bounds by construction");
+        if big_endian {
+            u32::from_be_bytes(arr)
+        } else {
+            u32::from_le_bytes(arr)
+        }
+    };
+    let linktype = u32_at(&header, 20);
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(ReadError::Parse(ParseError::BadValue {
+            what: "pcap linktype",
+            value: linktype as u64,
+        }));
+    }
+    let mut packets = Vec::new();
+    loop {
+        let mut rec = [0u8; 16];
+        match input.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+        let secs = u32_at(&rec, 0) as u64;
+        let usecs = u32_at(&rec, 4) as u64;
+        let caplen = u32_at(&rec, 8) as usize;
+        if caplen > 10 * 1024 * 1024 {
+            return Err(ReadError::Parse(ParseError::BadLength { what: "pcap caplen" }));
+        }
+        let mut frame = vec![0u8; caplen];
+        input.read_exact(&mut frame).map_err(ReadError::Io)?;
+        packets.push(TracePacket { ts_us: secs * 1_000_000 + usecs, frame });
+    }
+    Ok(Trace::from_packets(packets))
+}
+
+/// Error from [`read`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Structural problem with the file.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "pcap io error: {e}"),
+            ReadError::Parse(e) => write!(f, "pcap parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use crate::packet::Packet;
+    use std::net::Ipv4Addr;
+
+    fn sample_trace() -> Trace {
+        let mk = |ts: u64, port: u16| {
+            TracePacket::from_packet(
+                ts,
+                &Packet::udp_v4(
+                    MacAddr::from_index(1),
+                    MacAddr::from_index(2),
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    4000,
+                    port,
+                    64,
+                    vec![7; 11],
+                ),
+            )
+        };
+        Trace::from_packets(vec![mk(1_500_000, 53), mk(2_250_001, 123)])
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write(&mut buf, &trace).unwrap();
+        let back = read(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in back.packets().iter().zip(trace.packets()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn little_endian_files_accepted() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write(&mut buf, &trace).unwrap();
+        // Byte-swap the header fields to simulate a little-endian writer.
+        let mut le = Vec::new();
+        le.extend_from_slice(&MAGIC.swap_bytes().to_be_bytes());
+        for i in (4..24).step_by(4) {
+            let v = u32::from_be_bytes(buf[i..i + 4].try_into().unwrap());
+            le.extend_from_slice(&v.to_le_bytes());
+        }
+        // Fix the 16-bit version fields (they were written as two u16s).
+        le[4..6].copy_from_slice(&2u16.to_le_bytes());
+        le[6..8].copy_from_slice(&4u16.to_le_bytes());
+        let mut at = 24;
+        while at < buf.len() {
+            for i in (at..at + 16).step_by(4) {
+                let v = u32::from_be_bytes(buf[i..i + 4].try_into().unwrap());
+                le.extend_from_slice(&v.to_le_bytes());
+            }
+            let caplen = u32::from_be_bytes(buf[at + 8..at + 12].try_into().unwrap()) as usize;
+            le.extend_from_slice(&buf[at + 16..at + 16 + caplen]);
+            at += 16 + caplen;
+        }
+        let back = read(&mut le.as_slice()).unwrap();
+        assert_eq!(back.len(), trace.len());
+        assert_eq!(back.packets()[0].ts_us, 1_500_000);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 24];
+        assert!(matches!(read(&mut buf.as_slice()), Err(ReadError::Parse(_))));
+    }
+
+    #[test]
+    fn truncated_record_is_io_error() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write(&mut buf, &trace).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read(&mut buf.as_slice()), Err(ReadError::Io(_))));
+    }
+
+    #[test]
+    fn timestamps_preserved_to_microsecond() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write(&mut buf, &trace).unwrap();
+        let back = read(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.packets()[1].ts_us, 2_250_001);
+    }
+}

@@ -1,0 +1,184 @@
+//! ARP packets for IPv4-over-Ethernet (RFC 826): requests, replies, and
+//! gratuitous announcements — the L2 chatter every real capture contains.
+
+use std::net::Ipv4Addr;
+
+use crate::addr::MacAddr;
+use crate::error::ParseError;
+use crate::wire::{Cursor, Writer};
+
+/// ARP packet length for Ethernet/IPv4.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Who-has (1).
+    Request,
+    /// Is-at (2).
+    Reply,
+    /// Anything else, value preserved.
+    Other(u16),
+}
+
+impl From<u16> for Operation {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => Operation::Request,
+            2 => Operation::Reply,
+            other => Operation::Other(other),
+        }
+    }
+}
+
+impl From<Operation> for u16 {
+    fn from(v: Operation) -> u16 {
+        match v {
+            Operation::Request => 1,
+            Operation::Reply => 2,
+            Operation::Other(x) => x,
+        }
+    }
+}
+
+/// An ARP packet (Ethernet/IPv4 only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Operation.
+    pub operation: Operation,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl Packet {
+    /// A who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Packet {
+        Packet {
+            operation: Operation::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr([0; 6]),
+            target_ip,
+        }
+    }
+
+    /// The is-at reply answering `request`.
+    pub fn reply(request: &Packet, mac: MacAddr) -> Packet {
+        Packet {
+            operation: Operation::Reply,
+            sender_mac: mac,
+            sender_ip: request.target_ip,
+            target_mac: request.sender_mac,
+            target_ip: request.sender_ip,
+        }
+    }
+
+    /// A gratuitous announcement (sender == target), as hosts send on boot.
+    pub fn gratuitous(mac: MacAddr, ip: Ipv4Addr) -> Packet {
+        Packet {
+            operation: Operation::Request,
+            sender_mac: mac,
+            sender_ip: ip,
+            target_mac: MacAddr([0; 6]),
+            target_ip: ip,
+        }
+    }
+
+    /// True when this is a gratuitous announcement.
+    pub fn is_gratuitous(&self) -> bool {
+        self.sender_ip == self.target_ip
+    }
+
+    /// Parse from the Ethernet payload.
+    pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
+        let mut c = Cursor::new(bytes, "arp");
+        let htype = c.u16()?;
+        let ptype = c.u16()?;
+        let hlen = c.u8()?;
+        let plen = c.u8()?;
+        if htype != 1 || ptype != 0x0800 || hlen != 6 || plen != 4 {
+            return Err(ParseError::BadValue { what: "arp htype/ptype", value: htype as u64 });
+        }
+        let operation = Operation::from(c.u16()?);
+        let sender_mac = MacAddr::from_bytes(c.bytes(6)?).expect("6 bytes read");
+        let sb = c.bytes(4)?;
+        let sender_ip = Ipv4Addr::new(sb[0], sb[1], sb[2], sb[3]);
+        let target_mac = MacAddr::from_bytes(c.bytes(6)?).expect("6 bytes read");
+        let tb = c.bytes(4)?;
+        let target_ip = Ipv4Addr::new(tb[0], tb[1], tb[2], tb[3]);
+        Ok(Packet { operation, sender_mac, sender_ip, target_mac, target_ip })
+    }
+
+    /// Encode to wire bytes (the Ethernet payload).
+    pub fn emit(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(PACKET_LEN);
+        w.u16(1); // Ethernet
+        w.u16(0x0800); // IPv4
+        w.u8(6);
+        w.u8(4);
+        w.u16(self.operation.into());
+        w.bytes(self.sender_mac.as_bytes());
+        w.bytes(&self.sender_ip.octets());
+        w.bytes(self.target_mac.as_bytes());
+        w.bytes(&self.target_ip.octets());
+        w.into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (MacAddr, Ipv4Addr, Ipv4Addr) {
+        (MacAddr::from_index(9), Ipv4Addr::new(192, 168, 0, 9), Ipv4Addr::new(192, 168, 0, 1))
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let (mac, ip, gw) = addrs();
+        let req = Packet::request(mac, ip, gw);
+        let parsed = Packet::parse(&req.emit()).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.operation, Operation::Request);
+        assert!(!parsed.is_gratuitous());
+
+        let gw_mac = MacAddr::from_index(1);
+        let rep = Packet::reply(&req, gw_mac);
+        let parsed = Packet::parse(&rep.emit()).unwrap();
+        assert_eq!(parsed, rep);
+        assert_eq!(parsed.sender_ip, gw);
+        assert_eq!(parsed.target_mac, mac);
+    }
+
+    #[test]
+    fn gratuitous_announcement() {
+        let (mac, ip, _) = addrs();
+        let g = Packet::gratuitous(mac, ip);
+        assert!(g.is_gratuitous());
+        let parsed = Packet::parse(&g.emit()).unwrap();
+        assert!(parsed.is_gratuitous());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let (mac, ip, gw) = addrs();
+        let bytes = Packet::request(mac, ip, gw).emit();
+        assert!(Packet::parse(&bytes[..PACKET_LEN - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = 9; // htype
+        assert!(Packet::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn operation_round_trip() {
+        for v in [1u16, 2, 77] {
+            assert_eq!(u16::from(Operation::from(v)), v);
+        }
+    }
+}

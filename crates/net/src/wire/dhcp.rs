@@ -1,0 +1,256 @@
+//! DHCPv4 message parsing and emission (RFC 2131 subset: DISCOVER / OFFER /
+//! REQUEST / ACK with common options).
+
+use std::net::Ipv4Addr;
+
+use crate::addr::MacAddr;
+use crate::error::ParseError;
+use crate::wire::{Cursor, Writer};
+
+/// Fixed portion length before options.
+pub const FIXED_LEN: usize = 236;
+
+/// Magic cookie preceding options.
+pub const MAGIC: u32 = 0x6382_5363;
+
+/// DHCP message types (option 53).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageType {
+    /// DHCPDISCOVER (1).
+    Discover,
+    /// DHCPOFFER (2).
+    Offer,
+    /// DHCPREQUEST (3).
+    Request,
+    /// DHCPACK (5).
+    Ack,
+    /// DHCPNAK (6).
+    Nak,
+    /// Anything else, value preserved.
+    Other(u8),
+}
+
+impl From<u8> for MessageType {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => MessageType::Discover,
+            2 => MessageType::Offer,
+            3 => MessageType::Request,
+            5 => MessageType::Ack,
+            6 => MessageType::Nak,
+            other => MessageType::Other(other),
+        }
+    }
+}
+
+impl From<MessageType> for u8 {
+    fn from(v: MessageType) -> u8 {
+        match v {
+            MessageType::Discover => 1,
+            MessageType::Offer => 2,
+            MessageType::Request => 3,
+            MessageType::Ack => 5,
+            MessageType::Nak => 6,
+            MessageType::Other(x) => x,
+        }
+    }
+}
+
+/// Owned representation of a DHCP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// BOOTP op (1 request, 2 reply).
+    pub op: u8,
+    /// Transaction id.
+    pub xid: u32,
+    /// Client hardware address.
+    pub chaddr: MacAddr,
+    /// `yiaddr`: address offered/assigned to the client.
+    pub your_addr: Ipv4Addr,
+    /// Message type (option 53).
+    pub msg_type: MessageType,
+    /// Requested address (option 50), if present.
+    pub requested_addr: Option<Ipv4Addr>,
+    /// Server identifier (option 54), if present.
+    pub server_id: Option<Ipv4Addr>,
+    /// Hostname (option 12), if present — a device-classification signal.
+    pub hostname: Option<String>,
+}
+
+impl Message {
+    /// A client DISCOVER.
+    pub fn discover(xid: u32, chaddr: MacAddr, hostname: Option<String>) -> Message {
+        Message {
+            op: 1,
+            xid,
+            chaddr,
+            your_addr: Ipv4Addr::UNSPECIFIED,
+            msg_type: MessageType::Discover,
+            requested_addr: None,
+            server_id: None,
+            hostname,
+        }
+    }
+
+    /// A server OFFER of `addr`.
+    pub fn offer(discover: &Message, addr: Ipv4Addr, server_id: Ipv4Addr) -> Message {
+        Message {
+            op: 2,
+            xid: discover.xid,
+            chaddr: discover.chaddr,
+            your_addr: addr,
+            msg_type: MessageType::Offer,
+            requested_addr: None,
+            server_id: Some(server_id),
+            hostname: None,
+        }
+    }
+
+    /// Encode to wire bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(FIXED_LEN + 64);
+        w.u8(self.op);
+        w.u8(1); // htype ethernet
+        w.u8(6); // hlen
+        w.u8(0); // hops
+        w.u32(self.xid);
+        w.u16(0); // secs
+        w.u16(0); // flags
+        w.u32(0); // ciaddr
+        w.u32(u32::from(self.your_addr));
+        w.u32(0); // siaddr
+        w.u32(0); // giaddr
+        w.bytes(self.chaddr.as_bytes());
+        w.bytes(&[0u8; 10]); // chaddr padding
+        w.bytes(&[0u8; 64]); // sname
+        w.bytes(&[0u8; 128]); // file
+        w.u32(MAGIC);
+        // Options.
+        w.u8(53);
+        w.u8(1);
+        w.u8(self.msg_type.into());
+        if let Some(addr) = self.requested_addr {
+            w.u8(50);
+            w.u8(4);
+            w.u32(u32::from(addr));
+        }
+        if let Some(addr) = self.server_id {
+            w.u8(54);
+            w.u8(4);
+            w.u32(u32::from(addr));
+        }
+        if let Some(h) = &self.hostname {
+            let h = &h.as_bytes()[..h.len().min(255)];
+            w.u8(12);
+            w.u8(h.len() as u8);
+            w.bytes(h);
+        }
+        w.u8(255); // end option
+        w.into_vec()
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Message, ParseError> {
+        let mut c = Cursor::new(bytes, "dhcp");
+        let op = c.u8()?;
+        let htype = c.u8()?;
+        let hlen = c.u8()?;
+        if htype != 1 || hlen != 6 {
+            return Err(ParseError::BadValue { what: "dhcp htype/hlen", value: htype as u64 });
+        }
+        c.skip(1)?; // hops
+        let xid = c.u32()?;
+        c.skip(4)?; // secs + flags
+        c.skip(4)?; // ciaddr
+        let your_addr = Ipv4Addr::from(c.u32()?);
+        c.skip(8)?; // siaddr + giaddr
+        let chaddr = MacAddr::from_bytes(c.bytes(6)?).expect("6 bytes read");
+        c.skip(10)?; // chaddr padding
+        c.skip(64 + 128)?; // sname + file
+        let magic = c.u32()?;
+        if magic != MAGIC {
+            return Err(ParseError::BadValue { what: "dhcp magic", value: magic as u64 });
+        }
+        let mut msg_type = None;
+        let mut requested_addr = None;
+        let mut server_id = None;
+        let mut hostname = None;
+        loop {
+            let code = c.u8()?;
+            match code {
+                0 => continue, // pad
+                255 => break,  // end
+                _ => {
+                    let len = c.u8()? as usize;
+                    let data = c.bytes(len)?;
+                    match code {
+                        53 if len == 1 => msg_type = Some(MessageType::from(data[0])),
+                        50 if len == 4 => {
+                            requested_addr =
+                                Some(Ipv4Addr::new(data[0], data[1], data[2], data[3]))
+                        }
+                        54 if len == 4 => {
+                            server_id = Some(Ipv4Addr::new(data[0], data[1], data[2], data[3]))
+                        }
+                        12 => hostname = Some(String::from_utf8_lossy(data).into_owned()),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let msg_type = msg_type.ok_or(ParseError::BadSyntax { what: "dhcp missing option 53" })?;
+        Ok(Message { op, xid, chaddr, your_addr, msg_type, requested_addr, server_id, hostname })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discover_offer_round_trip() {
+        let mac = MacAddr::from_index(42);
+        let disc = Message::discover(0xabcd1234, mac, Some("cam-kitchen".to_string()));
+        let parsed = Message::parse(&disc.emit()).unwrap();
+        assert_eq!(parsed, disc);
+        assert_eq!(parsed.hostname.as_deref(), Some("cam-kitchen"));
+
+        let offer = Message::offer(&disc, Ipv4Addr::new(192, 168, 1, 50), Ipv4Addr::new(192, 168, 1, 1));
+        let parsed = Message::parse(&offer.emit()).unwrap();
+        assert_eq!(parsed, offer);
+        assert_eq!(parsed.xid, disc.xid);
+    }
+
+    #[test]
+    fn request_with_options_round_trip() {
+        let mut msg = Message::discover(7, MacAddr::from_index(1), None);
+        msg.msg_type = MessageType::Request;
+        msg.requested_addr = Some(Ipv4Addr::new(10, 1, 2, 3));
+        msg.server_id = Some(Ipv4Addr::new(10, 1, 2, 1));
+        let parsed = Message::parse(&msg.emit()).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Message::discover(1, MacAddr::from_index(0), None).emit();
+        bytes[FIXED_LEN] ^= 0xff;
+        assert!(Message::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn missing_message_type_rejected() {
+        let mut bytes = Message::discover(1, MacAddr::from_index(0), None).emit();
+        // Overwrite option 53 with pad bytes.
+        bytes[FIXED_LEN + 4] = 0;
+        bytes[FIXED_LEN + 5] = 0;
+        bytes[FIXED_LEN + 6] = 0;
+        assert!(Message::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = Message::discover(1, MacAddr::from_index(0), None).emit();
+        assert!(Message::parse(&bytes[..100]).is_err());
+    }
+}

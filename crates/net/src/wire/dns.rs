@@ -1,0 +1,623 @@
+//! DNS message parsing and emission (RFC 1035).
+//!
+//! Supports the record types the traffic generator produces (A, AAAA, CNAME,
+//! NS, MX, TXT, PTR) plus opaque passthrough for everything else, and full
+//! name-compression on parse (emission writes uncompressed names, which is
+//! always legal).
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::error::{BuildError, ParseError};
+use crate::wire::{Cursor, Writer};
+
+/// Fixed DNS header length.
+pub const HEADER_LEN: usize = 12;
+
+/// Maximum pointer hops tolerated while decompressing a name.
+const MAX_POINTER_HOPS: usize = 32;
+
+/// Maximum encoded name length per RFC 1035.
+const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified domain name held as lowercase labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name {
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Name {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parse a dotted name like `"www.example.com"`. Empty input or `"."`
+    /// yields the root. Labels are lowercased; over-long labels error.
+    pub fn parse_str(s: &str) -> Result<Name, BuildError> {
+        let s = s.trim_end_matches('.');
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        let mut total = 1; // terminating root byte
+        for label in s.split('.') {
+            if label.is_empty() || label.len() > 63 {
+                return Err(BuildError::FieldTooLarge { what: "dns label" });
+            }
+            total += 1 + label.len();
+            if total > MAX_NAME_LEN {
+                return Err(BuildError::FieldTooLarge { what: "dns name" });
+            }
+            labels.push(label.to_ascii_lowercase());
+        }
+        Ok(Name { labels })
+    }
+
+    /// The labels, leftmost (most specific) first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The parent domain (drops the leftmost label); root's parent is root.
+    pub fn parent(&self) -> Name {
+        if self.labels.is_empty() {
+            Name::root()
+        } else {
+            Name { labels: self.labels[1..].to_vec() }
+        }
+    }
+
+    /// True when `self` equals `ancestor` or is underneath it.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        let n = ancestor.labels.len();
+        self.labels.len() >= n && self.labels[self.labels.len() - n..] == ancestor.labels[..]
+    }
+
+    /// Decode a possibly-compressed name at `offset` within `message`,
+    /// returning the name and the offset just past its first encoding.
+    pub fn parse_wire(message: &[u8], offset: usize) -> Result<(Name, usize), ParseError> {
+        let mut labels = Vec::new();
+        let mut pos = offset;
+        let mut end_of_first: Option<usize> = None;
+        let mut hops = 0;
+        let mut total = 1;
+        loop {
+            let len = *message.get(pos).ok_or(ParseError::BadName)? as usize;
+            match len {
+                0 => {
+                    let end = end_of_first.unwrap_or(pos + 1);
+                    return Ok((Name { labels }, end));
+                }
+                l if l & 0xc0 == 0xc0 => {
+                    let lo = *message.get(pos + 1).ok_or(ParseError::BadName)? as usize;
+                    let target = ((l & 0x3f) << 8) | lo;
+                    if end_of_first.is_none() {
+                        end_of_first = Some(pos + 2);
+                    }
+                    // Pointers must go strictly backwards to terminate.
+                    if target >= pos {
+                        return Err(ParseError::BadName);
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(ParseError::BadName);
+                    }
+                    pos = target;
+                }
+                l if l > 63 => return Err(ParseError::BadName),
+                l => {
+                    let bytes =
+                        message.get(pos + 1..pos + 1 + l).ok_or(ParseError::BadName)?;
+                    total += 1 + l;
+                    if total > MAX_NAME_LEN {
+                        return Err(ParseError::BadName);
+                    }
+                    labels.push(String::from_utf8_lossy(bytes).to_ascii_lowercase());
+                    pos += 1 + l;
+                }
+            }
+        }
+    }
+
+    /// Append the uncompressed wire encoding to `w`.
+    pub fn emit(&self, w: &mut Writer) {
+        for label in &self.labels {
+            debug_assert!(label.len() <= 63);
+            w.u8(label.len() as u8);
+            w.bytes(label.as_bytes());
+        }
+        w.u8(0);
+    }
+
+    /// Encoded (uncompressed) length in bytes.
+    pub fn buffer_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        write!(f, "{}", self.labels.join("."))
+    }
+}
+
+/// DNS record/query types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordType {
+    /// IPv4 address record.
+    A,
+    /// Name server record.
+    Ns,
+    /// Canonical name record.
+    Cname,
+    /// Pointer (reverse) record.
+    Ptr,
+    /// Mail exchanger record.
+    Mx,
+    /// Text record.
+    Txt,
+    /// IPv6 address record.
+    Aaaa,
+    /// Anything else, value preserved.
+    Other(u16),
+}
+
+impl From<u16> for RecordType {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            other => RecordType::Other(other),
+        }
+    }
+}
+
+impl From<RecordType> for u16 {
+    fn from(v: RecordType) -> u16 {
+        match v {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Other(x) => x,
+        }
+    }
+}
+
+/// DNS response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Anything else, value preserved (4 bits used).
+    Other(u8),
+}
+
+impl From<u8> for Rcode {
+    fn from(v: u8) -> Self {
+        match v & 0x0f {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+impl From<Rcode> for u8 {
+    fn from(v: Rcode) -> u8 {
+        match v {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::Other(x) => x & 0x0f,
+        }
+    }
+}
+
+/// A question-section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub rtype: RecordType,
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rdata {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// An IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// A canonical-name target.
+    Cname(Name),
+    /// A name-server target.
+    Ns(Name),
+    /// A pointer target.
+    Ptr(Name),
+    /// Mail exchanger: (preference, host).
+    Mx(u16, Name),
+    /// Text payload (single string chunk).
+    Txt(Vec<u8>),
+    /// Unparsed bytes for unknown types.
+    Opaque(Vec<u8>),
+}
+
+/// A resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Record owner name.
+    pub name: Name,
+    /// Record type.
+    pub rtype: RecordType,
+    /// Time to live in seconds.
+    pub ttl: u32,
+    /// Typed data.
+    pub rdata: Rdata,
+}
+
+/// A whole DNS message (header plus all four sections; authority and
+/// additional records are kept together in `extra`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// True for responses.
+    pub is_response: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority + additional sections, in order.
+    pub extra: Vec<Record>,
+    /// Count split between authority (`extra[..ns_count]`) and additional.
+    pub ns_count: usize,
+}
+
+impl Message {
+    /// A query for `name` with the given type.
+    pub fn query(id: u16, name: Name, rtype: RecordType) -> Message {
+        Message {
+            id,
+            is_response: false,
+            recursion_desired: true,
+            rcode: Rcode::NoError,
+            questions: vec![Question { name, rtype }],
+            answers: Vec::new(),
+            extra: Vec::new(),
+            ns_count: 0,
+        }
+    }
+
+    /// A response echoing `query`'s id and question with the given answers.
+    pub fn response(query: &Message, rcode: Rcode, answers: Vec<Record>) -> Message {
+        Message {
+            id: query.id,
+            is_response: true,
+            recursion_desired: query.recursion_desired,
+            rcode,
+            questions: query.questions.clone(),
+            answers,
+            extra: Vec::new(),
+            ns_count: 0,
+        }
+    }
+
+    /// Parse a message from wire bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Message, ParseError> {
+        let mut c = Cursor::new(bytes, "dns");
+        let id = c.u16()?;
+        let flags = c.u16()?;
+        let qd = c.u16()? as usize;
+        let an = c.u16()? as usize;
+        let ns = c.u16()? as usize;
+        let ar = c.u16()? as usize;
+        let is_response = flags & 0x8000 != 0;
+        let recursion_desired = flags & 0x0100 != 0;
+        let rcode = Rcode::from((flags & 0x000f) as u8);
+
+        let mut pos = c.position();
+        let mut questions = Vec::with_capacity(qd.min(64));
+        for _ in 0..qd {
+            let (name, next) = Name::parse_wire(bytes, pos)?;
+            let mut qc = Cursor::new(bytes.get(next..).ok_or(ParseError::BadName)?, "dns");
+            let rtype = RecordType::from(qc.u16()?);
+            qc.u16()?; // class, ignored (IN assumed)
+            pos = next + 4;
+            questions.push(Question { name, rtype });
+        }
+
+        let mut answers = Vec::with_capacity(an.min(64));
+        let mut extra = Vec::with_capacity((ns + ar).min(64));
+        for i in 0..an + ns + ar {
+            let (rec, next) = Self::parse_record(bytes, pos)?;
+            pos = next;
+            if i < an {
+                answers.push(rec);
+            } else {
+                extra.push(rec);
+            }
+        }
+
+        Ok(Message {
+            id,
+            is_response,
+            recursion_desired,
+            rcode,
+            questions,
+            answers,
+            extra,
+            ns_count: ns,
+        })
+    }
+
+    fn parse_record(bytes: &[u8], offset: usize) -> Result<(Record, usize), ParseError> {
+        let (name, next) = Name::parse_wire(bytes, offset)?;
+        let tail = bytes.get(next..).ok_or(ParseError::BadName)?;
+        let mut c = Cursor::new(tail, "dns record");
+        let rtype = RecordType::from(c.u16()?);
+        c.u16()?; // class
+        let ttl = c.u32()?;
+        let rdlen = c.u16()? as usize;
+        let rdata_start = next + c.position();
+        let rdata_bytes = bytes
+            .get(rdata_start..rdata_start + rdlen)
+            .ok_or(ParseError::BadLength { what: "dns rdlength" })?;
+        let rdata = match rtype {
+            RecordType::A => {
+                let arr: [u8; 4] = rdata_bytes
+                    .try_into()
+                    .map_err(|_| ParseError::BadLength { what: "dns A rdata" })?;
+                Rdata::A(Ipv4Addr::from(arr))
+            }
+            RecordType::Aaaa => {
+                let arr: [u8; 16] = rdata_bytes
+                    .try_into()
+                    .map_err(|_| ParseError::BadLength { what: "dns AAAA rdata" })?;
+                Rdata::Aaaa(Ipv6Addr::from(arr))
+            }
+            RecordType::Cname => Rdata::Cname(Name::parse_wire(bytes, rdata_start)?.0),
+            RecordType::Ns => Rdata::Ns(Name::parse_wire(bytes, rdata_start)?.0),
+            RecordType::Ptr => Rdata::Ptr(Name::parse_wire(bytes, rdata_start)?.0),
+            RecordType::Mx => {
+                if rdata_bytes.len() < 2 {
+                    return Err(ParseError::BadLength { what: "dns MX rdata" });
+                }
+                let pref = u16::from_be_bytes([rdata_bytes[0], rdata_bytes[1]]);
+                Rdata::Mx(pref, Name::parse_wire(bytes, rdata_start + 2)?.0)
+            }
+            RecordType::Txt => {
+                if rdata_bytes.is_empty() {
+                    Rdata::Txt(Vec::new())
+                } else {
+                    let n = rdata_bytes[0] as usize;
+                    if 1 + n > rdata_bytes.len() {
+                        return Err(ParseError::BadLength { what: "dns TXT rdata" });
+                    }
+                    Rdata::Txt(rdata_bytes[1..1 + n].to_vec())
+                }
+            }
+            RecordType::Other(_) => Rdata::Opaque(rdata_bytes.to_vec()),
+        };
+        Ok((Record { name, rtype, ttl, rdata }, rdata_start + rdlen))
+    }
+
+    /// Encode the message to wire bytes (uncompressed names).
+    pub fn emit(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(HEADER_LEN + 64);
+        w.u16(self.id);
+        let mut flags = 0u16;
+        if self.is_response {
+            flags |= 0x8000;
+        }
+        if self.recursion_desired {
+            flags |= 0x0100;
+        }
+        flags |= u16::from(u8::from(self.rcode));
+        w.u16(flags);
+        w.u16(self.questions.len() as u16);
+        w.u16(self.answers.len() as u16);
+        w.u16(self.ns_count as u16);
+        w.u16((self.extra.len() - self.ns_count) as u16);
+        for q in &self.questions {
+            q.name.emit(&mut w);
+            w.u16(q.rtype.into());
+            w.u16(1); // class IN
+        }
+        for r in self.answers.iter().chain(self.extra.iter()) {
+            Self::emit_record(&mut w, r);
+        }
+        w.into_vec()
+    }
+
+    fn emit_record(w: &mut Writer, r: &Record) {
+        r.name.emit(w);
+        w.u16(r.rtype.into());
+        w.u16(1); // class IN
+        w.u32(r.ttl);
+        let len_at = w.len();
+        w.u16(0); // rdlength placeholder
+        let data_at = w.len();
+        match &r.rdata {
+            Rdata::A(a) => w.bytes(&a.octets()),
+            Rdata::Aaaa(a) => w.bytes(&a.octets()),
+            Rdata::Cname(n) | Rdata::Ns(n) | Rdata::Ptr(n) => n.emit(w),
+            Rdata::Mx(pref, n) => {
+                w.u16(*pref);
+                n.emit(w);
+            }
+            Rdata::Txt(t) => {
+                w.u8(t.len().min(255) as u8);
+                w.bytes(&t[..t.len().min(255)]);
+            }
+            Rdata::Opaque(bytes) => w.bytes(bytes),
+        }
+        let rdlen = (w.len() - data_at) as u16;
+        w.patch_u16(len_at, rdlen).expect("placeholder written above");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        Name::parse_str(s).unwrap()
+    }
+
+    #[test]
+    fn name_parse_and_display() {
+        let n = name("WWW.Example.COM");
+        assert_eq!(n.to_string(), "www.example.com");
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(n.parent(), name("example.com"));
+        assert!(n.is_subdomain_of(&name("example.com")));
+        assert!(n.is_subdomain_of(&n));
+        assert!(!n.is_subdomain_of(&name("example.org")));
+        assert_eq!(Name::parse_str(".").unwrap(), Name::root());
+    }
+
+    #[test]
+    fn name_rejects_long_labels() {
+        let long = "a".repeat(64);
+        assert!(Name::parse_str(&long).is_err());
+        let ok = "a".repeat(63);
+        assert!(Name::parse_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn query_response_round_trip() {
+        let q = Message::query(0x1234, name("mail.example.com"), RecordType::A);
+        let bytes = q.emit();
+        let parsed = Message::parse(&bytes).unwrap();
+        assert_eq!(parsed, q);
+
+        let resp = Message::response(
+            &q,
+            Rcode::NoError,
+            vec![
+                Record {
+                    name: name("mail.example.com"),
+                    rtype: RecordType::Cname,
+                    ttl: 300,
+                    rdata: Rdata::Cname(name("mx1.example.com")),
+                },
+                Record {
+                    name: name("mx1.example.com"),
+                    rtype: RecordType::A,
+                    ttl: 300,
+                    rdata: Rdata::A(Ipv4Addr::new(93, 184, 216, 34)),
+                },
+            ],
+        );
+        let bytes = resp.emit();
+        let parsed = Message::parse(&bytes).unwrap();
+        assert_eq!(parsed, resp);
+        assert!(parsed.is_response);
+        assert_eq!(parsed.answers.len(), 2);
+    }
+
+    #[test]
+    fn all_rdata_types_round_trip() {
+        let q = Message::query(9, name("example.com"), RecordType::Txt);
+        let records = vec![
+            Record { name: name("example.com"), rtype: RecordType::A, ttl: 60, rdata: Rdata::A(Ipv4Addr::new(1, 2, 3, 4)) },
+            Record { name: name("example.com"), rtype: RecordType::Aaaa, ttl: 60, rdata: Rdata::Aaaa("2001:db8::1".parse().unwrap()) },
+            Record { name: name("example.com"), rtype: RecordType::Ns, ttl: 60, rdata: Rdata::Ns(name("ns1.example.com")) },
+            Record { name: name("example.com"), rtype: RecordType::Mx, ttl: 60, rdata: Rdata::Mx(10, name("mx.example.com")) },
+            Record { name: name("example.com"), rtype: RecordType::Txt, ttl: 60, rdata: Rdata::Txt(b"v=spf1 -all".to_vec()) },
+            Record { name: name("4.3.2.1.in-addr.arpa"), rtype: RecordType::Ptr, ttl: 60, rdata: Rdata::Ptr(name("example.com")) },
+            Record { name: name("example.com"), rtype: RecordType::Other(99), ttl: 60, rdata: Rdata::Opaque(vec![1, 2, 3]) },
+        ];
+        let resp = Message::response(&q, Rcode::NoError, records.clone());
+        let parsed = Message::parse(&resp.emit()).unwrap();
+        assert_eq!(parsed.answers, records);
+    }
+
+    #[test]
+    fn compressed_names_decoded() {
+        // Hand-build: header + question "a.b" + answer with pointer to the
+        // question name at offset 12.
+        let mut w = Writer::new();
+        w.u16(7); // id
+        w.u16(0x8180); // response flags
+        w.u16(1); // qd
+        w.u16(1); // an
+        w.u16(0);
+        w.u16(0);
+        name("a.b").emit(&mut w); // offset 12
+        w.u16(1); // type A
+        w.u16(1); // class IN
+        // answer: pointer to offset 12
+        w.u8(0xc0);
+        w.u8(12);
+        w.u16(1); // type A
+        w.u16(1); // class
+        w.u32(300);
+        w.u16(4);
+        w.bytes(&[10, 0, 0, 1]);
+        let msg = Message::parse(w.as_slice()).unwrap();
+        assert_eq!(msg.answers[0].name, name("a.b"));
+        assert_eq!(msg.answers[0].rdata, Rdata::A(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn pointer_loops_rejected() {
+        // Name at offset 12 pointing at itself cannot occur (forward/self
+        // pointers rejected); craft one pointing forward.
+        let mut bytes = vec![0u8; 12];
+        bytes.extend_from_slice(&[0xc0, 12]); // points at itself
+        bytes.extend_from_slice(&[0, 1, 0, 1]);
+        // header counts: 1 question
+        bytes[4] = 0;
+        bytes[5] = 1;
+        assert_eq!(Message::parse(&bytes), Err(ParseError::BadName));
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let q = Message::query(1, name("x.y"), RecordType::A);
+        let bytes = q.emit();
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(Message::parse(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rcode_round_trip() {
+        for v in 0u8..16 {
+            assert_eq!(u8::from(Rcode::from(v)), v);
+        }
+    }
+}

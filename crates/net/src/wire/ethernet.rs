@@ -1,0 +1,155 @@
+//! Ethernet II frame view and representation.
+
+use crate::addr::MacAddr;
+use crate::error::ParseError;
+use crate::wire::Writer;
+
+/// Ethernet II header length in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType values this crate understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// IPv6 (0x86DD).
+    Ipv6,
+    /// ARP (0x0806).
+    Arp,
+    /// Anything else, value preserved.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x86dd => EtherType::Ipv6,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(x) => x,
+        }
+    }
+}
+
+/// Zero-copy view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap `buffer`, verifying it is at least one header long.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(ParseError::Truncated { what: "ethernet", needed: HEADER_LEN, got: len });
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[0..6]).expect("checked length")
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[6..12]).expect("checked length")
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        EtherType::from(u16::from_be_bytes([b[12], b[13]]))
+    }
+
+    /// The frame payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Release the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+/// Owned representation of an Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Payload EtherType.
+    pub ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parse the header fields from a checked frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Repr {
+        Repr { src: frame.src_addr(), dst: frame.dst_addr(), ethertype: frame.ethertype() }
+    }
+
+    /// Encoded header length.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Append the encoded header to `w`.
+    pub fn emit(&self, w: &mut Writer) {
+        w.bytes(self.dst.as_bytes());
+        w.bytes(self.src.as_bytes());
+        w.u16(self.ethertype.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repr {
+        Repr {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(2),
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = sample();
+        let mut w = Writer::new();
+        repr.emit(&mut w);
+        let mut bytes = w.into_vec();
+        bytes.extend_from_slice(b"payload");
+        let frame = Frame::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&frame), repr);
+        assert_eq!(frame.payload(), b"payload");
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(Frame::new_checked(&[0u8; 13][..]).is_err());
+        assert!(Frame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+
+    #[test]
+    fn ethertype_conversion_preserves_unknown() {
+        let t = EtherType::from(0x1234);
+        assert_eq!(t, EtherType::Other(0x1234));
+        assert_eq!(u16::from(t), 0x1234);
+        assert_eq!(u16::from(EtherType::Ipv6), 0x86dd);
+    }
+}

@@ -1,0 +1,290 @@
+//! HTTP/1.1 message-head parsing and emission (request/status line plus
+//! headers; bodies are carried opaquely).
+
+use std::fmt;
+
+use crate::error::ParseError;
+
+/// HTTP request methods this crate distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+    /// PUT.
+    Put,
+    /// DELETE.
+    Delete,
+    /// HEAD.
+    Head,
+    /// OPTIONS.
+    Options,
+}
+
+impl Method {
+    /// Canonical token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+        }
+    }
+
+    /// Parse a method token.
+    pub fn parse(s: &str) -> Result<Method, ParseError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "PUT" => Ok(Method::Put),
+            "DELETE" => Ok(Method::Delete),
+            "HEAD" => Ok(Method::Head),
+            "OPTIONS" => Ok(Method::Options),
+            _ => Err(ParseError::BadSyntax { what: "http method" }),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An ordered list of header name/value pairs (names kept as sent).
+pub type Headers = Vec<(String, String)>;
+
+fn get_header<'a>(headers: &'a Headers, name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// An HTTP request head plus opaque body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target (path and query).
+    pub target: String,
+    /// Headers in order.
+    pub headers: Headers,
+    /// Opaque body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Convenience constructor for a GET with standard headers.
+    pub fn get(host: &str, target: &str, user_agent: &str) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.to_string(),
+            headers: vec![
+                ("Host".to_string(), host.to_string()),
+                ("User-Agent".to_string(), user_agent.to_string()),
+                ("Accept".to_string(), "*/*".to_string()),
+            ],
+            body: Vec::new(),
+        }
+    }
+
+    /// Value of the `Host` header, if present.
+    pub fn host(&self) -> Option<&str> {
+        get_header(&self.headers, "host")
+    }
+
+    /// Value of the `User-Agent` header, if present.
+    pub fn user_agent(&self) -> Option<&str> {
+        get_header(&self.headers, "user-agent")
+    }
+
+    /// Encode to wire bytes (adds `Content-Length` when a body is present).
+    pub fn emit(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.target).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if !self.body.is_empty() && get_header(&self.headers, "content-length").is_none() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(ParseError::BadSyntax { what: "http request line" })?;
+        let mut parts = request_line.split(' ');
+        let method = Method::parse(parts.next().unwrap_or(""))?;
+        let target = parts
+            .next()
+            .filter(|t| !t.is_empty())
+            .ok_or(ParseError::BadSyntax { what: "http target" })?
+            .to_string();
+        let version = parts.next().ok_or(ParseError::BadSyntax { what: "http version" })?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::BadSyntax { what: "http version" });
+        }
+        let headers = parse_headers(lines)?;
+        Ok(Request { method, target, headers, body: body.to_vec() })
+    }
+}
+
+/// An HTTP response head plus opaque body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Reason phrase, e.g. `"OK"`.
+    pub reason: String,
+    /// Headers in order.
+    pub headers: Headers,
+    /// Opaque body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Convenience constructor with `Content-Type` and a body.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            reason: "OK".to_string(),
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body,
+        }
+    }
+
+    /// Value of the `Content-Type` header, if present.
+    pub fn content_type(&self) -> Option<&str> {
+        get_header(&self.headers, "content-type")
+    }
+
+    /// Encode to wire bytes (always adds `Content-Length`).
+    pub fn emit(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if get_header(&self.headers, "content-length").is_none() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Response, ParseError> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(ParseError::BadSyntax { what: "http status line" })?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::BadSyntax { what: "http version" });
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseError::BadSyntax { what: "http status code" })?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers = parse_headers(lines)?;
+        Ok(Response { status, reason, headers, body: body.to_vec() })
+    }
+}
+
+/// Split a raw message into its UTF-8 head (before the blank line) and body.
+fn split_head(bytes: &[u8]) -> Result<(&str, &[u8]), ParseError> {
+    let sep = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(ParseError::BadSyntax { what: "http head terminator" })?;
+    let head = std::str::from_utf8(&bytes[..sep])
+        .map_err(|_| ParseError::BadSyntax { what: "http head utf-8" })?;
+    Ok((head, &bytes[sep + 4..]))
+}
+
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers, ParseError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) =
+            line.split_once(':').ok_or(ParseError::BadSyntax { what: "http header" })?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadSyntax { what: "http header name" });
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::get("example.com", "/index.html", "nfm/0.1");
+        let bytes = req.emit();
+        let parsed = Request::parse(&bytes).unwrap();
+        assert_eq!(parsed.method, Method::Get);
+        assert_eq!(parsed.target, "/index.html");
+        assert_eq!(parsed.host(), Some("example.com"));
+        assert_eq!(parsed.user_agent(), Some("nfm/0.1"));
+    }
+
+    #[test]
+    fn request_with_body_gets_content_length() {
+        let mut req = Request::get("h", "/submit", "ua");
+        req.method = Method::Post;
+        req.body = b"a=1&b=2".to_vec();
+        let bytes = req.emit();
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.contains("Content-Length: 7"));
+        let parsed = Request::parse(&bytes).unwrap();
+        assert_eq!(parsed.body, b"a=1&b=2");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::ok("text/html", b"<html></html>".to_vec());
+        let parsed = Response::parse(&resp.emit()).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "OK");
+        assert_eq!(parsed.content_type(), Some("text/html"));
+        assert_eq!(parsed.body, b"<html></html>");
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors() {
+        assert!(Request::parse(b"").is_err());
+        assert!(Request::parse(b"GET /\r\n\r\n").is_err()); // no version
+        assert!(Request::parse(b"FETCH / HTTP/1.1\r\n\r\n").is_err()); // bad method
+        assert!(Request::parse(b"GET / HTTP/1.1\r\nBad Header Name: x\r\n\r\n").is_err());
+        assert!(Response::parse(b"HTTP/1.1 xyz OK\r\n\r\n").is_err());
+        assert!(Response::parse(b"SPDY/1 200 OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn reason_phrase_may_contain_spaces() {
+        let parsed = Response::parse(b"HTTP/1.1 404 Not Found\r\n\r\n").unwrap();
+        assert_eq!(parsed.status, 404);
+        assert_eq!(parsed.reason, "Not Found");
+    }
+
+    #[test]
+    fn header_values_trimmed() {
+        let parsed = Request::parse(b"GET / HTTP/1.1\r\nHost:   spaced.example   \r\n\r\n").unwrap();
+        assert_eq!(parsed.host(), Some("spaced.example"));
+    }
+}

@@ -1,0 +1,174 @@
+//! ICMPv4 message view and representation (RFC 792). Echo-centric.
+
+use crate::checksum;
+use crate::error::ParseError;
+use crate::wire::Writer;
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message kinds this crate distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Destination unreachable (type 3), with code.
+    DestUnreachable(u8),
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Time exceeded (type 11), with code.
+    TimeExceeded(u8),
+    /// Anything else: (type, code).
+    Other(u8, u8),
+}
+
+impl Kind {
+    /// The (type, code) pair on the wire.
+    pub fn type_code(&self) -> (u8, u8) {
+        match *self {
+            Kind::EchoReply => (0, 0),
+            Kind::DestUnreachable(c) => (3, c),
+            Kind::EchoRequest => (8, 0),
+            Kind::TimeExceeded(c) => (11, c),
+            Kind::Other(t, c) => (t, c),
+        }
+    }
+
+    /// Classify a (type, code) pair.
+    pub fn from_type_code(t: u8, c: u8) -> Kind {
+        match t {
+            0 => Kind::EchoReply,
+            3 => Kind::DestUnreachable(c),
+            8 => Kind::EchoRequest,
+            11 => Kind::TimeExceeded(c),
+            _ => Kind::Other(t, c),
+        }
+    }
+}
+
+/// Zero-copy view of an ICMPv4 message.
+#[derive(Debug, Clone)]
+pub struct Message<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Message<T> {
+    /// Wrap `buffer`, checking the minimum length.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(ParseError::Truncated { what: "icmp", needed: HEADER_LEN, got: len });
+        }
+        Ok(Message { buffer })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Message kind (type and code).
+    pub fn kind(&self) -> Kind {
+        Kind::from_type_code(self.b()[0], self.b()[1])
+    }
+
+    /// Echo identifier (meaningful for echo messages).
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes([self.b()[4], self.b()[5]])
+    }
+
+    /// Echo sequence number (meaningful for echo messages).
+    pub fn seq_no(&self) -> u16 {
+        u16::from_be_bytes([self.b()[6], self.b()[7]])
+    }
+
+    /// Verify the message checksum over the whole buffer.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.b())
+    }
+
+    /// Data after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[HEADER_LEN..]
+    }
+}
+
+/// Owned representation of an ICMP echo-style message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Message kind.
+    pub kind: Kind,
+    /// Identifier (echo) or zero.
+    pub ident: u16,
+    /// Sequence number (echo) or zero.
+    pub seq_no: u16,
+}
+
+impl Repr {
+    /// Parse from a checked view, verifying the checksum.
+    pub fn parse<T: AsRef<[u8]>>(msg: &Message<T>) -> Result<Repr, ParseError> {
+        if !msg.verify_checksum() {
+            return Err(ParseError::BadChecksum { what: "icmp" });
+        }
+        Ok(Repr { kind: msg.kind(), ident: msg.ident(), seq_no: msg.seq_no() })
+    }
+
+    /// Encoded length including `payload_len` data bytes.
+    pub fn buffer_len(&self, payload_len: usize) -> usize {
+        HEADER_LEN + payload_len
+    }
+
+    /// Append the encoded message with `payload`, computing the checksum.
+    pub fn emit(&self, w: &mut Writer, payload: &[u8]) {
+        let start = w.len();
+        let (t, c) = self.kind.type_code();
+        w.u8(t);
+        w.u8(c);
+        w.u16(0); // checksum placeholder
+        w.u16(self.ident);
+        w.u16(self.seq_no);
+        w.bytes(payload);
+        let sum = checksum::internet_checksum(&w.as_slice()[start..]);
+        w.patch_u16(start + 2, sum).expect("header just written");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let repr = Repr { kind: Kind::EchoRequest, ident: 0x10, seq_no: 3 };
+        let mut w = Writer::new();
+        repr.emit(&mut w, b"ping-data");
+        let bytes = w.into_vec();
+        let msg = Message::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&msg).unwrap(), repr);
+        assert_eq!(msg.payload(), b"ping-data");
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let repr = Repr { kind: Kind::EchoReply, ident: 1, seq_no: 1 };
+        let mut w = Writer::new();
+        repr.emit(&mut w, &[]);
+        let mut bytes = w.into_vec();
+        bytes[5] ^= 1;
+        let msg = Message::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&msg), Err(ParseError::BadChecksum { what: "icmp" }));
+    }
+
+    #[test]
+    fn kind_round_trip() {
+        for kind in [
+            Kind::EchoReply,
+            Kind::EchoRequest,
+            Kind::DestUnreachable(3),
+            Kind::TimeExceeded(0),
+            Kind::Other(42, 7),
+        ] {
+            let (t, c) = kind.type_code();
+            assert_eq!(Kind::from_type_code(t, c), kind);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! IPv4 packet view and representation (RFC 791).
+//!
+//! Options are accepted on parse (skipped via IHL) but never emitted.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::ParseError;
+use crate::wire::Writer;
+
+/// Minimum (and emitted) IPv4 header length.
+pub const HEADER_LEN: usize = 20;
+
+/// IP protocol numbers this crate understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// SCTP (132) — recognised because the paper leans on its semantics.
+    Sctp,
+    /// GRE (47).
+    Gre,
+    /// Anything else, value preserved.
+    Other(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            47 => Protocol::Gre,
+            132 => Protocol::Sctp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(v: Protocol) -> u8 {
+        match v {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Gre => 47,
+            Protocol::Sctp => 132,
+            Protocol::Other(x) => x,
+        }
+    }
+}
+
+/// Zero-copy view of an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap `buffer`, validating version, IHL, and total length.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(ParseError::Truncated { what: "ipv4", needed: HEADER_LEN, got: len });
+        }
+        let b = buffer.as_ref();
+        let version = b[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::BadValue { what: "ipv4 version", value: version as u64 });
+        }
+        let ihl = usize::from(b[0] & 0x0f) * 4;
+        if ihl < HEADER_LEN || ihl > len {
+            return Err(ParseError::BadLength { what: "ipv4 ihl" });
+        }
+        let total = usize::from(u16::from_be_bytes([b[2], b[3]]));
+        if total < ihl || total > len {
+            return Err(ParseError::BadLength { what: "ipv4 total length" });
+        }
+        Ok(Packet { buffer })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.b()[0] & 0x0f) * 4
+    }
+
+    /// Total length field (header plus payload).
+    pub fn total_len(&self) -> usize {
+        usize::from(u16::from_be_bytes([self.b()[2], self.b()[3]]))
+    }
+
+    /// Differentiated services byte.
+    pub fn dscp_ecn(&self) -> u8 {
+        self.b()[1]
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes([self.b()[4], self.b()[5]])
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.b()[6] & 0x40 != 0
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.b()[8]
+    }
+
+    /// Next-protocol field.
+    pub fn protocol(&self) -> Protocol {
+        Protocol::from(self.b()[9])
+    }
+
+    /// Header checksum field as transmitted.
+    pub fn checksum_field(&self) -> u16 {
+        u16::from_be_bytes([self.b()[10], self.b()[11]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let b = self.b();
+        Ipv4Addr::new(b[12], b[13], b[14], b[15])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let b = self.b();
+        Ipv4Addr::new(b[16], b[17], b[18], b[19])
+    }
+
+    /// True when the header checksum verifies.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(&self.b()[..self.header_len()])
+    }
+
+    /// Payload as delimited by the total-length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[self.header_len()..self.total_len()]
+    }
+}
+
+/// Owned representation of an IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Next protocol.
+    pub protocol: Protocol,
+    /// Payload length in bytes (excludes this header).
+    pub payload_len: usize,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field.
+    pub ident: u16,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+    /// DSCP/ECN byte.
+    pub dscp_ecn: u8,
+}
+
+impl Repr {
+    /// Parse from a checked view, verifying the header checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr, ParseError> {
+        if !packet.verify_checksum() {
+            return Err(ParseError::BadChecksum { what: "ipv4" });
+        }
+        Ok(Repr {
+            src: packet.src_addr(),
+            dst: packet.dst_addr(),
+            protocol: packet.protocol(),
+            payload_len: packet.total_len() - packet.header_len(),
+            ttl: packet.ttl(),
+            ident: packet.ident(),
+            dont_frag: packet.dont_frag(),
+            dscp_ecn: packet.dscp_ecn(),
+        })
+    }
+
+    /// Encoded header length.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Append the encoded header (with computed checksum) to `w`.
+    pub fn emit(&self, w: &mut Writer) {
+        let start = w.len();
+        w.u8(0x45); // version 4, IHL 5
+        w.u8(self.dscp_ecn);
+        w.u16((HEADER_LEN + self.payload_len) as u16);
+        w.u16(self.ident);
+        w.u16(if self.dont_frag { 0x4000 } else { 0x0000 });
+        w.u8(self.ttl);
+        w.u8(self.protocol.into());
+        w.u16(0); // checksum placeholder
+        w.bytes(&self.src.octets());
+        w.bytes(&self.dst.octets());
+        let sum = checksum::internet_checksum(&w.as_slice()[start..start + HEADER_LEN]);
+        w.patch_u16(start + 10, sum).expect("header just written");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repr {
+        Repr {
+            src: Ipv4Addr::new(192, 168, 1, 10),
+            dst: Ipv4Addr::new(8, 8, 8, 8),
+            protocol: Protocol::Udp,
+            payload_len: 12,
+            ttl: 64,
+            ident: 0x3344,
+            dont_frag: true,
+            dscp_ecn: 0,
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = sample();
+        let mut w = Writer::new();
+        repr.emit(&mut w);
+        w.bytes(&[0xaa; 12]);
+        let bytes = w.into_vec();
+        let packet = Packet::new_checked(&bytes[..]).unwrap();
+        assert!(packet.verify_checksum());
+        assert_eq!(Repr::parse(&packet).unwrap(), repr);
+        assert_eq!(packet.payload(), &[0xaa; 12]);
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected_by_repr_parse() {
+        let repr = sample();
+        let mut w = Writer::new();
+        repr.emit(&mut w);
+        w.bytes(&[0xaa; 12]);
+        let mut bytes = w.into_vec();
+        bytes[8] ^= 0x01; // flip TTL
+        let packet = Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&packet), Err(ParseError::BadChecksum { what: "ipv4" }));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = [0u8; 20];
+        bytes[0] = 0x65; // version 6
+        assert!(matches!(
+            Packet::new_checked(&bytes[..]),
+            Err(ParseError::BadValue { what: "ipv4 version", .. })
+        ));
+    }
+
+    #[test]
+    fn total_length_must_fit_buffer() {
+        let repr = sample();
+        let mut w = Writer::new();
+        repr.emit(&mut w);
+        // Claimed 12 payload bytes but provide none.
+        let bytes = w.into_vec();
+        assert!(matches!(
+            Packet::new_checked(&bytes[..]),
+            Err(ParseError::BadLength { what: "ipv4 total length" })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_excluded_from_payload() {
+        let mut repr = sample();
+        repr.payload_len = 2;
+        let mut w = Writer::new();
+        repr.emit(&mut w);
+        w.bytes(&[1, 2]);
+        w.bytes(&[0xff; 8]); // link-layer padding
+        let bytes = w.into_vec();
+        let packet = Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(packet.payload(), &[1, 2]);
+    }
+
+    #[test]
+    fn protocol_numbers_round_trip() {
+        for v in 0u8..=255 {
+            assert_eq!(u8::from(Protocol::from(v)), v);
+        }
+    }
+}

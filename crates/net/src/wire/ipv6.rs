@@ -1,0 +1,196 @@
+//! IPv6 packet view and representation (RFC 8200).
+//!
+//! Extension headers are not interpreted; the next-header field is surfaced
+//! as-is and the payload is everything after the fixed header.
+
+use std::net::Ipv6Addr;
+
+use crate::error::ParseError;
+use crate::wire::ipv4::Protocol;
+use crate::wire::Writer;
+
+/// Fixed IPv6 header length.
+pub const HEADER_LEN: usize = 40;
+
+/// Zero-copy view of an IPv6 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap `buffer`, validating version and payload length.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(ParseError::Truncated { what: "ipv6", needed: HEADER_LEN, got: len });
+        }
+        let b = buffer.as_ref();
+        let version = b[0] >> 4;
+        if version != 6 {
+            return Err(ParseError::BadValue { what: "ipv6 version", value: version as u64 });
+        }
+        let payload_len = usize::from(u16::from_be_bytes([b[4], b[5]]));
+        if HEADER_LEN + payload_len > len {
+            return Err(ParseError::BadLength { what: "ipv6 payload length" });
+        }
+        Ok(Packet { buffer })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Traffic-class byte.
+    pub fn traffic_class(&self) -> u8 {
+        let b = self.b();
+        (b[0] << 4) | (b[1] >> 4)
+    }
+
+    /// 20-bit flow label.
+    pub fn flow_label(&self) -> u32 {
+        let b = self.b();
+        (u32::from(b[1] & 0x0f) << 16) | (u32::from(b[2]) << 8) | u32::from(b[3])
+    }
+
+    /// Payload length field.
+    pub fn payload_len(&self) -> usize {
+        usize::from(u16::from_be_bytes([self.b()[4], self.b()[5]]))
+    }
+
+    /// Next-header field, mapped through the shared [`Protocol`] enum.
+    pub fn next_header(&self) -> Protocol {
+        Protocol::from(self.b()[6])
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.b()[7]
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv6Addr {
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&self.b()[8..24]);
+        Ipv6Addr::from(o)
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv6Addr {
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&self.b()[24..40]);
+        Ipv6Addr::from(o)
+    }
+
+    /// Payload as delimited by the payload-length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[HEADER_LEN..HEADER_LEN + self.payload_len()]
+    }
+}
+
+/// Owned representation of an IPv6 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// Next header (transport protocol).
+    pub next_header: Protocol,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Flow label (20 bits used).
+    pub flow_label: u32,
+}
+
+impl Repr {
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Repr {
+        Repr {
+            src: packet.src_addr(),
+            dst: packet.dst_addr(),
+            next_header: packet.next_header(),
+            payload_len: packet.payload_len(),
+            hop_limit: packet.hop_limit(),
+            flow_label: packet.flow_label(),
+        }
+    }
+
+    /// Encoded header length.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Append the encoded header to `w`.
+    pub fn emit(&self, w: &mut Writer) {
+        let fl = self.flow_label & 0x000f_ffff;
+        w.u8(0x60);
+        w.u8(((fl >> 16) & 0x0f) as u8);
+        w.u16((fl & 0xffff) as u16);
+        w.u16(self.payload_len as u16);
+        w.u8(self.next_header.into());
+        w.u8(self.hop_limit);
+        w.bytes(&self.src.octets());
+        w.bytes(&self.dst.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repr {
+        Repr {
+            src: "fdaa::1".parse().unwrap(),
+            dst: "2001:db8::2".parse().unwrap(),
+            next_header: Protocol::Tcp,
+            payload_len: 5,
+            hop_limit: 64,
+            flow_label: 0xabcde,
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = sample();
+        let mut w = Writer::new();
+        repr.emit(&mut w);
+        w.bytes(&[1, 2, 3, 4, 5]);
+        let bytes = w.into_vec();
+        let packet = Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&packet), repr);
+        assert_eq!(packet.payload(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut bytes = [0u8; HEADER_LEN];
+        bytes[0] = 0x45;
+        assert!(matches!(
+            Packet::new_checked(&bytes[..]),
+            Err(ParseError::BadValue { what: "ipv6 version", .. })
+        ));
+    }
+
+    #[test]
+    fn payload_length_checked() {
+        let repr = sample();
+        let mut w = Writer::new();
+        repr.emit(&mut w); // claims 5 payload bytes, provides none
+        assert!(Packet::new_checked(&w.into_vec()[..]).is_err());
+    }
+
+    #[test]
+    fn flow_label_masked_to_20_bits() {
+        let mut repr = sample();
+        repr.flow_label = 0xfff_ffff;
+        let mut w = Writer::new();
+        repr.payload_len = 0;
+        repr.emit(&mut w);
+        let bytes = w.into_vec();
+        let packet = Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(packet.flow_label(), 0xf_ffff);
+    }
+}

@@ -1,0 +1,235 @@
+//! Typed views over raw byte buffers for each supported protocol.
+//!
+//! The idiom follows `smoltcp`: a zero-copy `Packet<T: AsRef<[u8]>>` view
+//! with checked constructors and field accessors, plus an owned `*Repr`
+//! struct with `parse` / `emit` / `buffer_len` for building packets.
+
+pub mod arp;
+pub mod dhcp;
+pub mod dns;
+pub mod ethernet;
+pub mod http;
+pub mod icmp;
+pub mod ipv4;
+pub mod ipv6;
+pub mod ntp;
+pub mod tcp;
+pub mod tls;
+pub mod udp;
+
+use crate::error::{BuildError, ParseError};
+
+/// A bounds-checked big-endian reader over a byte slice.
+///
+/// All wire parsers in this crate go through `Cursor` so that malformed
+/// input surfaces as a [`ParseError`] rather than a panic.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    /// Create a cursor labelled with the protocol name used in errors.
+    pub fn new(data: &'a [u8], what: &'static str) -> Self {
+        Cursor { data, pos: 0, what }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining after the current position.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn need(&self, n: usize) -> Result<(), ParseError> {
+        if self.remaining() < n {
+            Err(ParseError::Truncated { what: self.what, needed: n, got: self.remaining() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, ParseError> {
+        self.need(1)?;
+        let v = self.data[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, ParseError> {
+        self.need(2)?;
+        let v = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, ParseError> {
+        self.need(4)?;
+        let b = &self.data[self.pos..self.pos + 4];
+        self.pos += 4;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, ParseError> {
+        self.need(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_be_bytes(b))
+    }
+
+    /// Borrow the next `n` bytes and advance.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        self.need(n)?;
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Borrow everything after the current position and advance to the end.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+
+    /// Skip `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<(), ParseError> {
+        self.need(n)?;
+        self.pos += n;
+        Ok(())
+    }
+}
+
+/// A bounds-checked big-endian writer that appends to a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Create a writer with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrite two bytes at `at` with a big-endian u16 (for length or
+    /// checksum backpatching).
+    pub fn patch_u16(&mut self, at: usize, v: u16) -> Result<(), BuildError> {
+        if at + 2 > self.buf.len() {
+            return Err(BuildError::BufferTooSmall { needed: at + 2, got: self.buf.len() });
+        }
+        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Consume the writer, returning the buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Immutable view of the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_reads_values_in_order() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+        let mut c = Cursor::new(&data, "test");
+        assert_eq!(c.u8().unwrap(), 0x01);
+        assert_eq!(c.u16().unwrap(), 0x0203);
+        assert_eq!(c.u32().unwrap(), 0x04050607);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn cursor_truncation_is_error_not_panic() {
+        let data = [0x01];
+        let mut c = Cursor::new(&data, "test");
+        assert!(matches!(c.u32(), Err(ParseError::Truncated { what: "test", needed: 4, got: 1 })));
+        // Failed read must not consume.
+        assert_eq!(c.u8().unwrap(), 0x01);
+    }
+
+    #[test]
+    fn writer_round_trips_cursor() {
+        let mut w = Writer::new();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdeadbeef);
+        w.u64(0x0102030405060708);
+        w.bytes(b"xyz");
+        let v = w.into_vec();
+        let mut c = Cursor::new(&v, "test");
+        assert_eq!(c.u8().unwrap(), 0xab);
+        assert_eq!(c.u16().unwrap(), 0x1234);
+        assert_eq!(c.u32().unwrap(), 0xdeadbeef);
+        assert_eq!(c.u64().unwrap(), 0x0102030405060708);
+        assert_eq!(c.rest(), b"xyz");
+    }
+
+    #[test]
+    fn patch_u16_backpatches_length() {
+        let mut w = Writer::new();
+        w.u16(0); // placeholder
+        w.bytes(&[9; 10]);
+        w.patch_u16(0, 10).unwrap();
+        assert_eq!(&w.as_slice()[..2], &[0, 10]);
+        assert!(w.patch_u16(999, 1).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! NTPv4 packet view and representation (RFC 5905, client/server subset).
+
+use crate::error::ParseError;
+use crate::wire::{Cursor, Writer};
+
+/// NTP packet length (no extensions).
+pub const PACKET_LEN: usize = 48;
+
+/// NTP association modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Client request (3).
+    Client,
+    /// Server response (4).
+    Server,
+    /// Broadcast (5).
+    Broadcast,
+    /// Anything else (3 bits).
+    Other(u8),
+}
+
+impl From<u8> for Mode {
+    fn from(v: u8) -> Self {
+        match v & 0x07 {
+            3 => Mode::Client,
+            4 => Mode::Server,
+            5 => Mode::Broadcast,
+            other => Mode::Other(other),
+        }
+    }
+}
+
+impl From<Mode> for u8 {
+    fn from(v: Mode) -> u8 {
+        match v {
+            Mode::Client => 3,
+            Mode::Server => 4,
+            Mode::Broadcast => 5,
+            Mode::Other(x) => x & 0x07,
+        }
+    }
+}
+
+/// Owned representation of an NTP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Leap indicator (2 bits).
+    pub leap: u8,
+    /// Protocol version (3 bits), normally 4.
+    pub version: u8,
+    /// Association mode.
+    pub mode: Mode,
+    /// Server stratum (0 for client requests).
+    pub stratum: u8,
+    /// Transmit timestamp (64-bit NTP fixed point).
+    pub transmit_ts: u64,
+    /// Originate timestamp.
+    pub originate_ts: u64,
+}
+
+impl Packet {
+    /// A standard client request carrying `transmit_ts`.
+    pub fn client_request(transmit_ts: u64) -> Packet {
+        Packet { leap: 0, version: 4, mode: Mode::Client, stratum: 0, transmit_ts, originate_ts: 0 }
+    }
+
+    /// A stratum-`stratum` server response to `request`.
+    pub fn server_response(request: &Packet, stratum: u8, transmit_ts: u64) -> Packet {
+        Packet {
+            leap: 0,
+            version: request.version,
+            mode: Mode::Server,
+            stratum,
+            transmit_ts,
+            originate_ts: request.transmit_ts,
+        }
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
+        let mut c = Cursor::new(bytes, "ntp");
+        let b0 = c.u8()?;
+        let leap = b0 >> 6;
+        let version = (b0 >> 3) & 0x07;
+        if !(1..=4).contains(&version) {
+            return Err(ParseError::BadValue { what: "ntp version", value: version as u64 });
+        }
+        let mode = Mode::from(b0);
+        let stratum = c.u8()?;
+        c.skip(2)?; // poll, precision
+        c.skip(8)?; // root delay + dispersion
+        c.skip(4)?; // reference id
+        c.skip(8)?; // reference timestamp
+        let originate_ts = c.u64()?;
+        c.skip(8)?; // receive timestamp
+        let transmit_ts = c.u64()?;
+        Ok(Packet { leap, version, mode, stratum, transmit_ts, originate_ts })
+    }
+
+    /// Encode to wire bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(PACKET_LEN);
+        w.u8((self.leap << 6) | ((self.version & 0x07) << 3) | u8::from(self.mode));
+        w.u8(self.stratum);
+        w.u8(6); // poll interval 2^6
+        w.u8(0xe9); // precision
+        w.u32(0); // root delay
+        w.u32(0); // root dispersion
+        w.u32(u32::from_be_bytes(*b"NFM\0")); // reference id
+        w.u64(0); // reference timestamp
+        w.u64(self.originate_ts);
+        w.u64(0); // receive timestamp
+        w.u64(self.transmit_ts);
+        w.into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_round_trip() {
+        let req = Packet::client_request(0x1122334455667788);
+        let bytes = req.emit();
+        assert_eq!(bytes.len(), PACKET_LEN);
+        let parsed = Packet::parse(&bytes).unwrap();
+        assert_eq!(parsed, req);
+
+        let resp = Packet::server_response(&req, 2, 0x99aabbccddeeff00);
+        let parsed = Packet::parse(&resp.emit()).unwrap();
+        assert_eq!(parsed, resp);
+        assert_eq!(parsed.originate_ts, req.transmit_ts);
+        assert_eq!(parsed.mode, Mode::Server);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let req = Packet::client_request(1);
+        let bytes = req.emit();
+        assert!(Packet::parse(&bytes[..PACKET_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = Packet::client_request(1).emit();
+        bytes[0] = (7 << 3) | 3; // version 7
+        assert!(Packet::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn mode_round_trip() {
+        for v in 0u8..8 {
+            assert_eq!(u8::from(Mode::from(v)), v);
+        }
+    }
+}

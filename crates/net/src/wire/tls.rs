@@ -1,0 +1,376 @@
+//! TLS record layer and ClientHello/ServerHello handshake parsing/emission.
+//!
+//! Covers exactly what the traffic generator and the tokenizer need: record
+//! framing, hello messages with ciphersuites and SNI, and opaque
+//! application-data records. The ciphersuite registry mirrors the
+//! IANA values the paper discusses (e.g. `0xC02B`/`0xC02C` differing only in
+//! key length — NorBERT's nearest-neighbor example).
+
+use crate::error::ParseError;
+use crate::wire::{Cursor, Writer};
+
+/// TLS record header length.
+pub const RECORD_HEADER_LEN: usize = 5;
+
+/// TLS record content types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentType {
+    /// ChangeCipherSpec (20).
+    ChangeCipherSpec,
+    /// Alert (21).
+    Alert,
+    /// Handshake (22).
+    Handshake,
+    /// ApplicationData (23).
+    ApplicationData,
+    /// Anything else, value preserved.
+    Other(u8),
+}
+
+impl From<u8> for ContentType {
+    fn from(v: u8) -> Self {
+        match v {
+            20 => ContentType::ChangeCipherSpec,
+            21 => ContentType::Alert,
+            22 => ContentType::Handshake,
+            23 => ContentType::ApplicationData,
+            other => ContentType::Other(other),
+        }
+    }
+}
+
+impl From<ContentType> for u8 {
+    fn from(v: ContentType) -> u8 {
+        match v {
+            ContentType::ChangeCipherSpec => 20,
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+            ContentType::Other(x) => x,
+        }
+    }
+}
+
+/// A selection of real IANA ciphersuite values with semantic structure the
+/// models should discover (ECDHE/RSA clusters, AES-128 vs AES-256 siblings,
+/// legacy weak suites).
+pub mod suites {
+    /// ECDHE-ECDSA AES-128-GCM SHA256.
+    pub const ECDHE_ECDSA_AES128_GCM: u16 = 0xc02b;
+    /// ECDHE-ECDSA AES-256-GCM SHA384 (key-length sibling of `0xC02B`).
+    pub const ECDHE_ECDSA_AES256_GCM: u16 = 0xc02c;
+    /// ECDHE-RSA AES-128-GCM SHA256 (IANA 49199, the NorBERT example).
+    pub const ECDHE_RSA_AES128_GCM: u16 = 0xc02f;
+    /// ECDHE-RSA AES-256-GCM SHA384 (IANA 49200, its nearest neighbor).
+    pub const ECDHE_RSA_AES256_GCM: u16 = 0xc030;
+    /// TLS 1.3 AES-128-GCM SHA256.
+    pub const TLS13_AES128_GCM: u16 = 0x1301;
+    /// TLS 1.3 AES-256-GCM SHA384.
+    pub const TLS13_AES256_GCM: u16 = 0x1302;
+    /// TLS 1.3 ChaCha20-Poly1305.
+    pub const TLS13_CHACHA20: u16 = 0x1303;
+    /// Legacy RSA AES-128-CBC SHA (weak cluster).
+    pub const RSA_AES128_CBC_SHA: u16 = 0x002f;
+    /// Legacy RSA 3DES (weak cluster).
+    pub const RSA_3DES_EDE_CBC_SHA: u16 = 0x000a;
+    /// Legacy RC4-MD5 (weak cluster).
+    pub const RSA_RC4_128_MD5: u16 = 0x0004;
+
+    /// True for suites in the modern (AEAD, forward-secret) cluster.
+    pub fn is_strong(suite: u16) -> bool {
+        matches!(
+            suite,
+            ECDHE_ECDSA_AES128_GCM
+                | ECDHE_ECDSA_AES256_GCM
+                | ECDHE_RSA_AES128_GCM
+                | ECDHE_RSA_AES256_GCM
+                | TLS13_AES128_GCM
+                | TLS13_AES256_GCM
+                | TLS13_CHACHA20
+        )
+    }
+}
+
+/// A TLS record: content type, legacy version, and payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Content type.
+    pub content_type: ContentType,
+    /// Legacy record version (e.g. 0x0303).
+    pub version: u16,
+    /// Record payload.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Parse one record from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    pub fn parse(bytes: &[u8]) -> Result<(Record, usize), ParseError> {
+        let mut c = Cursor::new(bytes, "tls record");
+        let content_type = ContentType::from(c.u8()?);
+        let version = c.u16()?;
+        let len = c.u16()? as usize;
+        let payload = c.bytes(len)?.to_vec();
+        Ok((Record { content_type, version, payload }, RECORD_HEADER_LEN + len))
+    }
+
+    /// Parse a sequence of back-to-back records.
+    pub fn parse_all(mut bytes: &[u8]) -> Result<Vec<Record>, ParseError> {
+        let mut records = Vec::new();
+        while !bytes.is_empty() {
+            let (rec, used) = Record::parse(bytes)?;
+            records.push(rec);
+            bytes = &bytes[used..];
+        }
+        Ok(records)
+    }
+
+    /// Encode to wire bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(RECORD_HEADER_LEN + self.payload.len());
+        w.u8(self.content_type.into());
+        w.u16(self.version);
+        w.u16(self.payload.len() as u16);
+        w.bytes(&self.payload);
+        w.into_vec()
+    }
+}
+
+/// A parsed ClientHello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Legacy client version (0x0303 for TLS 1.2+).
+    pub version: u16,
+    /// 32-byte client random.
+    pub random: [u8; 32],
+    /// Offered ciphersuites in preference order.
+    pub ciphersuites: Vec<u16>,
+    /// Server name from the SNI extension, if present.
+    pub server_name: Option<String>,
+}
+
+impl ClientHello {
+    /// Encode as a handshake message body (type + length + hello fields).
+    pub fn emit(&self) -> Vec<u8> {
+        let mut body = Writer::new();
+        body.u16(self.version);
+        body.bytes(&self.random);
+        body.u8(0); // session id length
+        body.u16((self.ciphersuites.len() * 2) as u16);
+        for s in &self.ciphersuites {
+            body.u16(*s);
+        }
+        body.u8(1); // compression methods length
+        body.u8(0); // null compression
+        // Extensions.
+        let mut ext = Writer::new();
+        if let Some(name) = &self.server_name {
+            ext.u16(0x0000); // server_name extension
+            let inner_len = name.len() + 5;
+            ext.u16(inner_len as u16);
+            ext.u16((name.len() + 3) as u16); // server name list length
+            ext.u8(0); // host_name type
+            ext.u16(name.len() as u16);
+            ext.bytes(name.as_bytes());
+        }
+        body.u16(ext.len() as u16);
+        body.bytes(ext.as_slice());
+
+        let mut msg = Writer::new();
+        msg.u8(1); // handshake type: client_hello
+        let len = body.len();
+        msg.u8((len >> 16) as u8);
+        msg.u16((len & 0xffff) as u16);
+        msg.bytes(body.as_slice());
+        msg.into_vec()
+    }
+
+    /// Parse a handshake message body produced by [`ClientHello::emit`] (or
+    /// a real stack with the same subset of fields).
+    pub fn parse(bytes: &[u8]) -> Result<ClientHello, ParseError> {
+        let mut c = Cursor::new(bytes, "tls client_hello");
+        let msg_type = c.u8()?;
+        if msg_type != 1 {
+            return Err(ParseError::BadValue { what: "tls handshake type", value: msg_type as u64 });
+        }
+        let hi = c.u8()? as usize;
+        let lo = c.u16()? as usize;
+        let body_len = (hi << 16) | lo;
+        if body_len > c.remaining() {
+            return Err(ParseError::BadLength { what: "tls handshake length" });
+        }
+        let version = c.u16()?;
+        let mut random = [0u8; 32];
+        random.copy_from_slice(c.bytes(32)?);
+        let sid_len = c.u8()? as usize;
+        c.skip(sid_len)?;
+        let cs_len = c.u16()? as usize;
+        if !cs_len.is_multiple_of(2) {
+            return Err(ParseError::BadLength { what: "tls ciphersuites" });
+        }
+        let mut ciphersuites = Vec::with_capacity(cs_len / 2);
+        for _ in 0..cs_len / 2 {
+            ciphersuites.push(c.u16()?);
+        }
+        let comp_len = c.u8()? as usize;
+        c.skip(comp_len)?;
+        let mut server_name = None;
+        if c.remaining() >= 2 {
+            let ext_total = c.u16()? as usize;
+            let mut read = 0;
+            while read + 4 <= ext_total && c.remaining() >= 4 {
+                let ext_type = c.u16()?;
+                let ext_len = c.u16()? as usize;
+                let data = c.bytes(ext_len)?;
+                read += 4 + ext_len;
+                if ext_type == 0x0000 && data.len() >= 5 {
+                    let name_len = u16::from_be_bytes([data[3], data[4]]) as usize;
+                    if 5 + name_len <= data.len() {
+                        server_name =
+                            Some(String::from_utf8_lossy(&data[5..5 + name_len]).into_owned());
+                    }
+                }
+            }
+        }
+        Ok(ClientHello { version, random, ciphersuites, server_name })
+    }
+}
+
+/// A parsed ServerHello (subset: version, random, chosen suite).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Negotiated legacy version.
+    pub version: u16,
+    /// 32-byte server random.
+    pub random: [u8; 32],
+    /// Selected ciphersuite.
+    pub ciphersuite: u16,
+}
+
+impl ServerHello {
+    /// Encode as a handshake message body.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut body = Writer::new();
+        body.u16(self.version);
+        body.bytes(&self.random);
+        body.u8(0); // session id length
+        body.u16(self.ciphersuite);
+        body.u8(0); // null compression
+        body.u16(0); // no extensions
+
+        let mut msg = Writer::new();
+        msg.u8(2); // handshake type: server_hello
+        let len = body.len();
+        msg.u8((len >> 16) as u8);
+        msg.u16((len & 0xffff) as u16);
+        msg.bytes(body.as_slice());
+        msg.into_vec()
+    }
+
+    /// Parse a handshake message body.
+    pub fn parse(bytes: &[u8]) -> Result<ServerHello, ParseError> {
+        let mut c = Cursor::new(bytes, "tls server_hello");
+        let msg_type = c.u8()?;
+        if msg_type != 2 {
+            return Err(ParseError::BadValue { what: "tls handshake type", value: msg_type as u64 });
+        }
+        c.skip(3)?; // length
+        let version = c.u16()?;
+        let mut random = [0u8; 32];
+        random.copy_from_slice(c.bytes(32)?);
+        let sid_len = c.u8()? as usize;
+        c.skip(sid_len)?;
+        let ciphersuite = c.u16()?;
+        Ok(ServerHello { version, random, ciphersuite })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip() {
+        let rec = Record {
+            content_type: ContentType::ApplicationData,
+            version: 0x0303,
+            payload: vec![1, 2, 3, 4],
+        };
+        let bytes = rec.emit();
+        let (parsed, used) = Record::parse(&bytes).unwrap();
+        assert_eq!(parsed, rec);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn parse_all_splits_records() {
+        let a = Record { content_type: ContentType::Handshake, version: 0x0303, payload: vec![9] };
+        let b = Record { content_type: ContentType::Alert, version: 0x0303, payload: vec![2, 40] };
+        let mut bytes = a.emit();
+        bytes.extend(b.emit());
+        let records = Record::parse_all(&bytes).unwrap();
+        assert_eq!(records, vec![a, b]);
+    }
+
+    #[test]
+    fn client_hello_round_trip_with_sni() {
+        let hello = ClientHello {
+            version: 0x0303,
+            random: [7; 32],
+            ciphersuites: vec![
+                suites::TLS13_AES128_GCM,
+                suites::ECDHE_RSA_AES128_GCM,
+                suites::ECDHE_RSA_AES256_GCM,
+            ],
+            server_name: Some("video.example.com".to_string()),
+        };
+        let parsed = ClientHello::parse(&hello.emit()).unwrap();
+        assert_eq!(parsed, hello);
+    }
+
+    #[test]
+    fn client_hello_without_sni() {
+        let hello = ClientHello {
+            version: 0x0301,
+            random: [0; 32],
+            ciphersuites: vec![suites::RSA_RC4_128_MD5],
+            server_name: None,
+        };
+        let parsed = ClientHello::parse(&hello.emit()).unwrap();
+        assert_eq!(parsed, hello);
+    }
+
+    #[test]
+    fn server_hello_round_trip() {
+        let hello = ServerHello {
+            version: 0x0303,
+            random: [3; 32],
+            ciphersuite: suites::ECDHE_ECDSA_AES256_GCM,
+        };
+        let parsed = ServerHello::parse(&hello.emit()).unwrap();
+        assert_eq!(parsed, hello);
+    }
+
+    #[test]
+    fn strength_classifier_matches_clusters() {
+        assert!(suites::is_strong(suites::ECDHE_RSA_AES128_GCM));
+        assert!(suites::is_strong(suites::TLS13_CHACHA20));
+        assert!(!suites::is_strong(suites::RSA_RC4_128_MD5));
+        assert!(!suites::is_strong(suites::RSA_3DES_EDE_CBC_SHA));
+    }
+
+    #[test]
+    fn truncated_hellos_rejected() {
+        let hello = ClientHello {
+            version: 0x0303,
+            random: [1; 32],
+            ciphersuites: vec![0x1301],
+            server_name: Some("x.y".into()),
+        };
+        let bytes = hello.emit();
+        for cut in [0, 1, 4, 10, 37] {
+            assert!(ClientHello::parse(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(ServerHello::parse(&bytes).is_err()); // wrong type
+    }
+}

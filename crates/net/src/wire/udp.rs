@@ -1,0 +1,155 @@
+//! UDP datagram view and representation (RFC 768).
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::ParseError;
+use crate::wire::Writer;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// Zero-copy view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct Datagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Datagram<T> {
+    /// Wrap `buffer`, validating the length field.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(ParseError::Truncated { what: "udp", needed: HEADER_LEN, got: len });
+        }
+        let b = buffer.as_ref();
+        let claimed = usize::from(u16::from_be_bytes([b[4], b[5]]));
+        if claimed < HEADER_LEN || claimed > len {
+            return Err(ParseError::BadLength { what: "udp length" });
+        }
+        Ok(Datagram { buffer })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[0], self.b()[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+
+    /// Length field (header plus payload).
+    pub fn len_field(&self) -> usize {
+        usize::from(u16::from_be_bytes([self.b()[4], self.b()[5]]))
+    }
+
+    /// Checksum field as transmitted (zero means "not computed").
+    pub fn checksum_field(&self) -> u16 {
+        u16::from_be_bytes([self.b()[6], self.b()[7]])
+    }
+
+    /// Verify the checksum against an IPv4 pseudo-header. A transmitted
+    /// checksum of zero is accepted per RFC 768.
+    pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let mut seg = self.b()[..self.len_field()].to_vec();
+        seg[6] = 0;
+        seg[7] = 0;
+        checksum::pseudo_header_checksum_v4(src, dst, 17, &seg) == self.checksum_field()
+    }
+
+    /// Payload as delimited by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[HEADER_LEN..self.len_field()]
+    }
+}
+
+/// Owned representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl Repr {
+    /// Parse the header fields from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(dgram: &Datagram<T>) -> Repr {
+        Repr { src_port: dgram.src_port(), dst_port: dgram.dst_port() }
+    }
+
+    /// Encoded header length.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Append header plus `payload`, computing the IPv4 pseudo-header
+    /// checksum.
+    pub fn emit(&self, w: &mut Writer, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) {
+        let start = w.len();
+        w.u16(self.src_port);
+        w.u16(self.dst_port);
+        w.u16((HEADER_LEN + payload.len()) as u16);
+        w.u16(0); // checksum placeholder
+        w.bytes(payload);
+        let sum = checksum::pseudo_header_checksum_v4(src, dst, 17, &w.as_slice()[start..]);
+        w.patch_u16(start + 6, sum).expect("header just written");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 53);
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = Repr { src_port: 5353, dst_port: 53 };
+        let mut w = Writer::new();
+        repr.emit(&mut w, SRC, DST, b"query");
+        let bytes = w.into_vec();
+        let d = Datagram::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Repr::parse(&d), repr);
+        assert_eq!(d.payload(), b"query");
+        assert!(d.verify_checksum_v4(SRC, DST));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let mut bytes = [0u8; 8];
+        bytes[5] = 8; // length = 8
+        let d = Datagram::new_checked(&bytes[..]).unwrap();
+        assert!(d.verify_checksum_v4(SRC, DST));
+    }
+
+    #[test]
+    fn length_field_validated() {
+        let mut bytes = [0u8; 8];
+        bytes[5] = 4; // shorter than header
+        assert!(Datagram::new_checked(&bytes[..]).is_err());
+        bytes[5] = 20; // longer than buffer
+        assert!(Datagram::new_checked(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let repr = Repr { src_port: 1, dst_port: 2 };
+        let mut w = Writer::new();
+        repr.emit(&mut w, SRC, DST, b"data!");
+        let mut bytes = w.into_vec();
+        bytes[10] ^= 0xff;
+        let d = Datagram::new_checked(&bytes[..]).unwrap();
+        assert!(!d.verify_checksum_v4(SRC, DST));
+    }
+}

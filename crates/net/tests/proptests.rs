@@ -1,0 +1,226 @@
+//! Property-based invariants for the wire formats:
+//! - `parse(emit(x)) == x` for every protocol representation,
+//! - parsers never panic on arbitrary bytes,
+//! - checksums verify after emission and fail after corruption.
+
+use std::net::Ipv4Addr;
+
+use nfm_net::addr::MacAddr;
+use nfm_net::packet::{Packet, Transport};
+use nfm_net::wire::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
+use nfm_net::wire::tcp::Flags;
+use nfm_net::wire::{dhcp, http, icmp, ntp, tcp, tls, udp};
+use proptest::prelude::*;
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<u64>().prop_map(MacAddr::from_index)
+}
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]{1,12}").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| Name::parse_str(&labels.join(".")).expect("labels are valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn udp_packet_round_trips(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        sp in 1u16.., dp in 1u16..,
+        ttl in 1u8..,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        smac in arb_mac(), dmac in arb_mac(),
+    ) {
+        let p = Packet::udp_v4(smac, dmac, src, dst, sp, dp, ttl, payload);
+        let bytes = p.emit();
+        let parsed = Packet::parse(&bytes).expect("emitted packet parses");
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn tcp_packet_round_trips(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        sp in 1u16.., dp in 1u16..,
+        seq in any::<u32>(), ack in any::<u32>(),
+        flags in 0u8..0x40,
+        window in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let repr = tcp::Repr { src_port: sp, dst_port: dp, seq, ack, flags: Flags(flags), window };
+        let p = Packet::tcp_v4(MacAddr::from_index(1), MacAddr::from_index(2), src, dst, repr, 64, payload);
+        let bytes = p.emit();
+        let parsed = Packet::parse(&bytes).expect("emitted packet parses");
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn packet_parse_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Packet::parse(&bytes);
+    }
+
+    #[test]
+    fn dns_parse_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::parse(&bytes);
+    }
+
+    #[test]
+    fn tls_parse_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = tls::Record::parse_all(&bytes);
+        let _ = tls::ClientHello::parse(&bytes);
+        let _ = tls::ServerHello::parse(&bytes);
+    }
+
+    #[test]
+    fn http_parse_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = http::Request::parse(&bytes);
+        let _ = http::Response::parse(&bytes);
+    }
+
+    #[test]
+    fn dhcp_ntp_parse_never_panic_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = dhcp::Message::parse(&bytes);
+        let _ = ntp::Packet::parse(&bytes);
+    }
+
+    #[test]
+    fn dns_message_round_trips(
+        id in any::<u16>(),
+        qname in arb_name(),
+        answers in proptest::collection::vec(
+            (arb_name(), any::<u32>(), any::<u32>()).prop_map(|(name, ttl, a)| Record {
+                name,
+                rtype: RecordType::A,
+                ttl,
+                rdata: Rdata::A(Ipv4Addr::from(a)),
+            }),
+            0..6,
+        ),
+    ) {
+        let q = Message::query(id, qname, RecordType::A);
+        let resp = Message::response(&q, Rcode::NoError, answers);
+        let parsed = Message::parse(&resp.emit()).expect("emitted message parses");
+        prop_assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn dns_name_hierarchy_invariants(name in arb_name()) {
+        // Every name is a subdomain of each of its ancestors.
+        let mut anc = name.clone();
+        for _ in 0..name.label_count() {
+            anc = anc.parent();
+            prop_assert!(name.is_subdomain_of(&anc));
+        }
+        prop_assert_eq!(anc, Name::root());
+    }
+
+    #[test]
+    fn flow_key_canonicalization(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        sp in 1u16.., dp in 1u16..,
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let fwd = Packet::udp_v4(MacAddr::from_index(1), MacAddr::from_index(2), src, dst, sp, dp, 64, payload.clone());
+        let bwd = Packet::udp_v4(MacAddr::from_index(2), MacAddr::from_index(1), dst, src, dp, sp, 64, payload);
+        let kf = nfm_net::FlowKey::from_packet(&fwd);
+        let kb = nfm_net::FlowKey::from_packet(&bwd);
+        prop_assert_eq!(kf.canonical(), kb.canonical());
+        prop_assert!(kf.same_flow(&kb));
+    }
+
+    #[test]
+    fn corrupting_ip_header_breaks_checksum_or_parse(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        byte in 14usize..34, // within the IPv4 header of an emitted UDP packet
+        bit in 0u8..8,
+    ) {
+        let p = Packet::udp_v4(MacAddr::from_index(1), MacAddr::from_index(2), src, dst, 40000, 53, 64, vec![1, 2, 3]);
+        let mut bytes = p.emit();
+        bytes[byte] ^= 1 << bit;
+        // Either the packet fails to parse, or it parses to something
+        // different (flipping a bit can never silently yield an identical
+        // packet, because the IPv4 checksum covers the whole header).
+        if let Ok(parsed) = Packet::parse(&bytes) { prop_assert_ne!(parsed, p) }
+    }
+
+    #[test]
+    fn pcap_round_trips(
+        times in proptest::collection::vec(0u64..10_000_000, 1..20),
+        port in 1u16..,
+    ) {
+        let packets: Vec<_> = times
+            .iter()
+            .map(|&ts| nfm_net::TracePacket::from_packet(
+                ts,
+                &Packet::udp_v4(
+                    MacAddr::from_index(1), MacAddr::from_index(2),
+                    Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2),
+                    4000, port, 64, vec![0; 4],
+                ),
+            ))
+            .collect();
+        let trace = nfm_net::Trace::from_packets(packets);
+        let mut buf = Vec::new();
+        nfm_net::pcap::write(&mut buf, &trace).expect("in-memory write");
+        let back = nfm_net::pcap::read(&mut buf.as_slice()).expect("round trip");
+        prop_assert_eq!(back.len(), trace.len());
+        for (a, b) in back.packets().iter().zip(trace.packets()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn icmp_round_trips(ident in any::<u16>(), seq in any::<u16>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let repr = icmp::Repr { kind: icmp::Kind::EchoRequest, ident, seq_no: seq };
+        let mut w = nfm_net::wire::Writer::new();
+        repr.emit(&mut w, &data);
+        let bytes = w.into_vec();
+        let msg = icmp::Message::new_checked(&bytes[..]).expect("emitted parses");
+        prop_assert_eq!(icmp::Repr::parse(&msg).expect("checksum valid"), repr);
+        prop_assert_eq!(msg.payload(), &data[..]);
+    }
+
+    #[test]
+    fn udp_datagram_checksum_detects_payload_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        idx in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        let idx = idx % payload.len();
+        let repr = udp::Repr { src_port: 7, dst_port: 9 };
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut w = nfm_net::wire::Writer::new();
+        repr.emit(&mut w, src, dst, &payload);
+        let mut bytes = w.into_vec();
+        bytes[8 + idx] ^= 1 << bit;
+        let d = udp::Datagram::new_checked(&bytes[..]).expect("length intact");
+        prop_assert!(!d.verify_checksum_v4(src, dst));
+    }
+}
+
+#[test]
+fn transport_payload_accessor_consistent() {
+    let p = Packet::udp_v4(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        Ipv4Addr::new(1, 1, 1, 1),
+        Ipv4Addr::new(2, 2, 2, 2),
+        1,
+        2,
+        64,
+        vec![9; 33],
+    );
+    match &p.transport {
+        Transport::Udp { payload, .. } => assert_eq!(payload.len(), p.transport.payload().len()),
+        _ => unreachable!("constructed as UDP"),
+    }
+}

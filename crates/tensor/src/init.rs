@@ -1,0 +1,49 @@
+//! Weight initialization helpers.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+}
+
+/// Small-scale normal init (Box–Muller), `N(0, std²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (z as f32) * std
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(&mut rng, 64, 64);
+        let a = (6.0f64 / 128.0).sqrt() as f32;
+        assert!(m.data().iter().all(|&v| v.abs() <= a));
+        // Not all identical.
+        assert!(m.data().iter().any(|&v| v != m.data()[0]));
+    }
+
+    #[test]
+    fn normal_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = normal(&mut rng, 100, 100, 0.5);
+        let mean = m.mean();
+        let var: f32 =
+            m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.data().len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+}

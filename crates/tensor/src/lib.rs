@@ -1,0 +1,44 @@
+//! # nfm-tensor — minimal CPU deep-learning substrate
+//!
+//! Dense f32 matrices, layers with explicit forward/backward passes
+//! (`Linear`, `Embedding`, `LayerNorm`, `Gelu`), fused softmax
+//! cross-entropy, and optimizers (`Sgd`, `Adam`) with warmup/decay
+//! schedules and global-norm gradient clipping.
+//!
+//! The design deliberately avoids a tape autograd: every layer's backward
+//! pass is written and gradient-checked by hand, which keeps training loops
+//! predictable and the whole stack dependency-free (per DESIGN.md §1, the
+//! repro band notes ML crates for this are immature).
+//!
+//! ```
+//! use nfm_tensor::layers::{Linear, Module};
+//! use nfm_tensor::matrix::Matrix;
+//! use nfm_tensor::optim::{Adam, Schedule};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut layer = Linear::new(&mut rng, 4, 2);
+//! let mut opt = Adam::new(Schedule::Constant(1e-2));
+//! let x = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+//! for _ in 0..10 {
+//!     layer.zero_grad();
+//!     let y = layer.forward(&x);
+//!     layer.backward(&y); // dL/dy = y minimizes ||y||²/2
+//!     opt.step(&mut layer);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+
+pub use layers::{Embedding, Gelu, LayerNorm, Linear, Module};
+pub use loss::{mse, softmax_cross_entropy, IGNORE_INDEX};
+pub use matrix::{cosine, Matrix};
+pub use optim::{clip_global_norm, Adam, Schedule, Sgd};

@@ -1,0 +1,400 @@
+//! A dense row-major f32 matrix with the operations the model stack needs:
+//! blocked matmul (plain and transposed variants), broadcasting adds,
+//! row-wise softmax, and elementwise maps.
+
+use std::fmt;
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major vector (length must equal `rows*cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build elementwise from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self @ other` — (m×k)·(k×n) → m×n.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dims {}x{} @ {}x{}", self.rows, self.cols, other.rows, other.cols);
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // ikj loop order: streams through `other` rows, vectorizes well.
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` — (k×m)ᵀ·(k×n) → m×n, without materializing the
+    /// transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn outer dims");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` — (m×k)·(n×k)ᵀ → m×n.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt inner dims");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            for j in 0..n {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self -= other`.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// Add `bias` (length `cols`) to every row.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for r in 0..self.rows {
+            for (a, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Multiply all elements by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise product into a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect(),
+        }
+    }
+
+    /// Numerically-stable softmax applied to each row in place.
+    pub fn softmax_rows(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// Index of the max element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Extract a contiguous block of rows as a new matrix.
+    pub fn rows_slice(&self, start: usize, count: usize) -> Matrix {
+        assert!(start + count <= self.rows);
+        Matrix {
+            rows: count,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + count) * self.cols].to_vec(),
+        }
+    }
+
+    /// Stack matrices with equal column counts vertically.
+    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty());
+        let cols = parts[0].cols;
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+}
+
+/// Cosine similarity between two equal-length vectors (0 when degenerate).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 4, &[1., 0., 2., 1., 0., 1., 1., 2., 3., 1., 0., 1.]);
+        let tn = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert_eq!(tn.data(), explicit.data());
+
+        let c = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let d = m(4, 3, &[1., 0., 2., 1., 0., 1., 1., 2., 3., 0., 1., 1.]);
+        let nt = c.matmul_nt(&d);
+        let explicit = c.matmul(&d.transpose());
+        assert_eq!(nt.data(), explicit.data());
+    }
+
+    #[test]
+    fn softmax_rows_sane() {
+        let mut x = m(2, 3, &[1., 2., 3., 1000., 1000., 1000.]);
+        x.softmax_rows();
+        for r in 0..2 {
+            let s: f32 = x.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Large equal logits don't overflow (stability) and give uniform.
+        assert!((x.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+        assert!(x.get(0, 2) > x.get(0, 1));
+    }
+
+    #[test]
+    fn broadcast_and_elementwise() {
+        let mut x = Matrix::zeros(2, 3);
+        x.add_row_broadcast(&[1., 2., 3.]);
+        assert_eq!(x.row(1), &[1., 2., 3.]);
+        let y = x.map(|v| v * 2.0);
+        assert_eq!(y.row(0), &[2., 4., 6.]);
+        let h = x.hadamard(&y);
+        assert_eq!(h.row(0), &[2., 8., 18.]);
+        let mut z = x.clone();
+        z.sub_assign(&x);
+        assert_eq!(z.norm(), 0.0);
+    }
+
+    #[test]
+    fn argmax_and_stats() {
+        let x = m(2, 3, &[0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(x.argmax_rows(), vec![1, 0]);
+        assert!((x.mean() - (0.1 + 0.9 + 0.0 + 5.0 - 1.0 + 2.0) / 6.0).abs() < 1e-6);
+        assert!(x.is_finite());
+        let bad = m(1, 1, &[f32::NAN]);
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    fn rows_slice_and_vstack_inverse() {
+        let x = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let top = x.rows_slice(0, 1);
+        let rest = x.rows_slice(1, 2);
+        let back = Matrix::vstack(&[&top, &rest]);
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn cosine_identities() {
+        assert!((cosine(&[1., 0.], &[1., 0.]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1., 0.], &[0., 1.])).abs() < 1e-6);
+        assert!((cosine(&[1., 1.], &[-1., -1.]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0., 0.], &[1., 1.]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based invariants for the tensor substrate: matrix algebra laws,
+//! softmax/layernorm analytic properties, optimizer and loss behaviour on
+//! random inputs.
+
+use nfm_tensor::layers::{Gelu, LayerNorm, Linear, Module};
+use nfm_tensor::loss::{softmax_cross_entropy, IGNORE_INDEX};
+use nfm_tensor::matrix::{cosine, Matrix};
+use nfm_tensor::optim::{clip_global_norm, Adam, Schedule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 5),
+        c in arb_matrix(4, 5),
+    ) {
+        // a(b + c) == ab + ac
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in arb_matrix(4, 7)) {
+        let tt = a.transpose().transpose();
+        prop_assert_eq!(tt.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        // (ab)ᵀ == bᵀaᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in arb_matrix(5, 6)) {
+        let mut m = a;
+        m.softmax_rows();
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            prop_assert!(row.iter().all(|v| *v >= 0.0 && *v <= 1.0));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in arb_matrix(2, 5), shift in -10.0f32..10.0) {
+        let mut m1 = a.clone();
+        m1.softmax_rows();
+        let mut m2 = a.map(|v| v + shift);
+        m2.softmax_rows();
+        for (x, y) in m1.data().iter().zip(m2.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layernorm_output_statistics(a in arb_matrix(4, 8)) {
+        let ln = LayerNorm::new(8);
+        let y = ln.forward_inference(&a);
+        for r in 0..y.rows() {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn cosine_bounds(v in proptest::collection::vec(-5.0f32..5.0, 8), w in proptest::collection::vec(-5.0f32..5.0, 8)) {
+        let c = cosine(&v, &w);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
+        // Self-similarity is 1 for non-zero vectors.
+        if v.iter().any(|x| x.abs() > 1e-3) {
+            prop_assert!((cosine(&v, &v) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_grad_rows_sum_zero(
+        logits in arb_matrix(4, 6),
+        targets in proptest::collection::vec(0usize..6, 4),
+    ) {
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+        prop_assert!(loss >= 0.0);
+        // Each contributing row of the gradient sums to zero
+        // (softmax minus one-hot).
+        for r in 0..4 {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-4, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn ignore_index_never_contributes(logits in arb_matrix(3, 4)) {
+        let (loss_none, grad) =
+            softmax_cross_entropy(&logits, &[IGNORE_INDEX, IGNORE_INDEX, IGNORE_INDEX]);
+        prop_assert_eq!(loss_none, 0.0);
+        prop_assert_eq!(grad.norm(), 0.0);
+    }
+
+    #[test]
+    fn clip_never_increases_norm(seed in 0u64..1000, max_norm in 0.1f32..10.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Linear::new(&mut rng, 5, 5);
+        let x = nfm_tensor::init::normal(&mut rng, 3, 5, 2.0);
+        let y = layer.forward(&x);
+        layer.backward(&y);
+        clip_global_norm(&mut layer, max_norm);
+        let mut sq = 0.0f32;
+        layer.visit_params(&mut |_, g| {
+            for v in g {
+                sq += *v * *v;
+            }
+        });
+        prop_assert!(sq.sqrt() <= max_norm + 1e-3);
+    }
+
+    #[test]
+    fn adam_keeps_params_finite(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Linear::new(&mut rng, 4, 3);
+        let mut opt = Adam::new(Schedule::Constant(0.01));
+        let x = nfm_tensor::init::normal(&mut rng, 2, 4, 1.0);
+        for _ in 0..20 {
+            layer.zero_grad();
+            let y = layer.forward(&x);
+            layer.backward(&y);
+            opt.step(&mut layer);
+        }
+        prop_assert!(layer.w.is_finite());
+    }
+
+    #[test]
+    fn gelu_is_monotone_above_its_minimum(a in -0.7f32..4.0, delta in 0.01f32..1.0) {
+        // GELU has its minimum near x ≈ -0.75 and is monotone increasing
+        // to the right of it; check on [-0.7, 5].
+        let g = Gelu::new();
+        let x = Matrix::from_vec(1, 2, vec![a, a + delta]);
+        let y = g.forward_inference(&x);
+        prop_assert!(y.get(0, 1) >= y.get(0, 0) - 1e-4);
+    }
+
+    #[test]
+    fn vstack_rows_slice_inverse(a in arb_matrix(2, 3), b in arb_matrix(4, 3)) {
+        let stacked = Matrix::vstack(&[&a, &b]);
+        let top = stacked.rows_slice(0, 2);
+        let bottom = stacked.rows_slice(2, 4);
+        prop_assert_eq!(top.data(), a.data());
+        prop_assert_eq!(bottom.data(), b.data());
+    }
+}

@@ -1,0 +1,304 @@
+//! Attack/anomaly session generators for the §4.3 zero-day experiments.
+//! Each returns a [`Session`] labelled with its [`AnomalyClass`]; OOD
+//! experiments hold entire classes out of training.
+
+use std::net::Ipv4Addr;
+
+use nfm_net::packet::Packet;
+use nfm_net::wire::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
+use nfm_net::wire::tcp::{Flags, Repr as TcpRepr};
+use rand::Rng;
+
+use crate::apps::{udp_exchange, Session, SessionCtx, TcpConversation};
+use crate::domains::{DomainRegistry, SiteCategory};
+use crate::endpoints::{ServerDirectory, RESOLVER_ADDR};
+use crate::label::{AnomalyClass, AppClass, TrafficLabel};
+
+fn label(ctx: &SessionCtx<'_>, app: AppClass, anomaly: AnomalyClass) -> TrafficLabel {
+    TrafficLabel { app, device: ctx.client.device, anomaly: Some(anomaly) }
+}
+
+/// Horizontal SYN scan: probe a spread of ports on one victim; most answer
+/// RST, a few answer SYN-ACK and get RST'd by the scanner.
+pub fn port_scan<R: Rng + ?Sized>(rng: &mut R, ctx: &mut SessionCtx<'_>) -> Session {
+    let victim = Ipv4Addr::new(198, 18, rng.gen_range(0..4), rng.gen_range(1..255));
+    let victim_mac = ServerDirectory::server_mac(victim);
+    let mut packets = Vec::new();
+    let mut t = 0u64;
+    let n_ports = rng.gen_range(20..60);
+    let base_port: u16 = rng.gen_range(1..1000);
+    for i in 0..n_ports {
+        // Stride the probed ports; wrap the whole offset so large scans
+        // stay in the low-port range without duplicating probes early.
+        let dst_port = base_port + (i * 7) % 1024;
+        let sport = ctx.client.ephemeral_port();
+        let syn = Packet::tcp_v4(
+            ctx.client.mac,
+            victim_mac,
+            ctx.client.ip,
+            victim,
+            TcpRepr { src_port: sport, dst_port, seq: rng.gen(), ack: 0, flags: Flags::SYN, window: 1024 },
+            ctx.client.ttl(),
+            vec![],
+        );
+        packets.push((t, syn));
+        t += rng.gen_range(200..2_000); // rapid-fire probes
+        let open = rng.gen_bool(0.1);
+        let reply_flags = if open { Flags::SYN_ACK } else { Flags(Flags::RST.0 | Flags::ACK.0) };
+        let reply = Packet::tcp_v4(
+            victim_mac,
+            ctx.client.mac,
+            victim,
+            ctx.client.ip,
+            TcpRepr { src_port: dst_port, dst_port: sport, seq: rng.gen(), ack: 1, flags: reply_flags, window: 0 },
+            64,
+            vec![],
+        );
+        packets.push((t, reply));
+        t += rng.gen_range(100..500);
+    }
+    packets.sort_by_key(|(ts, _)| *ts);
+    Session { label: label(ctx, AppClass::Web, AnomalyClass::PortScan), packets }
+}
+
+/// DNS tunnel: a stream of queries whose leftmost label is high-entropy
+/// encoded data under an attacker-controlled domain; answers carry TXT.
+pub fn dns_tunnel<R: Rng + ?Sized>(rng: &mut R, ctx: &mut SessionCtx<'_>) -> Session {
+    let tunnel_domain = Name::parse_str("c2relay.net").expect("valid");
+    let mut packets = Vec::new();
+    let mut t = 0u64;
+    let n_queries = rng.gen_range(15..40);
+    for _ in 0..n_queries {
+        // Base32-ish random payload label, much longer than organic labels.
+        let chunk: String = (0..rng.gen_range(24..48))
+            .map(|_| char::from(b'a' + rng.gen_range(0..26)))
+            .collect();
+        let qname = Name::parse_str(&format!("{chunk}.{tunnel_domain}")).expect("valid");
+        let id: u16 = rng.gen();
+        let query = Message::query(id, qname.clone(), RecordType::Txt);
+        let reply_data: Vec<u8> = (0..rng.gen_range(30..120)).map(|_| rng.gen()).collect();
+        let response = Message::response(
+            &query,
+            Rcode::NoError,
+            vec![Record { name: qname, rtype: RecordType::Txt, ttl: 1, rdata: Rdata::Txt(reply_data) }],
+        );
+        let mut pkts = udp_exchange(
+            ctx.client,
+            RESOLVER_ADDR,
+            53,
+            (ctx.rtt_us / 8).max(1_000),
+            t,
+            query.emit(),
+            Some(response.emit()),
+        );
+        t = pkts.last().map(|(ts, _)| ts + rng.gen_range(5_000..60_000)).unwrap_or(t);
+        packets.append(&mut pkts);
+    }
+    Session { label: label(ctx, AppClass::Dns, AnomalyClass::DnsTunnel), packets }
+}
+
+/// C2 beacon: short TLS-less TCP check-ins to a fixed server at a fixed
+/// interval with small jitter — the periodicity is the tell.
+pub fn beacon<R: Rng + ?Sized>(rng: &mut R, ctx: &mut SessionCtx<'_>) -> Session {
+    let c2 = Ipv4Addr::new(198, 19, 77, rng.gen_range(1..255));
+    let period_us: u64 = rng.gen_range(20..60) * 100_000; // 2–6 s
+    let mut packets = Vec::new();
+    let mut t = 0u64;
+    let rtt = ctx.rtt_us;
+    for _ in 0..rng.gen_range(5..12) {
+        let mut conv = TcpConversation::new(rng, ctx.client, c2, 8443, rtt, t);
+        conv.handshake();
+        let ping: Vec<u8> = (0..rng.gen_range(40..90)).map(|_| rng.gen()).collect();
+        conv.client_send(&ping);
+        let pong: Vec<u8> = (0..rng.gen_range(20..60)).map(|_| rng.gen()).collect();
+        conv.server_send(&pong);
+        conv.close();
+        let pkts = conv.finish();
+        t = pkts.last().map(|(ts, _)| *ts).unwrap_or(t);
+        packets.extend(pkts);
+        // Fixed period with ±5% jitter.
+        let jitter = (period_us / 20).max(1);
+        t += period_us + rng.gen_range(0..jitter * 2) - jitter;
+    }
+    Session { label: label(ctx, AppClass::Tls, AnomalyClass::Beacon), packets }
+}
+
+/// Data exfiltration: one long connection uploading far more than any
+/// benign client session.
+pub fn exfil<R: Rng + ?Sized>(rng: &mut R, ctx: &mut SessionCtx<'_>) -> Session {
+    let sink = Ipv4Addr::new(198, 19, 99, rng.gen_range(1..255));
+    let rtt = ctx.rtt_us;
+    let mut conv = TcpConversation::new(rng, ctx.client, sink, 443, rtt, 0);
+    conv.handshake();
+    // Looks TLS-ish at the front, then sustained upload.
+    let hello: Vec<u8> = (0..220).map(|_| rng.gen()).collect();
+    conv.client_send(&hello);
+    let sh: Vec<u8> = (0..1800).map(|_| rng.gen()).collect();
+    conv.server_send(&sh);
+    let total = rng.gen_range(150_000..400_000);
+    let mut sent = 0;
+    while sent < total {
+        let burst = rng.gen_range(10_000..40_000).min(total - sent);
+        let data: Vec<u8> = (0..burst).map(|_| rng.gen()).collect();
+        conv.client_send(&data);
+        conv.wait(rng.gen_range(10_000..100_000));
+        sent += burst;
+    }
+    conv.close();
+    Session { label: label(ctx, AppClass::Tls, AnomalyClass::Exfil), packets: conv.finish() }
+}
+
+/// Amplification victim traffic: a flood of large NTP-like UDP responses
+/// from many time servers that the victim never asked for.
+pub fn amplification<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let mut packets = Vec::new();
+    let mut t = 0u64;
+    let n = rng.gen_range(30..80);
+    let time_sites: Vec<_> = registry.sites_in(SiteCategory::Time).collect();
+    for _ in 0..n {
+        let site = time_sites[rng.gen_range(0..time_sites.len())];
+        let host = &site.hosts[rng.gen_range(0..site.hosts.len())];
+        let server = ctx.directory.resolve(host).expect("time hosts registered");
+        let burst: Vec<u8> = (0..rng.gen_range(440..480)).map(|_| rng.gen()).collect();
+        let p = Packet::udp_v4(
+            ServerDirectory::server_mac(server),
+            ctx.client.mac,
+            server,
+            ctx.client.ip,
+            123,
+            rng.gen_range(1024..65535),
+            64,
+            burst,
+        );
+        packets.push((t, p));
+        t += rng.gen_range(500..5_000);
+    }
+    Session { label: label(ctx, AppClass::Ntp, AnomalyClass::Amplification), packets }
+}
+
+/// Generate one anomaly session of the given class.
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+    class: AnomalyClass,
+) -> Session {
+    match class {
+        AnomalyClass::PortScan => port_scan(rng, ctx),
+        AnomalyClass::DnsTunnel => dns_tunnel(rng, ctx),
+        AnomalyClass::Beacon => beacon(rng, ctx),
+        AnomalyClass::Exfil => exfil(rng, ctx),
+        AnomalyClass::Amplification => amplification(rng, ctx, registry),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::Host;
+    use crate::label::DeviceClass;
+    use nfm_net::flow::FlowTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(class: AnomalyClass, seed: u64) -> Session {
+        let reg = DomainRegistry::generate(5, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(1, DeviceClass::Workstation);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 15_000 };
+        generate(&mut rng, &mut ctx, &reg, class)
+    }
+
+    #[test]
+    fn every_class_generates_and_is_labeled() {
+        for (i, class) in AnomalyClass::ALL.iter().enumerate() {
+            let s = run(*class, i as u64 + 1);
+            assert_eq!(s.label.anomaly, Some(*class));
+            assert!(s.label.is_malicious());
+            assert!(!s.packets.is_empty());
+            // Packets are all emittable/parseable.
+            for (_, p) in &s.packets {
+                assert!(nfm_net::Packet::parse(&p.emit()).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn port_scan_touches_many_ports() {
+        let s = run(AnomalyClass::PortScan, 10);
+        let mut ports: Vec<u16> = s
+            .packets
+            .iter()
+            .filter_map(|(_, p)| p.transport.dst_port())
+            .collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert!(ports.len() > 15, "distinct ports {}", ports.len());
+    }
+
+    #[test]
+    fn dns_tunnel_labels_are_long_and_high_entropy() {
+        let s = run(AnomalyClass::DnsTunnel, 11);
+        let queries: Vec<Message> = s
+            .packets
+            .iter()
+            .filter_map(|(_, p)| Message::parse(p.transport.payload()).ok())
+            .filter(|m| !m.is_response)
+            .collect();
+        assert!(queries.len() >= 15);
+        for q in &queries {
+            let first_label = &q.questions[0].name.labels()[0];
+            assert!(first_label.len() >= 24, "tunnel label {first_label}");
+        }
+    }
+
+    #[test]
+    fn beacon_intervals_are_regular() {
+        let s = run(AnomalyClass::Beacon, 12);
+        // Collect SYN times (one per check-in).
+        let syn_times: Vec<u64> = s
+            .packets
+            .iter()
+            .filter(|(_, p)| match &p.transport {
+                nfm_net::packet::Transport::Tcp { repr, .. } => repr.flags == Flags::SYN,
+                _ => false,
+            })
+            .map(|(ts, _)| *ts)
+            .collect();
+        assert!(syn_times.len() >= 5);
+        let gaps: Vec<i64> =
+            syn_times.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let mean = gaps.iter().sum::<i64>() / gaps.len() as i64;
+        for g in &gaps {
+            let dev = (g - mean).abs() as f64 / mean as f64;
+            assert!(dev < 0.25, "gap {g} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn exfil_is_extremely_upload_heavy() {
+        let s = run(AnomalyClass::Exfil, 13);
+        let mut table = FlowTable::new();
+        for (i, (ts, p)) in s.packets.iter().enumerate() {
+            table.push(i, *ts, p);
+        }
+        let f = &table.flows()[0];
+        assert!(f.stats.fwd_bytes > 100_000);
+        assert!(f.stats.fwd_bytes > f.stats.bwd_bytes * 20);
+    }
+
+    #[test]
+    fn amplification_is_unsolicited_inbound() {
+        let s = run(AnomalyClass::Amplification, 14);
+        // All packets flow server→client with src port 123 and large payloads.
+        for (_, p) in &s.packets {
+            assert_eq!(p.transport.src_port(), Some(123));
+            assert!(p.transport.payload().len() > 400);
+        }
+    }
+}

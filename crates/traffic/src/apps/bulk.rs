@@ -1,0 +1,79 @@
+//! Bulk transfer sessions: SSH-style banner exchange followed by a large
+//! Pareto-sized transfer to a repository site (backups, syncs, clones).
+
+use rand::Rng;
+
+use crate::apps::{dns, Session, SessionCtx, TcpConversation};
+use crate::dist::Pareto;
+use crate::domains::{DomainRegistry, SiteCategory};
+use crate::label::{AppClass, TrafficLabel};
+
+/// Generate one bulk-transfer session.
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let device = ctx.client.device;
+    let site = registry.sample_site_in(rng, SiteCategory::Repository).clone();
+    let host = site
+        .hosts
+        .iter()
+        .find(|h| h.to_string().starts_with("mirror"))
+        .unwrap_or(&site.hosts[0])
+        .clone();
+    let (mut packets, server_ip) = dns::lookup_packets(rng, ctx, &host, 0);
+    let connect_at = packets.last().map(|(ts, _)| ts + 1_000).unwrap_or(0);
+    let rtt = ctx.rtt_us;
+    let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 22, rtt, connect_at);
+    conv.handshake();
+    conv.client_send(b"SSH-2.0-nfm_sync_1.0\r\n");
+    conv.server_send(b"SSH-2.0-nfm_mirror_2.4\r\n");
+    // Key exchange: two mid-sized opaque flights.
+    let kex_c: Vec<u8> = (0..rng.gen_range(600..1200)).map(|_| rng.gen()).collect();
+    conv.client_send(&kex_c);
+    let kex_s: Vec<u8> = (0..rng.gen_range(600..1200)).map(|_| rng.gen()).collect();
+    conv.server_send(&kex_s);
+    // The transfer itself, heavy-tailed; downloads twice as common.
+    let size = (Pareto::new(30_000.0, 1.2).sample(rng) as usize).min(250_000);
+    let data: Vec<u8> = (0..size).map(|_| rng.gen()).collect();
+    if rng.gen_bool(2.0 / 3.0) {
+        conv.server_send(&data);
+    } else {
+        conv.client_send(&data);
+    }
+    conv.close();
+    packets.extend(conv.finish());
+    Session { label: TrafficLabel::benign(AppClass::Bulk, device), packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::{Host, ServerDirectory};
+    use crate::label::DeviceClass;
+    use nfm_net::flow::FlowTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bulk_sessions_move_many_bytes_on_22() {
+        let reg = DomainRegistry::generate(14, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(1, DeviceClass::Workstation);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 22_000 };
+        let s = generate(&mut rng, &mut ctx, &reg);
+        assert_eq!(s.label.app, AppClass::Bulk);
+        let mut table = FlowTable::new();
+        for (i, (ts, p)) in s.packets.iter().enumerate() {
+            table.push(i, *ts, p);
+        }
+        let tcp = table.flows().iter().find(|f| f.key.protocol == 6).unwrap();
+        assert_eq!(tcp.key.dst_port, 22);
+        assert!(tcp.stats.total_bytes() > 30_000, "bytes {}", tcp.stats.total_bytes());
+        // Banner exchange present.
+        let banner = s.packets.iter().any(|(_, p)| p.transport.payload().starts_with(b"SSH-2.0"));
+        assert!(banner);
+    }
+}

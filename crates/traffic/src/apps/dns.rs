@@ -1,0 +1,185 @@
+//! DNS lookup sessions: hierarchical query/answer transactions where the
+//! answers are semantically the "children" of the query (§4.1.4).
+
+use std::net::Ipv4Addr;
+
+use nfm_net::wire::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
+use rand::Rng;
+
+use crate::apps::{udp_exchange, Session, SessionCtx};
+use crate::domains::DomainRegistry;
+use crate::endpoints::RESOLVER_ADDR;
+use crate::label::{AppClass, TrafficLabel};
+
+/// Build the answer chain for `qname`: occasionally a CNAME hop to another
+/// host of the same site, then the terminal A record from the directory.
+fn build_answers<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &SessionCtx<'_>,
+    qname: &Name,
+) -> (Vec<Record>, Ipv4Addr) {
+    let addr = ctx.directory.resolve(qname).unwrap_or(Ipv4Addr::new(198, 19, 255, 254));
+    let mut answers = Vec::new();
+    // 25% of lookups traverse a CNAME (e.g. www → edge host), mirroring CDN
+    // indirection.
+    if rng.gen_bool(0.25) {
+        let target = Name::parse_str(&format!("alias-{}.{}", rng.gen_range(0..4), qname.parent()))
+            .unwrap_or_else(|_| qname.clone());
+        answers.push(Record {
+            name: qname.clone(),
+            rtype: RecordType::Cname,
+            ttl: 300,
+            rdata: Rdata::Cname(target.clone()),
+        });
+        answers.push(Record {
+            name: target,
+            rtype: RecordType::A,
+            ttl: 60,
+            rdata: Rdata::A(addr),
+        });
+    } else {
+        // Often multiple A records — the "set-valued answer" structure the
+        // paper wants pre-training tasks to capture.
+        let n = rng.gen_range(1..=3);
+        for i in 0..n {
+            let o = addr.octets();
+            answers.push(Record {
+                name: qname.clone(),
+                rtype: RecordType::A,
+                ttl: 60,
+                rdata: Rdata::A(Ipv4Addr::new(o[0], o[1], o[2], o[3].wrapping_add(i))),
+            });
+        }
+    }
+    (answers, addr)
+}
+
+/// A lookup used as a prelude to another session: returns the timed packets
+/// and the resolved server address.
+pub fn lookup_packets<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    qname: &Name,
+    start_us: u64,
+) -> (Vec<(u64, nfm_net::Packet)>, Ipv4Addr) {
+    let id: u16 = rng.gen();
+    let query = Message::query(id, qname.clone(), RecordType::A);
+    let (answers, addr) = build_answers(rng, ctx, qname);
+    let response = Message::response(&query, Rcode::NoError, answers);
+    // Resolver RTT is LAN-local: a fraction of the WAN RTT, at least 1ms.
+    let resolver_rtt = (ctx.rtt_us / 8).max(1_000);
+    let packets = udp_exchange(
+        ctx.client,
+        RESOLVER_ADDR,
+        53,
+        resolver_rtt,
+        start_us,
+        query.emit(),
+        Some(response.emit()),
+    );
+    (packets, addr)
+}
+
+/// A standalone DNS session (one or a burst of related lookups).
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let device = ctx.client.device;
+    let mut packets = Vec::new();
+    let site = registry.sample_site(rng).clone();
+    // A page load resolves 1–4 names of the same site back to back.
+    let n = rng.gen_range(1..=4usize);
+    let mut t = 0u64;
+    for _ in 0..n {
+        let host = registry.sample_host(rng, &site).clone();
+        let (mut pkts, _) = lookup_packets(rng, ctx, &host, t);
+        t = pkts.last().map(|(ts, _)| ts + rng.gen_range(500..5_000)).unwrap_or(t);
+        packets.append(&mut pkts);
+    }
+    // 5% of lookups get NXDOMAIN for a typo name.
+    if rng.gen_bool(0.05) {
+        let bad = Name::parse_str(&format!("typo{}.{}", rng.gen_range(0..100), site.domain))
+            .expect("valid name");
+        let id: u16 = rng.gen();
+        let query = Message::query(id, bad, RecordType::A);
+        let response = Message::response(&query, Rcode::NxDomain, vec![]);
+        let mut pkts = udp_exchange(
+            ctx.client,
+            RESOLVER_ADDR,
+            53,
+            (ctx.rtt_us / 8).max(1_000),
+            t,
+            query.emit(),
+            Some(response.emit()),
+        );
+        packets.append(&mut pkts);
+    }
+    Session { label: TrafficLabel::benign(AppClass::Dns, device), packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::{Host, ServerDirectory};
+    use crate::label::DeviceClass;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DomainRegistry, ServerDirectory, Host) {
+        let reg = DomainRegistry::generate(1, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let host = Host::new(1, DeviceClass::Workstation);
+        (reg, dir, host)
+    }
+
+    #[test]
+    fn lookup_resolves_to_directory_address() {
+        let (reg, dir, mut host) = setup();
+        let mut rng = StdRng::seed_from_u64(9);
+        let site = reg.sites()[0].clone();
+        let qname = site.hosts[0].clone();
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 20_000 };
+        let (packets, addr) = lookup_packets(&mut rng, &mut ctx, &qname, 0);
+        assert_eq!(packets.len(), 2);
+        // The response parses as DNS and answers terminate in an A record
+        // derived from the directory address.
+        let resp = Message::parse(packets[1].1.transport.payload()).unwrap();
+        assert!(resp.is_response);
+        assert!(!resp.answers.is_empty());
+        let expected = dir.resolve(&qname).unwrap();
+        assert_eq!(addr.octets()[..3], expected.octets()[..3]);
+    }
+
+    #[test]
+    fn generated_session_is_labeled_dns_and_parses() {
+        let (reg, dir, mut host) = setup();
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 16_000 };
+            let session = generate(&mut rng, &mut ctx, &reg);
+            assert_eq!(session.label.app, AppClass::Dns);
+            assert!(!session.packets.is_empty());
+            for (_, p) in &session.packets {
+                let on_53 = p.transport.dst_port() == Some(53) || p.transport.src_port() == Some(53);
+                assert!(on_53, "one side of every DNS packet is port 53");
+                let msg = Message::parse(p.transport.payload());
+                assert!(msg.is_ok(), "every payload is valid DNS");
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_non_decreasing() {
+        let (reg, dir, mut host) = setup();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 16_000 };
+        let session = generate(&mut rng, &mut ctx, &reg);
+        let mut last = 0;
+        for (ts, _) in &session.packets {
+            assert!(*ts >= last);
+            last = *ts;
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain-HTTP browsing sessions: DNS prelude, TCP connection, one or more
+//! request/response exchanges with device-specific User-Agents and
+//! category-dependent object sizes.
+
+use nfm_net::wire::http::{Request, Response};
+use rand::Rng;
+
+use crate::apps::{dns, Session, SessionCtx, TcpConversation};
+use crate::dist::LogNormal;
+use crate::domains::{DomainRegistry, SiteCategory};
+use crate::label::{AppClass, TrafficLabel};
+
+const PATHS: [&str; 8] =
+    ["/", "/index.html", "/api/v1/items", "/static/app.js", "/img/logo.png", "/feed.xml", "/search?q=nfm", "/about"];
+
+/// Median response size per category (bytes) — part of the semantic signal.
+fn body_size(category: SiteCategory) -> LogNormal {
+    match category {
+        SiteCategory::News | SiteCategory::Social => LogNormal::from_median(18_000.0, 2.2),
+        SiteCategory::Repository => LogNormal::from_median(40_000.0, 2.5),
+        SiteCategory::Ads => LogNormal::from_median(900.0, 1.8),
+        _ => LogNormal::from_median(6_000.0, 2.0),
+    }
+}
+
+/// Generate one browsing session.
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let device = ctx.client.device;
+    let category = *[SiteCategory::News, SiteCategory::Repository, SiteCategory::Ads, SiteCategory::Social]
+        .get(rng.gen_range(0..4))
+        .expect("index in range");
+    let site = registry.sample_site_in(rng, category).clone();
+    let host_name = registry.sample_host(rng, &site).clone();
+
+    let (mut packets, server_ip) = dns::lookup_packets(rng, ctx, &host_name, 0);
+    let connect_at = packets.last().map(|(ts, _)| ts + 1_000).unwrap_or(0);
+
+    let rtt = ctx.rtt_us;
+    let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 80, rtt, connect_at);
+    conv.handshake();
+    let n_requests = rng.gen_range(1..=3usize);
+    let sizes = body_size(category);
+    let ua = ctx.client.user_agent();
+    for _ in 0..n_requests {
+        let path = PATHS[rng.gen_range(0..PATHS.len())];
+        let req = Request::get(&host_name.to_string(), path, ua);
+        conv.client_send(&req.emit());
+        conv.wait(rng.gen_range(1_000..20_000)); // server think time
+        let size = (sizes.sample(rng) as usize).clamp(64, 120_000);
+        let content_type = if path.ends_with(".js") {
+            "application/javascript"
+        } else if path.ends_with(".png") {
+            "image/png"
+        } else {
+            "text/html"
+        };
+        let resp = Response::ok(content_type, vec![0x58; size]);
+        conv.server_send(&resp.emit());
+        conv.wait(rng.gen_range(500..30_000)); // client read time
+    }
+    conv.close();
+    packets.extend(conv.finish());
+    Session { label: TrafficLabel::benign(AppClass::Web, device), packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::{Host, ServerDirectory};
+    use crate::label::DeviceClass;
+    use nfm_net::packet::Transport;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn session_contains_dns_then_http_on_port_80() {
+        let reg = DomainRegistry::generate(2, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(1, DeviceClass::Workstation);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 20_000 };
+        let session = generate(&mut rng, &mut ctx, &reg);
+        assert_eq!(session.label.app, AppClass::Web);
+        // First packets are DNS, later ones TCP/80.
+        assert_eq!(session.packets[0].1.transport.dst_port(), Some(53));
+        let has_http = session.packets.iter().any(|(_, p)| match &p.transport {
+            Transport::Tcp { repr, payload } => {
+                (repr.dst_port == 80) && payload.starts_with(b"GET ")
+            }
+            _ => false,
+        });
+        assert!(has_http);
+        // The GET carries the device's user agent.
+        let get_payload = session
+            .packets
+            .iter()
+            .find_map(|(_, p)| match &p.transport {
+                Transport::Tcp { payload, .. } if payload.starts_with(b"GET ") => {
+                    Some(payload.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        let req = nfm_net::wire::http::Request::parse(&get_payload).unwrap();
+        assert_eq!(req.user_agent(), Some(host.user_agent()));
+    }
+
+    #[test]
+    fn response_sizes_vary_by_category() {
+        // Statistical check: repository bodies are bigger than ads bodies.
+        let mut rng = StdRng::seed_from_u64(4);
+        let repo: f64 =
+            (0..200).map(|_| body_size(SiteCategory::Repository).sample(&mut rng)).sum::<f64>() / 200.0;
+        let ads: f64 =
+            (0..200).map(|_| body_size(SiteCategory::Ads).sample(&mut rng)).sum::<f64>() / 200.0;
+        assert!(repo > ads * 5.0, "repo {repo} vs ads {ads}");
+    }
+}

@@ -1,0 +1,229 @@
+//! IoT device sessions, dispatched on the device class: camera streams,
+//! thermostat/bulb telemetry beacons, voice-assistant bursts. These give the
+//! device-classification task its signal (Sivanathan et al., cited §4.2).
+
+use rand::Rng;
+
+use crate::apps::{dns, udp_exchange, Session, SessionCtx, TcpConversation};
+use crate::domains::{DomainRegistry, SiteCategory};
+use crate::endpoints::GATEWAY_ADDR;
+use crate::label::{AppClass, DeviceClass, TrafficLabel};
+
+/// Build a minimal MQTT-style PUBLISH packet body (type nibble 3).
+fn mqtt_publish<R: Rng + ?Sized>(rng: &mut R, topic: &str) -> Vec<u8> {
+    let payload_len = rng.gen_range(8..48);
+    let mut body = Vec::new();
+    body.push(0x30); // PUBLISH, QoS 0
+    let remaining = 2 + topic.len() + payload_len;
+    body.push(remaining as u8);
+    body.extend_from_slice(&(topic.len() as u16).to_be_bytes());
+    body.extend_from_slice(topic.as_bytes());
+    body.extend((0..payload_len).map(|_| rng.gen::<u8>()));
+    body
+}
+
+fn camera_session<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let site = registry.sample_site_in(rng, SiteCategory::IotCloud).clone();
+    let host = site
+        .hosts
+        .iter()
+        .find(|h| h.to_string().starts_with("telemetry"))
+        .unwrap_or(&site.hosts[0])
+        .clone();
+    let (mut packets, server_ip) = dns::lookup_packets(rng, ctx, &host, 0);
+    let connect_at = packets.last().map(|(ts, _)| ts + 1_000).unwrap_or(0);
+    let rtt = ctx.rtt_us;
+    // RTSP-style control then a steady upload stream of video chunks.
+    let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 554, rtt, connect_at);
+    conv.handshake();
+    conv.client_send(format!("DESCRIBE rtsp://{host}/stream RTSP/1.0\r\nCSeq: 1\r\n\r\n").as_bytes());
+    conv.server_send(b"RTSP/1.0 200 OK\r\nCSeq: 1\r\n\r\n");
+    conv.client_send(b"SETUP rtsp://stream RTSP/1.0\r\nCSeq: 2\r\n\r\n");
+    conv.server_send(b"RTSP/1.0 200 OK\r\nCSeq: 2\r\nSession: 12345\r\n\r\n");
+    let n_chunks = rng.gen_range(5..15);
+    for _ in 0..n_chunks {
+        let chunk: Vec<u8> = (0..rng.gen_range(900..1400)).map(|_| rng.gen()).collect();
+        conv.client_send(&chunk); // cameras upload
+        conv.wait(rng.gen_range(30_000..80_000));
+    }
+    conv.close();
+    packets.extend(conv.finish());
+    Session { label: TrafficLabel::benign(AppClass::Iot, DeviceClass::Camera), packets }
+}
+
+fn telemetry_session<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+    device: DeviceClass,
+    topic: &str,
+    n_publishes: std::ops::Range<usize>,
+) -> Session {
+    let site = registry.sample_site_in(rng, SiteCategory::IotCloud).clone();
+    let host = site
+        .hosts
+        .iter()
+        .find(|h| h.to_string().starts_with("gateway"))
+        .unwrap_or(&site.hosts[0])
+        .clone();
+    let (mut packets, server_ip) = dns::lookup_packets(rng, ctx, &host, 0);
+    let connect_at = packets.last().map(|(ts, _)| ts + 1_000).unwrap_or(0);
+    let rtt = ctx.rtt_us;
+    let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 1883, rtt, connect_at);
+    conv.handshake();
+    // MQTT CONNECT / CONNACK.
+    let client_id = ctx.client.hostname.clone();
+    let mut connect = vec![0x10, (10 + client_id.len()) as u8];
+    connect.extend_from_slice(&[0x00, 0x04]);
+    connect.extend_from_slice(b"MQTT");
+    connect.extend_from_slice(&[0x04, 0x02, 0x00, 0x3c]);
+    connect.extend_from_slice(&(client_id.len() as u16).to_be_bytes());
+    connect.extend_from_slice(client_id.as_bytes());
+    conv.client_send(&connect);
+    conv.server_send(&[0x20, 0x02, 0x00, 0x00]);
+    let n = rng.gen_range(n_publishes);
+    for _ in 0..n {
+        let publish = mqtt_publish(rng, topic);
+        conv.client_send(&publish);
+        conv.wait(rng.gen_range(1_000_000..5_000_000)); // sparse telemetry
+    }
+    conv.close();
+    packets.extend(conv.finish());
+    Session { label: TrafficLabel::benign(AppClass::Iot, device), packets }
+}
+
+fn bulb_session<R: Rng + ?Sized>(rng: &mut R, ctx: &mut SessionCtx<'_>) -> Session {
+    // Bulbs mostly chat with the local gateway over tiny UDP datagrams.
+    let mut packets = Vec::new();
+    let mut t = 0u64;
+    for _ in 0..rng.gen_range(2..6) {
+        let cmd: Vec<u8> = (0..rng.gen_range(10..30)).map(|_| rng.gen()).collect();
+        let ack: Vec<u8> = (0..8).map(|_| rng.gen()).collect();
+        let mut pkts = udp_exchange(ctx.client, GATEWAY_ADDR, 5683, 2_000, t, cmd, Some(ack));
+        t = pkts.last().map(|(ts, _)| ts + rng.gen_range(100_000..900_000)).unwrap_or(t);
+        packets.append(&mut pkts);
+    }
+    Session { label: TrafficLabel::benign(AppClass::Iot, DeviceClass::SmartBulb), packets }
+}
+
+fn assistant_session<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    // Voice assistants do a DNS lookup then a short, upload-leaning TLS
+    // burst (the voice clip) followed by a small response.
+    let site = registry.sample_site_in(rng, SiteCategory::IotCloud).clone();
+    let host = registry.sample_host(rng, &site).clone();
+    let (mut packets, server_ip) = dns::lookup_packets(rng, ctx, &host, 0);
+    let connect_at = packets.last().map(|(ts, _)| ts + 500).unwrap_or(0);
+    let rtt = ctx.rtt_us;
+    let client_suites = ctx.client.ciphersuites();
+    let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 443, rtt, connect_at);
+    conv.handshake();
+    let sizes = crate::dist::LogNormal::from_median(1_500.0, 1.4);
+    crate::apps::tls::run_handshake_and_data(rng, &mut conv, &host.to_string(), client_suites, 0, &sizes, crate::apps::tls::server_prefers_256(server_ip));
+    // Voice clip upload: a burst of client records.
+    let clip: Vec<u8> = (0..rng.gen_range(12_000..40_000)).map(|_| rng.gen()).collect();
+    let rec = nfm_net::wire::tls::Record {
+        content_type: nfm_net::wire::tls::ContentType::ApplicationData,
+        version: 0x0303,
+        payload: clip,
+    };
+    conv.client_send(&rec.emit());
+    conv.wait(rng.gen_range(100_000..400_000)); // cloud ASR latency
+    let answer = nfm_net::wire::tls::Record {
+        content_type: nfm_net::wire::tls::ContentType::ApplicationData,
+        version: 0x0303,
+        payload: (0..rng.gen_range(800..4_000)).map(|_| rng.gen()).collect(),
+    };
+    conv.server_send(&answer.emit());
+    conv.close();
+    packets.extend(conv.finish());
+    Session { label: TrafficLabel::benign(AppClass::Iot, DeviceClass::VoiceAssistant), packets }
+}
+
+/// Generate one IoT session appropriate to the client's device class.
+/// Non-IoT devices fall back to a thermostat-style telemetry session.
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    match ctx.client.device {
+        DeviceClass::Camera => camera_session(rng, ctx, registry),
+        DeviceClass::SmartBulb => bulb_session(rng, ctx),
+        DeviceClass::VoiceAssistant => assistant_session(rng, ctx, registry),
+        DeviceClass::Thermostat => {
+            telemetry_session(rng, ctx, registry, DeviceClass::Thermostat, "home/hvac/state", 2..8)
+        }
+        other => telemetry_session(rng, ctx, registry, other, "device/telemetry", 1..4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::{Host, ServerDirectory};
+    use nfm_net::flow::FlowTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(device: DeviceClass, seed: u64) -> Session {
+        let reg = DomainRegistry::generate(3, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(1, device);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 15_000 };
+        generate(&mut rng, &mut ctx, &reg)
+    }
+
+    #[test]
+    fn camera_uploads_dominate() {
+        let s = run(DeviceClass::Camera, 1);
+        assert_eq!(s.label.device, DeviceClass::Camera);
+        let mut table = FlowTable::new();
+        for (i, (ts, p)) in s.packets.iter().enumerate() {
+            table.push(i, *ts, p);
+        }
+        let tcp = table.flows().iter().find(|f| f.key.protocol == 6).unwrap();
+        assert!(tcp.stats.fwd_bytes > tcp.stats.bwd_bytes, "camera is upload-heavy");
+        assert_eq!(tcp.key.dst_port, 554);
+    }
+
+    #[test]
+    fn bulb_uses_tiny_udp() {
+        let s = run(DeviceClass::SmartBulb, 2);
+        assert!(s.packets.iter().all(|(_, p)| p.transport.payload().len() < 64));
+        assert!(s
+            .packets
+            .iter()
+            .any(|(_, p)| p.transport.dst_port() == Some(5683)));
+    }
+
+    #[test]
+    fn thermostat_publishes_mqtt_on_1883() {
+        let s = run(DeviceClass::Thermostat, 3);
+        let has_mqtt = s.packets.iter().any(|(_, p)| {
+            p.transport.dst_port() == Some(1883)
+                && p.transport.payload().first() == Some(&0x30)
+        });
+        assert!(has_mqtt);
+    }
+
+    #[test]
+    fn assistant_mixes_dns_and_tls() {
+        let s = run(DeviceClass::VoiceAssistant, 4);
+        let dns = s.packets.iter().filter(|(_, p)| p.transport.dst_port() == Some(53)).count();
+        let tls = s
+            .packets
+            .iter()
+            .filter(|(_, p)| p.transport.dst_port() == Some(443))
+            .count();
+        assert!(dns > 0 && tls > 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Mail sessions: SMTP submissions and IMAP polls against mail-category
+//! sites, with realistic text dialogues.
+
+use rand::Rng;
+
+use crate::apps::{dns, Session, SessionCtx, TcpConversation};
+use crate::dist::LogNormal;
+use crate::domains::{DomainRegistry, SiteCategory};
+use crate::label::{AppClass, TrafficLabel};
+
+/// Generate an SMTP message submission.
+fn smtp_session<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let device = ctx.client.device;
+    let site = registry.sample_site_in(rng, SiteCategory::Mail).clone();
+    let mx = site
+        .hosts
+        .iter()
+        .find(|h| h.to_string().starts_with("mx"))
+        .unwrap_or(&site.hosts[0])
+        .clone();
+    let (mut packets, server_ip) = dns::lookup_packets(rng, ctx, &mx, 0);
+    let connect_at = packets.last().map(|(ts, _)| ts + 1_000).unwrap_or(0);
+    let rtt = ctx.rtt_us;
+    let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 25, rtt, connect_at);
+    conv.handshake();
+    conv.wait(2_000);
+    conv.server_send(format!("220 {mx} ESMTP ready\r\n").as_bytes());
+    conv.client_send("EHLO client.local\r\n".to_string().as_bytes());
+    conv.server_send(b"250-SIZE 35882577\r\n250 STARTTLS\r\n");
+    conv.client_send(format!("MAIL FROM:<user@{}>\r\n", site.domain).as_bytes());
+    conv.server_send(b"250 2.1.0 OK\r\n");
+    conv.client_send(format!("RCPT TO:<peer@{}>\r\n", site.domain).as_bytes());
+    conv.server_send(b"250 2.1.5 OK\r\n");
+    conv.client_send(b"DATA\r\n");
+    conv.server_send(b"354 Go ahead\r\n");
+    let size = (LogNormal::from_median(7_000.0, 2.5).sample(rng) as usize).clamp(300, 80_000);
+    let mut body = format!("Subject: report {}\r\n\r\n", rng.gen_range(0..1000)).into_bytes();
+    body.resize(size, b'm');
+    body.extend_from_slice(b"\r\n.\r\n");
+    conv.client_send(&body);
+    conv.wait(rng.gen_range(5_000..40_000));
+    conv.server_send(b"250 2.0.0 Queued\r\n");
+    conv.client_send(b"QUIT\r\n");
+    conv.server_send(b"221 Bye\r\n");
+    conv.close();
+    packets.extend(conv.finish());
+    Session { label: TrafficLabel::benign(AppClass::Mail, device), packets }
+}
+
+/// Generate an IMAP poll (login, select, fetch headers).
+fn imap_session<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let device = ctx.client.device;
+    let site = registry.sample_site_in(rng, SiteCategory::Mail).clone();
+    let imap = site
+        .hosts
+        .iter()
+        .find(|h| h.to_string().starts_with("imap"))
+        .unwrap_or(&site.hosts[0])
+        .clone();
+    let (mut packets, server_ip) = dns::lookup_packets(rng, ctx, &imap, 0);
+    let connect_at = packets.last().map(|(ts, _)| ts + 1_000).unwrap_or(0);
+    let rtt = ctx.rtt_us;
+    let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 143, rtt, connect_at);
+    conv.handshake();
+    conv.server_send(b"* OK IMAP4rev1 ready\r\n");
+    conv.client_send(b"a1 LOGIN user secret\r\n");
+    conv.server_send(b"a1 OK LOGIN completed\r\n");
+    conv.client_send(b"a2 SELECT INBOX\r\n");
+    let n_msgs = rng.gen_range(0..40);
+    conv.server_send(format!("* {n_msgs} EXISTS\r\na2 OK [READ-WRITE] SELECT completed\r\n").as_bytes());
+    if n_msgs > 0 {
+        conv.client_send(b"a3 FETCH 1:* (FLAGS BODY[HEADER.FIELDS (SUBJECT)])\r\n");
+        let size = (n_msgs as usize) * rng.gen_range(60..200);
+        conv.wait(rng.gen_range(2_000..15_000));
+        conv.server_send(&vec![b'h'; size]);
+    }
+    conv.client_send(b"a4 LOGOUT\r\n");
+    conv.server_send(b"* BYE\r\na4 OK LOGOUT completed\r\n");
+    conv.close();
+    packets.extend(conv.finish());
+    Session { label: TrafficLabel::benign(AppClass::Mail, device), packets }
+}
+
+/// Generate one mail session (70% IMAP polls, 30% SMTP sends — polls are
+/// more frequent in real traffic).
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    if rng.gen_bool(0.3) {
+        smtp_session(rng, ctx, registry)
+    } else {
+        imap_session(rng, ctx, registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::{Host, ServerDirectory};
+    use crate::label::DeviceClass;
+    use nfm_net::packet::Transport;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mail_ports(s: &Session) -> Vec<u16> {
+        s.packets
+            .iter()
+            .filter_map(|(_, p)| match &p.transport {
+                Transport::Tcp { repr, .. } => Some(repr.dst_port.min(repr.src_port)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sessions_use_mail_ports() {
+        let reg = DomainRegistry::generate(8, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(1, DeviceClass::Workstation);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen_25 = false;
+        let mut seen_143 = false;
+        for _ in 0..30 {
+            let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 25_000 };
+            let s = generate(&mut rng, &mut ctx, &reg);
+            assert_eq!(s.label.app, AppClass::Mail);
+            let ports = mail_ports(&s);
+            assert!(!ports.is_empty());
+            seen_25 |= ports.contains(&25);
+            seen_143 |= ports.contains(&143);
+        }
+        assert!(seen_25 && seen_143, "both SMTP and IMAP appear across sessions");
+    }
+
+    #[test]
+    fn smtp_dialogue_contains_verbs() {
+        let reg = DomainRegistry::generate(8, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(2, DeviceClass::Workstation);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 25_000 };
+        let s = smtp_session(&mut rng, &mut ctx, &reg);
+        let all: Vec<u8> = s
+            .packets
+            .iter()
+            .flat_map(|(_, p)| p.transport.payload().to_vec())
+            .collect();
+        let text = String::from_utf8_lossy(&all);
+        for verb in ["EHLO", "MAIL FROM", "RCPT TO", "DATA", "QUIT", "220", "250"] {
+            assert!(text.contains(verb), "missing {verb}");
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Per-application session generators.
+//!
+//! Each generator produces a [`Session`]: a label plus a list of
+//! `(time-offset, packet)` pairs forming one application transaction
+//! (possibly spanning several flows, e.g. a DNS lookup followed by a TCP
+//! connection — the cross-connection semantics of §4.1.3).
+
+pub mod bulk;
+pub mod dns;
+pub mod http;
+pub mod iot;
+pub mod mail;
+pub mod ntp;
+pub mod tls;
+pub mod video;
+
+use std::net::Ipv4Addr;
+
+use nfm_net::addr::MacAddr;
+use nfm_net::packet::Packet;
+use nfm_net::wire::tcp::{Flags, Repr as TcpRepr};
+use rand::Rng;
+
+use crate::endpoints::{Host, ServerDirectory};
+use crate::label::TrafficLabel;
+
+/// One generated application transaction.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Ground-truth label applied to every flow in the session.
+    pub label: TrafficLabel,
+    /// Packets as (offset µs from session start, packet).
+    pub packets: Vec<(u64, Packet)>,
+}
+
+impl Session {
+    /// Duration from first to last packet.
+    pub fn duration_us(&self) -> u64 {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => b.0.saturating_sub(a.0),
+            _ => 0,
+        }
+    }
+
+    /// Total wire bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.packets.iter().map(|(_, p)| p.wire_len()).sum()
+    }
+}
+
+/// Shared state threaded through session generators.
+pub struct SessionCtx<'a> {
+    /// The client host (mutable: allocates ephemeral ports).
+    pub client: &'a mut Host,
+    /// Site hostname directory.
+    pub directory: &'a ServerDirectory,
+    /// Round-trip time to remote servers in microseconds.
+    pub rtt_us: u64,
+}
+
+/// Sample a per-session RTT: 4–80 ms with a long-ish tail.
+pub fn sample_rtt_us<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    let base: f64 = rng.gen_range(4_000.0..30_000.0);
+    let tail = crate::dist::Pareto::new(1.0, 2.5).sample(rng);
+    (base * tail).min(80_000.0) as u64
+}
+
+/// Builds a realistic bidirectional TCP conversation: handshake, data
+/// segments with correct seq/ack bookkeeping, and FIN teardown.
+pub struct TcpConversation {
+    client_mac: MacAddr,
+    server_mac: MacAddr,
+    client_ip: Ipv4Addr,
+    server_ip: Ipv4Addr,
+    client_port: u16,
+    server_port: u16,
+    client_ttl: u8,
+    client_seq: u32,
+    server_seq: u32,
+    /// Next ack each side would send (bytes received + syn/fin phantoms).
+    client_ack: u32,
+    server_ack: u32,
+    clock_us: u64,
+    rtt_us: u64,
+    /// Maximum payload bytes per segment.
+    pub mss: usize,
+    packets: Vec<(u64, Packet)>,
+}
+
+impl TcpConversation {
+    /// Start a conversation (no packets yet); `start_us` is the session
+    /// offset of the first SYN.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        client: &mut Host,
+        server_ip: Ipv4Addr,
+        server_port: u16,
+        rtt_us: u64,
+        start_us: u64,
+    ) -> TcpConversation {
+        TcpConversation {
+            client_mac: client.mac,
+            server_mac: ServerDirectory::server_mac(server_ip),
+            client_ip: client.ip,
+            server_ip,
+            client_port: client.ephemeral_port(),
+            server_port,
+            client_ttl: client.ttl(),
+            client_seq: rng.gen(),
+            server_seq: rng.gen(),
+            client_ack: 0,
+            server_ack: 0,
+            clock_us: start_us,
+            rtt_us,
+            mss: 1400,
+            packets: Vec::new(),
+        }
+    }
+
+    /// The client's source port for this conversation.
+    pub fn client_port(&self) -> u16 {
+        self.client_port
+    }
+
+    /// Current conversation clock (µs offset).
+    pub fn clock_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// Advance the clock by `us` (e.g. server think time).
+    pub fn wait(&mut self, us: u64) {
+        self.clock_us += us;
+    }
+
+    fn push_client(&mut self, flags: Flags, payload: Vec<u8>) {
+        let repr = TcpRepr {
+            src_port: self.client_port,
+            dst_port: self.server_port,
+            seq: self.client_seq,
+            ack: self.client_ack,
+            flags,
+            window: 64_240,
+        };
+        let p = Packet::tcp_v4(
+            self.client_mac,
+            self.server_mac,
+            self.client_ip,
+            self.server_ip,
+            repr,
+            self.client_ttl,
+            payload,
+        );
+        self.packets.push((self.clock_us, p));
+    }
+
+    fn push_server(&mut self, flags: Flags, payload: Vec<u8>) {
+        let repr = TcpRepr {
+            src_port: self.server_port,
+            dst_port: self.client_port,
+            seq: self.server_seq,
+            ack: self.server_ack,
+            flags,
+            window: 65_535,
+        };
+        let p = Packet::tcp_v4(
+            self.server_mac,
+            self.client_mac,
+            self.server_ip,
+            self.client_ip,
+            repr,
+            64,
+            payload,
+        );
+        self.packets.push((self.clock_us, p));
+    }
+
+    /// Emit the three-way handshake.
+    pub fn handshake(&mut self) {
+        self.push_client(Flags::SYN, Vec::new());
+        self.client_seq = self.client_seq.wrapping_add(1);
+        self.clock_us += self.rtt_us / 2;
+        self.server_ack = self.client_seq;
+        self.push_server(Flags::SYN_ACK, Vec::new());
+        self.server_seq = self.server_seq.wrapping_add(1);
+        self.clock_us += self.rtt_us / 2;
+        self.client_ack = self.server_seq;
+        self.push_client(Flags::ACK, Vec::new());
+    }
+
+    /// Client sends `data`, segmented at the MSS; the server acks the last
+    /// segment after half an RTT.
+    pub fn client_send(&mut self, data: &[u8]) {
+        for chunk in chunks_nonempty(data, self.mss) {
+            self.push_client(Flags::PSH_ACK, chunk.to_vec());
+            self.client_seq = self.client_seq.wrapping_add(chunk.len() as u32);
+            self.clock_us += 200; // serialization gap
+        }
+        self.clock_us += self.rtt_us / 2;
+        self.server_ack = self.client_seq;
+        self.push_server(Flags::ACK, Vec::new());
+    }
+
+    /// Server sends `data`, segmented at the MSS; the client acks.
+    pub fn server_send(&mut self, data: &[u8]) {
+        for chunk in chunks_nonempty(data, self.mss) {
+            self.push_server(Flags::PSH_ACK, chunk.to_vec());
+            self.server_seq = self.server_seq.wrapping_add(chunk.len() as u32);
+            self.clock_us += 200;
+        }
+        self.clock_us += self.rtt_us / 2;
+        self.client_ack = self.server_seq;
+        self.push_client(Flags::ACK, Vec::new());
+    }
+
+    /// Graceful teardown: client FIN, server FIN-ACK, client ACK.
+    pub fn close(&mut self) {
+        self.push_client(Flags::FIN_ACK, Vec::new());
+        self.client_seq = self.client_seq.wrapping_add(1);
+        self.clock_us += self.rtt_us / 2;
+        self.server_ack = self.client_seq;
+        self.push_server(Flags::FIN_ACK, Vec::new());
+        self.server_seq = self.server_seq.wrapping_add(1);
+        self.clock_us += self.rtt_us / 2;
+        self.client_ack = self.server_seq;
+        self.push_client(Flags::ACK, Vec::new());
+    }
+
+    /// Abrupt client reset.
+    pub fn reset(&mut self) {
+        self.push_client(Flags::RST, Vec::new());
+    }
+
+    /// Finish, returning the timed packets.
+    pub fn finish(self) -> Vec<(u64, Packet)> {
+        self.packets
+    }
+}
+
+/// Like `chunks` but yields one empty chunk for empty input (so zero-length
+/// writes still emit a segment when callers want one). Here: skips empty.
+fn chunks_nonempty(data: &[u8], size: usize) -> impl Iterator<Item = &[u8]> {
+    data.chunks(size.max(1)).filter(|c| !c.is_empty())
+}
+
+/// A simple UDP request/response exchange between client and server.
+#[allow(clippy::too_many_arguments)]
+pub fn udp_exchange(
+    client: &mut Host,
+    server_ip: Ipv4Addr,
+    server_port: u16,
+    rtt_us: u64,
+    start_us: u64,
+    request: Vec<u8>,
+    response: Option<Vec<u8>>,
+) -> Vec<(u64, Packet)> {
+    let sport = client.ephemeral_port();
+    let smac = client.mac;
+    let dmac = ServerDirectory::server_mac(server_ip);
+    let mut out = Vec::new();
+    out.push((
+        start_us,
+        Packet::udp_v4(smac, dmac, client.ip, server_ip, sport, server_port, client.ttl(), request),
+    ));
+    if let Some(resp) = response {
+        out.push((
+            start_us + rtt_us,
+            Packet::udp_v4(dmac, smac, server_ip, client.ip, server_port, sport, 64, resp),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::DeviceClass;
+    use nfm_net::flow::{FlowKey, FlowTable};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tcp_conversation_is_one_flow_with_valid_ordering() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut client = Host::new(1, DeviceClass::Workstation);
+        let server = Ipv4Addr::new(198, 18, 0, 1);
+        let mut conv = TcpConversation::new(&mut rng, &mut client, server, 80, 20_000, 0);
+        conv.handshake();
+        conv.client_send(b"GET / HTTP/1.1\r\n\r\n");
+        conv.wait(5_000);
+        conv.server_send(&vec![0x55; 3000]); // forces 3 segments
+        conv.close();
+        let packets = conv.finish();
+
+        // Timestamps are non-decreasing.
+        let mut last = 0;
+        for (ts, _) in &packets {
+            assert!(*ts >= last);
+            last = *ts;
+        }
+        // All packets belong to one canonical flow.
+        let first_key = FlowKey::from_packet(&packets[0].1).canonical();
+        for (_, p) in &packets {
+            assert_eq!(FlowKey::from_packet(p).canonical(), first_key);
+        }
+        // Emitted packets are all valid.
+        for (_, p) in &packets {
+            let bytes = p.emit();
+            assert_eq!(Packet::parse(&bytes).unwrap(), *p);
+        }
+        // Flow stats see the handshake and teardown.
+        let mut table = FlowTable::new();
+        for (i, (ts, p)) in packets.iter().enumerate() {
+            table.push(i, *ts, p);
+        }
+        let flow = &table.flows()[0];
+        assert_eq!(flow.stats.syn_count, 2); // SYN + SYN-ACK
+        assert_eq!(flow.stats.fin_count, 2);
+        assert_eq!(flow.stats.bwd_bytes, 3000);
+    }
+
+    #[test]
+    fn seq_ack_bookkeeping_consistent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut client = Host::new(1, DeviceClass::Phone);
+        let mut conv =
+            TcpConversation::new(&mut rng, &mut client, Ipv4Addr::new(198, 18, 0, 2), 443, 10_000, 0);
+        conv.handshake();
+        conv.client_send(b"hello");
+        let packets = conv.finish();
+        // Server's ACK after client data acknowledges 5 bytes + 1 (SYN).
+        let syn = match &packets[0].1.transport {
+            nfm_net::packet::Transport::Tcp { repr, .. } => repr.seq,
+            _ => unreachable!(),
+        };
+        let last_ack = match &packets.last().unwrap().1.transport {
+            nfm_net::packet::Transport::Tcp { repr, .. } => repr.ack,
+            _ => unreachable!(),
+        };
+        assert_eq!(last_ack, syn.wrapping_add(1 + 5));
+    }
+
+    #[test]
+    fn udp_exchange_round_trip() {
+        let mut client = Host::new(3, DeviceClass::Camera);
+        let server = Ipv4Addr::new(198, 18, 1, 1);
+        let pkts = udp_exchange(&mut client, server, 53, 15_000, 100, b"q".to_vec(), Some(b"r".to_vec()));
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[1].0 - pkts[0].0, 15_000);
+        assert_eq!(pkts[0].1.transport.dst_port(), Some(53));
+        assert!(FlowKey::from_packet(&pkts[0].1).same_flow(&FlowKey::from_packet(&pkts[1].1)));
+    }
+
+    #[test]
+    fn rtt_sampler_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let rtt = sample_rtt_us(&mut rng);
+            assert!((4_000..=80_000).contains(&rtt), "rtt {rtt}");
+        }
+    }
+}

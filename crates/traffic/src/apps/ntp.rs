@@ -1,0 +1,81 @@
+//! NTP time-sync sessions: small fixed-size UDP request/response pairs to
+//! time-category servers, the most regular traffic in the mix.
+
+use nfm_net::wire::ntp::Packet as NtpPacket;
+use rand::Rng;
+
+use crate::apps::{udp_exchange, Session, SessionCtx};
+use crate::domains::{DomainRegistry, SiteCategory};
+use crate::label::{AppClass, TrafficLabel};
+
+/// Generate one NTP poll (occasionally a burst of 2–3 as clients step).
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let device = ctx.client.device;
+    let site = registry.sample_site_in(rng, SiteCategory::Time).clone();
+    let host = registry.sample_host(rng, &site).clone();
+    let server_ip = ctx
+        .directory
+        .resolve(&host)
+        .expect("time hosts registered in directory");
+    let n = if rng.gen_bool(0.2) { rng.gen_range(2..=3) } else { 1 };
+    let mut packets = Vec::new();
+    let mut t = 0u64;
+    let rtt = ctx.rtt_us;
+    for _ in 0..n {
+        let ts: u64 = rng.gen();
+        let req = NtpPacket::client_request(ts);
+        let resp = NtpPacket::server_response(&req, rng.gen_range(1..=3), ts.wrapping_add(1 << 20));
+        let mut pkts =
+            udp_exchange(ctx.client, server_ip, 123, rtt, t, req.emit(), Some(resp.emit()));
+        t = pkts.last().map(|(ts, _)| ts + rng.gen_range(800_000..1_200_000)).unwrap_or(t);
+        packets.append(&mut pkts);
+    }
+    Session { label: TrafficLabel::benign(AppClass::Ntp, device), packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::{Host, ServerDirectory};
+    use crate::label::DeviceClass;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ntp_sessions_are_48_byte_exchanges_on_123() {
+        let reg = DomainRegistry::generate(4, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(1, DeviceClass::Thermostat);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 12_000 };
+            let s = generate(&mut rng, &mut ctx, &reg);
+            assert_eq!(s.label.app, AppClass::Ntp);
+            for (_, p) in &s.packets {
+                assert_eq!(p.transport.payload().len(), nfm_net::wire::ntp::PACKET_LEN);
+                let parsed = NtpPacket::parse(p.transport.payload()).unwrap();
+                assert!(matches!(
+                    parsed.mode,
+                    nfm_net::wire::ntp::Mode::Client | nfm_net::wire::ntp::Mode::Server
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn response_echoes_originate_timestamp() {
+        let reg = DomainRegistry::generate(4, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(2, DeviceClass::Camera);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 12_000 };
+        let s = generate(&mut rng, &mut ctx, &reg);
+        let req = NtpPacket::parse(s.packets[0].1.transport.payload()).unwrap();
+        let resp = NtpPacket::parse(s.packets[1].1.transport.payload()).unwrap();
+        assert_eq!(resp.originate_ts, req.transmit_ts);
+    }
+}

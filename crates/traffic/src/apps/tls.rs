@@ -1,0 +1,245 @@
+//! TLS sessions: DNS prelude, TCP/443 connection, handshake with
+//! device-profile ciphersuites and SNI, then encrypted application records.
+
+use nfm_net::wire::tls::{suites, ClientHello, ContentType, Record, ServerHello};
+use rand::Rng;
+
+use crate::apps::{dns, Session, SessionCtx, TcpConversation};
+use crate::dist::LogNormal;
+use crate::domains::{DomainRegistry, SiteCategory};
+use crate::label::{AppClass, TrafficLabel};
+
+/// Suites a typical AES-128-preferring server accepts, preference order.
+const SERVER_SUITES_128: [u16; 7] = [
+    suites::TLS13_AES128_GCM,
+    suites::TLS13_AES256_GCM,
+    suites::ECDHE_ECDSA_AES128_GCM,
+    suites::ECDHE_ECDSA_AES256_GCM,
+    suites::ECDHE_RSA_AES128_GCM,
+    suites::ECDHE_RSA_AES256_GCM,
+    suites::RSA_AES128_CBC_SHA,
+];
+
+/// The same set for servers that prefer 256-bit keys (as real fleets are
+/// split, roughly half and half) — this is what makes each AES-128 suite
+/// and its AES-256 sibling appear in the *same* ServerHello slot across the
+/// corpus, the paradigmatic structure behind NorBERT's 49199↔49200 result.
+const SERVER_SUITES_256: [u16; 7] = [
+    suites::TLS13_AES256_GCM,
+    suites::TLS13_AES128_GCM,
+    suites::ECDHE_ECDSA_AES256_GCM,
+    suites::ECDHE_ECDSA_AES128_GCM,
+    suites::ECDHE_RSA_AES256_GCM,
+    suites::ECDHE_RSA_AES128_GCM,
+    suites::RSA_AES128_CBC_SHA,
+];
+
+/// Pick the first server-preferred suite the client offers (fallback: the
+/// client's first offer, mirroring permissive embedded servers).
+/// `prefer_256` selects the server's key-length policy.
+pub fn negotiate(client_offer: &[u16], prefer_256: bool) -> u16 {
+    let prefs: &[u16] =
+        if prefer_256 { &SERVER_SUITES_256 } else { &SERVER_SUITES_128 };
+    prefs
+        .iter()
+        .copied()
+        .find(|s| client_offer.contains(s))
+        .unwrap_or_else(|| client_offer.first().copied().unwrap_or(suites::RSA_AES128_CBC_SHA))
+}
+
+/// A server's key-length policy, a stable property of its address.
+pub fn server_prefers_256(server_ip: std::net::Ipv4Addr) -> bool {
+    server_ip.octets()[3] & 1 == 1
+}
+
+fn random_bytes<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Run a TLS handshake plus `n_exchanges` application-data exchanges over an
+/// existing conversation. Returns the negotiated suite.
+#[allow(clippy::too_many_arguments)]
+pub fn run_handshake_and_data<R: Rng + ?Sized>(
+    rng: &mut R,
+    conv: &mut TcpConversation,
+    sni: &str,
+    client_suites: Vec<u16>,
+    n_exchanges: usize,
+    response_sizes: &LogNormal,
+    prefer_256: bool,
+) -> u16 {
+    let mut client_random = [0u8; 32];
+    rng.fill(&mut client_random);
+    let hello = ClientHello {
+        version: 0x0303,
+        random: client_random,
+        ciphersuites: client_suites.clone(),
+        server_name: Some(sni.to_string()),
+    };
+    let rec = Record { content_type: ContentType::Handshake, version: 0x0301, payload: hello.emit() };
+    conv.client_send(&rec.emit());
+
+    let chosen = negotiate(&client_suites, prefer_256);
+    let mut server_random = [0u8; 32];
+    rng.fill(&mut server_random);
+    let sh = ServerHello { version: 0x0303, random: server_random, ciphersuite: chosen };
+    let mut server_flight =
+        Record { content_type: ContentType::Handshake, version: 0x0303, payload: sh.emit() }.emit();
+    // Certificate + key exchange, opaque (sizes realistic).
+    let cert_len = rng.gen_range(1200..3200);
+    server_flight.extend(
+        Record {
+            content_type: ContentType::Handshake,
+            version: 0x0303,
+            payload: random_bytes(rng, cert_len),
+        }
+        .emit(),
+    );
+    conv.wait(rng.gen_range(500..3_000));
+    conv.server_send(&server_flight);
+
+    // Client finished flight.
+    let mut fin = Record { content_type: ContentType::ChangeCipherSpec, version: 0x0303, payload: vec![1] }.emit();
+    fin.extend(
+        Record { content_type: ContentType::Handshake, version: 0x0303, payload: random_bytes(rng, 52) }.emit(),
+    );
+    conv.client_send(&fin);
+
+    for _ in 0..n_exchanges {
+        let req_len = rng.gen_range(80..700);
+        let req = Record {
+            content_type: ContentType::ApplicationData,
+            version: 0x0303,
+            payload: random_bytes(rng, req_len),
+        };
+        conv.client_send(&req.emit());
+        conv.wait(rng.gen_range(1_000..15_000));
+        let size = (response_sizes.sample(rng) as usize).clamp(128, 60_000);
+        // Large responses split across several records (max 16 KiB each).
+        let mut flight = Vec::new();
+        let mut remaining = size;
+        while remaining > 0 {
+            let chunk = remaining.min(16_000);
+            flight.extend(
+                Record {
+                    content_type: ContentType::ApplicationData,
+                    version: 0x0303,
+                    payload: random_bytes(rng, chunk),
+                }
+                .emit(),
+            );
+            remaining -= chunk;
+        }
+        conv.server_send(&flight);
+        conv.wait(rng.gen_range(500..20_000));
+    }
+    chosen
+}
+
+/// Generate one HTTPS-style TLS session.
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let device = ctx.client.device;
+    let category = *[
+        SiteCategory::News,
+        SiteCategory::Social,
+        SiteCategory::Ads,
+        SiteCategory::IotCloud,
+        SiteCategory::Mail,
+    ]
+    .get(rng.gen_range(0..5))
+    .expect("index in range");
+    let site = registry.sample_site_in(rng, category).clone();
+    let host_name = registry.sample_host(rng, &site).clone();
+
+    let (mut packets, server_ip) = dns::lookup_packets(rng, ctx, &host_name, 0);
+    let connect_at = packets.last().map(|(ts, _)| ts + 1_000).unwrap_or(0);
+
+    let rtt = ctx.rtt_us;
+    let client_suites = ctx.client.ciphersuites();
+    let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 443, rtt, connect_at);
+    conv.handshake();
+    let sizes = LogNormal::from_median(9_000.0, 2.4);
+    let n = rng.gen_range(1..=4usize);
+    run_handshake_and_data(rng, &mut conv, &host_name.to_string(), client_suites, n, &sizes, server_prefers_256(server_ip));
+    conv.close();
+    packets.extend(conv.finish());
+    Session { label: TrafficLabel::benign(AppClass::Tls, device), packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::{Host, ServerDirectory};
+    use crate::label::DeviceClass;
+    use nfm_net::packet::Transport;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn negotiation_respects_server_preference() {
+        assert_eq!(
+            negotiate(&[suites::ECDHE_RSA_AES128_GCM, suites::TLS13_AES128_GCM], false),
+            suites::TLS13_AES128_GCM
+        );
+        assert_eq!(negotiate(&[suites::RSA_AES128_CBC_SHA], false), suites::RSA_AES128_CBC_SHA);
+        // Unknown-only offer falls back to the client's first suite.
+        assert_eq!(negotiate(&[0x9999], true), 0x9999);
+        // A 256-preferring server picks the AES-256 sibling from the same offer.
+        assert_eq!(
+            negotiate(&[suites::ECDHE_RSA_AES128_GCM, suites::ECDHE_RSA_AES256_GCM], true),
+            suites::ECDHE_RSA_AES256_GCM
+        );
+    }
+
+    #[test]
+    fn session_has_parseable_client_hello_with_sni() {
+        let reg = DomainRegistry::generate(7, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(2, DeviceClass::Phone);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 20_000 };
+        let session = generate(&mut rng, &mut ctx, &reg);
+        assert_eq!(session.label.app, AppClass::Tls);
+        let hello = session
+            .packets
+            .iter()
+            .find_map(|(_, p)| match &p.transport {
+                Transport::Tcp { repr, payload } if repr.dst_port == 443 && !payload.is_empty() => {
+                    let recs = nfm_net::wire::tls::Record::parse_all(payload).ok()?;
+                    recs.iter()
+                        .find(|r| r.content_type == ContentType::Handshake)
+                        .and_then(|r| ClientHello::parse(&r.payload).ok())
+                }
+                _ => None,
+            })
+            .expect("session contains a ClientHello");
+        assert!(hello.server_name.is_some());
+        assert_eq!(hello.ciphersuites, host.ciphersuites());
+    }
+
+    #[test]
+    fn iot_sessions_negotiate_weak_suites() {
+        let reg = DomainRegistry::generate(7, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut bulb = Host::new(3, DeviceClass::SmartBulb);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut conv = TcpConversation::new(
+            &mut rng,
+            &mut bulb,
+            std::net::Ipv4Addr::new(198, 18, 0, 9),
+            443,
+            10_000,
+            0,
+        );
+        conv.handshake();
+        let sizes = LogNormal::from_median(2_000.0, 1.5);
+        let suites_offered = bulb.ciphersuites();
+        let chosen = run_handshake_and_data(&mut rng, &mut conv, "iot.example", suites_offered, 1, &sizes, false);
+        assert!(!suites::is_strong(chosen));
+        let _ = dir; // directory unused in this low-level test
+    }
+}

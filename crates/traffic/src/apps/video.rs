@@ -1,0 +1,110 @@
+//! Video streaming sessions: a TLS session to a video edge host followed by
+//! periodic large segment downloads — the high-volume, bursty,
+//! download-dominated profile of adaptive bitrate streaming.
+
+use rand::Rng;
+
+use crate::apps::{dns, tls as tls_app, Session, SessionCtx, TcpConversation};
+use crate::dist::LogNormal;
+use crate::domains::{DomainRegistry, SiteCategory};
+use crate::label::{AppClass, TrafficLabel};
+
+/// Generate one streaming session.
+pub fn generate<R: Rng + ?Sized>(
+    rng: &mut R,
+    ctx: &mut SessionCtx<'_>,
+    registry: &DomainRegistry,
+) -> Session {
+    let device = ctx.client.device;
+    let site = registry.sample_site_in(rng, SiteCategory::Video).clone();
+    let edge = site
+        .hosts
+        .iter()
+        .find(|h| h.to_string().starts_with("edge"))
+        .unwrap_or(&site.hosts[0])
+        .clone();
+
+    let (mut packets, server_ip) = dns::lookup_packets(rng, ctx, &edge, 0);
+    let connect_at = packets.last().map(|(ts, _)| ts + 1_000).unwrap_or(0);
+    let rtt = ctx.rtt_us;
+    let client_suites = ctx.client.ciphersuites();
+    let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 443, rtt, connect_at);
+    conv.handshake();
+    // Manifest fetch then N media segments: segments are much larger than
+    // ordinary web objects and arrive at a steady cadence (player buffer).
+    let manifest_sizes = LogNormal::from_median(3_000.0, 1.5);
+    tls_app::run_handshake_and_data(rng, &mut conv, &edge.to_string(), client_suites, 1, &manifest_sizes, tls_app::server_prefers_256(server_ip));
+    let n_segments = rng.gen_range(2..=5usize);
+    let segment_sizes = LogNormal::from_median(28_000.0, 1.6);
+    for _ in 0..n_segments {
+        // Request record.
+        let req = nfm_net::wire::tls::Record {
+            content_type: nfm_net::wire::tls::ContentType::ApplicationData,
+            version: 0x0303,
+            payload: (0..rng.gen_range(100..400)).map(|_| rng.gen()).collect(),
+        };
+        conv.client_send(&req.emit());
+        conv.wait(rng.gen_range(2_000..10_000));
+        let size = (segment_sizes.sample(rng) as usize).clamp(8_000, 90_000);
+        let mut flight = Vec::new();
+        let mut remaining = size;
+        while remaining > 0 {
+            let chunk = remaining.min(16_000);
+            flight.extend(
+                nfm_net::wire::tls::Record {
+                    content_type: nfm_net::wire::tls::ContentType::ApplicationData,
+                    version: 0x0303,
+                    payload: (0..chunk).map(|_| rng.gen()).collect(),
+                }
+                .emit(),
+            );
+            remaining -= chunk;
+        }
+        conv.server_send(&flight);
+        // Player consumes a segment's worth of time before the next fetch.
+        conv.wait(rng.gen_range(500_000..2_000_000));
+    }
+    conv.close();
+    packets.extend(conv.finish());
+    Session { label: TrafficLabel::benign(AppClass::Video, device), packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::{Host, ServerDirectory};
+    use crate::label::DeviceClass;
+    use nfm_net::flow::FlowTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn video_is_download_dominated_and_long() {
+        let reg = DomainRegistry::generate(6, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        let mut host = Host::new(1, DeviceClass::Workstation);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 18_000 };
+        let s = generate(&mut rng, &mut ctx, &reg);
+        assert_eq!(s.label.app, AppClass::Video);
+
+        let mut table = FlowTable::new();
+        for (i, (ts, p)) in s.packets.iter().enumerate() {
+            table.push(i, *ts, p);
+        }
+        // Find the TCP flow (skip the DNS flow).
+        let tcp_flow = table
+            .flows()
+            .iter()
+            .find(|f| f.key.protocol == 6)
+            .expect("video session has a TCP flow");
+        assert!(
+            tcp_flow.stats.bwd_bytes > tcp_flow.stats.fwd_bytes * 5,
+            "download {} should dwarf upload {}",
+            tcp_flow.stats.bwd_bytes,
+            tcp_flow.stats.fwd_bytes
+        );
+        // Streaming cadence makes it long-lived (>1 s).
+        assert!(s.duration_us() > 1_000_000);
+    }
+}

@@ -1,0 +1,324 @@
+//! Statistical distributions used by the traffic models, implemented from
+//! scratch over a [`rand::Rng`] so the whole generator is dependency-light
+//! and deterministic under a seed.
+//!
+//! The shapes follow the traffic-generation literature the paper cites
+//! (Harpoon, Tmix): Zipf for object/domain popularity, log-normal for flow
+//! and object sizes, Pareto for heavy-tailed durations, exponential for
+//! Poisson arrival processes.
+
+use rand::Rng;
+
+/// Sample `U(0,1)` excluding exact zero (safe for logs).
+fn unit_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Exponential distribution with the given rate (events per unit time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create with `rate > 0`.
+    pub fn new(rate: f64) -> Exponential {
+        assert!(rate > 0.0, "rate must be positive");
+        Exponential { rate }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draw one sample via inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.rate
+    }
+}
+
+/// Log-normal distribution parameterised by the underlying normal's
+/// `mu` and `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create with `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct from the desired median and a multiplicative spread factor
+    /// (`sigma = ln(spread)`), which reads more naturally for sizes:
+    /// `LogNormal::from_median(1200.0, 2.0)` has median 1200 and ~68% of
+    /// mass within a factor 2.
+    pub fn from_median(median: f64, spread: f64) -> LogNormal {
+        assert!(median > 0.0 && spread >= 1.0);
+        LogNormal::new(median.ln(), spread.ln())
+    }
+
+    /// Draw a standard normal via Box–Muller, then exponentiate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = unit_open(rng);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Median (`e^mu`).
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+/// Pareto (type I) distribution: heavy-tailed durations and sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Create with minimum value `scale > 0` and tail index `shape > 0`.
+    pub fn new(scale: f64, shape: f64) -> Pareto {
+        assert!(scale > 0.0 && shape > 0.0);
+        Pareto { scale, shape }
+    }
+
+    /// Draw by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale / unit_open(rng).powf(1.0 / self.shape)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`, sampled by
+/// inverting a precomputed CDF (exact for the bounded supports we use).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create over `n >= 1` ranks with exponent `s >= 0` (0 = uniform).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw a 0-based rank (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// A categorical distribution over arbitrary weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cdf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Create from non-negative weights with a positive sum.
+    pub fn new(weights: &[f64]) -> Categorical {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "weights must be non-negative");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Categorical { cdf }
+    }
+
+    /// Draw an index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// A homogeneous Poisson arrival process: an iterator of event times with
+/// exponential inter-arrivals.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    interarrival: Exponential,
+    now_us: u64,
+}
+
+impl PoissonProcess {
+    /// Create with `rate_per_sec` events per second, starting at `start_us`.
+    pub fn new(rate_per_sec: f64, start_us: u64) -> PoissonProcess {
+        PoissonProcess { interarrival: Exponential::new(rate_per_sec), now_us: start_us }
+    }
+
+    /// Advance to and return the next event time in microseconds.
+    pub fn next_event<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let gap_s = self.interarrival.sample(rng);
+        self.now_us += (gap_s * 1e6).max(1.0) as u64;
+        self.now_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let d = Exponential::new(2.0);
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let d = LogNormal::from_median(1000.0, 2.0);
+        assert!((d.median() - 1000.0).abs() < 1e-9);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..10_001).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[5000];
+        assert!((median / 1000.0 - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(100.0, 1.5);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) >= 100.0);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_ordering() {
+        let d = Zipf::new(50, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 50];
+        for _ in 0..50_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        // Rank 0 clearly beats rank 10, which beats rank 40.
+        assert!(counts[0] > counts[10] * 2, "{} vs {}", counts[0], counts[10]);
+        assert!(counts[10] > counts[40], "{} vs {}", counts[10], counts[40]);
+        // Zipf(s=1): count[0]/count[1] ≈ 2.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let d = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 400.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn categorical_proportions() {
+        let d = Categorical::new(&[1.0, 3.0, 0.0, 6.0]);
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        for _ in 0..50_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!((counts[3] as f64 / counts[1] as f64 - 2.0).abs() < 0.2);
+        assert!((counts[1] as f64 / counts[0] as f64 - 3.0).abs() < 0.4);
+    }
+
+    #[test]
+    fn poisson_process_monotone_and_rate() {
+        let mut p = PoissonProcess::new(100.0, 0);
+        let mut r = rng();
+        let mut last = 0;
+        let mut events = 0;
+        loop {
+            let t = p.next_event(&mut r);
+            assert!(t > last);
+            last = t;
+            events += 1;
+            if t > 1_000_000 {
+                break;
+            }
+        }
+        // ~100 events per simulated second.
+        assert!((60..160).contains(&events), "events {events}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = Zipf::new(100, 1.2);
+        let a: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+}

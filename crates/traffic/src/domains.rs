@@ -1,0 +1,265 @@
+//! Deterministic hierarchical domain-name registry.
+//!
+//! The paper (§3.3) calls out DNS names as a categorical field with rich
+//! semantics: "values may indicate mail servers, repository servers, time
+//! servers, news sites, or video streaming sites". This module generates a
+//! synthetic internet whose names carry exactly that cluster structure, so a
+//! pre-trained model has real semantics to discover.
+
+use nfm_net::wire::dns::Name;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::Zipf;
+
+/// Semantic category of a site — the latent variable behind the clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SiteCategory {
+    /// Webmail and MX hosts.
+    Mail,
+    /// News/content sites.
+    News,
+    /// Video streaming.
+    Video,
+    /// Time servers.
+    Time,
+    /// Software/package repositories.
+    Repository,
+    /// CDN edges (appear as dependencies of other sites).
+    Cdn,
+    /// IoT device cloud endpoints.
+    IotCloud,
+    /// Advertising/tracking endpoints.
+    Ads,
+    /// Social platforms.
+    Social,
+}
+
+impl SiteCategory {
+    /// All categories, stable order.
+    pub const ALL: [SiteCategory; 9] = [
+        SiteCategory::Mail,
+        SiteCategory::News,
+        SiteCategory::Video,
+        SiteCategory::Time,
+        SiteCategory::Repository,
+        SiteCategory::Cdn,
+        SiteCategory::IotCloud,
+        SiteCategory::Ads,
+        SiteCategory::Social,
+    ];
+
+    /// A short tag used inside generated names (e.g. `mail`, `cdn`) so the
+    /// category is recoverable from tokens — this is the semantic signal.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SiteCategory::Mail => "mail",
+            SiteCategory::News => "news",
+            SiteCategory::Video => "video",
+            SiteCategory::Time => "time",
+            SiteCategory::Repository => "repo",
+            SiteCategory::Cdn => "cdn",
+            SiteCategory::IotCloud => "iot",
+            SiteCategory::Ads => "ads",
+            SiteCategory::Social => "social",
+        }
+    }
+}
+
+/// One registered site: a base domain, category, and host names under it.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Base domain, e.g. `video7.example-tld`.
+    pub domain: Name,
+    /// Semantic category.
+    pub category: SiteCategory,
+    /// Hostnames under the domain (e.g. `www`, `api`, `edge3`).
+    pub hosts: Vec<Name>,
+}
+
+/// A deterministic registry of sites with Zipf popularity.
+#[derive(Debug, Clone)]
+pub struct DomainRegistry {
+    sites: Vec<Site>,
+    popularity: Zipf,
+}
+
+const SYLLABLES: [&str; 16] = [
+    "ar", "bel", "cor", "dan", "el", "fen", "gor", "hul", "in", "jal", "kem", "lor", "mir",
+    "nor", "os", "pel",
+];
+
+const TLDS: [&str; 4] = ["com", "net", "org", "io"];
+
+fn brand_name(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..4);
+    (0..n).map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())]).collect()
+}
+
+impl DomainRegistry {
+    /// Build a registry of `sites_per_category` sites per category, fully
+    /// determined by `seed`. `zipf_s` controls popularity skew.
+    pub fn generate(seed: u64, sites_per_category: usize, zipf_s: f64) -> DomainRegistry {
+        assert!(sites_per_category >= 1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00d0_ca11_d00d_5eed);
+        let mut sites = Vec::new();
+        for &category in &SiteCategory::ALL {
+            for i in 0..sites_per_category {
+                let brand = brand_name(&mut rng);
+                let tld = TLDS[rng.gen_range(0..TLDS.len())];
+                let domain = Name::parse_str(&format!("{}-{}{}.{}", brand, category.tag(), i, tld))
+                    .expect("generated names are valid");
+                let host_labels: &[&str] = match category {
+                    SiteCategory::Mail => &["mx1", "mx2", "smtp", "imap", "webmail"],
+                    SiteCategory::News => &["www", "api", "img", "static"],
+                    SiteCategory::Video => &["www", "api", "edge1", "edge2", "manifest"],
+                    SiteCategory::Time => &["ntp1", "ntp2"],
+                    SiteCategory::Repository => &["www", "mirror1", "mirror2", "archive"],
+                    SiteCategory::Cdn => &["edge1", "edge2", "edge3", "edge4"],
+                    SiteCategory::IotCloud => &["gateway", "telemetry", "firmware"],
+                    SiteCategory::Ads => &["track", "pixel", "serve"],
+                    SiteCategory::Social => &["www", "api", "media"],
+                };
+                let hosts = host_labels
+                    .iter()
+                    .map(|h| {
+                        Name::parse_str(&format!("{h}.{domain}")).expect("valid host name")
+                    })
+                    .collect();
+                sites.push(Site { domain, category, hosts });
+            }
+        }
+        // Shuffle so Zipf popularity ranks interleave categories; without
+        // this, whole categories would sit in the unpopular tail.
+        for i in (1..sites.len()).rev() {
+            sites.swap(i, rng.gen_range(0..=i));
+        }
+        let popularity = Zipf::new(sites.len(), zipf_s);
+        DomainRegistry { sites, popularity }
+    }
+
+    /// All sites, stable order.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Sites of one category.
+    pub fn sites_in(&self, category: SiteCategory) -> impl Iterator<Item = &Site> {
+        self.sites.iter().filter(move |s| s.category == category)
+    }
+
+    /// Draw a site by global Zipf popularity.
+    pub fn sample_site<R: Rng + ?Sized>(&self, rng: &mut R) -> &Site {
+        &self.sites[self.popularity.sample(rng)]
+    }
+
+    /// Draw a site of a given category (uniform within the category after
+    /// rejection against the Zipf draw, falling back to uniform).
+    pub fn sample_site_in<R: Rng + ?Sized>(&self, rng: &mut R, category: SiteCategory) -> &Site {
+        for _ in 0..16 {
+            let s = self.sample_site(rng);
+            if s.category == category {
+                return s;
+            }
+        }
+        let matching: Vec<&Site> = self.sites_in(category).collect();
+        matching[rng.gen_range(0..matching.len())]
+    }
+
+    /// Draw a host name from a site (uniform).
+    pub fn sample_host<'a, R: Rng + ?Sized>(&self, rng: &mut R, site: &'a Site) -> &'a Name {
+        &site.hosts[rng.gen_range(0..site.hosts.len())]
+    }
+
+    /// Recover the category of a name generated by this registry (by
+    /// suffix match against site domains). Ground truth for evaluation.
+    pub fn categorize(&self, name: &Name) -> Option<SiteCategory> {
+        self.sites
+            .iter()
+            .find(|s| name.is_subdomain_of(&s.domain))
+            .map(|s| s.category)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DomainRegistry::generate(1, 3, 1.0);
+        let b = DomainRegistry::generate(1, 3, 1.0);
+        assert_eq!(a.sites().len(), b.sites().len());
+        for (x, y) in a.sites().iter().zip(b.sites()) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.hosts, y.hosts);
+        }
+        let c = DomainRegistry::generate(2, 3, 1.0);
+        assert_ne!(a.sites()[0].domain, c.sites()[0].domain);
+    }
+
+    #[test]
+    fn every_category_present() {
+        let reg = DomainRegistry::generate(5, 2, 1.0);
+        for cat in SiteCategory::ALL {
+            assert_eq!(reg.sites_in(cat).count(), 2, "{cat:?}");
+        }
+        assert_eq!(reg.sites().len(), 18);
+    }
+
+    #[test]
+    fn category_tag_embedded_in_name() {
+        let reg = DomainRegistry::generate(5, 2, 1.0);
+        for site in reg.sites() {
+            let name = site.domain.to_string();
+            assert!(name.contains(site.category.tag()), "{name}");
+        }
+    }
+
+    #[test]
+    fn hosts_are_subdomains() {
+        let reg = DomainRegistry::generate(3, 2, 1.0);
+        for site in reg.sites() {
+            for host in &site.hosts {
+                assert!(host.is_subdomain_of(&site.domain));
+            }
+        }
+    }
+
+    #[test]
+    fn categorize_recovers_ground_truth() {
+        let reg = DomainRegistry::generate(9, 3, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let site = reg.sample_site(&mut rng);
+            let host = reg.sample_host(&mut rng, site);
+            assert_eq!(reg.categorize(host), Some(site.category));
+        }
+        assert_eq!(reg.categorize(&Name::parse_str("unknown.test").unwrap()), None);
+    }
+
+    #[test]
+    fn sample_site_in_respects_category() {
+        let reg = DomainRegistry::generate(11, 4, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for cat in SiteCategory::ALL {
+            for _ in 0..20 {
+                assert_eq!(reg.sample_site_in(&mut rng, cat).category, cat);
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let reg = DomainRegistry::generate(13, 10, 1.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(reg.sample_site(&mut rng).domain.clone()).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let total: usize = counts.values().sum();
+        // The most popular site takes a disproportionate share.
+        assert!(max as f64 / total as f64 > 0.05, "max share {}", max as f64 / total as f64);
+    }
+}

@@ -1,0 +1,267 @@
+//! Endpoint models: client hosts with device profiles, and a deterministic
+//! directory mapping site hostnames to server addresses.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use nfm_net::addr::MacAddr;
+use nfm_net::wire::dns::Name;
+use nfm_net::wire::tls::suites;
+use rand::Rng;
+
+use crate::domains::DomainRegistry;
+use crate::label::DeviceClass;
+
+/// The resolver address every client uses.
+pub const RESOLVER_ADDR: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 53);
+
+/// The local gateway (DHCP server, NTP relay).
+pub const GATEWAY_ADDR: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 1);
+
+/// A client endpoint.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Link-layer address.
+    pub mac: MacAddr,
+    /// IPv4 address on the local network.
+    pub ip: Ipv4Addr,
+    /// Device profile.
+    pub device: DeviceClass,
+    /// DHCP hostname the device announces.
+    pub hostname: String,
+    next_ephemeral: u16,
+}
+
+impl Host {
+    /// Create host number `index` with the given device class.
+    pub fn new(index: u16, device: DeviceClass) -> Host {
+        let hostname = format!("{}-{:02}", device.name(), index);
+        Host {
+            mac: MacAddr::from_index(0x1000 + u64::from(index)),
+            ip: Ipv4Addr::new(192, 168, (index / 250) as u8, (index % 250 + 2) as u8),
+            device,
+            hostname,
+            next_ephemeral: 0,
+        }
+    }
+
+    /// Allocate the next ephemeral source port (49152–65535, wrapping).
+    ///
+    /// Ports recycle after 16,384 allocations per host; a recycled port can
+    /// collide with an earlier five-tuple and inherit that flow's label in
+    /// [`crate::netsim`]'s ground-truth map. Real stacks have the same reuse
+    /// behaviour; keep per-host session counts below ~16k per simulation
+    /// (the standard configurations allocate a few hundred at most).
+    pub fn ephemeral_port(&mut self) -> u16 {
+        let port = 49152 + (self.next_ephemeral % 16384);
+        self.next_ephemeral = self.next_ephemeral.wrapping_add(1);
+        port
+    }
+
+    /// The TTL this device stamps on outgoing packets (64 for Unix-like,
+    /// 128 for the workstation profile — a weak device fingerprint that the
+    /// models can pick up, as real traffic classifiers do).
+    pub fn ttl(&self) -> u8 {
+        match self.device {
+            DeviceClass::Workstation => 128,
+            DeviceClass::Server => 64,
+            _ => 64,
+        }
+    }
+
+    /// The TLS ciphersuites this device's client stack offers, in order.
+    /// Modern devices lead with TLS 1.3 suites; constrained IoT firmware
+    /// offers older, weaker suites — exactly the "weak versus strong
+    /// clusters" semantic the paper highlights (§1, §3.3).
+    pub fn ciphersuites(&self) -> Vec<u16> {
+        match self.device {
+            DeviceClass::Workstation | DeviceClass::Phone => vec![
+                suites::TLS13_AES128_GCM,
+                suites::TLS13_AES256_GCM,
+                suites::TLS13_CHACHA20,
+                suites::ECDHE_ECDSA_AES128_GCM,
+                suites::ECDHE_ECDSA_AES256_GCM,
+                suites::ECDHE_RSA_AES128_GCM,
+                suites::ECDHE_RSA_AES256_GCM,
+            ],
+            DeviceClass::Camera | DeviceClass::VoiceAssistant => vec![
+                suites::ECDHE_RSA_AES128_GCM,
+                suites::ECDHE_RSA_AES256_GCM,
+                suites::RSA_AES128_CBC_SHA,
+            ],
+            DeviceClass::Thermostat | DeviceClass::SmartBulb => vec![
+                suites::RSA_AES128_CBC_SHA,
+                suites::RSA_3DES_EDE_CBC_SHA,
+            ],
+            DeviceClass::Server => vec![suites::TLS13_AES128_GCM],
+        }
+    }
+
+    /// HTTP User-Agent string for this device profile.
+    pub fn user_agent(&self) -> &'static str {
+        match self.device {
+            DeviceClass::Workstation => "Mozilla/5.0 (X11; Linux x86_64) nfm-browser/1.0",
+            DeviceClass::Phone => "Mozilla/5.0 (Mobile; rv:1.0) nfm-mobile/1.0",
+            DeviceClass::Camera => "ipcam-fw/2.3",
+            DeviceClass::Thermostat => "thermo-connect/0.9",
+            DeviceClass::SmartBulb => "bulb-iot/1.1",
+            DeviceClass::VoiceAssistant => "assistant-os/4.0",
+            DeviceClass::Server => "nfm-agent/1.0",
+        }
+    }
+}
+
+/// Deterministic hostname→server-address directory for every host in a
+/// [`DomainRegistry`] — the synthetic internet's authoritative data.
+#[derive(Debug, Clone)]
+pub struct ServerDirectory {
+    by_name: HashMap<Name, Ipv4Addr>,
+}
+
+impl ServerDirectory {
+    /// Assign every site host an address in 198.18.0.0/15 (the benchmark
+    /// address range), deterministically from insertion order.
+    pub fn build(registry: &DomainRegistry) -> ServerDirectory {
+        let mut by_name = HashMap::new();
+        let mut counter: u32 = 0;
+        for site in registry.sites() {
+            for host in &site.hosts {
+                let offset = counter % (1 << 17);
+                let addr = Ipv4Addr::new(
+                    198,
+                    (18 + (offset >> 16)) as u8,
+                    ((offset >> 8) & 0xff) as u8,
+                    (offset & 0xff) as u8,
+                );
+                by_name.insert(host.clone(), addr);
+                counter += 1;
+            }
+        }
+        ServerDirectory { by_name }
+    }
+
+    /// Resolve a host name.
+    pub fn resolve(&self, name: &Name) -> Option<Ipv4Addr> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered hosts.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True when no hosts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// The MAC a server presents (derived from its IP).
+    pub fn server_mac(addr: Ipv4Addr) -> MacAddr {
+        MacAddr::from_index(0x2000_0000 + u64::from(u32::from(addr)))
+    }
+}
+
+/// Build a mixed population of client hosts: `n_general` workstations/phones
+/// plus one of each IoT device class per `n_iot_sets`.
+pub fn standard_population(n_general: u16, n_iot_sets: u16) -> Vec<Host> {
+    let mut hosts = Vec::new();
+    let mut index = 0;
+    for i in 0..n_general {
+        let device =
+            if i % 3 == 2 { DeviceClass::Phone } else { DeviceClass::Workstation };
+        hosts.push(Host::new(index, device));
+        index += 1;
+    }
+    for _ in 0..n_iot_sets {
+        for device in [
+            DeviceClass::Camera,
+            DeviceClass::Thermostat,
+            DeviceClass::SmartBulb,
+            DeviceClass::VoiceAssistant,
+        ] {
+            hosts.push(Host::new(index, device));
+            index += 1;
+        }
+    }
+    hosts
+}
+
+/// Pick a random client index from a population.
+pub fn sample_host<R: Rng + ?Sized>(rng: &mut R, hosts: &[Host]) -> usize {
+    rng.gen_range(0..hosts.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hosts_have_distinct_identities() {
+        let a = Host::new(1, DeviceClass::Workstation);
+        let b = Host::new(2, DeviceClass::Camera);
+        assert_ne!(a.mac, b.mac);
+        assert_ne!(a.ip, b.ip);
+        assert_ne!(a.hostname, b.hostname);
+    }
+
+    #[test]
+    fn ephemeral_ports_in_range_and_advance() {
+        let mut h = Host::new(1, DeviceClass::Phone);
+        let p1 = h.ephemeral_port();
+        let p2 = h.ephemeral_port();
+        assert!(p1 >= 49152);
+        assert_ne!(p1, p2);
+        // Wraps without panicking.
+        for _ in 0..20_000 {
+            let p = h.ephemeral_port();
+            assert!(p >= 49152);
+        }
+    }
+
+    #[test]
+    fn iot_suites_are_weaker() {
+        let bulb = Host::new(1, DeviceClass::SmartBulb);
+        let laptop = Host::new(2, DeviceClass::Workstation);
+        assert!(bulb.ciphersuites().iter().all(|&s| !nfm_net::wire::tls::suites::is_strong(s)));
+        assert!(laptop
+            .ciphersuites()
+            .iter()
+            .all(|&s| nfm_net::wire::tls::suites::is_strong(s)));
+    }
+
+    #[test]
+    fn directory_resolves_every_host() {
+        let reg = DomainRegistry::generate(3, 2, 1.0);
+        let dir = ServerDirectory::build(&reg);
+        assert!(!dir.is_empty());
+        for site in reg.sites() {
+            for host in &site.hosts {
+                let addr = dir.resolve(host).expect("every host registered");
+                assert_eq!(addr.octets()[0], 198);
+            }
+        }
+        assert_eq!(dir.resolve(&Name::parse_str("missing.example").unwrap()), None);
+    }
+
+    #[test]
+    fn directory_is_deterministic() {
+        let reg = DomainRegistry::generate(3, 2, 1.0);
+        let d1 = ServerDirectory::build(&reg);
+        let d2 = ServerDirectory::build(&reg);
+        for site in reg.sites() {
+            for host in &site.hosts {
+                assert_eq!(d1.resolve(host), d2.resolve(host));
+            }
+        }
+    }
+
+    #[test]
+    fn standard_population_mixes_devices() {
+        let hosts = standard_population(6, 2);
+        assert_eq!(hosts.len(), 6 + 8);
+        let phones = hosts.iter().filter(|h| h.device == DeviceClass::Phone).count();
+        let cams = hosts.iter().filter(|h| h.device == DeviceClass::Camera).count();
+        assert_eq!(phones, 2);
+        assert_eq!(cams, 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Fault injection for traces — the adverse-network-conditions knobs
+//! smoltcp's examples expose (`--drop-chance`, `--corrupt-chance`, …),
+//! applied offline to generated captures. Used to test how tokenizers and
+//! models degrade on lossy or corrupted input, and to make training data
+//! realistically imperfect.
+
+use nfm_net::capture::{Trace, TracePacket};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault-injection configuration; probabilities in [0, 1].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability of dropping each packet.
+    pub drop_chance: f64,
+    /// Probability of flipping one random byte in a packet.
+    pub corrupt_chance: f64,
+    /// Probability of duplicating a packet (duplicate keeps its timestamp
+    /// plus a small delta, modelling a retransmit seen twice).
+    pub duplicate_chance: f64,
+    /// Probability of delaying a packet by up to `max_delay_us`
+    /// (reordering relative to its neighbours).
+    pub reorder_chance: f64,
+    /// Maximum reorder delay in microseconds.
+    pub max_delay_us: u64,
+    /// Truncate packets longer than this to this many bytes (0 disables) —
+    /// models a capture snap length.
+    pub snaplen: usize,
+    /// Seed for the fault process.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            duplicate_chance: 0.0,
+            reorder_chance: 0.0,
+            max_delay_us: 50_000,
+            snaplen: 0,
+            seed: 1,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The "15%" starting point smoltcp's README suggests for demos.
+    pub fn noisy(seed: u64) -> FaultConfig {
+        FaultConfig {
+            drop_chance: 0.15,
+            corrupt_chance: 0.15,
+            duplicate_chance: 0.05,
+            reorder_chance: 0.1,
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// Statistics about what the injector did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets dropped.
+    pub dropped: usize,
+    /// Packets with a corrupted byte.
+    pub corrupted: usize,
+    /// Packets duplicated.
+    pub duplicated: usize,
+    /// Packets delayed/reordered.
+    pub reordered: usize,
+    /// Packets truncated by the snap length.
+    pub truncated: usize,
+}
+
+/// Apply faults to a trace, returning the degraded trace and statistics.
+/// Deterministic under `config.seed`.
+pub fn inject(trace: &Trace, config: &FaultConfig) -> (Trace, FaultStats) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xFau64.rotate_left(32));
+    let mut out: Vec<TracePacket> = Vec::with_capacity(trace.len());
+    let mut stats = FaultStats::default();
+    for tp in trace.packets() {
+        if config.drop_chance > 0.0 && rng.gen_bool(config.drop_chance) {
+            stats.dropped += 1;
+            continue;
+        }
+        let mut packet = tp.clone();
+        if config.snaplen > 0 && packet.frame.len() > config.snaplen {
+            packet.frame.truncate(config.snaplen);
+            stats.truncated += 1;
+        }
+        if config.corrupt_chance > 0.0
+            && !packet.frame.is_empty()
+            && rng.gen_bool(config.corrupt_chance)
+        {
+            let at = rng.gen_range(0..packet.frame.len());
+            let bit = 1u8 << rng.gen_range(0..8);
+            packet.frame[at] ^= bit;
+            stats.corrupted += 1;
+        }
+        if config.reorder_chance > 0.0 && rng.gen_bool(config.reorder_chance) {
+            packet.ts_us += rng.gen_range(1..=config.max_delay_us.max(1));
+            stats.reordered += 1;
+        }
+        if config.duplicate_chance > 0.0 && rng.gen_bool(config.duplicate_chance) {
+            let mut dup = packet.clone();
+            dup.ts_us += rng.gen_range(1..1_000);
+            out.push(dup);
+            stats.duplicated += 1;
+        }
+        out.push(packet);
+    }
+    (Trace::from_packets(out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netsim::{simulate, SimConfig};
+
+    fn base_trace() -> Trace {
+        simulate(&SimConfig { n_sessions: 40, boot_dhcp: false, ..SimConfig::default() }).trace
+    }
+
+    #[test]
+    fn no_faults_is_identity() {
+        let trace = base_trace();
+        let (out, stats) = inject(&trace, &FaultConfig::default());
+        assert_eq!(stats, FaultStats::default());
+        assert_eq!(out.len(), trace.len());
+        for (a, b) in out.packets().iter().zip(trace.packets()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches() {
+        let trace = base_trace();
+        let cfg = FaultConfig { drop_chance: 0.25, ..FaultConfig::default() };
+        let (out, stats) = inject(&trace, &cfg);
+        let rate = stats.dropped as f64 / trace.len() as f64;
+        assert!((rate - 0.25).abs() < 0.05, "drop rate {rate}");
+        assert_eq!(out.len(), trace.len() - stats.dropped);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let trace = base_trace();
+        let cfg = FaultConfig { corrupt_chance: 1.0, ..FaultConfig::default() };
+        let (out, stats) = inject(&trace, &cfg);
+        assert_eq!(stats.corrupted, trace.len());
+        let mut total_flipped_bits = 0u32;
+        for (a, b) in out.packets().iter().zip(trace.packets()) {
+            let flipped: u32 = a
+                .frame
+                .iter()
+                .zip(&b.frame)
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum();
+            total_flipped_bits += flipped;
+            assert_eq!(flipped, 1, "exactly one bit per packet");
+        }
+        assert_eq!(total_flipped_bits as usize, trace.len());
+    }
+
+    #[test]
+    fn duplicates_and_reorders_keep_time_sorted() {
+        let trace = base_trace();
+        let cfg = FaultConfig {
+            duplicate_chance: 0.3,
+            reorder_chance: 0.3,
+            ..FaultConfig::default()
+        };
+        let (out, stats) = inject(&trace, &cfg);
+        assert!(stats.duplicated > 0 && stats.reordered > 0);
+        assert_eq!(out.len(), trace.len() + stats.duplicated);
+        let mut last = 0;
+        for p in out.packets() {
+            assert!(p.ts_us >= last);
+            last = p.ts_us;
+        }
+    }
+
+    #[test]
+    fn snaplen_truncates() {
+        let trace = base_trace();
+        let cfg = FaultConfig { snaplen: 96, ..FaultConfig::default() };
+        let (out, stats) = inject(&trace, &cfg);
+        assert!(stats.truncated > 0);
+        assert!(out.packets().iter().all(|p| p.frame.len() <= 96));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let trace = base_trace();
+        let cfg = FaultConfig::noisy(7);
+        let (a, sa) = inject(&trace, &cfg);
+        let (b, sb) = inject(&trace, &cfg);
+        assert_eq!(sa, sb);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.packets().iter().zip(b.packets()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn tokenizer_survives_noisy_traces() {
+        // The §4.1.2 tokenizer must degrade gracefully, never panic, on
+        // heavily damaged captures.
+        let trace = base_trace();
+        let (noisy, _) = inject(&trace, &FaultConfig::noisy(3));
+        let mut tokenized = 0usize;
+        for tp in noisy.packets() {
+            if let Ok(p) = tp.parse() {
+                // Any parsed packet must tokenize (tested via flow context
+                // elsewhere; here we exercise parse on corrupted frames).
+                let _ = p.wire_len();
+                tokenized += 1;
+            }
+        }
+        // Many packets survive (corruption often hits payload bytes).
+        assert!(tokenized > noisy.len() / 3, "{tokenized}/{}", noisy.len());
+    }
+}

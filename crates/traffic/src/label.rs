@@ -1,0 +1,235 @@
+//! Ground-truth labels attached to generated traffic. These are the targets
+//! of the downstream tasks (application classification, device
+//! classification, anomaly detection) in the NetGLUE benchmark.
+
+use std::fmt;
+
+/// Application class of a flow — the NorBERT-style classification target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppClass {
+    /// DNS lookup traffic.
+    Dns,
+    /// Plain HTTP browsing.
+    Web,
+    /// TLS-wrapped web traffic.
+    Tls,
+    /// Mail (SMTP/IMAP).
+    Mail,
+    /// NTP time sync.
+    Ntp,
+    /// Video streaming.
+    Video,
+    /// IoT telemetry/control.
+    Iot,
+    /// Bulk transfer (backup/sync).
+    Bulk,
+    /// DHCP configuration.
+    Dhcp,
+}
+
+impl AppClass {
+    /// All classes, stable order (defines classifier label ids).
+    pub const ALL: [AppClass; 9] = [
+        AppClass::Dns,
+        AppClass::Web,
+        AppClass::Tls,
+        AppClass::Mail,
+        AppClass::Ntp,
+        AppClass::Video,
+        AppClass::Iot,
+        AppClass::Bulk,
+        AppClass::Dhcp,
+    ];
+
+    /// Dense label id.
+    pub fn id(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("member of ALL")
+    }
+
+    /// Inverse of [`AppClass::id`].
+    pub fn from_id(id: usize) -> Option<AppClass> {
+        Self::ALL.get(id).copied()
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppClass::Dns => "dns",
+            AppClass::Web => "web",
+            AppClass::Tls => "tls",
+            AppClass::Mail => "mail",
+            AppClass::Ntp => "ntp",
+            AppClass::Video => "video",
+            AppClass::Iot => "iot",
+            AppClass::Bulk => "bulk",
+            AppClass::Dhcp => "dhcp",
+        }
+    }
+}
+
+impl fmt::Display for AppClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Device class of the endpoint that originated a flow (Sivanathan-style
+/// IoT device classification ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceClass {
+    /// General-purpose workstation/laptop.
+    Workstation,
+    /// Mobile phone.
+    Phone,
+    /// IP camera.
+    Camera,
+    /// Smart thermostat.
+    Thermostat,
+    /// Smart light bulb.
+    SmartBulb,
+    /// Voice assistant speaker.
+    VoiceAssistant,
+    /// Server (responder side).
+    Server,
+}
+
+impl DeviceClass {
+    /// All classes, stable order.
+    pub const ALL: [DeviceClass; 7] = [
+        DeviceClass::Workstation,
+        DeviceClass::Phone,
+        DeviceClass::Camera,
+        DeviceClass::Thermostat,
+        DeviceClass::SmartBulb,
+        DeviceClass::VoiceAssistant,
+        DeviceClass::Server,
+    ];
+
+    /// Dense label id.
+    pub fn id(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("member of ALL")
+    }
+
+    /// Inverse of [`DeviceClass::id`].
+    pub fn from_id(id: usize) -> Option<DeviceClass> {
+        Self::ALL.get(id).copied()
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceClass::Workstation => "workstation",
+            DeviceClass::Phone => "phone",
+            DeviceClass::Camera => "camera",
+            DeviceClass::Thermostat => "thermostat",
+            DeviceClass::SmartBulb => "bulb",
+            DeviceClass::VoiceAssistant => "assistant",
+            DeviceClass::Server => "server",
+        }
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Anomaly/attack class for injected malicious sessions (§4.3's zero-day
+/// detection experiments hold some of these out of training).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AnomalyClass {
+    /// Horizontal TCP port scan.
+    PortScan,
+    /// DNS tunneling (exfiltration over query names).
+    DnsTunnel,
+    /// Periodic command-and-control beaconing.
+    Beacon,
+    /// Large outbound data exfiltration.
+    Exfil,
+    /// Reflection/amplification victim traffic.
+    Amplification,
+}
+
+impl AnomalyClass {
+    /// All classes, stable order.
+    pub const ALL: [AnomalyClass; 5] = [
+        AnomalyClass::PortScan,
+        AnomalyClass::DnsTunnel,
+        AnomalyClass::Beacon,
+        AnomalyClass::Exfil,
+        AnomalyClass::Amplification,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnomalyClass::PortScan => "portscan",
+            AnomalyClass::DnsTunnel => "dnstunnel",
+            AnomalyClass::Beacon => "beacon",
+            AnomalyClass::Exfil => "exfil",
+            AnomalyClass::Amplification => "amplification",
+        }
+    }
+}
+
+impl fmt::Display for AnomalyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Complete ground-truth label for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrafficLabel {
+    /// Application class.
+    pub app: AppClass,
+    /// Originating device class.
+    pub device: DeviceClass,
+    /// Anomaly class when the flow is malicious.
+    pub anomaly: Option<AnomalyClass>,
+}
+
+impl TrafficLabel {
+    /// A benign flow label.
+    pub fn benign(app: AppClass, device: DeviceClass) -> TrafficLabel {
+        TrafficLabel { app, device, anomaly: None }
+    }
+
+    /// True when the flow is part of an attack.
+    pub fn is_malicious(&self) -> bool {
+        self.anomaly.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for c in AppClass::ALL {
+            assert_eq!(AppClass::from_id(c.id()), Some(c));
+        }
+        for c in DeviceClass::ALL {
+            assert_eq!(DeviceClass::from_id(c.id()), Some(c));
+        }
+        assert_eq!(AppClass::from_id(99), None);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = AppClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AppClass::ALL.len());
+    }
+
+    #[test]
+    fn malicious_flag() {
+        let benign = TrafficLabel::benign(AppClass::Web, DeviceClass::Workstation);
+        assert!(!benign.is_malicious());
+        let bad = TrafficLabel { anomaly: Some(AnomalyClass::Beacon), ..benign };
+        assert!(bad.is_malicious());
+    }
+}

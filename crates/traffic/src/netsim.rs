@@ -1,0 +1,325 @@
+//! The capture-point simulator: schedules application sessions from a host
+//! population via a Poisson process and merges them into one interleaved,
+//! timestamped trace with per-flow ground-truth labels — the "border router"
+//! view the paper describes in §4.1.3.
+
+use std::collections::HashMap;
+
+use nfm_net::capture::{Trace, TracePacket};
+use nfm_net::flow::FlowKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::anomaly;
+use crate::apps::{self, Session, SessionCtx};
+use crate::dist::{Categorical, PoissonProcess};
+use crate::domains::DomainRegistry;
+use crate::endpoints::{standard_population, Host, ServerDirectory};
+use crate::label::{AnomalyClass, AppClass, DeviceClass, TrafficLabel};
+
+/// Relative frequency of each application class in the session mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppMix {
+    /// Weights indexed like [`AppClass::ALL`] (Dhcp weight is ignored:
+    /// DHCP happens at boot, not via the mix).
+    pub weights: [f64; 9],
+}
+
+impl Default for AppMix {
+    fn default() -> Self {
+        // dns, web, tls, mail, ntp, video, iot, bulk, dhcp(unused)
+        AppMix { weights: [2.5, 2.0, 3.0, 1.0, 1.0, 0.6, 2.0, 0.4, 0.0] }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; every run with the same config is identical.
+    pub seed: u64,
+    /// Number of general-purpose hosts (workstations + phones).
+    pub n_general_hosts: u16,
+    /// Number of IoT device quartets (camera/thermostat/bulb/assistant).
+    pub n_iot_sets: u16,
+    /// Session arrivals per simulated second across the whole population.
+    pub sessions_per_sec: f64,
+    /// Total sessions to generate.
+    pub n_sessions: usize,
+    /// Application mix.
+    pub mix: AppMix,
+    /// Fraction of sessions that are attacks (0 disables).
+    pub anomaly_fraction: f64,
+    /// Which anomaly classes may appear (others never generated).
+    pub anomaly_classes: Vec<AnomalyClass>,
+    /// Domain registry seed (vary to shift the "site population").
+    pub registry_seed: u64,
+    /// Sites per category in the registry.
+    pub sites_per_category: usize,
+    /// Popularity skew.
+    pub zipf_s: f64,
+    /// Emit DHCP boot handshakes for every host at t≈0.
+    pub boot_dhcp: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            n_general_hosts: 8,
+            n_iot_sets: 2,
+            sessions_per_sec: 4.0,
+            n_sessions: 200,
+            mix: AppMix::default(),
+            anomaly_fraction: 0.0,
+            anomaly_classes: AnomalyClass::ALL.to_vec(),
+            registry_seed: 1,
+            sites_per_category: 4,
+            zipf_s: 1.1,
+            boot_dhcp: true,
+        }
+    }
+}
+
+/// A generated trace plus ground truth: canonical flow key → label.
+#[derive(Debug, Clone)]
+pub struct LabeledTrace {
+    /// The merged, time-sorted packet trace.
+    pub trace: Trace,
+    /// Ground-truth label per canonical flow key.
+    pub labels: HashMap<FlowKey, TrafficLabel>,
+    /// The registry the trace was generated against (for name ground truth).
+    pub registry: DomainRegistry,
+}
+
+impl LabeledTrace {
+    /// Ground-truth label for a packet's flow.
+    pub fn label_of(&self, key: &FlowKey) -> Option<TrafficLabel> {
+        self.labels.get(&key.canonical()).copied()
+    }
+}
+
+fn dhcp_boot_session(host: &Host, xid: u32) -> Session {
+    use nfm_net::addr::MacAddr;
+    use nfm_net::packet::Packet;
+    use nfm_net::wire::dhcp::{Message, MessageType};
+    use std::net::Ipv4Addr;
+
+    let gw = crate::endpoints::GATEWAY_ADDR;
+    let gw_mac = MacAddr::from_index(0x3fff);
+    let mut packets = Vec::new();
+    let discover = Message::discover(xid, host.mac, Some(host.hostname.clone()));
+    packets.push((
+        0,
+        Packet::udp_v4(host.mac, MacAddr::BROADCAST, Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, 68, 67, 64, discover.emit()),
+    ));
+    let offer = Message::offer(&discover, host.ip, gw);
+    packets.push((2_000, Packet::udp_v4(gw_mac, host.mac, gw, host.ip, 67, 68, 64, offer.emit())));
+    let mut request = Message::discover(xid, host.mac, Some(host.hostname.clone()));
+    request.msg_type = MessageType::Request;
+    request.requested_addr = Some(host.ip);
+    request.server_id = Some(gw);
+    packets.push((
+        4_000,
+        Packet::udp_v4(host.mac, MacAddr::BROADCAST, Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, 68, 67, 64, request.emit()),
+    ));
+    let mut ack = Message::offer(&request, host.ip, gw);
+    ack.msg_type = MessageType::Ack;
+    packets.push((6_000, Packet::udp_v4(gw_mac, host.mac, gw, host.ip, 67, 68, 64, ack.emit())));
+    Session { label: TrafficLabel::benign(AppClass::Dhcp, host.device), packets }
+}
+
+/// Run the simulator, producing a labeled trace.
+pub fn simulate(config: &SimConfig) -> LabeledTrace {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let registry =
+        DomainRegistry::generate(config.registry_seed, config.sites_per_category, config.zipf_s);
+    let directory = ServerDirectory::build(&registry);
+    let mut hosts = standard_population(config.n_general_hosts, config.n_iot_sets);
+
+    let mut all_packets: Vec<TracePacket> = Vec::new();
+    let mut labels: HashMap<FlowKey, TrafficLabel> = HashMap::new();
+
+    let place_session = |session: Session, start_us: u64,
+                             all_packets: &mut Vec<TracePacket>,
+                             labels: &mut HashMap<FlowKey, TrafficLabel>| {
+        for (offset, packet) in &session.packets {
+            let key = FlowKey::from_packet(packet).canonical();
+            labels.entry(key).or_insert(session.label);
+            all_packets.push(TracePacket::from_packet(start_us + offset, packet));
+        }
+    };
+
+    if config.boot_dhcp {
+        for (i, host) in hosts.iter().enumerate() {
+            let session = dhcp_boot_session(host, 0x1000_0000 + i as u32);
+            let start = rng.gen_range(0..500_000);
+            place_session(session, start, &mut all_packets, &mut labels);
+        }
+    }
+
+    // Which benign generator handles each mix slot.
+    let mix_dist = Categorical::new(&config.mix.weights[..8]);
+    let mut arrivals = PoissonProcess::new(config.sessions_per_sec, 1_000_000);
+
+    for _ in 0..config.n_sessions {
+        let start_us = arrivals.next_event(&mut rng);
+        let host_idx = rng.gen_range(0..hosts.len());
+        let rtt_us = apps::sample_rtt_us(&mut rng);
+        let is_attack = config.anomaly_fraction > 0.0
+            && !config.anomaly_classes.is_empty()
+            && rng.gen_bool(config.anomaly_fraction);
+        let session = {
+            let mut ctx = SessionCtx { client: &mut hosts[host_idx], directory: &directory, rtt_us };
+            if is_attack {
+                let class =
+                    config.anomaly_classes[rng.gen_range(0..config.anomaly_classes.len())];
+                anomaly::generate(&mut rng, &mut ctx, &registry, class)
+            } else {
+                let device = ctx.client.device;
+                let is_iot = matches!(
+                    device,
+                    DeviceClass::Camera
+                        | DeviceClass::Thermostat
+                        | DeviceClass::SmartBulb
+                        | DeviceClass::VoiceAssistant
+                );
+                if is_iot {
+                    // IoT devices speak their own profile plus NTP/DNS.
+                    match rng.gen_range(0..10) {
+                        0 => apps::ntp::generate(&mut rng, &mut ctx, &registry),
+                        1 => apps::dns::generate(&mut rng, &mut ctx, &registry),
+                        _ => apps::iot::generate(&mut rng, &mut ctx, &registry),
+                    }
+                } else {
+                    match mix_dist.sample(&mut rng) {
+                        0 => apps::dns::generate(&mut rng, &mut ctx, &registry),
+                        1 => apps::http::generate(&mut rng, &mut ctx, &registry),
+                        2 => apps::tls::generate(&mut rng, &mut ctx, &registry),
+                        3 => apps::mail::generate(&mut rng, &mut ctx, &registry),
+                        4 => apps::ntp::generate(&mut rng, &mut ctx, &registry),
+                        5 => apps::video::generate(&mut rng, &mut ctx, &registry),
+                        6 => apps::iot::generate(&mut rng, &mut ctx, &registry),
+                        _ => apps::bulk::generate(&mut rng, &mut ctx, &registry),
+                    }
+                }
+            }
+        };
+        place_session(session, start_us, &mut all_packets, &mut labels);
+    }
+
+    LabeledTrace { trace: Trace::from_packets(all_packets), labels, registry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfm_net::flow::FlowTable;
+
+    fn small_config() -> SimConfig {
+        SimConfig { n_sessions: 40, n_general_hosts: 4, n_iot_sets: 1, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = simulate(&small_config());
+        let b = simulate(&small_config());
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (x, y) in a.trace.packets().iter().zip(b.trace.packets()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = simulate(&small_config());
+        let b = simulate(&SimConfig { seed: 99, ..small_config() });
+        assert_ne!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn every_flow_has_a_label() {
+        let lt = simulate(&small_config());
+        let table = FlowTable::from_trace(lt.trace.packets().iter());
+        assert!(!table.is_empty());
+        let mut labeled = 0;
+        for flow in table.flows() {
+            if lt.label_of(&flow.key).is_some() {
+                labeled += 1;
+            }
+        }
+        // All flows were produced by labeled sessions.
+        assert_eq!(labeled, table.len());
+    }
+
+    #[test]
+    fn trace_is_time_sorted_and_interleaved() {
+        let lt = simulate(&small_config());
+        let mut last = 0;
+        for p in lt.trace.packets() {
+            assert!(p.ts_us >= last);
+            last = p.ts_us;
+        }
+        // Interleaving: adjacent packets frequently belong to different flows.
+        let mut switches = 0;
+        let mut prev_key = None;
+        for p in lt.trace.packets() {
+            if let Ok(parsed) = p.parse() {
+                let key = FlowKey::from_packet(&parsed).canonical();
+                if prev_key.is_some() && prev_key != Some(key) {
+                    switches += 1;
+                }
+                prev_key = Some(key);
+            }
+        }
+        assert!(switches > lt.trace.len() / 10, "switches {switches} of {}", lt.trace.len());
+    }
+
+    #[test]
+    fn anomaly_fraction_injects_malicious_flows() {
+        let cfg = SimConfig {
+            anomaly_fraction: 0.3,
+            n_sessions: 60,
+            ..small_config()
+        };
+        let lt = simulate(&cfg);
+        let malicious = lt.labels.values().filter(|l| l.is_malicious()).count();
+        assert!(malicious > 0);
+        let benign = lt.labels.values().filter(|l| !l.is_malicious()).count();
+        assert!(benign > 0);
+    }
+
+    #[test]
+    fn restricted_anomaly_classes_respected() {
+        let cfg = SimConfig {
+            anomaly_fraction: 0.5,
+            anomaly_classes: vec![AnomalyClass::PortScan],
+            n_sessions: 40,
+            ..small_config()
+        };
+        let lt = simulate(&cfg);
+        for label in lt.labels.values() {
+            if let Some(a) = label.anomaly {
+                assert_eq!(a, AnomalyClass::PortScan);
+            }
+        }
+    }
+
+    #[test]
+    fn dhcp_boot_present_when_enabled() {
+        let lt = simulate(&small_config());
+        let has_dhcp = lt.labels.values().any(|l| l.app == AppClass::Dhcp);
+        assert!(has_dhcp);
+        let off = simulate(&SimConfig { boot_dhcp: false, n_sessions: 10, ..small_config() });
+        let has_dhcp = off.labels.values().any(|l| l.app == AppClass::Dhcp);
+        assert!(!has_dhcp);
+    }
+
+    #[test]
+    fn app_diversity_present() {
+        let lt = simulate(&SimConfig { n_sessions: 150, ..small_config() });
+        let mut seen: Vec<AppClass> = lt.labels.values().map(|l| l.app).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 6, "apps seen: {seen:?}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the full pretrain → fine-tune → evaluate loop in one file.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use nfm_core::netglue::Task;
+use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, PipelineConfig};
+use nfm_core::report::{f3, Table};
+use nfm_model::pretrain::PretrainConfig;
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_traffic::dataset::{extract_flows, split_train_val, Environment};
+
+fn main() {
+    println!("== nfm quickstart ==\n");
+
+    // 1. "Collect" abundant unlabeled traffic (paper §3.2): simulate a
+    //    capture point watching a mixed client population.
+    let pretrain_envs = Environment::pretrain_mix(260);
+    let traces: Vec<_> = pretrain_envs.iter().map(|e| e.simulate().trace).collect();
+    let trace_refs: Vec<_> = traces.iter().collect();
+    let n_packets: usize = traces.iter().map(|t| t.len()).sum();
+    println!("unlabeled corpus: {n_packets} packets across {} traces", traces.len());
+
+    // 2. Pre-train the foundation model with the field-aware tokenizer.
+    let tokenizer = FieldTokenizer::new();
+    let config = PipelineConfig {
+        pretrain: PretrainConfig { epochs: 2, ..PretrainConfig::default() },
+        ..PipelineConfig::default()
+    };
+    let (fm, stats) = FoundationModel::pretrain_on(&trace_refs, &tokenizer, &config);
+    println!(
+        "pretrained: vocab={} params; MLM loss {:.3} → {:.3}, masked-token accuracy {}",
+        fm.vocab.len(),
+        stats.mlm_loss.first().unwrap_or(&0.0),
+        stats.mlm_loss.last().unwrap_or(&0.0),
+        f3(stats.final_mlm_accuracy as f64),
+    );
+
+    // 3. Fine-tune on a small labeled set for application classification.
+    let labeled = Environment::env_a(140).simulate();
+    let flows = extract_flows(&labeled, 2);
+    let examples = Task::AppClassification.examples(&flows, &tokenizer, 94);
+    let (train, eval) = split_train_val(flows, 0.3);
+    let train_ex = Task::AppClassification.examples(&train, &tokenizer, 94);
+    let eval_ex = Task::AppClassification.examples(&eval, &tokenizer, 94);
+    println!(
+        "\nlabeled flows: {} total → {} train / {} eval",
+        examples.len(),
+        train_ex.len(),
+        eval_ex.len()
+    );
+    let clf = FmClassifier::fine_tune(
+        &fm,
+        &train_ex,
+        Task::AppClassification.n_classes(),
+        &FineTuneConfig::default(),
+    );
+
+    // 4. Evaluate.
+    let confusion = clf.evaluate(&eval_ex);
+    println!(
+        "\napp classification: accuracy {}  macro-F1 {}\n",
+        f3(confusion.accuracy()),
+        f3(confusion.macro_f1())
+    );
+    let mut table = Table::new(&["class", "precision", "recall", "f1"]);
+    for id in 0..Task::AppClassification.n_classes() {
+        if confusion.recall(id).is_none() {
+            continue;
+        }
+        table.row(&[
+            Task::AppClassification.class_name(id),
+            f3(confusion.precision(id).unwrap_or(0.0)),
+            f3(confusion.recall(id).unwrap_or(0.0)),
+            f3(confusion.f1(id).unwrap_or(0.0)),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,23 @@
+//! # nfm — network foundation models
+//!
+//! Facade crate re-exporting the full stack. See the README for a tour and
+//! DESIGN.md for the system inventory; the runnable entry points are the
+//! `examples/` directory and the experiment binaries in `crates/bench`.
+//!
+//! Layer map (bottom-up):
+//! - [`net`] — packet formats, flows, pcap (substrate).
+//! - [`traffic`] — synthetic labeled traffic generation (substrate).
+//! - [`tensor`] — matrices, layers, optimizers (substrate).
+//! - [`model`] — tokenizers, contexts, embeddings, GRU/transformer,
+//!   pre-training objectives.
+//! - [`core`] — the foundation-model pipeline, baselines, OOD detection,
+//!   interpretability, NetGLUE.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use nfm_core as core;
+pub use nfm_model as model;
+pub use nfm_net as net;
+pub use nfm_tensor as tensor;
+pub use nfm_traffic as traffic;

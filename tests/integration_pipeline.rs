@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: traffic generation → tokenization →
+//! pre-training → fine-tuning → evaluation, plus determinism and file IO.
+
+use nfm::core::netglue::Task;
+use nfm::core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, PipelineConfig};
+use nfm::model::pretrain::{PretrainConfig, TaskMix};
+use nfm::model::tokenize::field::FieldTokenizer;
+use nfm::traffic::dataset::{extract_flows, split_train_val, Environment};
+use nfm::traffic::netsim::{simulate, SimConfig};
+
+fn tiny_pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        max_len: 48,
+        pretrain: PretrainConfig {
+            epochs: 1,
+            tasks: TaskMix::mlm_only(),
+            ..PretrainConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn end_to_end_pretrain_finetune_evaluate() {
+    let lt = simulate(&SimConfig { n_sessions: 60, n_general_hosts: 4, n_iot_sets: 1, ..SimConfig::default() });
+    let tokenizer = FieldTokenizer::new();
+    let (fm, stats) =
+        FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &tiny_pipeline_config());
+    // One epoch at d=16 with name-focused masking is a hard MLM setup;
+    // chance over this vocabulary is < 1%, so > 5% proves learning.
+    assert!(stats.final_mlm_accuracy > 0.05, "mlm acc {}", stats.final_mlm_accuracy);
+
+    let flows = extract_flows(&lt, 2);
+    let (train_flows, eval_flows) = split_train_val(flows, 0.3);
+    let task = Task::AppClassification;
+    let train = task.examples(&train_flows, &tokenizer, 46);
+    let eval = task.examples(&eval_flows, &tokenizer, 46);
+    assert!(!train.is_empty() && !eval.is_empty());
+
+    let clf = FmClassifier::fine_tune(
+        &fm,
+        &train,
+        task.n_classes(),
+        &FineTuneConfig { epochs: 3, ..FineTuneConfig::default() },
+    );
+    let confusion = clf.evaluate(&eval);
+    // Must beat the majority-class rate by a clear margin on this easy mix.
+    assert!(confusion.accuracy() > 0.5, "accuracy {}", confusion.accuracy());
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let lt = simulate(&SimConfig { n_sessions: 25, n_general_hosts: 3, n_iot_sets: 1, ..SimConfig::default() });
+        let tokenizer = FieldTokenizer::new();
+        let (fm, stats) =
+            FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &tiny_pipeline_config());
+        (fm.vocab.len(), stats.mlm_loss.clone(), fm.encoder.token_embeddings().data().to_vec())
+    };
+    let (v1, l1, e1) = run();
+    let (v2, l2, e2) = run();
+    assert_eq!(v1, v2);
+    assert_eq!(l1, l2);
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn environments_shift_but_pretraining_covers_both() {
+    // The pretraining mixture's vocabulary must cover tokens from both
+    // environments — the mechanism behind the E1 transfer result.
+    let tokenizer = FieldTokenizer::new();
+    let envs = Environment::pretrain_mix(60);
+    let traces: Vec<_> = envs.iter().map(|e| e.simulate().trace).collect();
+    let refs: Vec<_> = traces.iter().collect();
+    let (fm, _) = FoundationModel::pretrain_on(&refs, &tokenizer, &tiny_pipeline_config());
+
+    let lt_b = Environment::env_b(40).simulate();
+    let flows_b = extract_flows(&lt_b, 2);
+    let examples = Task::AppClassification.examples(&flows_b, &tokenizer, 46);
+    // Count env-B tokens known to the FM vocabulary.
+    let mut known = 0usize;
+    let mut total = 0usize;
+    for e in &examples {
+        for t in &e.tokens {
+            total += 1;
+            if fm.vocab.id_exact(t).is_some() {
+                known += 1;
+            }
+        }
+    }
+    let coverage = known as f64 / total.max(1) as f64;
+    assert!(coverage > 0.8, "vocab coverage of env-B: {coverage}");
+}
+
+#[test]
+fn pcap_file_round_trip_through_filesystem() {
+    let lt = simulate(&SimConfig { n_sessions: 15, ..SimConfig::default() });
+    let path = std::env::temp_dir().join(format!("nfm_it_{}.pcap", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        nfm::net::pcap::write(&mut f, &lt.trace).unwrap();
+    }
+    let mut f = std::fs::File::open(&path).unwrap();
+    let back = nfm::net::pcap::read(&mut f).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back.len(), lt.trace.len());
+    for (a, b) in back.packets().iter().zip(lt.trace.packets()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn every_generated_packet_parses_and_reemits_identically() {
+    let lt = simulate(&SimConfig { n_sessions: 40, anomaly_fraction: 0.2, ..SimConfig::default() });
+    for tp in lt.trace.packets() {
+        let parsed = tp.parse().expect("generator emits valid packets");
+        assert_eq!(parsed.emit(), tp.frame, "emit∘parse must be identity");
+    }
+}
+
+#[test]
+fn netglue_tasks_consistent_across_crates() {
+    let lt = simulate(&SimConfig {
+        n_sessions: 60,
+        anomaly_fraction: 0.15,
+        ..SimConfig::default()
+    });
+    let flows = extract_flows(&lt, 1);
+    let tokenizer = FieldTokenizer::new();
+    for task in Task::ALL {
+        let examples = task.examples(&flows, &tokenizer, 64);
+        assert!(!examples.is_empty(), "{}", task.name());
+        for e in &examples {
+            assert!(e.label < task.n_classes());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration tests asserting the statistical realism properties the
+//! traffic generator promises — the properties the models rely on.
+
+use std::collections::{BTreeMap, HashSet};
+
+use nfm::net::flow::FlowTable;
+use nfm::net::packet::Transport;
+use nfm::traffic::dataset::extract_flows;
+use nfm::traffic::netsim::{simulate, SimConfig};
+use nfm::traffic::{AppClass, DeviceClass};
+
+fn big_sim() -> nfm::traffic::LabeledTrace {
+    simulate(&SimConfig {
+        n_sessions: 250,
+        n_general_hosts: 8,
+        n_iot_sets: 2,
+        ..SimConfig::default()
+    })
+}
+
+#[test]
+fn app_classes_have_distinct_port_profiles() {
+    let lt = big_sim();
+    let flows = extract_flows(&lt, 1);
+    let mut ports_by_app: BTreeMap<AppClass, HashSet<u16>> = BTreeMap::new();
+    for f in &flows {
+        let server_port = f.key.src_port.min(f.key.dst_port);
+        ports_by_app.entry(f.label.app).or_default().insert(server_port);
+    }
+    // DNS flows always involve port 53; NTP always 123.
+    assert_eq!(ports_by_app[&AppClass::Ntp], HashSet::from([123]));
+    assert!(ports_by_app[&AppClass::Dns].contains(&53));
+    assert!(ports_by_app[&AppClass::Mail].iter().all(|p| [25, 143, 53].contains(p)));
+}
+
+#[test]
+fn video_flows_are_heavier_than_iot_telemetry() {
+    let lt = big_sim();
+    let flows = extract_flows(&lt, 1);
+    let mean_bytes = |app: AppClass| {
+        let v: Vec<usize> = flows
+            .iter()
+            .filter(|f| f.label.app == app && f.key.protocol == 6)
+            .map(|f| f.stats.total_bytes())
+            .collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<usize>() as f64 / v.len() as f64
+        }
+    };
+    let video = mean_bytes(AppClass::Video);
+    let iot = mean_bytes(AppClass::Iot);
+    assert!(video > iot * 3.0, "video {video} vs iot {iot}");
+}
+
+#[test]
+fn device_fingerprints_differ() {
+    let lt = big_sim();
+    let flows = extract_flows(&lt, 1);
+    // Workstations stamp TTL 128, IoT devices 64 — recoverable from packets.
+    let mut ttl_by_device: BTreeMap<DeviceClass, HashSet<u8>> = BTreeMap::new();
+    for f in &flows {
+        for tp in &f.packets {
+            if let Ok(p) = tp.parse() {
+                // Client-originated packets only (client IP is in 192.168/16).
+                let src = match p.ip.src() {
+                    std::net::IpAddr::V4(a) => a,
+                    _ => continue,
+                };
+                if src.octets()[0] == 192 && src.octets()[1] == 168 {
+                    ttl_by_device.entry(f.label.device).or_default().insert(p.ip.ttl());
+                }
+            }
+        }
+    }
+    if let (Some(ws), Some(cam)) = (
+        ttl_by_device.get(&DeviceClass::Workstation),
+        ttl_by_device.get(&DeviceClass::Camera),
+    ) {
+        assert!(ws.contains(&128));
+        assert!(!cam.contains(&128));
+    }
+}
+
+#[test]
+fn capture_point_sees_concurrent_flows() {
+    let lt = big_sim();
+    // Within any 1-second window mid-trace there should be packets from
+    // multiple flows (the §4.1.3 interleaving property).
+    let mid = lt.trace.packets()[lt.trace.len() / 2].ts_us;
+    let window = lt.trace.window(mid, mid + 1_000_000);
+    let table = FlowTable::from_trace(window.packets().iter());
+    assert!(table.len() > 1, "flows in 1s window: {}", table.len());
+}
+
+#[test]
+fn tls_handshakes_carry_device_ciphersuites() {
+    let lt = big_sim();
+    let mut iot_weak = 0usize;
+    let mut iot_total = 0usize;
+    for tp in lt.trace.packets() {
+        let Ok(p) = tp.parse() else { continue };
+        let Transport::Tcp { repr, payload } = &p.transport else { continue };
+        if repr.dst_port != 443 || payload.is_empty() {
+            continue;
+        }
+        let Ok(records) = nfm::net::wire::tls::Record::parse_all(payload) else { continue };
+        for r in records {
+            if let Ok(hello) = nfm::net::wire::tls::ClientHello::parse(&r.payload) {
+                let label = lt.label_of(&nfm::net::flow::FlowKey::from_packet(&p));
+                if let Some(l) = label {
+                    if matches!(l.device, DeviceClass::Thermostat | DeviceClass::SmartBulb) {
+                        iot_total += 1;
+                        if hello
+                            .ciphersuites
+                            .iter()
+                            .all(|&s| !nfm::net::wire::tls::suites::is_strong(s))
+                        {
+                            iot_weak += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if iot_total > 0 {
+        assert_eq!(iot_weak, iot_total, "constrained IoT always offers weak suites");
+    }
+}
+
+#[test]
+fn flow_interarrival_is_poisson_like() {
+    let lt = big_sim();
+    let flows = extract_flows(&lt, 1);
+    let mut starts: Vec<u64> = flows.iter().map(|f| f.stats.first_ts_us).collect();
+    starts.sort_unstable();
+    let gaps: Vec<f64> = starts.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    // Exponential inter-arrivals: coefficient of variation ≈ 1.
+    let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+    let cv = var.sqrt() / mean;
+    assert!(cv > 0.5 && cv < 3.0, "cv {cv}");
+}
