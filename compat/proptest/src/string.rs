@@ -1,0 +1,176 @@
+//! A miniature `string_regex`: supports concatenations of literal
+//! characters and character classes (`[a-z0-9_]`), each optionally followed
+//! by a `{m,n}`, `{n}`, `*`, `+`, or `?` repetition. That covers the
+//! patterns this workspace's tests use; anything fancier returns an error.
+
+use rand::Rng;
+
+use crate::{Strategy, TestRng};
+
+/// Pattern-parse error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    choices: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Strategy generating strings matching a (restricted) regex.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    pieces: Vec<Piece>,
+}
+
+/// Build a string strategy from `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut pieces = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or_else(|| Error("unterminated class".into()))?
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        if lo > hi {
+                            return Err(Error(format!("bad range {lo}-{hi}")));
+                        }
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                if set.is_empty() {
+                    return Err(Error("empty class".into()));
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                let c = *chars.get(i + 1).ok_or_else(|| Error("trailing backslash".into()))?;
+                i += 2;
+                match c {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+                    other => vec![other],
+                }
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!("unsupported metacharacter `{}`", chars[i])))
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error("unterminated repetition".into()))?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let parsed = if let Some((lo, hi)) = body.split_once(',') {
+                    let lo = lo.trim().parse().map_err(|_| Error("bad repetition".into()))?;
+                    let hi = hi.trim().parse().map_err(|_| Error("bad repetition".into()))?;
+                    (lo, hi)
+                } else {
+                    let n = body.trim().parse().map_err(|_| Error("bad repetition".into()))?;
+                    (n, n)
+                };
+                i = close + 1;
+                parsed
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        if min > max {
+            return Err(Error("repetition min > max".into()));
+        }
+        pieces.push(Piece { choices, min, max });
+    }
+    Ok(RegexGeneratorStrategy { pieces })
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = rng.rng().gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                let k = rng.rng().gen_range(0..piece.choices.len());
+                out.push(piece.choices[k]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRng;
+
+    #[test]
+    fn class_with_counted_repetition() {
+        let s = string_regex("[a-z0-9]{1,12}").expect("parse");
+        let mut rng = TestRng::for_test("class_rep");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..=12).contains(&v.len()), "{v}");
+            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let s = string_regex("ab\\d{2}c?").expect("parse");
+        let mut rng = TestRng::for_test("lit");
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v.starts_with("ab"));
+            assert!(v[2..4].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn alternation_is_rejected() {
+        assert!(string_regex("a|b").is_err());
+    }
+}

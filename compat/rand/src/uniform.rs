@@ -1,0 +1,128 @@
+//! Uniform range sampling for `Rng::gen_range`.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::RngCore;
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Sample from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// The maximum representable value (upper bound for `low..`).
+    fn max_value() -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {
+        $(impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = high.wrapping_sub(low) as $u as u128;
+                low.wrapping_add((rng.next_u64() as u128 % span) as $u as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high.wrapping_sub(low) as $u as u128) + 1;
+                low.wrapping_add(((rng.next_u64() as u128 % span) as $u) as $t)
+            }
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+        })*
+    };
+}
+
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {
+        $(impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = low as f64 + unit * (high as f64 - low as f64);
+                // Guard against rounding up to the open bound.
+                if v as $t >= high { low } else { v as $t }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                (low as f64 + unit * (high as f64 - low as f64)) as $t
+            }
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+        })*
+    };
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Range expressions accepted by `Rng::gen_range`.
+pub trait SampleRange<T: SampleUniform> {
+    /// Sample one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeFrom<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.start, T::max_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn signed_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v: i32 = rng.gen_range(-100..100);
+            assert!((-100..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_half_open_never_hits_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2000 {
+            let v = rng.gen_range(0.0f64..1e-300);
+            assert!(v < 1e-300);
+        }
+    }
+
+    #[test]
+    fn range_from_is_bounded_by_max() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v: u16 = rng.gen_range(1u16..);
+            assert!(v >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = rng.gen_range(5usize..5);
+    }
+}

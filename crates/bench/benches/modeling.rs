@@ -44,14 +44,13 @@ fn bench_attention(c: &mut Criterion) {
 
 fn bench_encoder(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let cfg = EncoderConfig { vocab: 512, d_model: 32, n_heads: 4, n_layers: 2, d_ff: 64, max_len: 96 };
+    let cfg =
+        EncoderConfig { vocab: 512, d_model: 32, n_heads: 4, n_layers: 2, d_ff: 64, max_len: 96 };
     let mut enc = Encoder::new(&mut rng, cfg);
     let ids: Vec<usize> = (0..64).map(|i| 5 + i % 500).collect();
     let mut g = c.benchmark_group("encoder");
     g.throughput(Throughput::Elements(64));
-    g.bench_function("forward_T64_L2_d32", |b| {
-        b.iter(|| enc.forward_inference(&ids).norm())
-    });
+    g.bench_function("forward_T64_L2_d32", |b| b.iter(|| enc.forward_inference(&ids).norm()));
     g.bench_function("train_step_T64", |b| {
         b.iter(|| {
             enc.zero_grad();

@@ -10,8 +10,13 @@ use nfm_net::packet::Packet;
 use nfm_traffic::netsim::{simulate, SimConfig};
 
 fn sample_trace() -> nfm_net::Trace {
-    simulate(&SimConfig { n_sessions: 80, n_general_hosts: 4, n_iot_sets: 1, ..SimConfig::default() })
-        .trace
+    simulate(&SimConfig {
+        n_sessions: 80,
+        n_general_hosts: 4,
+        n_iot_sets: 1,
+        ..SimConfig::default()
+    })
+    .trace
 }
 
 fn bench_parse(c: &mut Criterion) {

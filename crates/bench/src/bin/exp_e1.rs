@@ -59,8 +59,7 @@ fn main() {
         eval_b.len()
     );
 
-    let mut table_a =
-        Table::new(&["model", "f1 env-A", "f1 env-B (independent)", "retention"]);
+    let mut table_a = Table::new(&["model", "f1 env-A", "f1 env-B (independent)", "retention"]);
     for family in ModelFamily::ALL {
         println!("training {}…", family.name());
         let model = train_family(family, &fm, &train, task.n_classes(), &scale);
@@ -91,8 +90,7 @@ fn main() {
         eval_a.len(),
         eval_b.len()
     );
-    let mut table_b =
-        Table::new(&["model", "f1 env-A", "f1 env-B (disjoint names)", "retention"]);
+    let mut table_b = Table::new(&["model", "f1 env-A", "f1 env-B (disjoint names)", "retention"]);
     for family in ModelFamily::ALL {
         println!("training {}…", family.name());
         let model = train_family(family, &fm_dns, train, dns_category_classes(), &scale);

@@ -38,17 +38,10 @@ fn main() {
     let train = task.examples(&train_flows, &tokenizer, 94);
     let eval = task.examples(&eval_flows, &tokenizer, 94);
 
-    let sizes: [(usize, usize, usize); 4] =
-        [(16, 2, 1), (32, 4, 2), (64, 4, 2), (64, 4, 4)];
+    let sizes: [(usize, usize, usize); 4] = [(16, 2, 1), (32, 4, 2), (64, 4, 2), (64, 4, 4)];
 
-    let mut table = Table::new(&[
-        "d_model",
-        "layers",
-        "params",
-        "pretrain s",
-        "infer seq/s",
-        "downstream f1",
-    ]);
+    let mut table =
+        Table::new(&["d_model", "layers", "params", "pretrain s", "infer seq/s", "downstream f1"]);
     for (d_model, n_heads, n_layers) in sizes {
         println!("size d={d_model} L={n_layers}…");
         let cfg = PipelineConfig {
@@ -60,7 +53,8 @@ fn main() {
             ..PipelineConfig::default()
         };
         let t0 = Instant::now();
-        let (fm, _) = FoundationModel::pretrain_on(&refs, &tokenizer, &cfg);
+        let (fm, _) =
+            FoundationModel::pretrain_on(&refs, &tokenizer, &cfg).expect("pretraining failed");
         let pretrain_s = t0.elapsed().as_secs_f64();
         let mut enc = fm.encoder.clone();
         let params = enc.n_params();

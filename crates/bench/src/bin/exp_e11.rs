@@ -49,8 +49,13 @@ fn main() {
         ("unified", None),
     ];
 
-    let mut table =
-        Table::new(&["pretrain corpus", "corpus packets", "vocab", "downstream acc", "downstream f1"]);
+    let mut table = Table::new(&[
+        "pretrain corpus",
+        "corpus packets",
+        "vocab",
+        "downstream acc",
+        "downstream f1",
+    ]);
     for (name, ports) in corpora {
         let sliced: Vec<Trace> = match &ports {
             Some(ports) => traces.iter().map(|t| protocol_slice(t, ports)).collect(),
@@ -60,7 +65,8 @@ fn main() {
         println!("pretraining {name} on {n_packets} packets…");
         let refs: Vec<&Trace> = sliced.iter().collect();
         let cfg = pipeline_config(&scale);
-        let (fm, _) = FoundationModel::pretrain_on(&refs, &tokenizer, &cfg);
+        let (fm, _) =
+            FoundationModel::pretrain_on(&refs, &tokenizer, &cfg).expect("pretraining failed");
         let model = train_family(ModelFamily::FmFinetuned, &fm, &train, task.n_classes(), &scale);
         let confusion = model.evaluate(&eval);
         table.row(&[

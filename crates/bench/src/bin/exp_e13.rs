@@ -36,11 +36,9 @@ fn main() {
 
     // Independent evaluation capture, degraded at increasing severities.
     let base = Environment::env_a(scale.labeled_sessions / 2);
-    let eval_lt = Environment {
-        name: "eval",
-        config: nfm_traffic::SimConfig { seed: 0xE13, ..base.config },
-    }
-    .simulate();
+    let eval_lt =
+        Environment { name: "eval", config: nfm_traffic::SimConfig { seed: 0xE13, ..base.config } }
+            .simulate();
 
     let severities: [(&str, FaultConfig); 5] = [
         ("clean", FaultConfig::default()),

@@ -43,9 +43,8 @@ fn probe(table: &mut Table, model: &str, emb: &Matrix, vocab: &Vocab) {
             ]);
             continue;
         };
-        let rank = neighbor_rank(emb, vocab, q, e, 50)
-            .map(|r| r.to_string())
-            .unwrap_or(">50".into());
+        let rank =
+            neighbor_rank(emb, vocab, q, e, 50).map(|r| r.to_string()).unwrap_or(">50".into());
         let top: Vec<String> = nearest_neighbors(emb, vocab, q, 3)
             .into_iter()
             .map(|n| format!("{}({})", n.token, f3(n.similarity as f64)))
@@ -106,7 +105,8 @@ fn main() {
     println!("pretraining foundation model…\n");
     let fm = pretrain_standard(&scale, &tokenizer, TaskMix::default());
 
-    let mut table = Table::new(&["embeddings", "query", "expected", "rank", "top-3 neighbors", "note"]);
+    let mut table =
+        Table::new(&["embeddings", "query", "expected", "rank", "top-3 neighbors", "note"]);
     probe(&mut table, "word2vec", &w2v.embeddings, &vocab);
     probe(&mut table, "fm-input", fm.encoder.token_embeddings(), &fm.vocab);
     emit(&table);

@@ -77,7 +77,11 @@ fn main() {
     let encoded: Vec<Vec<usize>> = contexts.iter().map(|c| vocab.encode(c)).collect();
 
     println!("training word2vec skip-gram on {} contexts…", contexts.len());
-    let w2v = Word2Vec::train(&encoded, &vocab, &Word2VecConfig { dim: 32, epochs: 6, ..Word2VecConfig::default() });
+    let w2v = Word2Vec::train(
+        &encoded,
+        &vocab,
+        &Word2VecConfig { dim: 32, epochs: 6, ..Word2VecConfig::default() },
+    );
 
     println!("pretraining foundation model…\n");
     let fm = pretrain_standard(&scale, &tokenizer, TaskMix::default());

@@ -25,7 +25,8 @@ fn run_one(
     table: &mut Table,
 ) {
     let cfg = pipeline_config(scale);
-    let (fm, stats) = FoundationModel::pretrain_on(traces, tokenizer, &cfg);
+    let (fm, stats) =
+        FoundationModel::pretrain_on(traces, tokenizer, &cfg).expect("pretraining failed");
 
     let task = Task::AppClassification;
     let lt_a = Environment::env_a(scale.labeled_sessions).simulate();
@@ -36,8 +37,8 @@ fn run_one(
 
     let model = train_family(ModelFamily::FmFinetuned, &fm, &train, task.n_classes(), scale);
     let confusion = model.evaluate(&eval);
-    let mean_len: f64 = eval.iter().map(|e| e.tokens.len()).sum::<usize>() as f64
-        / eval.len().max(1) as f64;
+    let mean_len: f64 =
+        eval.iter().map(|e| e.tokens.len()).sum::<usize>() as f64 / eval.len().max(1) as f64;
     table.row(&[
         name.to_string(),
         fm.vocab.len().to_string(),

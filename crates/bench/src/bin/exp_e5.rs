@@ -43,18 +43,14 @@ fn main() {
         ContextStrategy::ClientWindow { window_us: 5_000_000 },
     ];
 
-    let mut table = Table::new(&[
-        "pretrain context",
-        "contexts",
-        "mlm acc",
-        "downstream acc",
-        "downstream f1",
-    ]);
+    let mut table =
+        Table::new(&["pretrain context", "contexts", "mlm acc", "downstream acc", "downstream f1"]);
     for strategy in strategies {
         println!("pretraining with {} contexts…", strategy.name());
         let mut cfg = pipeline_config(&scale);
         cfg.context = strategy;
-        let (fm, stats) = FoundationModel::pretrain_on(&refs, &tokenizer, &cfg);
+        let (fm, stats) =
+            FoundationModel::pretrain_on(&refs, &tokenizer, &cfg).expect("pretraining failed");
         let n_ctx: usize = traces
             .iter()
             .map(|t| {

@@ -36,8 +36,7 @@ fn main() {
         TaskMix { mlm: true, next_flow: true, query_answer: true },
     ];
 
-    let mut table =
-        Table::new(&["pretrain tasks", "downstream acc", "downstream f1"]);
+    let mut table = Table::new(&["pretrain tasks", "downstream acc", "downstream f1"]);
     for mix in mixes {
         println!("pretraining with {}…", mix.name());
         let fm = pretrain_standard(&scale, &tokenizer, mix);

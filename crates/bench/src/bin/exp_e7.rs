@@ -71,10 +71,8 @@ fn main() {
         let mut s = scale;
         s.finetune_epochs = scale.finetune_epochs.max(300 / n.max(1));
         s.baseline_epochs = scale.baseline_epochs.max(300 / n.max(1));
-        let fm_model =
-            train_family(ModelFamily::FmFinetuned, &fm, &subset, task.n_classes(), &s);
-        let gru_model =
-            train_family(ModelFamily::GruRandom, &fm, &subset, task.n_classes(), &s);
+        let fm_model = train_family(ModelFamily::FmFinetuned, &fm, &subset, task.n_classes(), &s);
+        let gru_model = train_family(ModelFamily::GruRandom, &fm, &subset, task.n_classes(), &s);
         let f_fm = fm_model.evaluate(&eval).macro_f1();
         let f_gru = gru_model.evaluate(&eval).macro_f1();
         println!("n={n}: fm {:.3} gru {:.3}", f_fm, f_gru);

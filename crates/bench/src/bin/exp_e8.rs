@@ -52,17 +52,21 @@ fn main() {
     // Two encoders: pre-trained vs never-pre-trained (ablation).
     println!("pretraining encoder…");
     let cfg = pipeline_config(&scale);
-    let (fm_pre, _) = FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &cfg);
+    let (fm_pre, _) = FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &cfg)
+        .expect("pretraining failed");
     println!("building random-init encoder (no pretraining)…\n");
     let no_pretrain_cfg = PipelineConfig {
         pretrain: PretrainConfig { epochs: 0, ..PretrainConfig::default() },
         ..cfg.clone()
     };
-    let (fm_rand, _) = FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &no_pretrain_cfg);
+    let (fm_rand, _) =
+        FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &no_pretrain_cfg)
+            .expect("pretraining failed");
 
     let ft = FineTuneConfig { epochs: scale.finetune_epochs, ..FineTuneConfig::default() };
-    let clf_pre = FmClassifier::fine_tune(&fm_pre, &train_ex, 2, &ft);
-    let clf_rand = FmClassifier::fine_tune(&fm_rand, &train_ex, 2, &ft);
+    let clf_pre = FmClassifier::fine_tune(&fm_pre, &train_ex, 2, &ft).expect("fine-tuning failed");
+    let clf_rand =
+        FmClassifier::fine_tune(&fm_rand, &train_ex, 2, &ft).expect("fine-tuning failed");
 
     let benign = flows_tokens(&eval_flows, &tokenizer, |f| !f.label.is_malicious());
     println!("eval: {} benign flows; zero-days: {:?}\n", benign.len(), split.zero_day);
@@ -71,15 +75,14 @@ fn main() {
     for (enc_name, clf) in [("pretrained", &clf_pre), ("random-init", &clf_rand)] {
         let detector = OodDetector::new(clf, &train_ex);
         for class in &split.zero_day {
-            let attacks = flows_tokens(&eval_flows, &tokenizer, |f| f.label.anomaly == Some(*class));
+            let attacks =
+                flows_tokens(&eval_flows, &tokenizer, |f| f.label.anomaly == Some(*class));
             if attacks.is_empty() {
                 continue;
             }
             for score in OodScore::ALL {
-                let pos: Vec<f64> =
-                    attacks.iter().map(|t| detector.score(t, score)).collect();
-                let neg: Vec<f64> =
-                    benign.iter().map(|t| detector.score(t, score)).collect();
+                let pos: Vec<f64> = attacks.iter().map(|t| detector.score(t, score)).collect();
+                let neg: Vec<f64> = benign.iter().map(|t| detector.score(t, score)).collect();
                 table.row(&[
                     enc_name.to_string(),
                     class.name().to_string(),

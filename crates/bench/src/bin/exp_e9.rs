@@ -84,11 +84,28 @@ fn main() {
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    let mut table = Table::new(&["explanation", "units per example", "deletion AUC (lower=better)"]);
-    table.row(&["occlusion-tokens".into(), format!("{:.1}", mean(&token_units)), f3(mean(&auc_token))]);
-    table.row(&["occlusion-groups".into(), format!("{:.1}", mean(&group_units)), f3(mean(&auc_group))]);
-    table.row(&["attention-rollout".into(), format!("{:.1}", mean(&token_units)), f3(mean(&auc_rollout))]);
-    table.row(&["random-control".into(), format!("{:.1}", mean(&token_units)), f3(mean(&auc_random))]);
+    let mut table =
+        Table::new(&["explanation", "units per example", "deletion AUC (lower=better)"]);
+    table.row(&[
+        "occlusion-tokens".into(),
+        format!("{:.1}", mean(&token_units)),
+        f3(mean(&auc_token)),
+    ]);
+    table.row(&[
+        "occlusion-groups".into(),
+        format!("{:.1}", mean(&group_units)),
+        f3(mean(&auc_group)),
+    ]);
+    table.row(&[
+        "attention-rollout".into(),
+        format!("{:.1}", mean(&token_units)),
+        f3(mean(&auc_rollout)),
+    ]);
+    table.row(&[
+        "random-control".into(),
+        format!("{:.1}", mean(&token_units)),
+        f3(mean(&auc_random)),
+    ]);
     println!();
     emit(&table);
     println!("paper shape: occlusion methods < random; groups give comparable");

@@ -62,7 +62,10 @@ fn main() {
         use nfm_model::embed::word2vec::{Word2Vec, Word2VecConfig};
         use nfm_model::vocab::Vocab;
         use nfm_traffic::dataset::Environment;
-        let envs: Vec<_> = Environment::pretrain_mix(scale.pretrain_sessions).into_iter().map(nfm_bench::dns_heavy).collect();
+        let envs: Vec<_> = Environment::pretrain_mix(scale.pretrain_sessions)
+            .into_iter()
+            .map(nfm_bench::dns_heavy)
+            .collect();
         let traces: Vec<_> = envs.iter().map(|e| e.simulate().trace).collect();
         let mut contexts = Vec::new();
         for t in &traces {

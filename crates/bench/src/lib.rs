@@ -70,10 +70,7 @@ pub fn emit(table: &Table) {
 /// The default pipeline configuration at a given scale.
 pub fn pipeline_config(scale: &Scale) -> PipelineConfig {
     PipelineConfig {
-        pretrain: PretrainConfig {
-            epochs: scale.pretrain_epochs,
-            ..PretrainConfig::default()
-        },
+        pretrain: PretrainConfig { epochs: scale.pretrain_epochs, ..PretrainConfig::default() },
         ..PipelineConfig::default()
     }
 }
@@ -93,7 +90,7 @@ pub fn pretrain_standard(
     // connection), which is where the cross-protocol semantics live; E5
     // ablates this choice.
     cfg.context = nfm_model::context::ContextStrategy::ClientWindow { window_us: 5_000_000 };
-    let (fm, _) = FoundationModel::pretrain_on(&refs, tokenizer, &cfg);
+    let (fm, _) = FoundationModel::pretrain_on(&refs, tokenizer, &cfg).expect("pretraining failed");
     fm
 }
 
@@ -181,7 +178,9 @@ pub fn train_family(
                 pooling: nfm_core::pipeline::Pooling::Mean,
                 ..FineTuneConfig::default()
             };
-            TrainedModel::Fm(FmClassifier::fine_tune(fm, train, n_classes, &cfg))
+            TrainedModel::Fm(
+                FmClassifier::fine_tune(fm, train, n_classes, &cfg).expect("fine-tuning failed"),
+            )
         }
         ModelFamily::FmFinetuned => {
             // Standard BERT recipe: full fine-tuning from the [CLS]
@@ -193,7 +192,9 @@ pub fn train_family(
                 lr: 1e-3,
                 ..FineTuneConfig::default()
             };
-            TrainedModel::Fm(FmClassifier::fine_tune(fm, train, n_classes, &cfg))
+            TrainedModel::Fm(
+                FmClassifier::fine_tune(fm, train, n_classes, &cfg).expect("fine-tuning failed"),
+            )
         }
     }
 }
@@ -207,10 +208,8 @@ pub fn pretrain_dns_heavy(
     tokenizer: &dyn Tokenizer,
     tasks: TaskMix,
 ) -> FoundationModel {
-    let envs: Vec<Environment> = Environment::pretrain_mix(scale.pretrain_sessions)
-        .into_iter()
-        .map(dns_heavy)
-        .collect();
+    let envs: Vec<Environment> =
+        Environment::pretrain_mix(scale.pretrain_sessions).into_iter().map(dns_heavy).collect();
     let traces: Vec<Trace> = envs.iter().map(|e| e.simulate().trace).collect();
     let refs: Vec<&Trace> = traces.iter().collect();
     let mut cfg = pipeline_config(scale);
@@ -218,7 +217,7 @@ pub fn pretrain_dns_heavy(
     // DNS contexts are short and cheap; spend more epochs on them.
     cfg.pretrain.epochs = scale.pretrain_epochs * 3;
     cfg.context = nfm_model::context::ContextStrategy::ClientWindow { window_us: 5_000_000 };
-    let (fm, _) = FoundationModel::pretrain_on(&refs, tokenizer, &cfg);
+    let (fm, _) = FoundationModel::pretrain_on(&refs, tokenizer, &cfg).expect("pretraining failed");
     fm
 }
 
@@ -301,7 +300,9 @@ mod tests {
             baseline_epochs: 4,
         };
         let full = Scale::from_env();
-        assert!(quick.pretrain_sessions < full.pretrain_sessions || std::env::var("NFM_SCALE").is_ok());
+        assert!(
+            quick.pretrain_sessions < full.pretrain_sessions || std::env::var("NFM_SCALE").is_ok()
+        );
     }
 
     #[test]

@@ -94,8 +94,7 @@ impl GruBaseline {
         let mut model =
             GruClassifier::new(&mut rng, vocab.len(), config.d_embed, config.d_hidden, n_classes);
         if kind == BaselineKind::GruGlove {
-            let encoded: Vec<Vec<usize>> =
-                sequences.iter().map(|s| vocab.encode(s)).collect();
+            let encoded: Vec<Vec<usize>> = sequences.iter().map(|s| vocab.encode(s)).collect();
             let glove = Glove::train(
                 &encoded,
                 vocab.len(),
@@ -168,9 +167,8 @@ mod tests {
         (0..n)
             .map(|i| {
                 let label = i % 3;
-                let tokens: Vec<String> = (0..6)
-                    .map(|j| format!("tok{}_{}", label, (i + j) % 4))
-                    .collect();
+                let tokens: Vec<String> =
+                    (0..6).map(|j| format!("tok{}_{}", label, (i + j) % 4)).collect();
                 TextExample { tokens, label }
             })
             .collect()
@@ -205,7 +203,8 @@ mod tests {
     #[test]
     fn unknown_tokens_degrade_gracefully() {
         let train = separable_examples(30);
-        let clf = GruBaseline::train(&train, 3, BaselineKind::GruRandom, &BaselineConfig::default());
+        let clf =
+            GruBaseline::train(&train, 3, BaselineKind::GruRandom, &BaselineConfig::default());
         // Completely unseen vocabulary — prediction must still work.
         let pred = clf.predict(&["never-seen".to_string(), "also-new".to_string()]);
         assert!(pred < 3);

@@ -36,11 +36,7 @@ pub fn occlusion_tokens(clf: &FmClassifier, tokens: &[String]) -> Vec<Attributio
             let mut reduced = tokens.to_vec();
             reduced.remove(i);
             let p = if reduced.is_empty() { 0.0 } else { predicted_prob(clf, &reduced, class) };
-            Attribution {
-                unit: tokens[i].clone(),
-                token_indices: vec![i],
-                importance: base - p,
-            }
+            Attribution { unit: tokens[i].clone(), token_indices: vec![i], importance: base - p }
         })
         .collect()
 }
@@ -111,9 +107,7 @@ pub fn attention_rollout(clf: &mut FmClassifier, tokens: &[String]) -> Vec<f64> 
     }
     // CLS row, skipping CLS itself and the trailing SEP; align with tokens.
     let cls_row = rollout.row(0);
-    (0..tokens.len().min(t.saturating_sub(2)))
-        .map(|i| cls_row[i + 1] as f64)
-        .collect()
+    (0..tokens.len().min(t.saturating_sub(2))).map(|i| cls_row[i + 1] as f64).collect()
 }
 
 /// Deletion-curve fidelity: delete units in decreasing-importance order and
@@ -134,8 +128,7 @@ pub fn deletion_auc(clf: &FmClassifier, tokens: &[String], attributions: &[Attri
             .filter(|(i, _)| !removed.contains(i))
             .map(|(_, t)| t.clone())
             .collect();
-        let p =
-            if reduced.is_empty() { 0.0 } else { predicted_prob(clf, &reduced, class) };
+        let p = if reduced.is_empty() { 0.0 } else { predicted_prob(clf, &reduced, class) };
         curve.push(p);
     }
     // Trapezoidal area normalized by the number of steps.
@@ -158,7 +151,12 @@ mod tests {
     use nfm_traffic::netsim::{simulate, SimConfig};
 
     fn trained_classifier() -> FmClassifier {
-        let lt = simulate(&SimConfig { n_sessions: 25, n_general_hosts: 3, n_iot_sets: 1, ..SimConfig::default() });
+        let lt = simulate(&SimConfig {
+            n_sessions: 25,
+            n_general_hosts: 3,
+            n_iot_sets: 1,
+            ..SimConfig::default()
+        });
         let tok = FieldTokenizer::new();
         let cfg = PipelineConfig {
             d_model: 16,
@@ -166,10 +164,15 @@ mod tests {
             n_layers: 1,
             d_ff: 32,
             max_len: 32,
-            pretrain: PretrainConfig { epochs: 1, tasks: TaskMix::mlm_only(), ..PretrainConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 1,
+                tasks: TaskMix::mlm_only(),
+                ..PretrainConfig::default()
+            },
             ..PipelineConfig::default()
         };
-        let (fm, _) = FoundationModel::pretrain_on(&[&lt.trace], &tok, &cfg);
+        let (fm, _) =
+            FoundationModel::pretrain_on(&[&lt.trace], &tok, &cfg).expect("pretraining failed");
         // Label is decided by the port token — the explanation should find it.
         let train: Vec<TextExample> = (0..30)
             .map(|i| TextExample {
@@ -182,7 +185,13 @@ mod tests {
                 label: i % 2,
             })
             .collect();
-        FmClassifier::fine_tune(&fm, &train, 2, &FineTuneConfig { epochs: 10, ..FineTuneConfig::default() })
+        FmClassifier::fine_tune(
+            &fm,
+            &train,
+            2,
+            &FineTuneConfig { epochs: 10, ..FineTuneConfig::default() },
+        )
+        .expect("fine-tuning failed")
     }
 
     #[test]
@@ -191,7 +200,8 @@ mod tests {
         let tokens: Vec<String> =
             ["IP4", "PROTO_UDP", "PORT_53", "TTL_64"].iter().map(|s| s.to_string()).collect();
         let attrs = occlusion_tokens(&clf, &tokens);
-        let best = attrs.iter().max_by(|a, b| a.importance.partial_cmp(&b.importance).unwrap()).unwrap();
+        let best =
+            attrs.iter().max_by(|a, b| a.importance.partial_cmp(&b.importance).unwrap()).unwrap();
         assert_eq!(best.unit, "PORT_53", "attributions: {attrs:?}");
     }
 

@@ -17,7 +17,8 @@
 //!     &[&unlabeled.trace],
 //!     &tokenizer,
 //!     &PipelineConfig::default(),
-//! );
+//! )
+//! .expect("pretraining failed");
 //! println!("MLM accuracy after pretraining: {:.3}", stats.final_mlm_accuracy);
 //! ```
 
@@ -38,5 +39,5 @@ pub use netglue::Task;
 pub use ood::{OodDetector, OodScore};
 pub use pipeline::{
     examples_from_flows, FineTuneConfig, FmClassifier, FoundationModel, PipelineConfig,
-    TextExample,
+    PipelineError, TextExample,
 };

@@ -136,8 +136,8 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.len() < 2 {
         return (mean, 0.0);
     }
-    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-        / (values.len() - 1) as f64;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
     (mean, var.sqrt())
 }
 

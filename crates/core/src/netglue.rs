@@ -98,11 +98,9 @@ impl Task {
             Task::AppClassification => {
                 examples_from_flows(flows, tokenizer, max_tokens, |f| Some(f.label.app.id()))
             }
-            Task::DeviceClassification => {
-                examples_from_flows(flows, tokenizer, max_tokens, |f| {
-                    (f.label.device != DeviceClass::Server).then(|| f.label.device.id())
-                })
-            }
+            Task::DeviceClassification => examples_from_flows(flows, tokenizer, max_tokens, |f| {
+                (f.label.device != DeviceClass::Server).then(|| f.label.device.id())
+            }),
             Task::MalwareDetection => examples_from_flows(flows, tokenizer, max_tokens, |f| {
                 Some(usize::from(f.label.is_malicious()))
             }),
@@ -112,15 +110,11 @@ impl Task {
                     if f.packets.len() < 5 {
                         return None; // need a future to predict
                     }
-                    let tokens =
-                        first_m_of_n_context(&f.packets, tokenizer, 12, 4, max_tokens);
+                    let tokens = first_m_of_n_context(&f.packets, tokenizer, 12, 4, max_tokens);
                     if tokens.is_empty() {
                         return None;
                     }
-                    Some(TextExample {
-                        tokens,
-                        label: Self::size_bucket(f.stats.total_bytes()),
-                    })
+                    Some(TextExample { tokens, label: Self::size_bucket(f.stats.total_bytes()) })
                 })
                 .collect(),
         }

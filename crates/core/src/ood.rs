@@ -83,10 +83,8 @@ impl EmbeddingStats {
                 var[i] += (d * d) as f64;
             }
         }
-        let var: Vec<f32> = var
-            .iter()
-            .map(|v| ((v / total.max(1) as f64) as f32).max(1e-4))
-            .collect();
+        let var: Vec<f32> =
+            var.iter().map(|v| ((v / total.max(1) as f64) as f32).max(1e-4)).collect();
         EmbeddingStats { means, var }
     }
 
@@ -131,12 +129,7 @@ impl<'a> OodDetector<'a> {
                 // −E = log Σ exp(l); OOD score = −log Σ exp = E.
                 let mut m = Matrix::from_vec(1, logits.len(), logits.clone());
                 let max = m.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let lse = max
-                    + m.data_mut()
-                        .iter()
-                        .map(|v| (*v - max).exp())
-                        .sum::<f32>()
-                        .ln();
+                let lse = max + m.data_mut().iter().map(|v| (*v - max).exp()).sum::<f32>().ln();
                 -(lse as f64)
             }
             OodScore::Mahalanobis => {
@@ -162,7 +155,12 @@ mod tests {
     use nfm_traffic::netsim::{simulate, SimConfig};
 
     fn setup() -> (FmClassifier, Vec<TextExample>) {
-        let lt = simulate(&SimConfig { n_sessions: 25, n_general_hosts: 3, n_iot_sets: 1, ..SimConfig::default() });
+        let lt = simulate(&SimConfig {
+            n_sessions: 25,
+            n_general_hosts: 3,
+            n_iot_sets: 1,
+            ..SimConfig::default()
+        });
         let tok = FieldTokenizer::new();
         let cfg = PipelineConfig {
             d_model: 16,
@@ -170,10 +168,15 @@ mod tests {
             n_layers: 1,
             d_ff: 32,
             max_len: 32,
-            pretrain: PretrainConfig { epochs: 1, tasks: TaskMix::mlm_only(), ..PretrainConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 1,
+                tasks: TaskMix::mlm_only(),
+                ..PretrainConfig::default()
+            },
             ..PipelineConfig::default()
         };
-        let (fm, _) = FoundationModel::pretrain_on(&[&lt.trace], &tok, &cfg);
+        let (fm, _) =
+            FoundationModel::pretrain_on(&[&lt.trace], &tok, &cfg).expect("pretraining failed");
         let train: Vec<TextExample> = (0..24)
             .map(|i| TextExample {
                 tokens: vec![
@@ -183,7 +186,13 @@ mod tests {
                 label: i % 2,
             })
             .collect();
-        let clf = FmClassifier::fine_tune(&fm, &train, 2, &FineTuneConfig { epochs: 6, ..FineTuneConfig::default() });
+        let clf = FmClassifier::fine_tune(
+            &fm,
+            &train,
+            2,
+            &FineTuneConfig { epochs: 6, ..FineTuneConfig::default() },
+        )
+        .expect("fine-tuning failed");
         (clf, train)
     }
 
@@ -201,10 +210,8 @@ mod tests {
     fn mahalanobis_flags_far_embeddings() {
         let (clf, train) = setup();
         let det = OodDetector::new(&clf, &train);
-        let in_scores: Vec<f64> = train
-            .iter()
-            .map(|e| det.score(&e.tokens, OodScore::Mahalanobis))
-            .collect();
+        let in_scores: Vec<f64> =
+            train.iter().map(|e| det.score(&e.tokens, OodScore::Mahalanobis)).collect();
         // Gibberish tokens (all [UNK]) land somewhere unusual.
         let odd: Vec<TextExample> = (0..10)
             .map(|i| TextExample {

@@ -1,14 +1,28 @@
 //! The foundation-model pipeline: pretrain on unlabeled traces → fine-tune
 //! on a small labeled set → evaluate anywhere. This is the paper's central
 //! proposal made concrete.
+//!
+//! All fallible entry points return typed errors (`PipelineError`) instead
+//! of panicking, so operational deployments (the paper's §4.3 concern) can
+//! degrade gracefully: empty inputs, diverged training runs, and corrupted
+//! checkpoints are reported, never `panic!`ed.
 
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+use nfm_model::checkpoint::{read_encoder, read_vocab, write_encoder, write_vocab};
 use nfm_model::context::{contexts_from_trace, flow_context, ContextStrategy};
+use nfm_model::guard::{GuardConfig, TrainError, TrainGuard};
 use nfm_model::nn::heads::ClsHead;
 use nfm_model::nn::transformer::{Encoder, EncoderConfig};
-use nfm_model::pretrain::{encode_context, pretrain, PretrainConfig, PretrainStats};
+use nfm_model::pretrain::{encode_context, epoch_seed, pretrain, PretrainConfig, PretrainStats};
 use nfm_model::tokenize::Tokenizer;
 use nfm_model::vocab::Vocab;
 use nfm_net::capture::Trace;
+use nfm_tensor::checkpoint::{
+    load_record, save_record, ByteReader, ByteWriter, CheckpointError, KIND_MODEL,
+};
 use nfm_tensor::layers::Module;
 use nfm_tensor::loss::softmax_cross_entropy;
 use nfm_tensor::matrix::Matrix;
@@ -16,6 +30,57 @@ use nfm_tensor::optim::{clip_global_norm, Adam, Schedule};
 use nfm_traffic::dataset::LabeledFlow;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Errors surfaced by the pipeline instead of panics.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// No pre-training contexts could be extracted from the given traces.
+    NoContexts,
+    /// No labeled examples were provided for fine-tuning.
+    NoExamples,
+    /// Training failed (empty corpus, unrecoverable divergence, snapshot
+    /// I/O failure).
+    Train(TrainError),
+    /// A model file could not be saved or loaded.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NoContexts => {
+                write!(f, "no pretraining contexts could be extracted from the given traces")
+            }
+            PipelineError::NoExamples => {
+                write!(f, "no labeled examples provided for fine-tuning")
+            }
+            PipelineError::Train(e) => write!(f, "training failed: {e}"),
+            PipelineError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Train(e) => Some(e),
+            PipelineError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrainError> for PipelineError {
+    fn from(e: TrainError) -> Self {
+        PipelineError::Train(e)
+    }
+}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e)
+    }
+}
 
 /// Pipeline hyperparameters.
 #[derive(Debug, Clone)]
@@ -70,7 +135,7 @@ impl FoundationModel {
         traces: &[&Trace],
         tokenizer: &dyn Tokenizer,
         config: &PipelineConfig,
-    ) -> (FoundationModel, PretrainStats) {
+    ) -> Result<(FoundationModel, PretrainStats), PipelineError> {
         let mut contexts = Vec::new();
         for trace in traces {
             contexts.extend(contexts_from_trace(
@@ -80,7 +145,9 @@ impl FoundationModel {
                 config.max_len - 2,
             ));
         }
-        assert!(!contexts.is_empty(), "no pretraining contexts extracted");
+        if contexts.is_empty() {
+            return Err(PipelineError::NoContexts);
+        }
         let vocab = Vocab::from_sequences(&contexts, config.min_freq);
         let enc_cfg = EncoderConfig {
             vocab: vocab.len(),
@@ -90,8 +157,37 @@ impl FoundationModel {
             d_ff: config.d_ff,
             max_len: config.max_len,
         };
-        let (encoder, _mlm, stats) = pretrain(&contexts, &vocab, enc_cfg, &config.pretrain);
-        (FoundationModel { encoder, vocab, max_len: config.max_len }, stats)
+        let (encoder, _mlm, stats) = pretrain(&contexts, &vocab, enc_cfg, &config.pretrain)?;
+        Ok((FoundationModel { encoder, vocab, max_len: config.max_len }, stats))
+    }
+
+    /// Serialize the model (vocabulary + encoder weights) to a versioned,
+    /// checksummed checkpoint file. Writes atomically (tmp + rename).
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.max_len as u64);
+        write_vocab(&mut w, &self.vocab);
+        let mut encoder = self.encoder.clone();
+        write_encoder(&mut w, &mut encoder);
+        save_record(path, KIND_MODEL, &w.into_bytes())
+    }
+
+    /// Load a model previously written by [`FoundationModel::save`].
+    /// Returns a typed error (never panics) on truncation, corruption, or
+    /// version mismatch.
+    pub fn load(path: &Path) -> Result<FoundationModel, CheckpointError> {
+        let payload = load_record(path, KIND_MODEL)?;
+        let mut r = ByteReader::new(&payload);
+        let max_len = r.get_count()?;
+        let vocab = read_vocab(&mut r)?;
+        let encoder = read_encoder(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing bytes after model payload",
+                r.remaining()
+            )));
+        }
+        Ok(FoundationModel { encoder, vocab, max_len })
     }
 
     /// Encode a token sequence to model input ids.
@@ -167,6 +263,8 @@ pub struct FineTuneConfig {
     pub freeze_embeddings: bool,
     /// Pooling strategy feeding the head.
     pub pooling: Pooling,
+    /// Divergence-guard thresholds and retry policy.
+    pub guard: GuardConfig,
 }
 
 impl Default for FineTuneConfig {
@@ -179,6 +277,7 @@ impl Default for FineTuneConfig {
             freeze_encoder: false,
             freeze_embeddings: false,
             pooling: Pooling::Cls,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -233,16 +332,24 @@ pub struct FmClassifier {
 
 impl FmClassifier {
     /// Fine-tune `fm` on labeled examples.
+    ///
+    /// Runs under a [`TrainGuard`]: each optimizer step's mean loss and
+    /// pre-clip gradient norm are checked for NaN/Inf/explosion. A tripped
+    /// guard rolls the epoch back to its starting weights, halves the
+    /// learning rate, and reshuffles; after `guard.max_retries` failed
+    /// attempts the run aborts with [`TrainError::Diverged`].
     pub fn fine_tune(
         fm: &FoundationModel,
         examples: &[TextExample],
         n_classes: usize,
         config: &FineTuneConfig,
-    ) -> FmClassifier {
-        assert!(!examples.is_empty(), "need labeled examples");
-        let mut rng = StdRng::seed_from_u64(config.seed);
+    ) -> Result<FmClassifier, PipelineError> {
+        if examples.is_empty() {
+            return Err(PipelineError::NoExamples);
+        }
+        let mut init_rng = StdRng::seed_from_u64(config.seed);
         let mut encoder = fm.encoder.clone();
-        let mut head = ClsHead::new(&mut rng, encoder.config.d_model, n_classes);
+        let mut head = ClsHead::new(&mut init_rng, encoder.config.d_model, n_classes);
 
         let encoded: Vec<(Vec<usize>, usize)> = examples
             .iter()
@@ -254,45 +361,100 @@ impl FmClassifier {
         let mut opt_enc = Adam::new(schedule);
         let mut opt_head = Adam::new(schedule);
 
-        let mut order: Vec<usize> = (0..encoded.len()).collect();
-        for _ in 0..config.epochs {
-            for i in (1..order.len()).rev() {
-                order.swap(i, rng.gen_range(0..=i));
-            }
-            for batch in order.chunks(config.batch_size) {
-                encoder.zero_grad();
-                head.zero_grad();
-                for &idx in batch {
-                    let (ids, label) = &encoded[idx];
-                    let hidden = encoder.forward(ids);
-                    let pooled = pool(&hidden, config.pooling);
-                    let logits = head.forward(&pooled);
-                    let (_, dlogits) = softmax_cross_entropy(&logits, &[*label]);
-                    let dpooled = head.backward(&dlogits);
+        let mut guard = TrainGuard::new(config.guard);
+        let mut lr_scale = 1.0f32;
+        let mut total_retries = 0u64;
+        let mut global_step = 0u64;
+
+        for epoch in 0..config.epochs {
+            let mut attempt = 0usize;
+            loop {
+                // Epoch-start snapshot for guard rollback.
+                let snapshot =
+                    (encoder.clone(), head.clone(), opt_enc.clone(), opt_head.clone(), global_step);
+                // Batch order is a pure function of (seed, epoch, retries).
+                let mut order: Vec<usize> = (0..encoded.len()).collect();
+                let mut rng = StdRng::seed_from_u64(epoch_seed(config.seed, epoch, total_retries));
+                for i in (1..order.len()).rev() {
+                    order.swap(i, rng.gen_range(0..=i));
+                }
+                let mut tripped: Option<(u64, String)> = None;
+                'batches: for batch in order.chunks(config.batch_size) {
+                    encoder.zero_grad();
+                    head.zero_grad();
+                    let mut batch_loss = 0.0f32;
+                    for &idx in batch {
+                        let (ids, label) = &encoded[idx];
+                        let hidden = encoder.forward(ids);
+                        let pooled = pool(&hidden, config.pooling);
+                        let logits = head.forward(&pooled);
+                        let (loss, dlogits) = softmax_cross_entropy(&logits, &[*label]);
+                        batch_loss += loss;
+                        let dpooled = head.backward(&dlogits);
+                        if !config.freeze_encoder {
+                            let dhidden = unpool(&dpooled, hidden.rows(), config.pooling);
+                            encoder.backward(&dhidden);
+                        }
+                    }
+                    let step = global_step;
+                    global_step += 1;
+                    let mean_loss = batch_loss / batch.len().max(1) as f32;
+                    let mut grad_norm = clip_global_norm(&mut head, 5.0);
                     if !config.freeze_encoder {
-                        let dhidden = unpool(&dpooled, hidden.rows(), config.pooling);
-                        encoder.backward(&dhidden);
+                        if config.freeze_embeddings {
+                            encoder.zero_token_embedding_grads();
+                        }
+                        grad_norm = grad_norm.max(clip_global_norm(&mut encoder, 5.0));
+                    }
+                    if let Some(cause) = guard.inspect(mean_loss, grad_norm) {
+                        tripped = Some((step, cause));
+                        break 'batches;
+                    }
+                    opt_head.step(&mut head);
+                    if !config.freeze_encoder {
+                        opt_enc.step(&mut encoder);
                     }
                 }
-                clip_global_norm(&mut head, 5.0);
-                opt_head.step(&mut head);
-                if !config.freeze_encoder {
-                    if config.freeze_embeddings {
-                        encoder.zero_token_embedding_grads();
+                match tripped {
+                    None => break,
+                    Some((step, cause)) => {
+                        attempt += 1;
+                        total_retries += 1;
+                        let (e, h, oe, oh, gs) = snapshot;
+                        encoder = e;
+                        head = h;
+                        opt_enc = oe;
+                        opt_head = oh;
+                        global_step = gs;
+                        lr_scale *= config.guard.lr_backoff;
+                        opt_enc.set_lr_scale(lr_scale);
+                        opt_head.set_lr_scale(lr_scale);
+                        guard.record(
+                            epoch,
+                            step,
+                            cause,
+                            format!(
+                                "rolled back to epoch {epoch} start; lr_scale {lr_scale:.4}; reshuffled"
+                            ),
+                        );
+                        if attempt > config.guard.max_retries {
+                            return Err(PipelineError::Train(TrainError::Diverged {
+                                attempts: attempt,
+                                log: guard.events,
+                            }));
+                        }
                     }
-                    clip_global_norm(&mut encoder, 5.0);
-                    opt_enc.step(&mut encoder);
                 }
             }
         }
-        FmClassifier {
+        Ok(FmClassifier {
             encoder,
             head,
             vocab: fm.vocab.clone(),
             max_len: fm.max_len,
             n_classes,
             pooling: config.pooling,
-        }
+        })
     }
 
     /// Raw logits for a token sequence.
@@ -303,15 +465,20 @@ impl FmClassifier {
         self.head.forward_inference(&pooled).row(0).to_vec()
     }
 
-    /// Predicted class id.
+    /// Predicted class id. NaN logits compare as −∞ (a degraded model
+    /// still yields a deterministic answer instead of panicking); ties
+    /// resolve to the lowest class index.
     pub fn predict(&self, tokens: &[String]) -> usize {
         let logits = self.logits(tokens);
-        logits
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, _)| i)
-            .expect("non-empty logits")
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in logits.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
     }
 
     /// Softmax class probabilities.
@@ -346,7 +513,12 @@ mod tests {
     use nfm_traffic::netsim::{simulate, SimConfig};
 
     fn tiny_fm() -> (FoundationModel, Trace) {
-        let lt = simulate(&SimConfig { n_sessions: 30, n_general_hosts: 3, n_iot_sets: 1, ..SimConfig::default() });
+        let lt = simulate(&SimConfig {
+            n_sessions: 30,
+            n_general_hosts: 3,
+            n_iot_sets: 1,
+            ..SimConfig::default()
+        });
         let tok = FieldTokenizer::new();
         let cfg = PipelineConfig {
             d_model: 16,
@@ -361,7 +533,8 @@ mod tests {
             },
             ..PipelineConfig::default()
         };
-        let (fm, stats) = FoundationModel::pretrain_on(&[&lt.trace], &tok, &cfg);
+        let (fm, stats) =
+            FoundationModel::pretrain_on(&[&lt.trace], &tok, &cfg).expect("pretraining failed");
         assert!(!stats.mlm_loss.is_empty());
         (fm, lt.trace)
     }
@@ -373,6 +546,67 @@ mod tests {
         let emb = fm.embed(&["IP4".to_string(), "PROTO_UDP".to_string()]);
         assert_eq!(emb.len(), 16);
         assert!(emb.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_inputs_are_typed_errors() {
+        let tok = FieldTokenizer::new();
+        let err = FoundationModel::pretrain_on(&[], &tok, &PipelineConfig::default());
+        assert!(matches!(err, Err(PipelineError::NoContexts)));
+
+        let (fm, _) = tiny_fm();
+        let err = FmClassifier::fine_tune(&fm, &[], 2, &FineTuneConfig::default());
+        assert!(matches!(err, Err(PipelineError::NoExamples)));
+        // Errors render human-readable messages.
+        let msg = format!("{}", PipelineError::NoContexts);
+        assert!(msg.contains("contexts"));
+    }
+
+    #[test]
+    fn model_save_load_round_trip_is_bitwise() {
+        let (fm, _) = tiny_fm();
+        let dir = std::env::temp_dir().join(format!("nfm_pipeline_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model.nfmc");
+        fm.save(&path).expect("save");
+        let loaded = FoundationModel::load(&path).expect("load");
+        assert_eq!(loaded.max_len, fm.max_len);
+        assert_eq!(loaded.vocab.len(), fm.vocab.len());
+        let toks = vec!["IP4".to_string(), "PROTO_UDP".to_string()];
+        let a = fm.embed(&toks);
+        let b = loaded.embed(&toks);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "loaded model must be bitwise identical"
+        );
+
+        // Corrupting the file yields a typed error, never a panic.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(FoundationModel::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_tolerates_nan_logits() {
+        let (fm, _) = tiny_fm();
+        let train: Vec<TextExample> = (0..10)
+            .map(|i| TextExample {
+                tokens: vec![if i % 2 == 0 { "PORT_53" } else { "PORT_443" }.to_string()],
+                label: i % 2,
+            })
+            .collect();
+        let mut clf = FmClassifier::fine_tune(&fm, &train, 2, &FineTuneConfig::default())
+            .expect("fine-tuning failed");
+        // Poison the head so every logit is NaN: predict must still return
+        // a deterministic class (0) instead of panicking.
+        clf.head.visit_params(&mut |p, _| p.fill(f32::NAN));
+        let logits = clf.logits(&train[0].tokens);
+        assert!(logits.iter().all(|v| v.is_nan()));
+        assert_eq!(clf.predict(&train[0].tokens), 0);
     }
 
     #[test]
@@ -391,7 +625,8 @@ mod tests {
             &train,
             2,
             &FineTuneConfig { epochs: 8, ..FineTuneConfig::default() },
-        );
+        )
+        .expect("fine-tuning failed");
         let acc = clf.evaluate(&train).accuracy();
         assert!(acc > 0.9, "training accuracy {acc}");
         let probs = clf.probabilities(&train[0].tokens);
@@ -412,12 +647,10 @@ mod tests {
             &train,
             2,
             &FineTuneConfig { freeze_encoder: true, epochs: 3, ..FineTuneConfig::default() },
-        );
+        )
+        .expect("fine-tuning failed");
         // Encoder unchanged relative to the foundation model.
-        assert_eq!(
-            clf.encoder.token_embeddings().data(),
-            fm.encoder.token_embeddings().data()
-        );
+        assert_eq!(clf.encoder.token_embeddings().data(), fm.encoder.token_embeddings().data());
     }
 
     #[test]
@@ -438,13 +671,15 @@ mod tests {
             &train,
             2,
             &FineTuneConfig { epochs: 6, pooling: Pooling::Cls, ..FineTuneConfig::default() },
-        );
+        )
+        .expect("fine-tuning failed");
         let mean = FmClassifier::fine_tune(
             &fm,
             &train,
             2,
             &FineTuneConfig { epochs: 6, pooling: Pooling::Mean, ..FineTuneConfig::default() },
-        );
+        )
+        .expect("fine-tuning failed");
         // Both learn the trivial rule.
         assert!(cls.evaluate(&train).accuracy() > 0.9);
         assert!(mean.evaluate(&train).accuracy() > 0.9);
@@ -469,18 +704,21 @@ mod tests {
             &train,
             2,
             &FineTuneConfig { epochs: 4, freeze_embeddings: true, ..FineTuneConfig::default() },
-        );
+        )
+        .expect("fine-tuning failed");
         // Token table identical to the pre-trained one even though the
         // encoder layers trained.
-        assert_eq!(
-            clf.encoder.token_embeddings().data(),
-            fm.encoder.token_embeddings().data()
-        );
+        assert_eq!(clf.encoder.token_embeddings().data(), fm.encoder.token_embeddings().data());
     }
 
     #[test]
     fn examples_from_flows_respects_label_fn() {
-        let lt = simulate(&SimConfig { n_sessions: 20, n_general_hosts: 3, n_iot_sets: 1, ..SimConfig::default() });
+        let lt = simulate(&SimConfig {
+            n_sessions: 20,
+            n_general_hosts: 3,
+            n_iot_sets: 1,
+            ..SimConfig::default()
+        });
         let flows = nfm_traffic::dataset::extract_flows(&lt, 1);
         let tok = FieldTokenizer::new();
         let all = examples_from_flows(&flows, &tok, 48, |f| Some(f.label.app.id()));

@@ -147,11 +147,8 @@ pub fn contexts_from_trace(
         ContextStrategy::Flow => {
             let table = FlowTable::from_trace(trace.packets().iter());
             for flow in table.flows() {
-                let packets: Vec<TracePacket> = flow
-                    .packets
-                    .iter()
-                    .map(|fp| trace.packets()[fp.index].clone())
-                    .collect();
+                let packets: Vec<TracePacket> =
+                    flow.packets.iter().map(|fp| trace.packets()[fp.index].clone()).collect();
                 let ctx = flow_context(&packets, tok, max_tokens);
                 if !ctx.is_empty() {
                     out.push(ctx);
@@ -179,11 +176,8 @@ pub fn contexts_from_trace(
         ContextStrategy::FirstMofN { m, n } => {
             let table = FlowTable::from_trace(trace.packets().iter());
             for flow in table.flows() {
-                let packets: Vec<TracePacket> = flow
-                    .packets
-                    .iter()
-                    .map(|fp| trace.packets()[fp.index].clone())
-                    .collect();
+                let packets: Vec<TracePacket> =
+                    flow.packets.iter().map(|fp| trace.packets()[fp.index].clone()).collect();
                 let ctx = first_m_of_n_context(&packets, tok, m, n, max_tokens);
                 if !ctx.is_empty() {
                     out.push(ctx);
@@ -228,8 +222,13 @@ mod tests {
     use nfm_traffic::netsim::{simulate, SimConfig};
 
     fn small_trace() -> Trace {
-        simulate(&SimConfig { n_sessions: 20, n_general_hosts: 3, n_iot_sets: 1, ..SimConfig::default() })
-            .trace
+        simulate(&SimConfig {
+            n_sessions: 20,
+            n_general_hosts: 3,
+            n_iot_sets: 1,
+            ..SimConfig::default()
+        })
+        .trace
     }
 
     #[test]
@@ -259,7 +258,12 @@ mod tests {
     fn window_contexts_cover_whole_trace() {
         let trace = small_trace();
         let tok = FieldTokenizer::new();
-        let ctxs = contexts_from_trace(&trace, &tok, ContextStrategy::InterleavedWindow { window: 8 }, 512);
+        let ctxs = contexts_from_trace(
+            &trace,
+            &tok,
+            ContextStrategy::InterleavedWindow { window: 8 },
+            512,
+        );
         assert_eq!(ctxs.len(), trace.len().div_ceil(8));
     }
 
@@ -267,7 +271,8 @@ mod tests {
     fn first_m_of_n_respects_budgets() {
         let trace = small_trace();
         let tok = FieldTokenizer::new();
-        let ctxs = contexts_from_trace(&trace, &tok, ContextStrategy::FirstMofN { m: 4, n: 3 }, 512);
+        let ctxs =
+            contexts_from_trace(&trace, &tok, ContextStrategy::FirstMofN { m: 4, n: 3 }, 512);
         for c in &ctxs {
             assert!(c.len() <= 12, "context of {} tokens", c.len());
         }

@@ -51,8 +51,8 @@ pub fn analogy(
 ) -> Vec<Neighbor> {
     let dim = embeddings.cols();
     let mut target = vec![0.0f32; dim];
-    for i in 0..dim {
-        target[i] = embeddings.row(b)[i] - embeddings.row(a)[i] + embeddings.row(c)[i];
+    for (i, t) in target.iter_mut().enumerate() {
+        *t = embeddings.row(b)[i] - embeddings.row(a)[i] + embeddings.row(c)[i];
     }
     let mut scored: Vec<Neighbor> = (0..embeddings.rows())
         .filter(|&i| i != a && i != b && i != c && i >= 5)

@@ -81,11 +81,9 @@ impl Glove {
 
         for _ in 0..config.epochs {
             for &((i, j), x) in &cooc {
-                let weight = if x < config.x_max {
-                    (x / config.x_max).powf(config.alpha)
-                } else {
-                    1.0
-                } as f32;
+                let weight =
+                    if x < config.x_max { (x / config.x_max).powf(config.alpha) } else { 1.0 }
+                        as f32;
                 let dot: f32 = w.row(i).iter().zip(wc.row(j)).map(|(a, b)| a * b).sum();
                 let diff = dot + b[i] + bc[j] - (x as f32).ln();
                 let fdiff = weight * diff;
@@ -131,8 +129,7 @@ mod tests {
         let mut seqs = Vec::new();
         for i in 0..200 {
             let group: &[&str] = if i % 2 == 0 { &a } else { &b };
-            let seq: Vec<String> =
-                (0..8).map(|j| group[(i + j) % 3].to_string()).collect();
+            let seq: Vec<String> = (0..8).map(|j| group[(i + j) % 3].to_string()).collect();
             seqs.push(seq);
         }
         seqs
@@ -158,8 +155,7 @@ mod tests {
             vocab.len(),
             &GloveConfig { dim: 8, epochs: 300, ..GloveConfig::default() },
         );
-        let sim =
-            |x: &str, y: &str| cosine(glove.vector(vocab.id(x)), glove.vector(vocab.id(y)));
+        let sim = |x: &str, y: &str| cosine(glove.vector(vocab.id(x)), glove.vector(vocab.id(y)));
         let within = sim("a0", "a1");
         let cross = sim("a0", "b1");
         assert!(within > cross, "within {within} cross {cross}");

@@ -60,8 +60,7 @@ impl Word2Vec {
         let d = config.dim;
         let mut rng = StdRng::seed_from_u64(config.seed);
         // Init: input in U(-0.5/d, 0.5/d), output zeros (word2vec.c style).
-        let mut win =
-            Matrix::from_fn(v, d, |_, _| (rng.gen::<f32>() - 0.5) / d as f32);
+        let mut win = Matrix::from_fn(v, d, |_, _| (rng.gen::<f32>() - 0.5) / d as f32);
         let mut wout = Matrix::zeros(v, d);
 
         // Unigram^0.75 negative-sampling table.
@@ -117,11 +116,10 @@ impl Word2Vec {
                     let lr = config.lr * (1.0 - 0.9 * progress);
                     let lo = i.saturating_sub(config.window);
                     let hi = (i + config.window + 1).min(seq.len());
-                    for j in lo..hi {
+                    for (j, &context) in seq.iter().enumerate().take(hi).skip(lo) {
                         if j == i {
                             continue;
                         }
-                        let context = seq[j];
                         // One positive + k negative updates on (center, x).
                         let mut grad_center = vec![0.0f32; d];
                         for k in 0..=config.negatives {
@@ -177,7 +175,8 @@ mod tests {
         let mut seqs = Vec::new();
         let mut rng_state = 7u64;
         let mut next = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state =
+                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             (rng_state >> 33) as usize
         };
         for i in 0..300 {
@@ -199,9 +198,7 @@ mod tests {
             &Word2VecConfig { dim: 16, epochs: 4, subsample: 0.0, ..Word2VecConfig::default() },
         );
         // Mean within-cluster similarity must exceed cross-cluster.
-        let sim = |x: &str, y: &str| {
-            cosine(w2v.vector(vocab.id(x)), w2v.vector(vocab.id(y)))
-        };
+        let sim = |x: &str, y: &str| cosine(w2v.vector(vocab.id(x)), w2v.vector(vocab.id(y)));
         let mut within = 0.0;
         let mut cross = 0.0;
         let mut nw = 0;
@@ -220,10 +217,7 @@ mod tests {
         }
         let within = within / nw as f32;
         let cross = cross / nc as f32;
-        assert!(
-            within > cross + 0.3,
-            "within {within} should exceed cross {cross}"
-        );
+        assert!(within > cross + 0.3, "within {within} should exceed cross {cross}");
     }
 
     #[test]

@@ -97,8 +97,8 @@ pub fn generate(
             let logits = head.forward_inference(&hidden);
             // Suppress special tokens.
             let mut row: Vec<f32> = logits.row(pos).to_vec();
-            for special in 0..5 {
-                row[special] = f32::NEG_INFINITY;
+            for logit in row.iter_mut().take(5) {
+                *logit = f32::NEG_INFINITY;
             }
             ids[pos] = sample_from_logits(&mut rng, &row, config.temperature);
         }
@@ -136,7 +136,8 @@ mod tests {
             &vocab,
             cfg,
             &PretrainConfig { epochs: 5, tasks: TaskMix::mlm_only(), ..PretrainConfig::default() },
-        );
+        )
+        .expect("pretraining failed");
         (enc, head, vocab, contexts)
     }
 
@@ -184,7 +185,12 @@ mod tests {
             &head,
             &vocab,
             &["x2".to_string()],
-            &GenerateConfig { length: 8, temperature: 0.01, sweeps: 3, ..GenerateConfig::default() },
+            &GenerateConfig {
+                length: 8,
+                temperature: 0.01,
+                sweeps: 3,
+                ..GenerateConfig::default()
+            },
         );
         // Count bigrams that follow the x→y alternation grammar.
         let mut good = 0;
@@ -197,9 +203,6 @@ mod tests {
                 good += 1;
             }
         }
-        assert!(
-            good * 2 >= total,
-            "at least half the bigrams respect the grammar: {out:?}"
-        );
+        assert!(good * 2 >= total, "at least half the bigrams respect the grammar: {out:?}");
     }
 }

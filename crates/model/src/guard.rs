@@ -1,0 +1,184 @@
+//! Divergence detection and recovery for training loops.
+//!
+//! A [`TrainGuard`] watches per-step loss and pre-clip gradient norms for
+//! NaN/Inf or explosion. When a check trips, the training loop rolls back
+//! to its last-good snapshot, halves the learning rate, reshuffles the
+//! batch order under a fresh seed, and retries; after
+//! [`GuardConfig::max_retries`] failed attempts on the same stretch it
+//! gives up with a typed [`TrainError::Diverged`] carrying the full
+//! recovery log.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
+
+use nfm_tensor::checkpoint::CheckpointError;
+
+/// Thresholds and retry policy for divergence detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Per-step mean loss above this counts as an explosion.
+    pub max_loss: f32,
+    /// Pre-clip gradient norm above this counts as an explosion.
+    pub max_grad_norm: f32,
+    /// Retries per epoch before giving up with [`TrainError::Diverged`].
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied on each rollback (e.g. 0.5 halves).
+    pub lr_backoff: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig { max_loss: 1e4, max_grad_norm: 1e3, max_retries: 3, lr_backoff: 0.5 }
+    }
+}
+
+/// One recovery action taken by the guard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardEvent {
+    /// Epoch in which the trip occurred.
+    pub epoch: usize,
+    /// Global step at the trip.
+    pub step: u64,
+    /// What tripped the check (e.g. "loss is NaN").
+    pub cause: String,
+    /// What recovery did (rollback target, new lr scale).
+    pub action: String,
+}
+
+impl fmt::Display for GuardEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch {:>3}  step {:>6}  {:<28}  {}",
+            self.epoch, self.step, self.cause, self.action
+        )
+    }
+}
+
+/// Why training failed.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The training corpus is empty.
+    NoData,
+    /// Divergence persisted through every allowed retry.
+    Diverged {
+        /// Rollback attempts made on the failing stretch.
+        attempts: usize,
+        /// Everything the guard did before giving up.
+        log: Vec<GuardEvent>,
+    },
+    /// A snapshot could not be written or a resume source could not be read.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NoData => write!(f, "no training data"),
+            TrainError::Diverged { attempts, log } => {
+                writeln!(f, "training diverged after {attempts} recovery attempts:")?;
+                for event in log {
+                    writeln!(f, "  {event}")?;
+                }
+                Ok(())
+            }
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure during training: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// The divergence watchdog. Stateless between checks apart from the event
+/// log; rollback/retry bookkeeping lives in the training loop, which owns
+/// the snapshots.
+#[derive(Debug, Clone)]
+pub struct TrainGuard {
+    /// Thresholds and retry policy.
+    pub config: GuardConfig,
+    /// Recovery log, in order.
+    pub events: Vec<GuardEvent>,
+}
+
+impl TrainGuard {
+    /// A guard with the given policy.
+    pub fn new(config: GuardConfig) -> TrainGuard {
+        TrainGuard { config, events: Vec::new() }
+    }
+
+    /// Check one training step. Returns the trip cause, or `None` when the
+    /// step is healthy.
+    pub fn inspect(&self, loss: f32, grad_norm: f32) -> Option<String> {
+        if loss.is_nan() {
+            Some("loss is NaN".to_string())
+        } else if loss.is_infinite() {
+            Some("loss is infinite".to_string())
+        } else if loss > self.config.max_loss {
+            Some(format!("loss {loss:.3e} exceeds {:.3e}", self.config.max_loss))
+        } else if !grad_norm.is_finite() {
+            Some(format!("gradient norm is {grad_norm}"))
+        } else if grad_norm > self.config.max_grad_norm {
+            Some(format!("gradient norm {grad_norm:.3e} exceeds {:.3e}", self.config.max_grad_norm))
+        } else {
+            None
+        }
+    }
+
+    /// Record a recovery action.
+    pub fn record(&mut self, epoch: usize, step: u64, cause: String, action: String) {
+        self.events.push(GuardEvent { epoch, step, cause, action });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_steps_pass() {
+        let g = TrainGuard::new(GuardConfig::default());
+        assert_eq!(g.inspect(2.5, 4.0), None);
+        assert_eq!(g.inspect(0.0, 0.0), None);
+    }
+
+    #[test]
+    fn non_finite_and_exploding_values_trip() {
+        let g = TrainGuard::new(GuardConfig::default());
+        assert!(g.inspect(f32::NAN, 1.0).unwrap().contains("NaN"));
+        assert!(g.inspect(f32::INFINITY, 1.0).unwrap().contains("infinite"));
+        assert!(g.inspect(1e9, 1.0).unwrap().contains("exceeds"));
+        assert!(g.inspect(1.0, f32::NAN).unwrap().contains("gradient"));
+        assert!(g.inspect(1.0, 1e9).unwrap().contains("gradient"));
+    }
+
+    #[test]
+    fn diverged_error_formats_log() {
+        let err = TrainError::Diverged {
+            attempts: 2,
+            log: vec![GuardEvent {
+                epoch: 1,
+                step: 17,
+                cause: "loss is NaN".into(),
+                action: "rollback; lr_scale=0.5".into(),
+            }],
+        };
+        let text = err.to_string();
+        assert!(text.contains("2 recovery attempts"));
+        assert!(text.contains("loss is NaN"));
+        assert!(text.contains("lr_scale=0.5"));
+    }
+}

@@ -10,15 +10,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod context;
 pub mod embed;
 pub mod generate;
+pub mod guard;
 pub mod nn;
 pub mod pretrain;
 pub mod tokenize;
 pub mod vocab;
 
 pub use context::{contexts_from_trace, flow_context, ContextStrategy};
+pub use guard::{GuardConfig, GuardEvent, TrainError, TrainGuard};
 pub use nn::gru::GruClassifier;
 pub use nn::transformer::{Encoder, EncoderConfig};
 pub use pretrain::{pretrain, PretrainConfig, TaskMix};

@@ -138,13 +138,7 @@ impl GruCell {
             h_new[i] = (1.0 - z[i]) * n[i] + z[i] * h_prev[i];
         }
         if train {
-            self.cache.push(StepCache {
-                x: x.to_vec(),
-                h_prev: h_prev.to_vec(),
-                z,
-                r,
-                n,
-            });
+            self.cache.push(StepCache { x: x.to_vec(), h_prev: h_prev.to_vec(), z, r, n });
         }
         h_new
     }

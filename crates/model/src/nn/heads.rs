@@ -26,6 +26,11 @@ impl MlmHead {
         }
     }
 
+    /// `(d_model, vocab)` this head was built for.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.dense.w.rows(), self.proj.w.cols())
+    }
+
     /// Hidden states (T×d) → vocabulary logits (T×V). Training mode.
     pub fn forward(&mut self, hidden: &Matrix) -> Matrix {
         let h = self.ln.forward(&self.act.forward(&self.dense.forward(hidden)));
@@ -73,6 +78,11 @@ impl ClsHead {
         }
     }
 
+    /// `(d_model, n_classes)` this head was built for.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.dense.w.rows(), self.out.w.cols())
+    }
+
     /// [CLS] row (1×d) → logits (1×n_classes). Training mode.
     pub fn forward(&mut self, cls: &Matrix) -> Matrix {
         self.out.forward(&self.act.forward(&self.dense.forward(cls)))
@@ -80,8 +90,7 @@ impl ClsHead {
 
     /// Inference mode.
     pub fn forward_inference(&self, cls: &Matrix) -> Matrix {
-        self.out
-            .forward_inference(&self.act.forward_inference(&self.dense.forward_inference(cls)))
+        self.out.forward_inference(&self.act.forward_inference(&self.dense.forward_inference(cls)))
     }
 
     /// Backward from dL/dlogits; returns dL/dcls.

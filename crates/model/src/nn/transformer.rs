@@ -243,7 +243,17 @@ mod tests {
 
     fn small() -> (Encoder, StdRng) {
         let mut rng = StdRng::seed_from_u64(7);
-        let enc = Encoder::new(&mut rng, EncoderConfig { vocab: 20, d_model: 16, n_heads: 2, n_layers: 2, d_ff: 32, max_len: 16 });
+        let enc = Encoder::new(
+            &mut rng,
+            EncoderConfig {
+                vocab: 20,
+                d_model: 16,
+                n_heads: 2,
+                n_layers: 2,
+                d_ff: 32,
+                max_len: 16,
+            },
+        );
         (enc, rng)
     }
 

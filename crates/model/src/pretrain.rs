@@ -5,6 +5,8 @@
 //! tasks may be required to capture the nature of the relationships between
 //! a query and its answers").
 
+use std::path::PathBuf;
+
 use nfm_tensor::layers::Module;
 use nfm_tensor::loss::{softmax_cross_entropy, IGNORE_INDEX};
 use nfm_tensor::matrix::Matrix;
@@ -12,6 +14,8 @@ use nfm_tensor::optim::{clip_global_norm, Adam, Schedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::{load_train_state, save_train_state, TrainState};
+use crate::guard::{GuardConfig, GuardEvent, TrainError, TrainGuard};
 use crate::nn::heads::{ClsHead, MlmHead};
 use crate::nn::transformer::{Encoder, EncoderConfig};
 use crate::vocab::Vocab;
@@ -74,6 +78,20 @@ pub struct PretrainConfig {
     pub seed: u64,
     /// Active objectives.
     pub tasks: TaskMix,
+    /// Divergence-detection thresholds and retry policy.
+    pub guard: GuardConfig,
+    /// Directory for periodic on-disk snapshots (`None` disables).
+    pub snapshot_dir: Option<PathBuf>,
+    /// Write a snapshot every this many epochs (the final epoch is always
+    /// snapshotted when `snapshot_dir` is set).
+    pub snapshot_every: usize,
+    /// Resume from this snapshot file instead of starting fresh. The rest
+    /// of the config must match the run that wrote it; training continues
+    /// deterministically, bitwise-identical to an uninterrupted run.
+    pub resume_from: Option<PathBuf>,
+    /// Fault-injection hook for tests and E14: global batch steps whose
+    /// loss is replaced with NaN before the guard check.
+    pub inject_nan_at: Vec<u64>,
 }
 
 impl Default for PretrainConfig {
@@ -85,6 +103,11 @@ impl Default for PretrainConfig {
             batch_size: 8,
             seed: 1,
             tasks: TaskMix::default(),
+            guard: GuardConfig::default(),
+            snapshot_dir: None,
+            snapshot_every: 1,
+            resume_from: None,
+            inject_nan_at: Vec::new(),
         }
     }
 }
@@ -98,6 +121,10 @@ pub struct PretrainStats {
     pub next_flow_loss: Vec<f32>,
     /// Final masked-token top-1 accuracy on the training corpus.
     pub final_mlm_accuracy: f32,
+    /// Recovery actions the divergence guard took (empty on a clean run).
+    pub guard_events: Vec<GuardEvent>,
+    /// The epoch this run resumed from, if it resumed from a snapshot.
+    pub resumed_at: Option<usize>,
 }
 
 /// Apply BERT masking to an encoded sequence. Positions holding special
@@ -193,19 +220,46 @@ pub fn encode_pair(vocab: &Vocab, a: &[String], b: &[String], max_len: usize) ->
     ids
 }
 
+/// Deterministic per-epoch stream seed: mixes the base seed, the epoch, and
+/// the guard's retry counter (so a rolled-back epoch replays with a fresh
+/// batch order). SplitMix64-style finalizer.
+pub fn epoch_seed(seed: u64, epoch: usize, salt: u64) -> u64 {
+    let mut z = seed
+        ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Pre-train an encoder on `contexts` (token sequences in capture order).
 /// Returns the trained encoder, the MLM head, and statistics.
+///
+/// The loop is fault-tolerant: a [`TrainGuard`] checks every optimizer
+/// step's loss and pre-clip gradient norm; on NaN/Inf/explosion it rolls
+/// the model and optimizers back to the epoch-start snapshot, scales the
+/// learning rate down, reshuffles the batch order, and retries (bounded by
+/// [`GuardConfig::max_retries`] per epoch). With
+/// [`PretrainConfig::snapshot_dir`] set, full training state is written to
+/// disk at epoch boundaries; a later run with
+/// [`PretrainConfig::resume_from`] continues from that point and finishes
+/// with weights bitwise identical to the uninterrupted run.
 pub fn pretrain(
     contexts: &[Vec<String>],
     vocab: &Vocab,
     encoder_config: EncoderConfig,
     config: &PretrainConfig,
-) -> (Encoder, MlmHead, PretrainStats) {
-    assert!(!contexts.is_empty(), "need at least one context");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut encoder = Encoder::new(&mut rng, encoder_config);
-    let mut mlm_head = MlmHead::new(&mut rng, encoder_config.d_model, vocab.len());
-    let mut nfp_head = ClsHead::new(&mut rng, encoder_config.d_model, 2);
+) -> Result<(Encoder, MlmHead, PretrainStats), TrainError> {
+    if contexts.is_empty() {
+        return Err(TrainError::NoData);
+    }
+    // The init stream is separate from the per-epoch training streams so a
+    // resumed run can rebuild identical initial weights without replaying
+    // any training randomness.
+    let mut init_rng = StdRng::seed_from_u64(config.seed);
+    let mut encoder = Encoder::new(&mut init_rng, encoder_config);
+    let mut mlm_head = MlmHead::new(&mut init_rng, encoder_config.d_model, vocab.len());
+    let mut nfp_head = ClsHead::new(&mut init_rng, encoder_config.d_model, 2);
     let max_len = encoder_config.max_len;
 
     let encoded: Vec<Vec<usize>> =
@@ -223,84 +277,190 @@ pub fn pretrain(
         mlm_loss: Vec::new(),
         next_flow_loss: Vec::new(),
         final_mlm_accuracy: 0.0,
+        guard_events: Vec::new(),
+        resumed_at: None,
     };
 
-    let mut order: Vec<usize> = (0..encoded.len()).collect();
-    for _epoch in 0..config.epochs {
-        // Deterministic shuffle.
-        for i in (1..order.len()).rev() {
-            order.swap(i, rng.gen_range(0..=i));
-        }
-        let mut epoch_mlm = 0.0f64;
-        let mut epoch_nfp = 0.0f64;
-        let mut n_mlm = 0usize;
-        let mut n_nfp = 0usize;
-        for batch in order.chunks(config.batch_size) {
-            encoder.zero_grad();
-            mlm_head.zero_grad();
-            nfp_head.zero_grad();
-            for &idx in batch {
-                let ids = &encoded[idx];
-                if ids.len() < 3 {
-                    continue;
-                }
-                if config.tasks.mlm || config.tasks.query_answer {
-                    let qa = config.tasks.query_answer;
-                    let mask_prob = if config.tasks.mlm { config.mask_prob } else { 0.02 };
-                    let (input, targets) =
-                        mask_sequence(&mut rng, ids, vocab, mask_prob, qa);
-                    let hidden = encoder.forward(&input);
-                    let logits = mlm_head.forward(&hidden);
-                    let (loss, dlogits) = softmax_cross_entropy(&logits, &targets);
-                    if loss > 0.0 {
-                        epoch_mlm += loss as f64;
-                        n_mlm += 1;
-                        let dhidden = mlm_head.backward(&dlogits);
+    let mut guard = TrainGuard::new(config.guard);
+    let mut lr_scale = 1.0f32;
+    let mut total_retries = 0u64;
+    let mut global_step = 0u64;
+    let mut start_epoch = 0usize;
+
+    if let Some(path) = &config.resume_from {
+        let state = load_train_state(path)?;
+        encoder = state.encoder;
+        mlm_head = state.mlm_head;
+        nfp_head = state.nfp_head;
+        opt_enc = state.opt_enc;
+        opt_mlm = state.opt_mlm;
+        opt_nfp = state.opt_nfp;
+        lr_scale = state.lr_scale;
+        total_retries = state.total_retries;
+        global_step = state.global_step;
+        start_epoch = state.next_epoch;
+        stats.mlm_loss = state.mlm_loss;
+        stats.next_flow_loss = state.next_flow_loss;
+        stats.resumed_at = Some(start_epoch);
+    }
+
+    for epoch in start_epoch..config.epochs {
+        let mut attempt = 0usize;
+        loop {
+            // Last-good snapshot for divergence rollback.
+            let snapshot = (
+                encoder.clone(),
+                mlm_head.clone(),
+                nfp_head.clone(),
+                opt_enc.clone(),
+                opt_mlm.clone(),
+                opt_nfp.clone(),
+            );
+            // Deterministic shuffle from the identity permutation — the
+            // order must depend only on (seed, epoch, retries), never on
+            // previous epochs, or resumed runs would diverge. The retry
+            // counter feeds the seed so a rolled-back epoch sees a
+            // different batch order.
+            let mut order: Vec<usize> = (0..encoded.len()).collect();
+            let mut rng = StdRng::seed_from_u64(epoch_seed(config.seed, epoch, total_retries));
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut epoch_mlm = 0.0f64;
+            let mut epoch_nfp = 0.0f64;
+            let mut n_mlm = 0usize;
+            let mut n_nfp = 0usize;
+            let mut tripped: Option<String> = None;
+            'batches: for batch in order.chunks(config.batch_size) {
+                encoder.zero_grad();
+                mlm_head.zero_grad();
+                nfp_head.zero_grad();
+                let mut batch_loss = 0.0f64;
+                let mut batch_items = 0usize;
+                for &idx in batch {
+                    let ids = &encoded[idx];
+                    if ids.len() < 3 {
+                        continue;
+                    }
+                    if config.tasks.mlm || config.tasks.query_answer {
+                        let qa = config.tasks.query_answer;
+                        let mask_prob = if config.tasks.mlm { config.mask_prob } else { 0.02 };
+                        let (input, targets) = mask_sequence(&mut rng, ids, vocab, mask_prob, qa);
+                        let hidden = encoder.forward(&input);
+                        let logits = mlm_head.forward(&hidden);
+                        let (loss, dlogits) = softmax_cross_entropy(&logits, &targets);
+                        if loss > 0.0 {
+                            epoch_mlm += loss as f64;
+                            n_mlm += 1;
+                            batch_loss += loss as f64;
+                            batch_items += 1;
+                            let dhidden = mlm_head.backward(&dlogits);
+                            encoder.backward(&dhidden);
+                        }
+                    }
+                    if config.tasks.next_flow && encoded.len() > 2 {
+                        // Positive: the temporally-next context. Negative: a
+                        // random one.
+                        let is_next = rng.gen_bool(0.5);
+                        let other = if is_next && idx + 1 < contexts.len() {
+                            idx + 1
+                        } else {
+                            rng.gen_range(0..contexts.len())
+                        };
+                        let label = usize::from(is_next && other == idx + 1);
+                        let pair = encode_pair(vocab, &contexts[idx], &contexts[other], max_len);
+                        let hidden = encoder.forward(&pair);
+                        let cls = hidden.rows_slice(0, 1);
+                        let logits = nfp_head.forward(&cls);
+                        let (loss, dlogits) = softmax_cross_entropy(&logits, &[label]);
+                        epoch_nfp += loss as f64;
+                        n_nfp += 1;
+                        batch_loss += loss as f64;
+                        batch_items += 1;
+                        let dcls = nfp_head.backward(&dlogits);
+                        // Scatter dcls back into a full dhidden (only row 0).
+                        let mut dhidden = Matrix::zeros(hidden.rows(), hidden.cols());
+                        dhidden.row_mut(0).copy_from_slice(dcls.row(0));
                         encoder.backward(&dhidden);
                     }
                 }
-                if config.tasks.next_flow && encoded.len() > 2 {
-                    // Positive: the temporally-next context. Negative: a
-                    // random one.
-                    let is_next = rng.gen_bool(0.5);
-                    let other = if is_next && idx + 1 < contexts.len() {
-                        idx + 1
-                    } else {
-                        rng.gen_range(0..contexts.len())
-                    };
-                    let label = usize::from(is_next && other == idx + 1);
-                    let pair = encode_pair(vocab, &contexts[idx], &contexts[other], max_len);
-                    let hidden = encoder.forward(&pair);
-                    let cls = hidden.rows_slice(0, 1);
-                    let logits = nfp_head.forward(&cls);
-                    let (loss, dlogits) = softmax_cross_entropy(&logits, &[label]);
-                    epoch_nfp += loss as f64;
-                    n_nfp += 1;
-                    let dcls = nfp_head.backward(&dlogits);
-                    // Scatter dcls back into a full dhidden (only row 0).
-                    let mut dhidden = Matrix::zeros(hidden.rows(), hidden.cols());
-                    dhidden.row_mut(0).copy_from_slice(dcls.row(0));
-                    encoder.backward(&dhidden);
+                let step = global_step;
+                global_step += 1;
+                let mut check_loss =
+                    if batch_items > 0 { (batch_loss / batch_items as f64) as f32 } else { 0.0 };
+                if config.inject_nan_at.contains(&step) {
+                    check_loss = f32::NAN;
+                }
+                let mut grad_norm = clip_global_norm(&mut encoder, 5.0);
+                grad_norm = grad_norm.max(clip_global_norm(&mut mlm_head, 5.0));
+                if config.tasks.next_flow {
+                    grad_norm = grad_norm.max(clip_global_norm(&mut nfp_head, 5.0));
+                }
+                if let Some(cause) = guard.inspect(check_loss, grad_norm) {
+                    tripped = Some(cause);
+                    break 'batches;
+                }
+                opt_enc.step(&mut encoder);
+                opt_mlm.step(&mut mlm_head);
+                if config.tasks.next_flow {
+                    opt_nfp.step(&mut nfp_head);
                 }
             }
-            clip_global_norm(&mut encoder, 5.0);
-            clip_global_norm(&mut mlm_head, 5.0);
-            opt_enc.step(&mut encoder);
-            opt_mlm.step(&mut mlm_head);
-            if config.tasks.next_flow {
-                clip_global_norm(&mut nfp_head, 5.0);
-                opt_nfp.step(&mut nfp_head);
+            if let Some(cause) = tripped {
+                attempt += 1;
+                total_retries += 1;
+                (encoder, mlm_head, nfp_head, opt_enc, opt_mlm, opt_nfp) = snapshot;
+                lr_scale *= config.guard.lr_backoff;
+                opt_enc.set_lr_scale(lr_scale);
+                opt_mlm.set_lr_scale(lr_scale);
+                opt_nfp.set_lr_scale(lr_scale);
+                let action = format!(
+                    "rolled back to epoch {epoch} start; lr_scale {lr_scale:.4}; reshuffled"
+                );
+                guard.record(epoch, global_step - 1, cause, action);
+                if attempt > config.guard.max_retries {
+                    return Err(TrainError::Diverged { attempts: attempt, log: guard.events });
+                }
+                continue;
             }
+            stats.mlm_loss.push(if n_mlm > 0 { (epoch_mlm / n_mlm as f64) as f32 } else { 0.0 });
+            if config.tasks.next_flow {
+                stats.next_flow_loss.push(if n_nfp > 0 {
+                    (epoch_nfp / n_nfp as f64) as f32
+                } else {
+                    0.0
+                });
+            }
+            break;
         }
-        stats.mlm_loss.push(if n_mlm > 0 { (epoch_mlm / n_mlm as f64) as f32 } else { 0.0 });
-        if config.tasks.next_flow {
-            stats
-                .next_flow_loss
-                .push(if n_nfp > 0 { (epoch_nfp / n_nfp as f64) as f32 } else { 0.0 });
+        if let Some(dir) = &config.snapshot_dir {
+            let every = config.snapshot_every.max(1);
+            if (epoch + 1) % every == 0 || epoch + 1 == config.epochs {
+                std::fs::create_dir_all(dir)
+                    .map_err(nfm_tensor::checkpoint::CheckpointError::from)?;
+                let mut state = TrainState {
+                    next_epoch: epoch + 1,
+                    global_step,
+                    total_retries,
+                    lr_scale,
+                    mlm_loss: stats.mlm_loss.clone(),
+                    next_flow_loss: stats.next_flow_loss.clone(),
+                    encoder: encoder.clone(),
+                    mlm_head: mlm_head.clone(),
+                    nfp_head: nfp_head.clone(),
+                    opt_enc: opt_enc.clone(),
+                    opt_mlm: opt_mlm.clone(),
+                    opt_nfp: opt_nfp.clone(),
+                };
+                save_train_state(&dir.join(format!("snapshot_ep{}.nfmc", epoch + 1)), &mut state)?;
+            }
         }
     }
 
-    // Final masked-prediction accuracy over a sample of the corpus.
+    // Final masked-prediction accuracy over a sample of the corpus, on a
+    // dedicated stream so the result is identical whether or not the run
+    // was resumed.
+    let mut eval_rng = StdRng::seed_from_u64(epoch_seed(config.seed, config.epochs, 0x4556_414C));
     let mut correct = 0usize;
     let mut total_masked = 0usize;
     let sample = encoded.len().min(200);
@@ -308,7 +468,7 @@ pub fn pretrain(
         if ids.len() < 3 {
             continue;
         }
-        let (input, targets) = mask_sequence(&mut rng, ids, vocab, config.mask_prob, false);
+        let (input, targets) = mask_sequence(&mut eval_rng, ids, vocab, config.mask_prob, false);
         let hidden = encoder.forward_inference(&input);
         let logits = mlm_head.forward_inference(&hidden);
         let preds = logits.argmax_rows();
@@ -323,8 +483,9 @@ pub fn pretrain(
     }
     stats.final_mlm_accuracy =
         if total_masked > 0 { correct as f32 / total_masked as f32 } else { 0.0 };
+    stats.guard_events = guard.events;
 
-    (encoder, mlm_head, stats)
+    Ok((encoder, mlm_head, stats))
 }
 
 #[cfg(test)]
@@ -337,9 +498,8 @@ mod tests {
         let mut contexts = Vec::new();
         for i in 0..120 {
             let k = i % 4;
-            let ctx: Vec<String> = (0..6)
-                .flat_map(|_| vec![format!("x{k}"), format!("y{k}")])
-                .collect();
+            let ctx: Vec<String> =
+                (0..6).flat_map(|_| vec![format!("x{k}"), format!("y{k}")]).collect();
             contexts.push(ctx);
         }
         let vocab = Vocab::from_sequences(&contexts, 1);
@@ -396,8 +556,12 @@ mod tests {
         let (_, targets) = mask_sequence(&mut rng, &ids, &vocab, 0.0, true);
         // The three answer tokens are always masked (positions 3, 4, 5 after
         // CLS at 0).
-        let masked: Vec<usize> =
-            targets.iter().enumerate().filter(|(_, &t)| t != IGNORE_INDEX).map(|(i, _)| i).collect();
+        let masked: Vec<usize> = targets
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t != IGNORE_INDEX)
+            .map(|(i, _)| i)
+            .collect();
         let answer_positions: Vec<usize> = ids
             .iter()
             .enumerate()
@@ -422,29 +586,40 @@ mod tests {
     #[test]
     fn pretraining_reduces_mlm_loss_and_beats_chance() {
         let (vocab, contexts) = toy_vocab_and_contexts();
-        let cfg = EncoderConfig { vocab: vocab.len(), d_model: 16, n_heads: 2, n_layers: 1, d_ff: 32, max_len: 16 };
+        let cfg = EncoderConfig {
+            vocab: vocab.len(),
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 16,
+        };
         let (_, _, stats) = pretrain(
             &contexts,
             &vocab,
             cfg,
             &PretrainConfig { epochs: 4, tasks: TaskMix::mlm_only(), ..PretrainConfig::default() },
-        );
+        )
+        .expect("pretraining failed");
         let first = stats.mlm_loss[0];
         let last = *stats.mlm_loss.last().unwrap();
         assert!(last < first, "loss should fall: {first} → {last}");
         // Chance over ~13 vocab entries is ~8%; the bigram structure makes
         // much higher accuracy learnable.
-        assert!(
-            stats.final_mlm_accuracy > 0.5,
-            "accuracy {}",
-            stats.final_mlm_accuracy
-        );
+        assert!(stats.final_mlm_accuracy > 0.5, "accuracy {}", stats.final_mlm_accuracy);
     }
 
     #[test]
     fn next_flow_task_trains() {
         let (vocab, contexts) = toy_vocab_and_contexts();
-        let cfg = EncoderConfig { vocab: vocab.len(), d_model: 16, n_heads: 2, n_layers: 1, d_ff: 32, max_len: 24 };
+        let cfg = EncoderConfig {
+            vocab: vocab.len(),
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 24,
+        };
         let (_, _, stats) = pretrain(
             &contexts[..40],
             &vocab,
@@ -454,8 +629,125 @@ mod tests {
                 tasks: TaskMix { mlm: true, next_flow: true, query_answer: false },
                 ..PretrainConfig::default()
             },
-        );
+        )
+        .expect("pretraining failed");
         assert_eq!(stats.next_flow_loss.len(), 2);
         assert!(stats.next_flow_loss.iter().all(|l| l.is_finite()));
+    }
+
+    fn tiny_cfg(vocab: &Vocab) -> EncoderConfig {
+        EncoderConfig {
+            vocab: vocab.len(),
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 16,
+        }
+    }
+
+    fn encoder_bits(enc: &mut Encoder) -> Vec<u32> {
+        let mut bits = Vec::new();
+        enc.visit_params(&mut |p, _| bits.extend(p.iter().map(|v| v.to_bits())));
+        bits
+    }
+
+    #[test]
+    fn empty_corpus_is_a_typed_error() {
+        let (vocab, _) = toy_vocab_and_contexts();
+        let result = pretrain(&[], &vocab, tiny_cfg(&vocab), &PretrainConfig::default());
+        assert!(matches!(result, Err(TrainError::NoData)));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let cfg =
+            PretrainConfig { epochs: 2, tasks: TaskMix::mlm_only(), ..PretrainConfig::default() };
+        let (mut a, _, _) =
+            pretrain(&contexts[..30], &vocab, tiny_cfg(&vocab), &cfg).expect("run a");
+        let (mut b, _, _) =
+            pretrain(&contexts[..30], &vocab, tiny_cfg(&vocab), &cfg).expect("run b");
+        assert_eq!(encoder_bits(&mut a), encoder_bits(&mut b));
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run_bitwise() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let contexts = &contexts[..30];
+        let dir = std::env::temp_dir().join(format!("nfm_resume_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let base = PretrainConfig {
+            epochs: 4,
+            tasks: TaskMix::mlm_only(),
+            snapshot_dir: Some(dir.clone()),
+            snapshot_every: 1,
+            ..PretrainConfig::default()
+        };
+        let (mut full, _, full_stats) =
+            pretrain(contexts, &vocab, tiny_cfg(&vocab), &base).expect("uninterrupted run");
+        // "Kill" after epoch 2: resume from its snapshot and finish.
+        let resumed_cfg = PretrainConfig {
+            snapshot_dir: None,
+            resume_from: Some(dir.join("snapshot_ep2.nfmc")),
+            ..base.clone()
+        };
+        let (mut resumed, _, resumed_stats) =
+            pretrain(contexts, &vocab, tiny_cfg(&vocab), &resumed_cfg).expect("resumed run");
+        assert_eq!(resumed_stats.resumed_at, Some(2));
+        assert_eq!(
+            encoder_bits(&mut full),
+            encoder_bits(&mut resumed),
+            "resumed weights must be bitwise identical"
+        );
+        assert_eq!(full_stats.mlm_loss, resumed_stats.mlm_loss);
+        assert_eq!(full_stats.final_mlm_accuracy, resumed_stats.final_mlm_accuracy);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn guard_recovers_from_injected_nan() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let cfg = PretrainConfig {
+            epochs: 2,
+            tasks: TaskMix::mlm_only(),
+            inject_nan_at: vec![3],
+            ..PretrainConfig::default()
+        };
+        let (_, _, stats) =
+            pretrain(&contexts[..30], &vocab, tiny_cfg(&vocab), &cfg).expect("guard recovery");
+        assert_eq!(stats.guard_events.len(), 1);
+        assert!(stats.guard_events[0].cause.contains("NaN"));
+        assert!(stats.guard_events[0].action.contains("lr_scale 0.5"));
+        assert_eq!(stats.mlm_loss.len(), 2, "both epochs complete after recovery");
+        assert!(stats.mlm_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn persistent_divergence_is_a_typed_error() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let cfg = PretrainConfig {
+            epochs: 2,
+            tasks: TaskMix::mlm_only(),
+            // Trip every step the first epoch can ever reach.
+            inject_nan_at: (0..32).collect(),
+            guard: GuardConfig { max_retries: 2, ..GuardConfig::default() },
+            ..PretrainConfig::default()
+        };
+        match pretrain(&contexts[..30], &vocab, tiny_cfg(&vocab), &cfg) {
+            Err(TrainError::Diverged { attempts, log }) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(log.len(), 3);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_seed_is_stable_and_spreads() {
+        assert_eq!(epoch_seed(1, 0, 0), epoch_seed(1, 0, 0));
+        assert_ne!(epoch_seed(1, 0, 0), epoch_seed(1, 1, 0));
+        assert_ne!(epoch_seed(1, 0, 0), epoch_seed(1, 0, 1));
+        assert_ne!(epoch_seed(1, 0, 0), epoch_seed(2, 0, 0));
     }
 }

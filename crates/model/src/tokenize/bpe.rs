@@ -35,6 +35,7 @@ impl BpeTokenizer {
             frames.iter().map(|f| frame_symbols(&byte_config, f)).collect();
         let mut merges = Vec::with_capacity(n_merges);
         let mut next_symbol: u32 = 256;
+        #[allow(clippy::explicit_counter_loop)] // symbol ids continue past the loop
         for _ in 0..n_merges {
             // Count adjacent pairs.
             let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
@@ -44,9 +45,8 @@ impl BpeTokenizer {
                 }
             }
             // Deterministic argmax: highest count, then smallest pair.
-            let Some((&pair, &count)) = counts
-                .iter()
-                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            let Some((&pair, &count)) =
+                counts.iter().max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
             else {
                 break;
             };

@@ -30,11 +30,7 @@ impl ByteTokenizer {
     /// Tokenize raw frame bytes directly.
     pub fn tokenize_bytes(&self, frame: &[u8]) -> Vec<String> {
         let start = if self.skip_ethernet { 14.min(frame.len()) } else { 0 };
-        frame[start..]
-            .iter()
-            .take(self.max_bytes)
-            .map(|b| format!("B{b:02x}"))
-            .collect()
+        frame[start..].iter().take(self.max_bytes).map(|b| format!("B{b:02x}")).collect()
     }
 }
 

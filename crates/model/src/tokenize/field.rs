@@ -348,7 +348,11 @@ mod tests {
 
     #[test]
     fn http_request_tokens() {
-        let req = nfm_net::wire::http::Request::get("example.com", "/api/v1/items?q=1", "nfm-browser/1.0");
+        let req = nfm_net::wire::http::Request::get(
+            "example.com",
+            "/api/v1/items?q=1",
+            "nfm-browser/1.0",
+        );
         let p = Packet::tcp_v4(
             MacAddr::from_index(1),
             MacAddr::from_index(2),

@@ -51,6 +51,27 @@ impl Vocab {
         Vocab::build(&counts, min_freq)
     }
 
+    /// Reconstruct a vocabulary from an exact id-ordered token list (as
+    /// produced by [`Vocab::iter`]) — the checkpoint-restore path. Fails if
+    /// the list does not start with the special tokens or contains
+    /// duplicates, since either would silently remap ids.
+    pub fn from_tokens(tokens: Vec<String>) -> Result<Vocab, String> {
+        if tokens.len() < SPECIALS.len() {
+            return Err(format!("vocabulary has {} tokens, fewer than the specials", tokens.len()));
+        }
+        for (i, special) in SPECIALS.iter().enumerate() {
+            if tokens[i] != *special {
+                return Err(format!("token {i} is {:?}, expected special {special:?}", tokens[i]));
+            }
+        }
+        let to_id: HashMap<String, usize> =
+            tokens.iter().cloned().enumerate().map(|(i, t)| (t, i)).collect();
+        if to_id.len() != tokens.len() {
+            return Err("duplicate token in vocabulary".to_string());
+        }
+        Ok(Vocab { to_id, to_token: tokens })
+    }
+
     /// Vocabulary size including specials.
     pub fn len(&self) -> usize {
         self.to_token.len()

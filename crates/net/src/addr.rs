@@ -44,11 +44,7 @@ impl MacAddr {
 impl fmt::Display for MacAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            b[0], b[1], b[2], b[3], b[4], b[5]
-        )
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
     }
 }
 
@@ -73,10 +69,7 @@ mod tests {
     #[test]
     fn from_bytes_checks_length() {
         assert!(MacAddr::from_bytes(&[1, 2, 3]).is_none());
-        assert_eq!(
-            MacAddr::from_bytes(&[1, 2, 3, 4, 5, 6]),
-            Some(MacAddr([1, 2, 3, 4, 5, 6]))
-        );
+        assert_eq!(MacAddr::from_bytes(&[1, 2, 3, 4, 5, 6]), Some(MacAddr([1, 2, 3, 4, 5, 6])));
     }
 
     #[test]

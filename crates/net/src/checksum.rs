@@ -93,8 +93,10 @@ mod tests {
 
     #[test]
     fn verify_accepts_correct_checksum() {
-        let mut header = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0,
-                              0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7];
+        let mut header = vec![
+            0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 0xc0, 0xa8, 0x00,
+            0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
         let sum = internet_checksum(&header);
         header[10..12].copy_from_slice(&sum.to_be_bytes());
         assert!(verify(&header));

@@ -32,9 +32,11 @@ impl FlowKey {
             dst_ip: packet.ip.dst(),
             src_port: packet.transport.src_port().unwrap_or(0),
             dst_port: packet.transport.dst_port().unwrap_or(0),
-            protocol: packet.transport.protocol().map(u8::from).unwrap_or_else(|| {
-                u8::from(packet.ip.protocol())
-            }),
+            protocol: packet
+                .transport
+                .protocol()
+                .map(u8::from)
+                .unwrap_or_else(|| u8::from(packet.ip.protocol())),
         }
     }
 
@@ -178,8 +180,7 @@ impl FlowTable {
             self.flows.len() - 1
         });
         let flow = &mut self.flows[flow_idx];
-        let direction =
-            if key == flow.key { Direction::Forward } else { Direction::Backward };
+        let direction = if key == flow.key { Direction::Forward } else { Direction::Backward };
         let payload_len = packet.transport.payload().len();
         let tcp_flags = match &packet.transport {
             Transport::Tcp { repr, .. } => repr.flags,

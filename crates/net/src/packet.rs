@@ -9,8 +9,8 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use crate::addr::MacAddr;
 use crate::checksum;
 use crate::error::ParseError;
-use crate::wire::ipv4::Protocol;
 use crate::wire::ethernet::EtherType;
+use crate::wire::ipv4::Protocol;
 use crate::wire::{ethernet, icmp, ipv4, ipv6, tcp, udp, Writer};
 
 // Re-export for convenience at the packet level.
@@ -260,16 +260,14 @@ impl Packet {
                 let start = w.len();
                 repr.emit(w, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, payload);
                 w.patch_u16(start + 16, 0).expect("segment just written");
-                let sum =
-                    checksum::pseudo_header_checksum_v6(src, dst, 6, &w.as_slice()[start..]);
+                let sum = checksum::pseudo_header_checksum_v6(src, dst, 6, &w.as_slice()[start..]);
                 w.patch_u16(start + 16, sum).expect("segment just written");
             }
             Transport::Udp { repr, payload } => {
                 let start = w.len();
                 repr.emit(w, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, payload);
                 w.patch_u16(start + 6, 0).expect("datagram just written");
-                let sum =
-                    checksum::pseudo_header_checksum_v6(src, dst, 17, &w.as_slice()[start..]);
+                let sum = checksum::pseudo_header_checksum_v6(src, dst, 17, &w.as_slice()[start..]);
                 w.patch_u16(start + 6, sum).expect("datagram just written");
             }
             Transport::Icmp { repr, payload } => repr.emit(w, payload),
@@ -364,7 +362,15 @@ mod tests {
             flags: Flags::SYN,
             window: 64240,
         };
-        let p = Packet::tcp_v4(s, d, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), repr, 63, vec![]);
+        let p = Packet::tcp_v4(
+            s,
+            d,
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            repr,
+            63,
+            vec![],
+        );
         let parsed = Packet::parse(&p.emit()).unwrap();
         assert_eq!(parsed, p);
         assert_eq!(parsed.ip.ttl(), 63);
@@ -374,7 +380,14 @@ mod tests {
     fn tcp_v6_round_trip() {
         let (s, d) = macs();
         let transport = Transport::Tcp {
-            repr: tcp::Repr { src_port: 1000, dst_port: 80, seq: 9, ack: 9, flags: Flags::PSH_ACK, window: 1024 },
+            repr: tcp::Repr {
+                src_port: 1000,
+                dst_port: 80,
+                seq: 9,
+                ack: 9,
+                flags: Flags::PSH_ACK,
+                window: 1024,
+            },
             payload: b"GET /".to_vec(),
         };
         let p = Packet {
@@ -422,7 +435,16 @@ mod tests {
     #[test]
     fn corrupt_frames_never_panic() {
         let (s, d) = macs();
-        let p = Packet::udp_v4(s, d, Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(4, 3, 2, 1), 9, 9, 1, vec![1, 2, 3]);
+        let p = Packet::udp_v4(
+            s,
+            d,
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(4, 3, 2, 1),
+            9,
+            9,
+            1,
+            vec![1, 2, 3],
+        );
         let bytes = p.emit();
         // Flip every single byte and make sure parse returns Ok or Err
         // without panicking.

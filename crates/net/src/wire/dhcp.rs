@@ -186,8 +186,7 @@ impl Message {
                     match code {
                         53 if len == 1 => msg_type = Some(MessageType::from(data[0])),
                         50 if len == 4 => {
-                            requested_addr =
-                                Some(Ipv4Addr::new(data[0], data[1], data[2], data[3]))
+                            requested_addr = Some(Ipv4Addr::new(data[0], data[1], data[2], data[3]))
                         }
                         54 if len == 4 => {
                             server_id = Some(Ipv4Addr::new(data[0], data[1], data[2], data[3]))
@@ -215,7 +214,8 @@ mod tests {
         assert_eq!(parsed, disc);
         assert_eq!(parsed.hostname.as_deref(), Some("cam-kitchen"));
 
-        let offer = Message::offer(&disc, Ipv4Addr::new(192, 168, 1, 50), Ipv4Addr::new(192, 168, 1, 1));
+        let offer =
+            Message::offer(&disc, Ipv4Addr::new(192, 168, 1, 50), Ipv4Addr::new(192, 168, 1, 1));
         let parsed = Message::parse(&offer.emit()).unwrap();
         assert_eq!(parsed, offer);
         assert_eq!(parsed.xid, disc.xid);

@@ -112,8 +112,7 @@ impl Name {
                 }
                 l if l > 63 => return Err(ParseError::BadName),
                 l => {
-                    let bytes =
-                        message.get(pos + 1..pos + 1 + l).ok_or(ParseError::BadName)?;
+                    let bytes = message.get(pos + 1..pos + 1 + l).ok_or(ParseError::BadName)?;
                     total += 1 + l;
                     if total > MAX_NAME_LEN {
                         return Err(ParseError::BadName);
@@ -552,13 +551,48 @@ mod tests {
     fn all_rdata_types_round_trip() {
         let q = Message::query(9, name("example.com"), RecordType::Txt);
         let records = vec![
-            Record { name: name("example.com"), rtype: RecordType::A, ttl: 60, rdata: Rdata::A(Ipv4Addr::new(1, 2, 3, 4)) },
-            Record { name: name("example.com"), rtype: RecordType::Aaaa, ttl: 60, rdata: Rdata::Aaaa("2001:db8::1".parse().unwrap()) },
-            Record { name: name("example.com"), rtype: RecordType::Ns, ttl: 60, rdata: Rdata::Ns(name("ns1.example.com")) },
-            Record { name: name("example.com"), rtype: RecordType::Mx, ttl: 60, rdata: Rdata::Mx(10, name("mx.example.com")) },
-            Record { name: name("example.com"), rtype: RecordType::Txt, ttl: 60, rdata: Rdata::Txt(b"v=spf1 -all".to_vec()) },
-            Record { name: name("4.3.2.1.in-addr.arpa"), rtype: RecordType::Ptr, ttl: 60, rdata: Rdata::Ptr(name("example.com")) },
-            Record { name: name("example.com"), rtype: RecordType::Other(99), ttl: 60, rdata: Rdata::Opaque(vec![1, 2, 3]) },
+            Record {
+                name: name("example.com"),
+                rtype: RecordType::A,
+                ttl: 60,
+                rdata: Rdata::A(Ipv4Addr::new(1, 2, 3, 4)),
+            },
+            Record {
+                name: name("example.com"),
+                rtype: RecordType::Aaaa,
+                ttl: 60,
+                rdata: Rdata::Aaaa("2001:db8::1".parse().unwrap()),
+            },
+            Record {
+                name: name("example.com"),
+                rtype: RecordType::Ns,
+                ttl: 60,
+                rdata: Rdata::Ns(name("ns1.example.com")),
+            },
+            Record {
+                name: name("example.com"),
+                rtype: RecordType::Mx,
+                ttl: 60,
+                rdata: Rdata::Mx(10, name("mx.example.com")),
+            },
+            Record {
+                name: name("example.com"),
+                rtype: RecordType::Txt,
+                ttl: 60,
+                rdata: Rdata::Txt(b"v=spf1 -all".to_vec()),
+            },
+            Record {
+                name: name("4.3.2.1.in-addr.arpa"),
+                rtype: RecordType::Ptr,
+                ttl: 60,
+                rdata: Rdata::Ptr(name("example.com")),
+            },
+            Record {
+                name: name("example.com"),
+                rtype: RecordType::Other(99),
+                ttl: 60,
+                rdata: Rdata::Opaque(vec![1, 2, 3]),
+            },
         ];
         let resp = Message::response(&q, Rcode::NoError, records.clone());
         let parsed = Message::parse(&resp.emit()).unwrap();
@@ -579,7 +613,7 @@ mod tests {
         name("a.b").emit(&mut w); // offset 12
         w.u16(1); // type A
         w.u16(1); // class IN
-        // answer: pointer to offset 12
+                  // answer: pointer to offset 12
         w.u8(0xc0);
         w.u8(12);
         w.u16(1); // type A

@@ -59,10 +59,7 @@ impl fmt::Display for Method {
 pub type Headers = Vec<(String, String)>;
 
 fn get_header<'a>(headers: &'a Headers, name: &str) -> Option<&'a str> {
-    headers
-        .iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case(name))
-        .map(|(_, v)| v.as_str())
+    headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
 }
 
 /// An HTTP request head plus opaque body.
@@ -121,7 +118,8 @@ impl Request {
     pub fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
         let (head, body) = split_head(bytes)?;
         let mut lines = head.split("\r\n");
-        let request_line = lines.next().ok_or(ParseError::BadSyntax { what: "http request line" })?;
+        let request_line =
+            lines.next().ok_or(ParseError::BadSyntax { what: "http request line" })?;
         let mut parts = request_line.split(' ');
         let method = Method::parse(parts.next().unwrap_or(""))?;
         let target = parts
@@ -284,7 +282,8 @@ mod tests {
 
     #[test]
     fn header_values_trimmed() {
-        let parsed = Request::parse(b"GET / HTTP/1.1\r\nHost:   spaced.example   \r\n\r\n").unwrap();
+        let parsed =
+            Request::parse(b"GET / HTTP/1.1\r\nHost:   spaced.example   \r\n\r\n").unwrap();
         assert_eq!(parsed.host(), Some("spaced.example"));
     }
 }

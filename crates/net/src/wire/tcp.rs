@@ -47,7 +47,9 @@ impl Flags {
     /// Compact text form, e.g. `"SA"` for SYN|ACK (tcpdump style).
     pub fn mnemonic(&self) -> String {
         let mut s = String::new();
-        for (bit, ch) in [(0x02u8, 'S'), (0x10, 'A'), (0x01, 'F'), (0x04, 'R'), (0x08, 'P'), (0x20, 'U')] {
+        for (bit, ch) in
+            [(0x02u8, 'S'), (0x10, 'A'), (0x01, 'F'), (0x04, 'R'), (0x08, 'P'), (0x20, 'U')]
+        {
             if self.0 & bit != 0 {
                 s.push(ch);
             }

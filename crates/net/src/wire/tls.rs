@@ -162,7 +162,7 @@ impl ClientHello {
         }
         body.u8(1); // compression methods length
         body.u8(0); // null compression
-        // Extensions.
+                    // Extensions.
         let mut ext = Writer::new();
         if let Some(name) = &self.server_name {
             ext.u16(0x0000); // server_name extension
@@ -191,7 +191,10 @@ impl ClientHello {
         let mut c = Cursor::new(bytes, "tls client_hello");
         let msg_type = c.u8()?;
         if msg_type != 1 {
-            return Err(ParseError::BadValue { what: "tls handshake type", value: msg_type as u64 });
+            return Err(ParseError::BadValue {
+                what: "tls handshake type",
+                value: msg_type as u64,
+            });
         }
         let hi = c.u8()? as usize;
         let lo = c.u16()? as usize;
@@ -272,7 +275,10 @@ impl ServerHello {
         let mut c = Cursor::new(bytes, "tls server_hello");
         let msg_type = c.u8()?;
         if msg_type != 2 {
-            return Err(ParseError::BadValue { what: "tls handshake type", value: msg_type as u64 });
+            return Err(ParseError::BadValue {
+                what: "tls handshake type",
+                value: msg_type as u64,
+            });
         }
         c.skip(3)?; // length
         let version = c.u16()?;

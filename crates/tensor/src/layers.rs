@@ -199,8 +199,8 @@ impl LayerNorm {
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            for c in 0..d {
-                let h = (row[c] - mean) * inv_std;
+            for (c, &v) in row.iter().enumerate() {
+                let h = (v - mean) * inv_std;
                 xhat.set(r, c, h);
                 out.set(r, c, h * self.gamma[c] + self.beta[c]);
             }
@@ -212,11 +212,10 @@ impl LayerNorm {
 
     /// Backward pass: accumulate gamma/beta gradients, return dL/dx.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let (xhat, _means, inv_stds) =
-            self.cache.as_ref().expect("forward before backward");
+        let (xhat, _means, inv_stds) = self.cache.as_ref().expect("forward before backward");
         let d = dy.cols();
         let mut dx = Matrix::zeros(dy.rows(), d);
-        for r in 0..dy.rows() {
+        for (r, &inv_std) in inv_stds.iter().enumerate() {
             let dyr = dy.row(r);
             let xh = xhat.row(r);
             // Accumulate parameter grads.
@@ -228,11 +227,9 @@ impl LayerNorm {
             let dxhat: Vec<f32> = (0..d).map(|c| dyr[c] * self.gamma[c]).collect();
             let sum_dxhat: f32 = dxhat.iter().sum();
             let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
-            let inv_std = inv_stds[r];
             for c in 0..d {
-                let v = (d as f32 * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat)
-                    * inv_std
-                    / d as f32;
+                let v =
+                    (d as f32 * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat) * inv_std / d as f32;
                 dx.set(r, c, v);
             }
         }

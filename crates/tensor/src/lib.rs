@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod init;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
 pub mod optim;
 
+pub use checkpoint::CheckpointError;
 pub use layers::{Embedding, Gelu, LayerNorm, Linear, Module};
 pub use loss::{mse, softmax_cross_entropy, IGNORE_INDEX};
 pub use matrix::{cosine, Matrix};

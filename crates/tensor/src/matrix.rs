@@ -93,7 +93,11 @@ impl Matrix {
 
     /// `self @ other` — (m×k)·(k×n) → m×n.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul inner dims {}x{} @ {}x{}", self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dims {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
         // ikj loop order: streams through `other` rows, vectorizes well.
@@ -200,11 +204,7 @@ impl Matrix {
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Elementwise product into a new matrix.
@@ -235,16 +235,21 @@ impl Matrix {
         }
     }
 
-    /// Index of the max element in each row.
+    /// Index of the max element in each row. NaN entries compare as
+    /// negative infinity; ties keep the lowest index, so an all-NaN row
+    /// yields index 0 rather than panicking.
     pub fn argmax_rows(&self) -> Vec<usize> {
         (0..self.rows)
             .map(|r| {
-                self.row(r)
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
+                let mut best = 0usize;
+                let mut best_v = f32::NEG_INFINITY;
+                for (i, &v) in self.row(r).iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = i;
+                    }
+                }
+                best
             })
             .collect()
     }
@@ -371,6 +376,16 @@ mod tests {
         assert!(x.is_finite());
         let bad = m(1, 1, &[f32::NAN]);
         assert!(!bad.is_finite());
+    }
+
+    #[test]
+    fn argmax_treats_nan_as_negative_infinity() {
+        // NaN entries lose to any finite value; an all-NaN row falls back
+        // to index 0; ties keep the lowest index.
+        let x = m(3, 3, &[f32::NAN, 2.0, 1.0, f32::NAN, f32::NAN, f32::NAN, 4.0, 4.0, 4.0]);
+        assert_eq!(x.argmax_rows(), vec![1, 0, 0]);
+        let neg = m(1, 2, &[f32::NEG_INFINITY, -1.0]);
+        assert_eq!(neg.argmax_rows(), vec![1]);
     }
 
     #[test]

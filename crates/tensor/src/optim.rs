@@ -124,6 +124,7 @@ pub struct Adam {
     t: usize,
     m: Vec<Vec<f32>>,
     v: Vec<Vec<f32>>,
+    lr_scale: f32,
 }
 
 impl Adam {
@@ -138,12 +139,36 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            lr_scale: 1.0,
         }
+    }
+
+    /// Multiplier applied on top of the schedule's learning rate. Divergence
+    /// recovery halves this to back off without rebuilding the schedule.
+    pub fn lr_scale(&self) -> f32 {
+        self.lr_scale
+    }
+
+    /// Set the learning-rate multiplier (see [`Adam::lr_scale`]).
+    pub fn set_lr_scale(&mut self, scale: f32) {
+        self.lr_scale = scale;
+    }
+
+    /// Internal state for checkpointing: `(t, m, v)`.
+    pub fn state(&self) -> (usize, &[Vec<f32>], &[Vec<f32>]) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Restore internal state from a checkpoint.
+    pub fn restore_state(&mut self, t: usize, m: Vec<Vec<f32>>, v: Vec<Vec<f32>>) {
+        self.t = t;
+        self.m = m;
+        self.v = v;
     }
 
     /// Apply one update step.
     pub fn step(&mut self, model: &mut dyn Module) {
-        let lr = self.schedule.lr(self.t);
+        let lr = self.schedule.lr(self.t) * self.lr_scale;
         self.t += 1;
         let t = self.t as f32;
         let (b1, b2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);

@@ -37,7 +37,14 @@ pub fn port_scan<R: Rng + ?Sized>(rng: &mut R, ctx: &mut SessionCtx<'_>) -> Sess
             victim_mac,
             ctx.client.ip,
             victim,
-            TcpRepr { src_port: sport, dst_port, seq: rng.gen(), ack: 0, flags: Flags::SYN, window: 1024 },
+            TcpRepr {
+                src_port: sport,
+                dst_port,
+                seq: rng.gen(),
+                ack: 0,
+                flags: Flags::SYN,
+                window: 1024,
+            },
             ctx.client.ttl(),
             vec![],
         );
@@ -50,7 +57,14 @@ pub fn port_scan<R: Rng + ?Sized>(rng: &mut R, ctx: &mut SessionCtx<'_>) -> Sess
             ctx.client.mac,
             victim,
             ctx.client.ip,
-            TcpRepr { src_port: dst_port, dst_port: sport, seq: rng.gen(), ack: 1, flags: reply_flags, window: 0 },
+            TcpRepr {
+                src_port: dst_port,
+                dst_port: sport,
+                seq: rng.gen(),
+                ack: 1,
+                flags: reply_flags,
+                window: 0,
+            },
             64,
             vec![],
         );
@@ -70,9 +84,8 @@ pub fn dns_tunnel<R: Rng + ?Sized>(rng: &mut R, ctx: &mut SessionCtx<'_>) -> Ses
     let n_queries = rng.gen_range(15..40);
     for _ in 0..n_queries {
         // Base32-ish random payload label, much longer than organic labels.
-        let chunk: String = (0..rng.gen_range(24..48))
-            .map(|_| char::from(b'a' + rng.gen_range(0..26)))
-            .collect();
+        let chunk: String =
+            (0..rng.gen_range(24..48)).map(|_| char::from(b'a' + rng.gen_range(0..26))).collect();
         let qname = Name::parse_str(&format!("{chunk}.{tunnel_domain}")).expect("valid");
         let id: u16 = rng.gen();
         let query = Message::query(id, qname.clone(), RecordType::Txt);
@@ -80,7 +93,12 @@ pub fn dns_tunnel<R: Rng + ?Sized>(rng: &mut R, ctx: &mut SessionCtx<'_>) -> Ses
         let response = Message::response(
             &query,
             Rcode::NoError,
-            vec![Record { name: qname, rtype: RecordType::Txt, ttl: 1, rdata: Rdata::Txt(reply_data) }],
+            vec![Record {
+                name: qname,
+                rtype: RecordType::Txt,
+                ttl: 1,
+                rdata: Rdata::Txt(reply_data),
+            }],
         );
         let mut pkts = udp_exchange(
             ctx.client,
@@ -231,11 +249,8 @@ mod tests {
     #[test]
     fn port_scan_touches_many_ports() {
         let s = run(AnomalyClass::PortScan, 10);
-        let mut ports: Vec<u16> = s
-            .packets
-            .iter()
-            .filter_map(|(_, p)| p.transport.dst_port())
-            .collect();
+        let mut ports: Vec<u16> =
+            s.packets.iter().filter_map(|(_, p)| p.transport.dst_port()).collect();
         ports.sort_unstable();
         ports.dedup();
         assert!(ports.len() > 15, "distinct ports {}", ports.len());
@@ -271,8 +286,7 @@ mod tests {
             .map(|(ts, _)| *ts)
             .collect();
         assert!(syn_times.len() >= 5);
-        let gaps: Vec<i64> =
-            syn_times.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let gaps: Vec<i64> = syn_times.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
         let mean = gaps.iter().sum::<i64>() / gaps.len() as i64;
         for g in &gaps {
             let dev = (g - mean).abs() as f64 / mean as f64;

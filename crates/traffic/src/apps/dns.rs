@@ -31,12 +31,7 @@ fn build_answers<R: Rng + ?Sized>(
             ttl: 300,
             rdata: Rdata::Cname(target.clone()),
         });
-        answers.push(Record {
-            name: target,
-            rtype: RecordType::A,
-            ttl: 60,
-            rdata: Rdata::A(addr),
-        });
+        answers.push(Record { name: target, rtype: RecordType::A, ttl: 60, rdata: Rdata::A(addr) });
     } else {
         // Often multiple A records — the "set-valued answer" structure the
         // paper wants pre-training tasks to capture.
@@ -162,7 +157,8 @@ mod tests {
             assert_eq!(session.label.app, AppClass::Dns);
             assert!(!session.packets.is_empty());
             for (_, p) in &session.packets {
-                let on_53 = p.transport.dst_port() == Some(53) || p.transport.src_port() == Some(53);
+                let on_53 =
+                    p.transport.dst_port() == Some(53) || p.transport.src_port() == Some(53);
                 assert!(on_53, "one side of every DNS packet is port 53");
                 let msg = Message::parse(p.transport.payload());
                 assert!(msg.is_ok(), "every payload is valid DNS");

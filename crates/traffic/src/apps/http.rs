@@ -10,8 +10,16 @@ use crate::dist::LogNormal;
 use crate::domains::{DomainRegistry, SiteCategory};
 use crate::label::{AppClass, TrafficLabel};
 
-const PATHS: [&str; 8] =
-    ["/", "/index.html", "/api/v1/items", "/static/app.js", "/img/logo.png", "/feed.xml", "/search?q=nfm", "/about"];
+const PATHS: [&str; 8] = [
+    "/",
+    "/index.html",
+    "/api/v1/items",
+    "/static/app.js",
+    "/img/logo.png",
+    "/feed.xml",
+    "/search?q=nfm",
+    "/about",
+];
 
 /// Median response size per category (bytes) — part of the semantic signal.
 fn body_size(category: SiteCategory) -> LogNormal {
@@ -30,9 +38,10 @@ pub fn generate<R: Rng + ?Sized>(
     registry: &DomainRegistry,
 ) -> Session {
     let device = ctx.client.device;
-    let category = *[SiteCategory::News, SiteCategory::Repository, SiteCategory::Ads, SiteCategory::Social]
-        .get(rng.gen_range(0..4))
-        .expect("index in range");
+    let category =
+        *[SiteCategory::News, SiteCategory::Repository, SiteCategory::Ads, SiteCategory::Social]
+            .get(rng.gen_range(0..4))
+            .expect("index in range");
     let site = registry.sample_site_in(rng, category).clone();
     let host_name = registry.sample_host(rng, &site).clone();
 
@@ -114,7 +123,8 @@ mod tests {
         // Statistical check: repository bodies are bigger than ads bodies.
         let mut rng = StdRng::seed_from_u64(4);
         let repo: f64 =
-            (0..200).map(|_| body_size(SiteCategory::Repository).sample(&mut rng)).sum::<f64>() / 200.0;
+            (0..200).map(|_| body_size(SiteCategory::Repository).sample(&mut rng)).sum::<f64>()
+                / 200.0;
         let ads: f64 =
             (0..200).map(|_| body_size(SiteCategory::Ads).sample(&mut rng)).sum::<f64>() / 200.0;
         assert!(repo > ads * 5.0, "repo {repo} vs ads {ads}");

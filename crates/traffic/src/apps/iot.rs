@@ -40,7 +40,9 @@ fn camera_session<R: Rng + ?Sized>(
     // RTSP-style control then a steady upload stream of video chunks.
     let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 554, rtt, connect_at);
     conv.handshake();
-    conv.client_send(format!("DESCRIBE rtsp://{host}/stream RTSP/1.0\r\nCSeq: 1\r\n\r\n").as_bytes());
+    conv.client_send(
+        format!("DESCRIBE rtsp://{host}/stream RTSP/1.0\r\nCSeq: 1\r\n\r\n").as_bytes(),
+    );
     conv.server_send(b"RTSP/1.0 200 OK\r\nCSeq: 1\r\n\r\n");
     conv.client_send(b"SETUP rtsp://stream RTSP/1.0\r\nCSeq: 2\r\n\r\n");
     conv.server_send(b"RTSP/1.0 200 OK\r\nCSeq: 2\r\nSession: 12345\r\n\r\n");
@@ -126,7 +128,15 @@ fn assistant_session<R: Rng + ?Sized>(
     let mut conv = TcpConversation::new(rng, ctx.client, server_ip, 443, rtt, connect_at);
     conv.handshake();
     let sizes = crate::dist::LogNormal::from_median(1_500.0, 1.4);
-    crate::apps::tls::run_handshake_and_data(rng, &mut conv, &host.to_string(), client_suites, 0, &sizes, crate::apps::tls::server_prefers_256(server_ip));
+    crate::apps::tls::run_handshake_and_data(
+        rng,
+        &mut conv,
+        &host.to_string(),
+        client_suites,
+        0,
+        &sizes,
+        crate::apps::tls::server_prefers_256(server_ip),
+    );
     // Voice clip upload: a burst of client records.
     let clip: Vec<u8> = (0..rng.gen_range(12_000..40_000)).map(|_| rng.gen()).collect();
     let rec = nfm_net::wire::tls::Record {
@@ -199,18 +209,14 @@ mod tests {
     fn bulb_uses_tiny_udp() {
         let s = run(DeviceClass::SmartBulb, 2);
         assert!(s.packets.iter().all(|(_, p)| p.transport.payload().len() < 64));
-        assert!(s
-            .packets
-            .iter()
-            .any(|(_, p)| p.transport.dst_port() == Some(5683)));
+        assert!(s.packets.iter().any(|(_, p)| p.transport.dst_port() == Some(5683)));
     }
 
     #[test]
     fn thermostat_publishes_mqtt_on_1883() {
         let s = run(DeviceClass::Thermostat, 3);
         let has_mqtt = s.packets.iter().any(|(_, p)| {
-            p.transport.dst_port() == Some(1883)
-                && p.transport.payload().first() == Some(&0x30)
+            p.transport.dst_port() == Some(1883) && p.transport.payload().first() == Some(&0x30)
         });
         assert!(has_mqtt);
     }
@@ -219,11 +225,7 @@ mod tests {
     fn assistant_mixes_dns_and_tls() {
         let s = run(DeviceClass::VoiceAssistant, 4);
         let dns = s.packets.iter().filter(|(_, p)| p.transport.dst_port() == Some(53)).count();
-        let tls = s
-            .packets
-            .iter()
-            .filter(|(_, p)| p.transport.dst_port() == Some(443))
-            .count();
+        let tls = s.packets.iter().filter(|(_, p)| p.transport.dst_port() == Some(443)).count();
         assert!(dns > 0 && tls > 0);
     }
 }

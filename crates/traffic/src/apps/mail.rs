@@ -75,7 +75,9 @@ fn imap_session<R: Rng + ?Sized>(
     conv.server_send(b"a1 OK LOGIN completed\r\n");
     conv.client_send(b"a2 SELECT INBOX\r\n");
     let n_msgs = rng.gen_range(0..40);
-    conv.server_send(format!("* {n_msgs} EXISTS\r\na2 OK [READ-WRITE] SELECT completed\r\n").as_bytes());
+    conv.server_send(
+        format!("* {n_msgs} EXISTS\r\na2 OK [READ-WRITE] SELECT completed\r\n").as_bytes(),
+    );
     if n_msgs > 0 {
         conv.client_send(b"a3 FETCH 1:* (FLAGS BODY[HEADER.FIELDS (SUBJECT)])\r\n");
         let size = (n_msgs as usize) * rng.gen_range(60..200);
@@ -150,11 +152,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut ctx = SessionCtx { client: &mut host, directory: &dir, rtt_us: 25_000 };
         let s = smtp_session(&mut rng, &mut ctx, &reg);
-        let all: Vec<u8> = s
-            .packets
-            .iter()
-            .flat_map(|(_, p)| p.transport.payload().to_vec())
-            .collect();
+        let all: Vec<u8> =
+            s.packets.iter().flat_map(|(_, p)| p.transport.payload().to_vec()).collect();
         let text = String::from_utf8_lossy(&all);
         for verb in ["EHLO", "MAIL FROM", "RCPT TO", "DATA", "QUIT", "220", "250"] {
             assert!(text.contains(verb), "missing {verb}");

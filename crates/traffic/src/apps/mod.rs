@@ -323,8 +323,14 @@ mod tests {
     fn seq_ack_bookkeeping_consistent() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut client = Host::new(1, DeviceClass::Phone);
-        let mut conv =
-            TcpConversation::new(&mut rng, &mut client, Ipv4Addr::new(198, 18, 0, 2), 443, 10_000, 0);
+        let mut conv = TcpConversation::new(
+            &mut rng,
+            &mut client,
+            Ipv4Addr::new(198, 18, 0, 2),
+            443,
+            10_000,
+            0,
+        );
         conv.handshake();
         conv.client_send(b"hello");
         let packets = conv.finish();
@@ -344,7 +350,8 @@ mod tests {
     fn udp_exchange_round_trip() {
         let mut client = Host::new(3, DeviceClass::Camera);
         let server = Ipv4Addr::new(198, 18, 1, 1);
-        let pkts = udp_exchange(&mut client, server, 53, 15_000, 100, b"q".to_vec(), Some(b"r".to_vec()));
+        let pkts =
+            udp_exchange(&mut client, server, 53, 15_000, 100, b"q".to_vec(), Some(b"r".to_vec()));
         assert_eq!(pkts.len(), 2);
         assert_eq!(pkts[1].0 - pkts[0].0, 15_000);
         assert_eq!(pkts[0].1.transport.dst_port(), Some(53));

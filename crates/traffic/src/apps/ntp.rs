@@ -17,10 +17,7 @@ pub fn generate<R: Rng + ?Sized>(
     let device = ctx.client.device;
     let site = registry.sample_site_in(rng, SiteCategory::Time).clone();
     let host = registry.sample_host(rng, &site).clone();
-    let server_ip = ctx
-        .directory
-        .resolve(&host)
-        .expect("time hosts registered in directory");
+    let server_ip = ctx.directory.resolve(&host).expect("time hosts registered in directory");
     let n = if rng.gen_bool(0.2) { rng.gen_range(2..=3) } else { 1 };
     let mut packets = Vec::new();
     let mut t = 0u64;

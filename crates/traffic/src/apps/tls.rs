@@ -38,8 +38,7 @@ const SERVER_SUITES_256: [u16; 7] = [
 /// client's first offer, mirroring permissive embedded servers).
 /// `prefer_256` selects the server's key-length policy.
 pub fn negotiate(client_offer: &[u16], prefer_256: bool) -> u16 {
-    let prefs: &[u16] =
-        if prefer_256 { &SERVER_SUITES_256 } else { &SERVER_SUITES_128 };
+    let prefs: &[u16] = if prefer_256 { &SERVER_SUITES_256 } else { &SERVER_SUITES_128 };
     prefs
         .iter()
         .copied()
@@ -76,7 +75,8 @@ pub fn run_handshake_and_data<R: Rng + ?Sized>(
         ciphersuites: client_suites.clone(),
         server_name: Some(sni.to_string()),
     };
-    let rec = Record { content_type: ContentType::Handshake, version: 0x0301, payload: hello.emit() };
+    let rec =
+        Record { content_type: ContentType::Handshake, version: 0x0301, payload: hello.emit() };
     conv.client_send(&rec.emit());
 
     let chosen = negotiate(&client_suites, prefer_256);
@@ -99,9 +99,16 @@ pub fn run_handshake_and_data<R: Rng + ?Sized>(
     conv.server_send(&server_flight);
 
     // Client finished flight.
-    let mut fin = Record { content_type: ContentType::ChangeCipherSpec, version: 0x0303, payload: vec![1] }.emit();
+    let mut fin =
+        Record { content_type: ContentType::ChangeCipherSpec, version: 0x0303, payload: vec![1] }
+            .emit();
     fin.extend(
-        Record { content_type: ContentType::Handshake, version: 0x0303, payload: random_bytes(rng, 52) }.emit(),
+        Record {
+            content_type: ContentType::Handshake,
+            version: 0x0303,
+            payload: random_bytes(rng, 52),
+        }
+        .emit(),
     );
     conv.client_send(&fin);
 
@@ -164,7 +171,15 @@ pub fn generate<R: Rng + ?Sized>(
     conv.handshake();
     let sizes = LogNormal::from_median(9_000.0, 2.4);
     let n = rng.gen_range(1..=4usize);
-    run_handshake_and_data(rng, &mut conv, &host_name.to_string(), client_suites, n, &sizes, server_prefers_256(server_ip));
+    run_handshake_and_data(
+        rng,
+        &mut conv,
+        &host_name.to_string(),
+        client_suites,
+        n,
+        &sizes,
+        server_prefers_256(server_ip),
+    );
     conv.close();
     packets.extend(conv.finish());
     Session { label: TrafficLabel::benign(AppClass::Tls, device), packets }
@@ -238,7 +253,15 @@ mod tests {
         conv.handshake();
         let sizes = LogNormal::from_median(2_000.0, 1.5);
         let suites_offered = bulb.ciphersuites();
-        let chosen = run_handshake_and_data(&mut rng, &mut conv, "iot.example", suites_offered, 1, &sizes, false);
+        let chosen = run_handshake_and_data(
+            &mut rng,
+            &mut conv,
+            "iot.example",
+            suites_offered,
+            1,
+            &sizes,
+            false,
+        );
         assert!(!suites::is_strong(chosen));
         let _ = dir; // directory unused in this low-level test
     }

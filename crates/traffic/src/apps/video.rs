@@ -33,7 +33,15 @@ pub fn generate<R: Rng + ?Sized>(
     // Manifest fetch then N media segments: segments are much larger than
     // ordinary web objects and arrive at a steady cadence (player buffer).
     let manifest_sizes = LogNormal::from_median(3_000.0, 1.5);
-    tls_app::run_handshake_and_data(rng, &mut conv, &edge.to_string(), client_suites, 1, &manifest_sizes, tls_app::server_prefers_256(server_ip));
+    tls_app::run_handshake_and_data(
+        rng,
+        &mut conv,
+        &edge.to_string(),
+        client_suites,
+        1,
+        &manifest_sizes,
+        tls_app::server_prefers_256(server_ip),
+    );
     let n_segments = rng.gen_range(2..=5usize);
     let segment_sizes = LogNormal::from_median(28_000.0, 1.6);
     for _ in 0..n_segments {

@@ -37,12 +37,13 @@ pub fn extract_flows(lt: &LabeledTrace, min_packets: usize) -> Vec<LabeledFlow> 
             continue;
         }
         let Some(label) = lt.label_of(&flow.key) else { continue };
-        let packets = flow
-            .packets
-            .iter()
-            .map(|fp| lt.trace.packets()[fp.index].clone())
-            .collect();
-        out.push(LabeledFlow { key: flow.key.canonical(), packets, stats: flow.stats.clone(), label });
+        let packets = flow.packets.iter().map(|fp| lt.trace.packets()[fp.index].clone()).collect();
+        out.push(LabeledFlow {
+            key: flow.key.canonical(),
+            packets,
+            stats: flow.stats.clone(),
+            label,
+        });
     }
     out
 }
@@ -80,9 +81,8 @@ impl Environment {
     /// (what makes a flow DNS/web/video/…) are unchanged; everything
     /// superficial shifts.
     pub fn env_b(n_sessions: usize) -> Environment {
-        let mut mix = AppMix::default();
         // Different application proportions: more TLS and video, less web.
-        mix.weights = [2.0, 0.8, 4.0, 0.7, 1.4, 1.2, 2.5, 0.6, 0.0];
+        let mix = AppMix { weights: [2.0, 0.8, 4.0, 0.7, 1.4, 1.2, 2.5, 0.6, 0.0] };
         Environment {
             name: "env-B",
             config: SimConfig {
@@ -184,7 +184,10 @@ impl OodSplit {
 
 /// Deterministically split examples into train/validation by hashing the
 /// flow key (stable across runs, independent of input order).
-pub fn split_train_val(flows: Vec<LabeledFlow>, val_fraction: f64) -> (Vec<LabeledFlow>, Vec<LabeledFlow>) {
+pub fn split_train_val(
+    flows: Vec<LabeledFlow>,
+    val_fraction: f64,
+) -> (Vec<LabeledFlow>, Vec<LabeledFlow>) {
     let mut train = Vec::new();
     let mut val = Vec::new();
     let threshold = (val_fraction.clamp(0.0, 1.0) * 1000.0) as u64;

@@ -85,8 +85,8 @@ pub struct DomainRegistry {
 }
 
 const SYLLABLES: [&str; 16] = [
-    "ar", "bel", "cor", "dan", "el", "fen", "gor", "hul", "in", "jal", "kem", "lor", "mir",
-    "nor", "os", "pel",
+    "ar", "bel", "cor", "dan", "el", "fen", "gor", "hul", "in", "jal", "kem", "lor", "mir", "nor",
+    "os", "pel",
 ];
 
 const TLDS: [&str; 4] = ["com", "net", "org", "io"];
@@ -122,9 +122,7 @@ impl DomainRegistry {
                 };
                 let hosts = host_labels
                     .iter()
-                    .map(|h| {
-                        Name::parse_str(&format!("{h}.{domain}")).expect("valid host name")
-                    })
+                    .map(|h| Name::parse_str(&format!("{h}.{domain}")).expect("valid host name"))
                     .collect();
                 sites.push(Site { domain, category, hosts });
             }
@@ -174,10 +172,7 @@ impl DomainRegistry {
     /// Recover the category of a name generated by this registry (by
     /// suffix match against site domains). Ground truth for evaluation.
     pub fn categorize(&self, name: &Name) -> Option<SiteCategory> {
-        self.sites
-            .iter()
-            .find(|s| name.is_subdomain_of(&s.domain))
-            .map(|s| s.category)
+        self.sites.iter().find(|s| name.is_subdomain_of(&s.domain)).map(|s| s.category)
     }
 }
 

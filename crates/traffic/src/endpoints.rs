@@ -89,10 +89,9 @@ impl Host {
                 suites::ECDHE_RSA_AES256_GCM,
                 suites::RSA_AES128_CBC_SHA,
             ],
-            DeviceClass::Thermostat | DeviceClass::SmartBulb => vec![
-                suites::RSA_AES128_CBC_SHA,
-                suites::RSA_3DES_EDE_CBC_SHA,
-            ],
+            DeviceClass::Thermostat | DeviceClass::SmartBulb => {
+                vec![suites::RSA_AES128_CBC_SHA, suites::RSA_3DES_EDE_CBC_SHA]
+            }
             DeviceClass::Server => vec![suites::TLS13_AES128_GCM],
         }
     }
@@ -167,8 +166,7 @@ pub fn standard_population(n_general: u16, n_iot_sets: u16) -> Vec<Host> {
     let mut hosts = Vec::new();
     let mut index = 0;
     for i in 0..n_general {
-        let device =
-            if i % 3 == 2 { DeviceClass::Phone } else { DeviceClass::Workstation };
+        let device = if i % 3 == 2 { DeviceClass::Phone } else { DeviceClass::Workstation };
         hosts.push(Host::new(index, device));
         index += 1;
     }
@@ -223,10 +221,7 @@ mod tests {
         let bulb = Host::new(1, DeviceClass::SmartBulb);
         let laptop = Host::new(2, DeviceClass::Workstation);
         assert!(bulb.ciphersuites().iter().all(|&s| !nfm_net::wire::tls::suites::is_strong(s)));
-        assert!(laptop
-            .ciphersuites()
-            .iter()
-            .all(|&s| nfm_net::wire::tls::suites::is_strong(s)));
+        assert!(laptop.ciphersuites().iter().all(|&s| nfm_net::wire::tls::suites::is_strong(s)));
     }
 
     #[test]

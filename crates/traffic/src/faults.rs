@@ -56,6 +56,40 @@ impl FaultConfig {
             ..FaultConfig::default()
         }
     }
+
+    /// Check every probability is a finite value in [0, 1]. Returns a
+    /// message naming each offending field. `inject` tolerates invalid
+    /// configs by clamping; call this to reject them loudly instead.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("drop_chance", self.drop_chance),
+            ("corrupt_chance", self.corrupt_chance),
+            ("duplicate_chance", self.duplicate_chance),
+            ("reorder_chance", self.reorder_chance),
+        ];
+        let bad: Vec<String> = fields
+            .iter()
+            .filter(|(_, v)| !v.is_finite() || !(0.0..=1.0).contains(v))
+            .map(|(name, v)| format!("{name} = {v} (must be in [0, 1])"))
+            .collect();
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("invalid FaultConfig: {}", bad.join(", ")))
+        }
+    }
+
+    /// Copy with every probability clamped to [0, 1] (NaN becomes 0).
+    fn clamped(&self) -> FaultConfig {
+        let clamp = |v: f64| if v.is_finite() { v.clamp(0.0, 1.0) } else { 0.0 };
+        FaultConfig {
+            drop_chance: clamp(self.drop_chance),
+            corrupt_chance: clamp(self.corrupt_chance),
+            duplicate_chance: clamp(self.duplicate_chance),
+            reorder_chance: clamp(self.reorder_chance),
+            ..*self
+        }
+    }
 }
 
 /// Statistics about what the injector did.
@@ -74,9 +108,12 @@ pub struct FaultStats {
 }
 
 /// Apply faults to a trace, returning the degraded trace and statistics.
-/// Deterministic under `config.seed`.
+/// Deterministic under `config.seed`. Out-of-range probabilities are
+/// clamped to [0, 1] (NaN → 0) rather than panicking; use
+/// [`FaultConfig::validate`] to reject such configs explicitly.
 pub fn inject(trace: &Trace, config: &FaultConfig) -> (Trace, FaultStats) {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xFau64.rotate_left(32));
+    let config = &config.clamped();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xFA_u64.rotate_left(32));
     let mut out: Vec<TracePacket> = Vec::with_capacity(trace.len());
     let mut stats = FaultStats::default();
     for tp in trace.packets() {
@@ -151,12 +188,8 @@ mod tests {
         assert_eq!(stats.corrupted, trace.len());
         let mut total_flipped_bits = 0u32;
         for (a, b) in out.packets().iter().zip(trace.packets()) {
-            let flipped: u32 = a
-                .frame
-                .iter()
-                .zip(&b.frame)
-                .map(|(x, y)| (x ^ y).count_ones())
-                .sum();
+            let flipped: u32 =
+                a.frame.iter().zip(&b.frame).map(|(x, y)| (x ^ y).count_ones()).sum();
             total_flipped_bits += flipped;
             assert_eq!(flipped, 1, "exactly one bit per packet");
         }
@@ -166,11 +199,8 @@ mod tests {
     #[test]
     fn duplicates_and_reorders_keep_time_sorted() {
         let trace = base_trace();
-        let cfg = FaultConfig {
-            duplicate_chance: 0.3,
-            reorder_chance: 0.3,
-            ..FaultConfig::default()
-        };
+        let cfg =
+            FaultConfig { duplicate_chance: 0.3, reorder_chance: 0.3, ..FaultConfig::default() };
         let (out, stats) = inject(&trace, &cfg);
         assert!(stats.duplicated > 0 && stats.reordered > 0);
         assert_eq!(out.len(), trace.len() + stats.duplicated);
@@ -201,6 +231,62 @@ mod tests {
         for (x, y) in a.packets().iter().zip(b.packets()) {
             assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn out_of_range_probability_is_rejected_by_validate_and_clamped_by_inject() {
+        let cfg = FaultConfig { drop_chance: 1.5, ..FaultConfig::default() };
+        let err = cfg.validate().expect_err("1.5 is not a probability");
+        assert!(err.contains("drop_chance"), "message names the field: {err}");
+        // inject clamps to 1.0 instead of panicking: every packet drops.
+        let trace = base_trace();
+        let (out, stats) = inject(&trace, &cfg);
+        assert_eq!(out.len(), 0);
+        assert_eq!(stats.dropped, trace.len());
+        // NaN clamps to 0 (no-op), also without panicking.
+        let nan_cfg = FaultConfig { corrupt_chance: f64::NAN, ..FaultConfig::default() };
+        assert!(nan_cfg.validate().is_err());
+        let (out, stats) = inject(&trace, &nan_cfg);
+        assert_eq!(out.len(), trace.len());
+        assert_eq!(stats, FaultStats::default());
+        assert!(FaultConfig::noisy(1).validate().is_ok());
+    }
+
+    #[test]
+    fn empty_trace_is_a_no_op() {
+        let empty = Trace::from_packets(Vec::new());
+        let (out, stats) = inject(&empty, &FaultConfig::noisy(5));
+        assert_eq!(out.len(), 0);
+        assert_eq!(stats, FaultStats::default());
+    }
+
+    #[test]
+    fn drop_chance_one_empties_the_trace() {
+        let trace = base_trace();
+        let cfg = FaultConfig { drop_chance: 1.0, ..FaultConfig::default() };
+        let (out, stats) = inject(&trace, &cfg);
+        assert_eq!(out.len(), 0);
+        assert_eq!(stats.dropped, trace.len());
+    }
+
+    #[test]
+    fn snaplen_below_ethernet_header_still_truncates_safely() {
+        // 8 bytes is shorter than the 14-byte Ethernet header; frames
+        // become unparseable but the injector must not panic.
+        let trace = base_trace();
+        let cfg = FaultConfig { snaplen: 8, corrupt_chance: 1.0, ..FaultConfig::default() };
+        let (out, stats) = inject(&trace, &cfg);
+        assert_eq!(stats.truncated, trace.len());
+        assert!(out.packets().iter().all(|p| p.frame.len() <= 8));
+    }
+
+    #[test]
+    fn zero_max_delay_with_certain_reorder_does_not_panic() {
+        let trace = base_trace();
+        let cfg = FaultConfig { reorder_chance: 1.0, max_delay_us: 0, ..FaultConfig::default() };
+        let (out, stats) = inject(&trace, &cfg);
+        assert_eq!(stats.reordered, trace.len());
+        assert_eq!(out.len(), trace.len());
     }
 
     #[test]

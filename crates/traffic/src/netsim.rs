@@ -110,7 +110,16 @@ fn dhcp_boot_session(host: &Host, xid: u32) -> Session {
     let discover = Message::discover(xid, host.mac, Some(host.hostname.clone()));
     packets.push((
         0,
-        Packet::udp_v4(host.mac, MacAddr::BROADCAST, Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, 68, 67, 64, discover.emit()),
+        Packet::udp_v4(
+            host.mac,
+            MacAddr::BROADCAST,
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::BROADCAST,
+            68,
+            67,
+            64,
+            discover.emit(),
+        ),
     ));
     let offer = Message::offer(&discover, host.ip, gw);
     packets.push((2_000, Packet::udp_v4(gw_mac, host.mac, gw, host.ip, 67, 68, 64, offer.emit())));
@@ -120,7 +129,16 @@ fn dhcp_boot_session(host: &Host, xid: u32) -> Session {
     request.server_id = Some(gw);
     packets.push((
         4_000,
-        Packet::udp_v4(host.mac, MacAddr::BROADCAST, Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, 68, 67, 64, request.emit()),
+        Packet::udp_v4(
+            host.mac,
+            MacAddr::BROADCAST,
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::BROADCAST,
+            68,
+            67,
+            64,
+            request.emit(),
+        ),
     ));
     let mut ack = Message::offer(&request, host.ip, gw);
     ack.msg_type = MessageType::Ack;
@@ -139,9 +157,10 @@ pub fn simulate(config: &SimConfig) -> LabeledTrace {
     let mut all_packets: Vec<TracePacket> = Vec::new();
     let mut labels: HashMap<FlowKey, TrafficLabel> = HashMap::new();
 
-    let place_session = |session: Session, start_us: u64,
-                             all_packets: &mut Vec<TracePacket>,
-                             labels: &mut HashMap<FlowKey, TrafficLabel>| {
+    let place_session = |session: Session,
+                         start_us: u64,
+                         all_packets: &mut Vec<TracePacket>,
+                         labels: &mut HashMap<FlowKey, TrafficLabel>| {
         for (offset, packet) in &session.packets {
             let key = FlowKey::from_packet(packet).canonical();
             labels.entry(key).or_insert(session.label);
@@ -169,10 +188,10 @@ pub fn simulate(config: &SimConfig) -> LabeledTrace {
             && !config.anomaly_classes.is_empty()
             && rng.gen_bool(config.anomaly_fraction);
         let session = {
-            let mut ctx = SessionCtx { client: &mut hosts[host_idx], directory: &directory, rtt_us };
+            let mut ctx =
+                SessionCtx { client: &mut hosts[host_idx], directory: &directory, rtt_us };
             if is_attack {
-                let class =
-                    config.anomaly_classes[rng.gen_range(0..config.anomaly_classes.len())];
+                let class = config.anomaly_classes[rng.gen_range(0..config.anomaly_classes.len())];
                 anomaly::generate(&mut rng, &mut ctx, &registry, class)
             } else {
                 let device = ctx.client.device;
@@ -276,11 +295,7 @@ mod tests {
 
     #[test]
     fn anomaly_fraction_injects_malicious_flows() {
-        let cfg = SimConfig {
-            anomaly_fraction: 0.3,
-            n_sessions: 60,
-            ..small_config()
-        };
+        let cfg = SimConfig { anomaly_fraction: 0.3, n_sessions: 60, ..small_config() };
         let lt = simulate(&cfg);
         let malicious = lt.labels.values().filter(|l| l.is_malicious()).count();
         assert!(malicious > 0);

@@ -21,7 +21,8 @@ fn main() {
         pretrain: PretrainConfig { epochs: 2, ..PretrainConfig::default() },
         ..PipelineConfig::default()
     };
-    let (fm, _) = FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &config);
+    let (fm, _) = FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &config)
+        .expect("pretraining failed");
 
     let flows = extract_flows(&lt, 2);
     let (train, eval) = split_train_val(flows, 0.3);
@@ -30,7 +31,8 @@ fn main() {
     let eval_ex = task.examples(&eval, &tokenizer, 94);
     println!("{} train / {} eval device-labeled flows", train_ex.len(), eval_ex.len());
 
-    let clf = FmClassifier::fine_tune(&fm, &train_ex, task.n_classes(), &FineTuneConfig::default());
+    let clf = FmClassifier::fine_tune(&fm, &train_ex, task.n_classes(), &FineTuneConfig::default())
+        .expect("fine-tuning failed");
     let confusion = clf.evaluate(&eval_ex);
     println!(
         "device classification: accuracy {}  macro-F1 {}\n",
@@ -40,7 +42,8 @@ fn main() {
 
     // Explain one confident prediction of each device class.
     for want in 0..task.n_classes() {
-        let Some(example) = eval_ex.iter().find(|e| e.label == want && clf.predict(&e.tokens) == want)
+        let Some(example) =
+            eval_ex.iter().find(|e| e.label == want && clf.predict(&e.tokens) == want)
         else {
             continue;
         };

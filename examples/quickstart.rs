@@ -26,7 +26,8 @@ fn main() {
         pretrain: PretrainConfig { epochs: 2, ..PretrainConfig::default() },
         ..PipelineConfig::default()
     };
-    let (fm, stats) = FoundationModel::pretrain_on(&trace_refs, &tokenizer, &config);
+    let (fm, stats) =
+        FoundationModel::pretrain_on(&trace_refs, &tokenizer, &config).expect("pretraining failed");
     println!(
         "pretrained: vocab={} params; MLM loss {:.3} → {:.3}, masked-token accuracy {}",
         fm.vocab.len(),
@@ -53,7 +54,8 @@ fn main() {
         &train_ex,
         Task::AppClassification.n_classes(),
         &FineTuneConfig::default(),
-    );
+    )
+    .expect("fine-tuning failed");
 
     // 4. Evaluate.
     let confusion = clf.evaluate(&eval_ex);

@@ -24,13 +24,21 @@ fn main() {
     }
     let vocab = Vocab::from_sequences(&contexts, 2);
     println!("pretraining MLM on {} flow contexts (vocab {})…\n", contexts.len(), vocab.len());
-    let cfg = EncoderConfig { vocab: vocab.len(), d_model: 32, n_heads: 4, n_layers: 2, d_ff: 64, max_len: 62 };
+    let cfg = EncoderConfig {
+        vocab: vocab.len(),
+        d_model: 32,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 64,
+        max_len: 62,
+    };
     let (encoder, head, stats) = pretrain(
         &contexts,
         &vocab,
         cfg,
         &PretrainConfig { epochs: 3, tasks: TaskMix::mlm_only(), ..PretrainConfig::default() },
-    );
+    )
+    .expect("pretraining failed");
     println!("masked-token accuracy: {:.3}\n", stats.final_mlm_accuracy);
 
     println!("--- unconditional samples ---");
@@ -57,7 +65,12 @@ fn main() {
             &head,
             &vocab,
             &prompt,
-            &GenerateConfig { length: 18, seed: 100 + seed, temperature: 0.7, ..GenerateConfig::default() },
+            &GenerateConfig {
+                length: 18,
+                seed: 100 + seed,
+                temperature: 0.7,
+                ..GenerateConfig::default()
+            },
         );
         println!("[{seed}] {}", toks.join(" "));
     }

@@ -13,11 +13,8 @@ use nfm_net::pcap;
 use nfm_traffic::netsim::{simulate, SimConfig};
 
 fn main() -> std::io::Result<()> {
-    let lt = simulate(&SimConfig {
-        n_sessions: 120,
-        anomaly_fraction: 0.1,
-        ..SimConfig::default()
-    });
+    let lt =
+        simulate(&SimConfig { n_sessions: 120, anomaly_fraction: 0.1, ..SimConfig::default() });
     println!(
         "simulated {} packets / {} bytes over {:.1}s of capture",
         count(lt.trace.len()),

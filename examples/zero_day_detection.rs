@@ -29,12 +29,14 @@ fn main() {
         pretrain: PretrainConfig { epochs: 2, ..PretrainConfig::default() },
         ..PipelineConfig::default()
     };
-    let (fm, _) = FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &config);
+    let (fm, _) = FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &config)
+        .expect("pretraining failed");
 
     // Fine-tune a malware classifier on benign + known attacks.
     let train_flows = extract_flows(&train_lt, 2);
     let train_ex = Task::MalwareDetection.examples(&train_flows, &tokenizer, 94);
-    let clf = FmClassifier::fine_tune(&fm, &train_ex, 2, &FineTuneConfig::default());
+    let clf = FmClassifier::fine_tune(&fm, &train_ex, 2, &FineTuneConfig::default())
+        .expect("fine-tuning failed");
     let train_acc = clf.evaluate(&train_ex).accuracy();
     println!("classifier training accuracy on known classes: {}", f3(train_acc));
 
@@ -48,10 +50,8 @@ fn main() {
 
     let mut table = Table::new(&["zero-day class", "score", "auroc"]);
     for class in &split.zero_day {
-        let attacks: Vec<_> = eval_flows
-            .iter()
-            .filter(|f| f.label.anomaly == Some(*class))
-            .collect();
+        let attacks: Vec<_> =
+            eval_flows.iter().filter(|f| f.label.anomaly == Some(*class)).collect();
         if attacks.is_empty() {
             continue;
         }

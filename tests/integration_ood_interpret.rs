@@ -18,7 +18,11 @@ fn small_cfg() -> PipelineConfig {
         n_layers: 1,
         d_ff: 32,
         max_len: 64,
-        pretrain: PretrainConfig { epochs: 1, tasks: TaskMix::mlm_only(), ..PretrainConfig::default() },
+        pretrain: PretrainConfig {
+            epochs: 1,
+            tasks: TaskMix::mlm_only(),
+            ..PretrainConfig::default()
+        },
         ..PipelineConfig::default()
     }
 }
@@ -29,7 +33,8 @@ fn zero_day_scores_beat_chance_on_real_attacks() {
     let split = OodSplit::default();
     let train_lt = split.train_env(110).simulate();
     let eval_lt = split.eval_env(110).simulate();
-    let (fm, _) = FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &small_cfg());
+    let (fm, _) = FoundationModel::pretrain_on(&[&train_lt.trace], &tokenizer, &small_cfg())
+        .expect("pretraining failed");
 
     let train_flows = extract_flows(&train_lt, 2);
     let train_ex = Task::MalwareDetection.examples(&train_flows, &tokenizer, 62);
@@ -38,7 +43,8 @@ fn zero_day_scores_beat_chance_on_real_attacks() {
         &train_ex,
         2,
         &FineTuneConfig { epochs: 3, ..FineTuneConfig::default() },
-    );
+    )
+    .expect("fine-tuning failed");
     let detector = OodDetector::new(&clf, &train_ex);
 
     let eval_flows = extract_flows(&eval_lt, 2);
@@ -74,7 +80,8 @@ fn explanations_are_structurally_sound_on_real_flows() {
         n_sessions: 70,
         ..nfm::traffic::SimConfig::default()
     });
-    let (fm, _) = FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &small_cfg());
+    let (fm, _) = FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &small_cfg())
+        .expect("pretraining failed");
     let flows = extract_flows(&lt, 2);
     let task = Task::AppClassification;
     let examples = task.examples(&flows, &tokenizer, 40);
@@ -83,7 +90,8 @@ fn explanations_are_structurally_sound_on_real_flows() {
         &examples,
         task.n_classes(),
         &FineTuneConfig { epochs: 3, ..FineTuneConfig::default() },
-    );
+    )
+    .expect("fine-tuning failed");
 
     let example = examples.iter().find(|e| e.tokens.len() >= 8).expect("a long example");
     let token_attr = occlusion_tokens(&clf, &example.tokens);

@@ -26,10 +26,16 @@ fn tiny_pipeline_config() -> PipelineConfig {
 
 #[test]
 fn end_to_end_pretrain_finetune_evaluate() {
-    let lt = simulate(&SimConfig { n_sessions: 60, n_general_hosts: 4, n_iot_sets: 1, ..SimConfig::default() });
+    let lt = simulate(&SimConfig {
+        n_sessions: 60,
+        n_general_hosts: 4,
+        n_iot_sets: 1,
+        ..SimConfig::default()
+    });
     let tokenizer = FieldTokenizer::new();
     let (fm, stats) =
-        FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &tiny_pipeline_config());
+        FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &tiny_pipeline_config())
+            .expect("pretraining failed");
     // One epoch at d=16 with name-focused masking is a hard MLM setup;
     // chance over this vocabulary is < 1%, so > 5% proves learning.
     assert!(stats.final_mlm_accuracy > 0.05, "mlm acc {}", stats.final_mlm_accuracy);
@@ -45,8 +51,9 @@ fn end_to_end_pretrain_finetune_evaluate() {
         &fm,
         &train,
         task.n_classes(),
-        &FineTuneConfig { epochs: 3, ..FineTuneConfig::default() },
-    );
+        &FineTuneConfig { epochs: 5, ..FineTuneConfig::default() },
+    )
+    .expect("fine-tuning failed");
     let confusion = clf.evaluate(&eval);
     // Must beat the majority-class rate by a clear margin on this easy mix.
     assert!(confusion.accuracy() > 0.5, "accuracy {}", confusion.accuracy());
@@ -55,10 +62,16 @@ fn end_to_end_pretrain_finetune_evaluate() {
 #[test]
 fn full_pipeline_is_deterministic() {
     let run = || {
-        let lt = simulate(&SimConfig { n_sessions: 25, n_general_hosts: 3, n_iot_sets: 1, ..SimConfig::default() });
+        let lt = simulate(&SimConfig {
+            n_sessions: 25,
+            n_general_hosts: 3,
+            n_iot_sets: 1,
+            ..SimConfig::default()
+        });
         let tokenizer = FieldTokenizer::new();
         let (fm, stats) =
-            FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &tiny_pipeline_config());
+            FoundationModel::pretrain_on(&[&lt.trace], &tokenizer, &tiny_pipeline_config())
+                .expect("pretraining failed");
         (fm.vocab.len(), stats.mlm_loss.clone(), fm.encoder.token_embeddings().data().to_vec())
     };
     let (v1, l1, e1) = run();
@@ -76,7 +89,8 @@ fn environments_shift_but_pretraining_covers_both() {
     let envs = Environment::pretrain_mix(60);
     let traces: Vec<_> = envs.iter().map(|e| e.simulate().trace).collect();
     let refs: Vec<_> = traces.iter().collect();
-    let (fm, _) = FoundationModel::pretrain_on(&refs, &tokenizer, &tiny_pipeline_config());
+    let (fm, _) = FoundationModel::pretrain_on(&refs, &tokenizer, &tiny_pipeline_config())
+        .expect("pretraining failed");
 
     let lt_b = Environment::env_b(40).simulate();
     let flows_b = extract_flows(&lt_b, 2);
@@ -124,11 +138,8 @@ fn every_generated_packet_parses_and_reemits_identically() {
 
 #[test]
 fn netglue_tasks_consistent_across_crates() {
-    let lt = simulate(&SimConfig {
-        n_sessions: 60,
-        anomaly_fraction: 0.15,
-        ..SimConfig::default()
-    });
+    let lt =
+        simulate(&SimConfig { n_sessions: 60, anomaly_fraction: 0.15, ..SimConfig::default() });
     let flows = extract_flows(&lt, 1);
     let tokenizer = FieldTokenizer::new();
     for task in Task::ALL {

@@ -74,10 +74,9 @@ fn device_fingerprints_differ() {
             }
         }
     }
-    if let (Some(ws), Some(cam)) = (
-        ttl_by_device.get(&DeviceClass::Workstation),
-        ttl_by_device.get(&DeviceClass::Camera),
-    ) {
+    if let (Some(ws), Some(cam)) =
+        (ttl_by_device.get(&DeviceClass::Workstation), ttl_by_device.get(&DeviceClass::Camera))
+    {
         assert!(ws.contains(&128));
         assert!(!cam.contains(&128));
     }
