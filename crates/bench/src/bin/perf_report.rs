@@ -1,0 +1,164 @@
+//! perf_report — wall-clock timings for the training/inference hot paths at
+//! 1 and 4 worker threads, written to `BENCH_perf.json`.
+//!
+//! Records are `{name, threads, wall_ms}`. Every measured operation is
+//! bitwise deterministic across thread counts (see `nfm_tensor::pool`), so
+//! each setting performs the exact same arithmetic and the wall-clock ratio
+//! is a pure parallel-speedup measurement. On a single-core machine the
+//! 4-thread rows measure scheduling overhead rather than speedup; run on a
+//! multi-core host for the numbers recorded in EXPERIMENTS.md.
+//!
+//! `NFM_SCALE=quick` shrinks the workloads for CI.
+
+use std::time::Instant;
+
+use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, TextExample};
+use nfm_model::nn::transformer::EncoderConfig;
+use nfm_model::pretrain::{pretrain, PretrainConfig, TaskMix};
+use nfm_model::vocab::Vocab;
+use nfm_tensor::matrix::Matrix;
+use nfm_tensor::pool;
+
+struct Rec {
+    name: String,
+    threads: usize,
+    wall_ms: f64,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(ms(t.elapsed()));
+    }
+    best
+}
+
+/// Deterministic synthetic corpus with enough token diversity to give the
+/// encoder a non-trivial vocabulary.
+fn synthetic_corpus(n: usize) -> (Vocab, Vec<Vec<String>>) {
+    let contexts: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let k = i % 8;
+            (0..12).flat_map(|j| [format!("x{k}_{j}"), format!("y{k}_{j}")]).collect()
+        })
+        .collect();
+    let vocab = Vocab::from_sequences(&contexts, 1);
+    (vocab, contexts)
+}
+
+fn main() {
+    let quick = matches!(std::env::var("NFM_SCALE").as_deref(), Ok("quick"));
+    let thread_counts = [1usize, 4];
+    let mut records: Vec<Rec> = Vec::new();
+    println!("perf_report: timing hot paths at threads = {thread_counts:?}\n");
+
+    // --- Tiled matmul at model-relevant shapes -------------------------
+    // (seq × d)·(d × d) projections and square kernels around the sizes the
+    // encoder uses at production scale.
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &[(96, 128, 128), (256, 256, 256)]
+    } else {
+        &[(96, 256, 256), (256, 256, 256), (512, 512, 512)]
+    };
+    for &(m, k, n) in shapes {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c) % 17) as f32 - 8.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c) % 11) as f32 - 5.0);
+        for &t in &thread_counts {
+            pool::set_threads(t);
+            let wall = best_of(if quick { 2 } else { 5 }, || {
+                std::hint::black_box(a.matmul(&b));
+            });
+            records.push(Rec { name: format!("matmul_{m}x{k}x{n}"), threads: t, wall_ms: wall });
+        }
+    }
+
+    // --- One pretrain epoch (MLM + next-flow) --------------------------
+    let (vocab, contexts) = synthetic_corpus(if quick { 48 } else { 120 });
+    let enc_cfg = EncoderConfig {
+        vocab: vocab.len(),
+        d_model: 32,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 64,
+        max_len: 32,
+    };
+    let pre_cfg = PretrainConfig {
+        epochs: 1,
+        tasks: TaskMix { mlm: true, next_flow: true, query_answer: false },
+        ..PretrainConfig::default()
+    };
+    let mut trained = None;
+    for &t in &thread_counts {
+        pool::set_threads(t);
+        let start = Instant::now();
+        let (encoder, _, _) =
+            pretrain(&contexts, &vocab, enc_cfg, &pre_cfg).expect("pretraining failed");
+        let wall = ms(start.elapsed());
+        records.push(Rec { name: "pretrain_epoch".into(), threads: t, wall_ms: wall });
+        trained = Some(encoder);
+    }
+
+    // --- One batched-predict pass --------------------------------------
+    let fm = FoundationModel {
+        encoder: trained.expect("pretrain ran"),
+        vocab,
+        max_len: enc_cfg.max_len,
+    };
+    let examples: Vec<TextExample> = contexts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| TextExample { tokens: c.clone(), label: i % 2 })
+        .collect();
+    pool::set_threads(0);
+    let clf = FmClassifier::fine_tune(
+        &fm,
+        &examples,
+        2,
+        &FineTuneConfig { epochs: 1, ..FineTuneConfig::default() },
+    )
+    .expect("fine-tuning failed");
+    let batch: Vec<Vec<String>> = examples.iter().map(|e| e.tokens.clone()).collect();
+    for &t in &thread_counts {
+        pool::set_threads(t);
+        let wall = best_of(if quick { 2 } else { 3 }, || {
+            std::hint::black_box(clf.predict_batch(&batch));
+        });
+        records.push(Rec { name: "predict_batch".into(), threads: t, wall_ms: wall });
+    }
+    pool::set_threads(0);
+
+    // --- Report ---------------------------------------------------------
+    let mut table = nfm_core::report::Table::new(&["name", "threads", "wall_ms", "speedup"]);
+    for rec in &records {
+        let base = records
+            .iter()
+            .find(|r| r.name == rec.name && r.threads == 1)
+            .map_or(rec.wall_ms, |r| r.wall_ms);
+        table.row(&[
+            rec.name.clone(),
+            rec.threads.to_string(),
+            format!("{:.3}", rec.wall_ms),
+            format!("{:.2}x", base / rec.wall_ms),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut json = String::from("[\n");
+    for (i, rec) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}}}{}\n",
+            rec.name, rec.threads, rec.wall_ms, comma
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
+    println!("wrote BENCH_perf.json ({} records)", records.len());
+}

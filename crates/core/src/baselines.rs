@@ -9,6 +9,7 @@ use nfm_model::vocab::Vocab;
 use nfm_tensor::layers::Module;
 use nfm_tensor::loss::softmax_cross_entropy;
 use nfm_tensor::optim::{clip_global_norm, Adam, Schedule};
+use nfm_tensor::pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -122,14 +123,26 @@ impl GruBaseline {
             }
             for batch in order.chunks(config.batch_size) {
                 model.zero_grad();
-                for &idx in batch {
-                    let (ids, label) = &encoded[idx];
-                    if ids.is_empty() {
-                        continue;
+                // Data-parallel microbatches: fixed shard boundaries, each
+                // shard trains a replica, gradients fold in shard order —
+                // same recipe as the transformer loops, same determinism.
+                let shards = pool::shard_ranges(batch.len(), pool::REDUCE_SHARDS);
+                let results = pool::par_map(shards.len(), |s| {
+                    let mut replica = model.clone();
+                    replica.zero_grad();
+                    for &idx in &batch[shards[s].clone()] {
+                        let (ids, label) = &encoded[idx];
+                        if ids.is_empty() {
+                            continue;
+                        }
+                        let logits = replica.forward(ids);
+                        let (_, dlogits) = softmax_cross_entropy(&logits, &[*label]);
+                        replica.backward(&dlogits);
                     }
-                    let logits = model.forward(ids);
-                    let (_, dlogits) = softmax_cross_entropy(&logits, &[*label]);
-                    model.backward(&dlogits);
+                    replica.export_grads()
+                });
+                for grads in results {
+                    model.accumulate_grads(&grads);
                 }
                 clip_global_norm(&mut model, 5.0);
                 opt.step(&mut model);
@@ -149,11 +162,13 @@ impl GruBaseline {
         self.model.forward_inference(&ids).argmax_rows()[0]
     }
 
-    /// Evaluate on examples.
+    /// Evaluate on examples (predictions run example-parallel; the integer
+    /// confusion counts are identical at any thread count).
     pub fn evaluate(&self, examples: &[TextExample]) -> Confusion {
+        let preds = pool::par_map(examples.len(), |i| self.predict(&examples[i].tokens));
         let mut c = Confusion::new(self.n_classes);
-        for e in examples {
-            c.add(e.label, self.predict(&e.tokens));
+        for (e, p) in examples.iter().zip(preds) {
+            c.add(e.label, p);
         }
         c
     }

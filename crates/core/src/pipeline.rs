@@ -27,6 +27,7 @@ use nfm_tensor::layers::Module;
 use nfm_tensor::loss::softmax_cross_entropy;
 use nfm_tensor::matrix::Matrix;
 use nfm_tensor::optim::{clip_global_norm, Adam, Schedule};
+use nfm_tensor::pool as tpool;
 use nfm_traffic::dataset::LabeledFlow;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -314,6 +315,41 @@ fn unpool(dpooled: &Matrix, rows: usize, pooling: Pooling) -> Matrix {
     dhidden
 }
 
+/// Forward/backward a shard of fine-tuning examples on private replicas of
+/// the encoder and head, returning accumulated gradients (in `visit_params`
+/// order; encoder grads are empty when the encoder is frozen) and the
+/// shard's loss sum. The caller reduces shards in fixed order, so the
+/// summed gradient is bitwise identical at every thread count.
+fn run_fine_tune_shard(
+    encoder: &Encoder,
+    head: &ClsHead,
+    idxs: &[usize],
+    encoded: &[(Vec<usize>, usize)],
+    pooling: Pooling,
+    freeze_encoder: bool,
+) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, f32) {
+    let mut enc = encoder.clone();
+    let mut hd = head.clone();
+    enc.zero_grad();
+    hd.zero_grad();
+    let mut loss_sum = 0.0f32;
+    for &idx in idxs {
+        let (ids, label) = &encoded[idx];
+        let hidden = enc.forward(ids);
+        let pooled = pool(&hidden, pooling);
+        let logits = hd.forward(&pooled);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &[*label]);
+        loss_sum += loss;
+        let dpooled = hd.backward(&dlogits);
+        if !freeze_encoder {
+            let dhidden = unpool(&dpooled, hidden.rows(), pooling);
+            enc.backward(&dhidden);
+        }
+    }
+    let enc_grads = if freeze_encoder { Vec::new() } else { enc.export_grads() };
+    (enc_grads, hd.export_grads(), loss_sum)
+}
+
 /// A fine-tuned classifier: encoder copy plus classification head.
 #[derive(Debug, Clone)]
 pub struct FmClassifier {
@@ -382,19 +418,27 @@ impl FmClassifier {
                 'batches: for batch in order.chunks(config.batch_size) {
                     encoder.zero_grad();
                     head.zero_grad();
+                    // Fixed microbatch shards (boundaries depend only on
+                    // the batch length) run on replicas in parallel; the
+                    // reduction below folds them in shard order.
+                    let shards = tpool::shard_ranges(batch.len(), tpool::REDUCE_SHARDS);
+                    let results = tpool::par_map(shards.len(), |s| {
+                        run_fine_tune_shard(
+                            &encoder,
+                            &head,
+                            &batch[shards[s].clone()],
+                            &encoded,
+                            config.pooling,
+                            config.freeze_encoder,
+                        )
+                    });
                     let mut batch_loss = 0.0f32;
-                    for &idx in batch {
-                        let (ids, label) = &encoded[idx];
-                        let hidden = encoder.forward(ids);
-                        let pooled = pool(&hidden, config.pooling);
-                        let logits = head.forward(&pooled);
-                        let (loss, dlogits) = softmax_cross_entropy(&logits, &[*label]);
-                        batch_loss += loss;
-                        let dpooled = head.backward(&dlogits);
+                    for (enc_g, head_g, loss) in results {
                         if !config.freeze_encoder {
-                            let dhidden = unpool(&dpooled, hidden.rows(), config.pooling);
-                            encoder.backward(&dhidden);
+                            encoder.accumulate_grads(&enc_g);
                         }
+                        head.accumulate_grads(&head_g);
+                        batch_loss += loss;
                     }
                     let step = global_step;
                     global_step += 1;
@@ -481,6 +525,14 @@ impl FmClassifier {
         best
     }
 
+    /// Predicted class ids for a batch of sequences. Examples are sharded
+    /// across the worker pool (inference only reads `&self`), and results
+    /// come back in input order, so the output is identical to mapping
+    /// [`FmClassifier::predict`] sequentially.
+    pub fn predict_batch(&self, batch: &[Vec<String>]) -> Vec<usize> {
+        tpool::par_map(batch.len(), |i| self.predict(&batch[i]))
+    }
+
     /// Softmax class probabilities.
     pub fn probabilities(&self, tokens: &[String]) -> Vec<f32> {
         let mut m = Matrix::from_vec(1, self.n_classes, self.logits(tokens));
@@ -496,11 +548,14 @@ impl FmClassifier {
         pool(&hidden, self.pooling).row(0).to_vec()
     }
 
-    /// Evaluate on examples, returning the confusion matrix.
+    /// Evaluate on examples, returning the confusion matrix. Predictions
+    /// run example-parallel; the confusion matrix accumulates integer
+    /// counts, so the result never depends on the thread count.
     pub fn evaluate(&self, examples: &[TextExample]) -> crate::metrics::Confusion {
+        let preds = tpool::par_map(examples.len(), |i| self.predict(&examples[i].tokens));
         let mut c = crate::metrics::Confusion::new(self.n_classes);
-        for e in examples {
-            c.add(e.label, self.predict(&e.tokens));
+        for (e, p) in examples.iter().zip(preds) {
+            c.add(e.label, p);
         }
         c
     }
@@ -709,6 +764,44 @@ mod tests {
         // Token table identical to the pre-trained one even though the
         // encoder layers trained.
         assert_eq!(clf.encoder.token_embeddings().data(), fm.encoder.token_embeddings().data());
+    }
+
+    #[test]
+    fn fine_tune_weights_identical_across_thread_counts() {
+        let (fm, _) = tiny_fm();
+        let train: Vec<TextExample> = (0..20)
+            .map(|i| TextExample {
+                tokens: vec![
+                    if i % 2 == 0 { "PORT_53" } else { "PORT_443" }.to_string(),
+                    "IP4".to_string(),
+                ],
+                label: i % 2,
+            })
+            .collect();
+        let cfg = FineTuneConfig { epochs: 2, ..FineTuneConfig::default() };
+        tpool::set_threads(1);
+        let mut seq = FmClassifier::fine_tune(&fm, &train, 2, &cfg).expect("1-thread run");
+        tpool::set_threads(4);
+        let mut par = FmClassifier::fine_tune(&fm, &train, 2, &cfg).expect("4-thread run");
+        tpool::set_threads(0);
+        let bits = |c: &mut FmClassifier| {
+            let mut out = Vec::new();
+            c.encoder.visit_params(&mut |p, _| out.extend(p.iter().map(|v| v.to_bits())));
+            c.head.visit_params(&mut |p, _| out.extend(p.iter().map(|v| v.to_bits())));
+            out
+        };
+        assert_eq!(
+            bits(&mut seq),
+            bits(&mut par),
+            "fine-tuned weights must be bitwise identical across thread counts"
+        );
+        // Batched predict agrees with sequential predict, in input order.
+        let batch: Vec<Vec<String>> = train.iter().map(|e| e.tokens.clone()).collect();
+        let expect: Vec<usize> = train.iter().map(|e| seq.predict(&e.tokens)).collect();
+        tpool::set_threads(4);
+        let got = par.predict_batch(&batch);
+        tpool::set_threads(0);
+        assert_eq!(got, expect);
     }
 
     #[test]

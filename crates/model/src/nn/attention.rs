@@ -4,6 +4,7 @@
 
 use nfm_tensor::layers::{Linear, Module};
 use nfm_tensor::matrix::Matrix;
+use nfm_tensor::pool;
 use rand::Rng;
 
 /// Multi-head self-attention: `Y = concat_h(softmax(Q_h K_hᵀ/√d_h) V_h) W_o`.
@@ -75,10 +76,10 @@ impl MultiHeadAttention {
         let q = self.wq.forward_inference(x);
         let k = self.wk.forward_inference(x);
         let v = self.wv.forward_inference(x);
+        let heads = pool::par_map(self.n_heads, |h| attend(&q, &k, &v, h, d_head).0);
         let mut concat = Matrix::zeros(x.rows(), self.d_model);
-        for h in 0..self.n_heads {
-            let (oh, _) = attend(&q, &k, &v, h, d_head);
-            head_insert(&mut concat, &oh, h, d_head);
+        for (h, oh) in heads.iter().enumerate() {
+            head_insert(&mut concat, oh, h, d_head);
         }
         self.wo.forward_inference(&concat)
     }
@@ -99,10 +100,12 @@ impl MultiHeadAttention {
                 self.wv.forward_inference(x),
             )
         };
+        // Heads are independent; par_map returns them in head order, so the
+        // concat/probs layout matches the sequential loop exactly.
+        let heads = pool::par_map(self.n_heads, |h| attend(&q, &k, &v, h, d_head));
         let mut concat = Matrix::zeros(x.rows(), self.d_model);
         let mut probs = Vec::with_capacity(self.n_heads);
-        for h in 0..self.n_heads {
-            let (oh, p) = attend(&q, &k, &v, h, d_head);
+        for (h, (oh, p)) in heads.into_iter().enumerate() {
             head_insert(&mut concat, &oh, h, d_head);
             probs.push(p);
         }
@@ -119,10 +122,7 @@ impl MultiHeadAttention {
 
         let dconcat = self.wo.backward(dy);
         let t = cache.concat.rows();
-        let mut dq = Matrix::zeros(t, self.d_model);
-        let mut dk = Matrix::zeros(t, self.d_model);
-        let mut dv = Matrix::zeros(t, self.d_model);
-        for h in 0..self.n_heads {
+        let head_grads = pool::par_map(self.n_heads, |h| {
             let doh = head_slice(&dconcat, h, d_head);
             let p = &cache.probs[h];
             let qh = head_slice(&cache.q, h, d_head);
@@ -143,8 +143,12 @@ impl MultiHeadAttention {
             }
             ds.scale(scale);
             // dQh = dS · Kh ; dKh = dSᵀ · Qh
-            let dqh = ds.matmul(&kh);
-            let dkh = ds.matmul_tn(&qh);
+            (ds.matmul(&kh), ds.matmul_tn(&qh), dvh)
+        });
+        let mut dq = Matrix::zeros(t, self.d_model);
+        let mut dk = Matrix::zeros(t, self.d_model);
+        let mut dv = Matrix::zeros(t, self.d_model);
+        for (h, (dqh, dkh, dvh)) in head_grads.into_iter().enumerate() {
             head_insert(&mut dq, &dqh, h, d_head);
             head_insert(&mut dk, &dkh, h, d_head);
             head_insert(&mut dv, &dvh, h, d_head);

@@ -46,11 +46,9 @@ struct StepCache {
 }
 
 fn matvec(w: &Matrix, x: &[f32], out: &mut [f32]) {
-    // w is d_in × d_out; x is d_in; out += xᵀ·w.
+    // w is d_in × d_out; x is d_in; out += xᵀ·w. No zero-skip branch:
+    // embedded inputs are dense, and the branchless loop autovectorizes.
     for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            continue;
-        }
         for (o, &wv) in out.iter_mut().zip(w.row(i)) {
             *o += xi * wv;
         }
@@ -60,9 +58,6 @@ fn matvec(w: &Matrix, x: &[f32], out: &mut [f32]) {
 /// Accumulate outer product `x ⊗ d` into grad (d_in × d_out).
 fn outer_acc(grad: &mut Matrix, x: &[f32], d: &[f32]) {
     for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            continue;
-        }
         for (g, &dv) in grad.row_mut(i).iter_mut().zip(d) {
             *g += xi * dv;
         }

@@ -11,6 +11,7 @@ use nfm_tensor::layers::Module;
 use nfm_tensor::loss::{softmax_cross_entropy, IGNORE_INDEX};
 use nfm_tensor::matrix::Matrix;
 use nfm_tensor::optim::{clip_global_norm, Adam, Schedule};
+use nfm_tensor::pool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -202,22 +203,100 @@ pub fn encode_context(vocab: &Vocab, ctx: &[String], max_len: usize) -> Vec<usiz
 }
 
 /// Build a [CLS] A [SEP] B [SEP] pair for next-flow prediction.
+///
+/// Truncation policy: the token budget after the three specials is
+/// `max_len - 3`. Segment A is capped at half the budget; segment B then
+/// takes whatever A left unused, so a short A lets a long B run past the
+/// half mark (the reverse does not hold — A never exceeds half even when B
+/// is short). Degenerate `max_len < 3` still emits the three specials, so
+/// the result is `[CLS][SEP][SEP]` and may exceed `max_len`.
 pub fn encode_pair(vocab: &Vocab, a: &[String], b: &[String], max_len: usize) -> Vec<usize> {
     let budget = max_len.saturating_sub(3);
-    let half = budget / 2;
-    let mut ids = vec![vocab.cls_id()];
-    for t in a.iter().take(half) {
-        ids.push(vocab.id(t));
-    }
+    let a_take = a.len().min(budget / 2);
+    let b_take = b.len().min(budget - a_take);
+    let mut ids = Vec::with_capacity(a_take + b_take + 3);
+    ids.push(vocab.cls_id());
+    ids.extend(a.iter().take(a_take).map(|t| vocab.id(t)));
     ids.push(vocab.sep_id());
-    for t in b.iter().take(budget - ids.len().saturating_sub(2).min(budget)) {
-        if ids.len() >= max_len - 1 {
-            break;
-        }
-        ids.push(vocab.id(t));
-    }
+    ids.extend(b.iter().take(b_take).map(|t| vocab.id(t)));
     ids.push(vocab.sep_id());
     ids
+}
+
+/// One example's precomputed training inputs. All RNG draws happen on the
+/// main thread in example order (the exact stream the sequential loop would
+/// consume), so randomness never depends on the thread count.
+struct BatchItem {
+    /// MLM/QA objective: (masked input, targets).
+    mlm: Option<(Vec<usize>, Vec<usize>)>,
+    /// Next-flow prediction: (pair encoding, label).
+    nfp: Option<(Vec<usize>, usize)>,
+}
+
+/// Loss bookkeeping accumulated by one gradient shard.
+#[derive(Default)]
+struct ShardSums {
+    mlm_loss: f64,
+    n_mlm: usize,
+    nfp_loss: f64,
+    n_nfp: usize,
+    batch_loss: f64,
+    batch_items: usize,
+}
+
+/// Gradients for one module, one `Vec<f32>` per parameter in
+/// `visit_params` order.
+type GradSlots = Vec<Vec<f32>>;
+
+/// Forward/backward a shard of examples on private model replicas,
+/// returning accumulated gradients (in `visit_params` order) plus loss
+/// sums. Workers never touch the shared models, so shards run concurrently;
+/// the caller folds the results in fixed shard order, which makes the
+/// summed gradient bitwise identical for any thread count.
+fn run_pretrain_shard(
+    encoder: &Encoder,
+    mlm_head: &MlmHead,
+    nfp_head: &ClsHead,
+    items: &[BatchItem],
+) -> (GradSlots, GradSlots, GradSlots, ShardSums) {
+    let mut enc = encoder.clone();
+    let mut mlm = mlm_head.clone();
+    let mut nfp = nfp_head.clone();
+    enc.zero_grad();
+    mlm.zero_grad();
+    nfp.zero_grad();
+    let mut sums = ShardSums::default();
+    for item in items {
+        if let Some((input, targets)) = &item.mlm {
+            let hidden = enc.forward(input);
+            let logits = mlm.forward(&hidden);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, targets);
+            if loss > 0.0 {
+                sums.mlm_loss += loss as f64;
+                sums.n_mlm += 1;
+                sums.batch_loss += loss as f64;
+                sums.batch_items += 1;
+                let dhidden = mlm.backward(&dlogits);
+                enc.backward(&dhidden);
+            }
+        }
+        if let Some((pair, label)) = &item.nfp {
+            let hidden = enc.forward(pair);
+            let cls = hidden.rows_slice(0, 1);
+            let logits = nfp.forward(&cls);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &[*label]);
+            sums.nfp_loss += loss as f64;
+            sums.n_nfp += 1;
+            sums.batch_loss += loss as f64;
+            sums.batch_items += 1;
+            let dcls = nfp.backward(&dlogits);
+            // Scatter dcls back into a full dhidden (only row 0).
+            let mut dhidden = Matrix::zeros(hidden.rows(), hidden.cols());
+            dhidden.row_mut(0).copy_from_slice(dcls.row(0));
+            enc.backward(&dhidden);
+        }
+    }
+    (enc.export_grads(), mlm.export_grads(), nfp.export_grads(), sums)
 }
 
 /// Deterministic per-epoch stream seed: mixes the base seed, the epoch, and
@@ -335,30 +414,20 @@ pub fn pretrain(
                 encoder.zero_grad();
                 mlm_head.zero_grad();
                 nfp_head.zero_grad();
-                let mut batch_loss = 0.0f64;
-                let mut batch_items = 0usize;
+                // Stage 1 (sequential): draw every random decision in
+                // example order, exactly as a fully sequential loop would.
+                let mut items: Vec<BatchItem> = Vec::with_capacity(batch.len());
                 for &idx in batch {
                     let ids = &encoded[idx];
                     if ids.len() < 3 {
                         continue;
                     }
-                    if config.tasks.mlm || config.tasks.query_answer {
+                    let mlm = (config.tasks.mlm || config.tasks.query_answer).then(|| {
                         let qa = config.tasks.query_answer;
                         let mask_prob = if config.tasks.mlm { config.mask_prob } else { 0.02 };
-                        let (input, targets) = mask_sequence(&mut rng, ids, vocab, mask_prob, qa);
-                        let hidden = encoder.forward(&input);
-                        let logits = mlm_head.forward(&hidden);
-                        let (loss, dlogits) = softmax_cross_entropy(&logits, &targets);
-                        if loss > 0.0 {
-                            epoch_mlm += loss as f64;
-                            n_mlm += 1;
-                            batch_loss += loss as f64;
-                            batch_items += 1;
-                            let dhidden = mlm_head.backward(&dlogits);
-                            encoder.backward(&dhidden);
-                        }
-                    }
-                    if config.tasks.next_flow && encoded.len() > 2 {
+                        mask_sequence(&mut rng, ids, vocab, mask_prob, qa)
+                    });
+                    let nfp = (config.tasks.next_flow && encoded.len() > 2).then(|| {
                         // Positive: the temporally-next context. Negative: a
                         // random one.
                         let is_next = rng.gen_bool(0.5);
@@ -368,21 +437,31 @@ pub fn pretrain(
                             rng.gen_range(0..contexts.len())
                         };
                         let label = usize::from(is_next && other == idx + 1);
-                        let pair = encode_pair(vocab, &contexts[idx], &contexts[other], max_len);
-                        let hidden = encoder.forward(&pair);
-                        let cls = hidden.rows_slice(0, 1);
-                        let logits = nfp_head.forward(&cls);
-                        let (loss, dlogits) = softmax_cross_entropy(&logits, &[label]);
-                        epoch_nfp += loss as f64;
-                        n_nfp += 1;
-                        batch_loss += loss as f64;
-                        batch_items += 1;
-                        let dcls = nfp_head.backward(&dlogits);
-                        // Scatter dcls back into a full dhidden (only row 0).
-                        let mut dhidden = Matrix::zeros(hidden.rows(), hidden.cols());
-                        dhidden.row_mut(0).copy_from_slice(dcls.row(0));
-                        encoder.backward(&dhidden);
-                    }
+                        (encode_pair(vocab, &contexts[idx], &contexts[other], max_len), label)
+                    });
+                    items.push(BatchItem { mlm, nfp });
+                }
+                // Stage 2 (parallel): forward/backward each fixed shard on
+                // model replicas. Shard boundaries depend only on the item
+                // count, never on the thread count.
+                let shards = pool::shard_ranges(items.len(), pool::REDUCE_SHARDS);
+                let results = pool::par_map(shards.len(), |s| {
+                    run_pretrain_shard(&encoder, &mlm_head, &nfp_head, &items[shards[s].clone()])
+                });
+                // Stage 3 (sequential): reduce gradients and loss partials
+                // in shard order — a fixed-shape summation tree.
+                let mut batch_loss = 0.0f64;
+                let mut batch_items = 0usize;
+                for (enc_g, mlm_g, nfp_g, sums) in results {
+                    encoder.accumulate_grads(&enc_g);
+                    mlm_head.accumulate_grads(&mlm_g);
+                    nfp_head.accumulate_grads(&nfp_g);
+                    epoch_mlm += sums.mlm_loss;
+                    n_mlm += sums.n_mlm;
+                    epoch_nfp += sums.nfp_loss;
+                    n_nfp += sums.n_nfp;
+                    batch_loss += sums.batch_loss;
+                    batch_items += sums.batch_items;
                 }
                 let step = global_step;
                 global_step += 1;
@@ -584,6 +663,52 @@ mod tests {
     }
 
     #[test]
+    fn encode_pair_truncates_overlength_segments() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let long = &contexts[0]; // 12 tokens
+        assert!(long.len() >= 10);
+        // Both over-length: A capped at half the budget, B takes the rest,
+        // and the total exactly fills max_len.
+        let pair = encode_pair(&vocab, long, long, 11); // budget 8, half 4
+        assert_eq!(pair.len(), 11);
+        let seps: Vec<usize> =
+            pair.iter().enumerate().filter(|(_, &t)| t == vocab.sep_id()).map(|(i, _)| i).collect();
+        assert_eq!(seps, vec![5, 10], "A gets 4 tokens, B gets 4");
+        // A's tokens are the first 4 of the segment (prefix truncation).
+        for (i, t) in long.iter().take(4).enumerate() {
+            assert_eq!(pair[1 + i], vocab.id(t));
+        }
+    }
+
+    #[test]
+    fn encode_pair_short_a_yields_budget_to_b() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        let long = &contexts[0];
+        let short: Vec<String> = long[..1].to_vec();
+        // A has 1 token; B may use the remaining 7 of the 8-token budget.
+        let pair = encode_pair(&vocab, &short, long, 11);
+        assert_eq!(pair.len(), 11);
+        let seps: Vec<usize> =
+            pair.iter().enumerate().filter(|(_, &t)| t == vocab.sep_id()).map(|(i, _)| i).collect();
+        assert_eq!(seps, vec![2, 10], "B expands into A's unused budget");
+        // The reverse is not symmetric: a short B does NOT let A exceed half.
+        let pair = encode_pair(&vocab, long, &short, 11);
+        let seps: Vec<usize> =
+            pair.iter().enumerate().filter(|(_, &t)| t == vocab.sep_id()).map(|(i, _)| i).collect();
+        assert_eq!(seps, vec![5, 7], "A stays capped at half");
+        assert_eq!(pair.len(), 8);
+    }
+
+    #[test]
+    fn encode_pair_degenerate_max_len_keeps_specials() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        for max_len in [0, 1, 2, 3] {
+            let pair = encode_pair(&vocab, &contexts[0], &contexts[1], max_len);
+            assert_eq!(pair, vec![vocab.cls_id(), vocab.sep_id(), vocab.sep_id()], "{max_len}");
+        }
+    }
+
+    #[test]
     fn pretraining_reduces_mlm_loss_and_beats_chance() {
         let (vocab, contexts) = toy_vocab_and_contexts();
         let cfg = EncoderConfig {
@@ -669,6 +794,33 @@ mod tests {
         let (mut b, _, _) =
             pretrain(&contexts[..30], &vocab, tiny_cfg(&vocab), &cfg).expect("run b");
         assert_eq!(encoder_bits(&mut a), encoder_bits(&mut b));
+    }
+
+    #[test]
+    fn pretrain_weights_identical_across_thread_counts() {
+        let (vocab, contexts) = toy_vocab_and_contexts();
+        // Both objectives on, so MLM and NFP gradients both cross the
+        // shard reduction.
+        let cfg = PretrainConfig {
+            epochs: 2,
+            tasks: TaskMix { mlm: true, next_flow: true, query_answer: false },
+            ..PretrainConfig::default()
+        };
+        pool::set_threads(1);
+        let (mut seq, _, seq_stats) =
+            pretrain(&contexts[..24], &vocab, tiny_cfg(&vocab), &cfg).expect("1-thread run");
+        pool::set_threads(4);
+        let (mut par, _, par_stats) =
+            pretrain(&contexts[..24], &vocab, tiny_cfg(&vocab), &cfg).expect("4-thread run");
+        pool::set_threads(0);
+        assert_eq!(
+            encoder_bits(&mut seq),
+            encoder_bits(&mut par),
+            "weights must be bitwise identical across thread counts"
+        );
+        assert_eq!(seq_stats.mlm_loss, par_stats.mlm_loss);
+        assert_eq!(seq_stats.next_flow_loss, par_stats.next_flow_loss);
+        assert_eq!(seq_stats.final_mlm_accuracy, par_stats.final_mlm_accuracy);
     }
 
     #[test]

@@ -25,6 +25,31 @@ pub trait Module {
         self.visit_params(&mut |p, _| n += p.len());
         n
     }
+
+    /// Snapshot every gradient slot, in visit order. Used by data-parallel
+    /// training to ship a worker replica's gradients back for reduction.
+    fn export_grads(&mut self) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |_, g| out.push(g.to_vec()));
+        out
+    }
+
+    /// Add a gradient snapshot (from [`Module::export_grads`] on a replica
+    /// of this module) into this module's gradient slots. Slot order and
+    /// shapes must match; data-parallel reducers call this once per shard,
+    /// in fixed shard order, so the accumulated sum is deterministic.
+    fn accumulate_grads(&mut self, grads: &[Vec<f32>]) {
+        let mut slot = 0;
+        self.visit_params(&mut |_, g| {
+            let src = &grads[slot];
+            assert_eq!(src.len(), g.len(), "gradient slot {slot} shape mismatch");
+            for (gi, &si) in g.iter_mut().zip(src) {
+                *gi += si;
+            }
+            slot += 1;
+        });
+        assert_eq!(slot, grads.len(), "gradient slot count mismatch");
+    }
 }
 
 /// Fully-connected layer `y = x·W + b` (W is in×out).

@@ -38,6 +38,7 @@ pub mod layers;
 pub mod loss;
 pub mod matrix;
 pub mod optim;
+pub mod pool;
 
 pub use checkpoint::CheckpointError;
 pub use layers::{Embedding, Gelu, LayerNorm, Linear, Module};

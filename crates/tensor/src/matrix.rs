@@ -1,8 +1,132 @@
 //! A dense row-major f32 matrix with the operations the model stack needs:
-//! blocked matmul (plain and transposed variants), broadcasting adds,
-//! row-wise softmax, and elementwise maps.
+//! cache-blocked, row-parallel matmul (plain and transposed variants),
+//! broadcasting adds, row-wise softmax, and elementwise maps.
+//!
+//! All kernels are deterministic at every thread count: output rows are
+//! disjoint shards, and each output element's accumulation order is a pure
+//! function of the shapes (tile loops keep the inner `p` index globally
+//! ascending), so the tiled parallel kernels produce bitwise-identical
+//! results to their sequential forms.
 
 use std::fmt;
+
+use crate::pool;
+
+/// Tile width along the shared (`k`) dimension of matmuls.
+const TILE_K: usize = 64;
+/// Tile width along the output-column (`n`) dimension of matmuls.
+const TILE_N: usize = 256;
+/// Minimum multiply-add count before a matmul fans out across threads.
+const PAR_FLOPS_MIN: usize = 1 << 16;
+
+/// Rows per parallel chunk for an op of `work` total scalar operations over
+/// `rows` independent rows; `rows` (one chunk → sequential) when threading
+/// isn't worthwhile.
+fn row_chunk(rows: usize, work: usize) -> usize {
+    let threads = pool::effective_threads();
+    if threads <= 1 || work < PAR_FLOPS_MIN || rows == 0 {
+        rows.max(1)
+    } else {
+        rows.div_ceil(threads)
+    }
+}
+
+/// `out[r][j] += sum_p a[row0+r][p] * b[p][j]` for the chunk's rows, tiled
+/// over `(p, j)`. The `p` index ascends globally per output element, so the
+/// result is bitwise identical to the untiled `ikj` loop.
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for jb in (0..n).step_by(TILE_N) {
+        let jw = TILE_N.min(n - jb);
+        for pb in (0..k).step_by(TILE_K) {
+            let pw = TILE_K.min(k - pb);
+            for r in 0..rows {
+                let a_row = &a[(row0 + r) * k..][..k];
+                let o_row = &mut out[r * n + jb..][..jw];
+                for p in pb..pb + pw {
+                    let av = a_row[p];
+                    let b_row = &b[p * n + jb..][..jw];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out[row0+r][j] += sum_p a[p][row0+r] * b[p][j]` (aᵀ·b) for the chunk's
+/// rows; `a` is `k × m` and read down columns, `b` streams row-wise.
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for jb in (0..n).step_by(TILE_N) {
+        let jw = TILE_N.min(n - jb);
+        for pb in (0..k).step_by(TILE_K) {
+            let pw = TILE_K.min(k - pb);
+            for r in 0..rows {
+                let i = row0 + r;
+                let o_row = &mut out[r * n + jb..][..jw];
+                for p in pb..pb + pw {
+                    let av = a[p * m + i];
+                    let b_row = &b[p * n + jb..][..jw];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Eight-lane dot product with a fixed reduction tree; deterministic and
+/// autovectorizable (the lanes remove the serial dependence that blocks
+/// LLVM from vectorizing a plain f32 accumulator).
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for (lane, (&x, &y)) in lanes.iter_mut().zip(xa.iter().zip(xb)) {
+            *lane += x * y;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    let s04_15 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+    let s26_37 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+    (s04_15 + s26_37) + tail
+}
+
+/// `out[r][j] = dot(a[row0+r], b[j])` for the chunk's rows (a·bᵀ).
+fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let a_row = &a[(row0 + r) * k..][..k];
+        let o_row = &mut out[r * n..][..n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            *o = dot(a_row, &b[j * k..][..k]);
+        }
+    }
+}
 
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -100,20 +224,11 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        // ikj loop order: streams through `other` rows, vectorizes well.
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        let chunk_rows = row_chunk(m, m * k * n);
+        pool::par_chunks_mut(&mut out.data, chunk_rows * n, |offset, chunk| {
+            matmul_rows(a, b, chunk, offset / n.max(1), k, n);
+        });
         out
     }
 
@@ -123,19 +238,11 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn outer dims");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate().take(m) {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        let chunk_rows = row_chunk(m, m * k * n);
+        pool::par_chunks_mut(&mut out.data, chunk_rows * n, |offset, chunk| {
+            matmul_tn_rows(a, b, chunk, offset / n.max(1), k, m, n);
+        });
         out
     }
 
@@ -144,95 +251,144 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt inner dims");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            for j in 0..n {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += a_row[p] * b_row[p];
-                }
-                out.data[i * n + j] = acc;
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        let chunk_rows = row_chunk(m, m * k * n);
+        pool::par_chunks_mut(&mut out.data, chunk_rows * n, |offset, chunk| {
+            matmul_nt_rows(a, b, chunk, offset / n.max(1), k, n);
+        });
         out
     }
 
-    /// Transposed copy.
+    /// Transposed copy (tiled over the source rows, parallel over output
+    /// rows).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
+        let (r, c) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(c, r);
+        if r == 0 || c == 0 {
+            return out;
         }
+        let src = &self.data;
+        let chunk_rows = row_chunk(c, r * c);
+        pool::par_chunks_mut(&mut out.data, chunk_rows * r, |offset, chunk| {
+            let col0 = offset / r;
+            let rows = chunk.len() / r;
+            const TILE_ROWS: usize = 64;
+            for rb in (0..r).step_by(TILE_ROWS) {
+                let rw = TILE_ROWS.min(r - rb);
+                for (i, o_row) in chunk.chunks_mut(r).enumerate().take(rows) {
+                    let col = col0 + i;
+                    for rr in rb..rb + rw {
+                        o_row[rr] = src[rr * c + col];
+                    }
+                }
+            }
+        });
         out
     }
 
     /// Elementwise `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        let src = &other.data;
+        pool::par_chunks_mut(&mut self.data, pool::elem_chunk(src.len()), |offset, chunk| {
+            let n = chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&src[offset..offset + n]) {
+                *a += b;
+            }
+        });
     }
 
     /// Elementwise `self -= other`.
     pub fn sub_assign(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a -= b;
-        }
+        let src = &other.data;
+        pool::par_chunks_mut(&mut self.data, pool::elem_chunk(src.len()), |offset, chunk| {
+            let n = chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&src[offset..offset + n]) {
+                *a -= b;
+            }
+        });
     }
 
     /// Add `bias` (length `cols`) to every row.
     pub fn add_row_broadcast(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols);
-        for r in 0..self.rows {
-            for (a, b) in self.row_mut(r).iter_mut().zip(bias) {
-                *a += b;
-            }
+        let cols = self.cols;
+        if cols == 0 {
+            return;
         }
+        let chunk_rows = row_chunk(self.rows, self.rows * cols);
+        pool::par_chunks_mut(&mut self.data, chunk_rows * cols, |_, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                for (a, &b) in row.iter_mut().zip(bias) {
+                    *a += b;
+                }
+            }
+        });
     }
 
     /// Multiply all elements by `s`.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        pool::par_chunks_mut(
+            &mut self.data,
+            pool::elem_chunk(self.rows * self.cols),
+            |_, chunk| {
+                for a in chunk {
+                    *a *= s;
+                }
+            },
+        );
     }
 
     /// Elementwise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        pool::par_chunks_mut(&mut data, pool::elem_chunk(src.len()), |offset, chunk| {
+            let n = chunk.len();
+            for (o, &x) in chunk.iter_mut().zip(&src[offset..offset + n]) {
+                *o = f(x);
+            }
+        });
+        Matrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Elementwise product into a new matrix.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect(),
-        }
+        let mut data = vec![0.0f32; self.data.len()];
+        let (a, b) = (&self.data, &other.data);
+        pool::par_chunks_mut(&mut data, pool::elem_chunk(a.len()), |offset, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = a[offset + i] * b[offset + i];
+            }
+        });
+        Matrix { rows: self.rows, cols: self.cols, data }
     }
 
-    /// Numerically-stable softmax applied to each row in place.
+    /// Numerically-stable softmax applied to each row in place (rows are
+    /// independent, so row shards parallelize without changing any bits).
     pub fn softmax_rows(&mut self) {
-        for r in 0..self.rows {
-            let row = self.row_mut(r);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            if sum > 0.0 {
+        let cols = self.cols;
+        if cols == 0 {
+            return;
+        }
+        let chunk_rows = row_chunk(self.rows, self.rows * cols * 4);
+        pool::par_chunks_mut(&mut self.data, chunk_rows * cols, |_, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
                 for v in row.iter_mut() {
-                    *v /= sum;
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                if sum > 0.0 {
+                    for v in row.iter_mut() {
+                        *v /= sum;
+                    }
                 }
             }
-        }
+        });
     }
 
     /// Index of the max element in each row. NaN entries compare as
@@ -254,9 +410,10 @@ impl Matrix {
             .collect()
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (fixed-shard reduction: the value is identical at
+    /// every thread count).
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        pool::sum_sq(&self.data).sqrt()
     }
 
     /// Mean of all elements.
@@ -411,5 +568,73 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Naive triple-loop reference. Test data is small-integer valued, so
+    /// every partial sum is exactly representable in f32 and the reference
+    /// must match the tiled kernels bit for bit.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for p in 0..a.cols() {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn int_matrix(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 7 + salt) % 13) as f32 - 6.0)
+    }
+
+    #[test]
+    fn tiled_kernels_match_naive_reference_exactly() {
+        // Shapes chosen to straddle tile boundaries: 1×1 (degenerate),
+        // 17×33·33×65 (non-square, nothing divides the tiles), 3×70·70×5
+        // (rows < tile, k crosses TILE_K=64), 5×70·70×300 (n crosses
+        // TILE_N=256).
+        for (m_, k_, n_) in [(1, 1, 1), (17, 33, 65), (3, 70, 5), (5, 70, 300)] {
+            let a = int_matrix(m_, k_, 1);
+            let b = int_matrix(k_, n_, 2);
+            let want = naive_matmul(&a, &b);
+            assert_eq!(a.matmul(&b).data(), want.data(), "matmul {m_}x{k_}·{k_}x{n_}");
+            let at = a.transpose();
+            assert_eq!(at.matmul_tn(&b).data(), want.data(), "matmul_tn {m_}x{k_}·{k_}x{n_}");
+            let bt = b.transpose();
+            assert_eq!(a.matmul_nt(&bt).data(), want.data(), "matmul_nt {m_}x{k_}·{k_}x{n_}");
+        }
+    }
+
+    #[test]
+    fn matmul_is_thread_count_invariant() {
+        // Large enough to clear PAR_FLOPS_MIN so the parallel dispatch
+        // actually engages at 4 threads.
+        let a = int_matrix(64, 96, 3);
+        let b = int_matrix(96, 80, 4);
+        pool::set_threads(1);
+        let c1 = a.matmul(&b);
+        let tn1 = a.transpose().matmul_tn(&b);
+        let nt1 = a.matmul_nt(&b.transpose());
+        let mut s1 = c1.clone();
+        s1.softmax_rows();
+        let t1 = c1.transpose();
+        pool::set_threads(4);
+        let c4 = a.matmul(&b);
+        let tn4 = a.transpose().matmul_tn(&b);
+        let nt4 = a.matmul_nt(&b.transpose());
+        let mut s4 = c4.clone();
+        s4.softmax_rows();
+        let t4 = c4.transpose();
+        pool::set_threads(0);
+        let bits = |m: &Matrix| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&c1), bits(&c4), "matmul");
+        assert_eq!(bits(&tn1), bits(&tn4), "matmul_tn");
+        assert_eq!(bits(&nt1), bits(&nt4), "matmul_nt");
+        assert_eq!(bits(&s1), bits(&s4), "softmax_rows");
+        assert_eq!(bits(&t1), bits(&t4), "transpose");
     }
 }

@@ -6,6 +6,7 @@
 //! order, which every layer keeps stable.
 
 use crate::layers::Module;
+use crate::pool;
 
 /// Learning-rate schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,19 +46,20 @@ impl Schedule {
 /// Clip all gradients so the global L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm.
 pub fn clip_global_norm(model: &mut dyn Module, max_norm: f32) -> f32 {
+    // Per-slot fixed-shard sums folded in visit order: the norm is a pure
+    // function of the gradient values, independent of the thread count.
     let mut sq = 0.0f32;
-    model.visit_params(&mut |_, g| {
-        for v in g.iter() {
-            sq += v * v;
-        }
-    });
+    model.visit_params(&mut |_, g| sq += pool::sum_sq(g));
     let norm = sq.sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         model.visit_params(&mut |_, g| {
-            for v in g.iter_mut() {
-                *v *= scale;
-            }
+            let chunk_len = pool::elem_chunk(g.len());
+            pool::par_chunks_mut(g, chunk_len, |_, chunk| {
+                for v in chunk {
+                    *v *= scale;
+                }
+            });
         });
     }
     norm
