@@ -1,28 +1,36 @@
 //! perf_report — wall-clock timings for the training/inference hot paths at
 //! 1 and 4 worker threads, written to `BENCH_perf.json`.
 //!
-//! Records are `{name, threads, wall_ms}`. Every measured operation is
-//! bitwise deterministic across thread counts (see `nfm_tensor::pool`), so
-//! each setting performs the exact same arithmetic and the wall-clock ratio
-//! is a pure parallel-speedup measurement. On a single-core machine the
-//! 4-thread rows measure scheduling overhead rather than speedup; run on a
+//! Records are `{name, threads, value, unit}` — `unit` is `"ms"` for wall
+//! times, `"req_per_s"` for serving throughput, and `"ratio"` for the
+//! shed rate under the fault sweep. Every measured operation is bitwise
+//! deterministic across thread counts (see `nfm_tensor::pool`), so each
+//! setting performs the exact same arithmetic and the wall-clock ratio is a
+//! pure parallel-speedup measurement. On a single-core machine the 4-thread
+//! rows measure scheduling overhead rather than speedup; run on a
 //! multi-core host for the numbers recorded in EXPERIMENTS.md.
 //!
 //! `NFM_SCALE=quick` shrinks the workloads for CI.
 
 use std::time::Instant;
 
+use nfm_core::baselines::MajorityBaseline;
 use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, TextExample};
+use nfm_core::serve::{Fallback, ServeConfig, ServeEngine};
 use nfm_model::nn::transformer::EncoderConfig;
 use nfm_model::pretrain::{pretrain, PretrainConfig, TaskMix};
+use nfm_model::tokenize::field::FieldTokenizer;
 use nfm_model::vocab::Vocab;
 use nfm_tensor::matrix::Matrix;
 use nfm_tensor::pool;
+use nfm_traffic::faults::{burst_schedule, inject, FaultConfig};
+use nfm_traffic::netsim::{simulate, SimConfig};
 
 struct Rec {
     name: String,
     threads: usize,
-    wall_ms: f64,
+    value: f64,
+    unit: &'static str,
 }
 
 fn ms(d: std::time::Duration) -> f64 {
@@ -75,7 +83,12 @@ fn main() {
             let wall = best_of(if quick { 2 } else { 5 }, || {
                 std::hint::black_box(a.matmul(&b));
             });
-            records.push(Rec { name: format!("matmul_{m}x{k}x{n}"), threads: t, wall_ms: wall });
+            records.push(Rec {
+                name: format!("matmul_{m}x{k}x{n}"),
+                threads: t,
+                value: wall,
+                unit: "ms",
+            });
         }
     }
 
@@ -101,7 +114,7 @@ fn main() {
         let (encoder, _, _) =
             pretrain(&contexts, &vocab, enc_cfg, &pre_cfg).expect("pretraining failed");
         let wall = ms(start.elapsed());
-        records.push(Rec { name: "pretrain_epoch".into(), threads: t, wall_ms: wall });
+        records.push(Rec { name: "pretrain_epoch".into(), threads: t, value: wall, unit: "ms" });
         trained = Some(encoder);
     }
 
@@ -130,22 +143,80 @@ fn main() {
         let wall = best_of(if quick { 2 } else { 3 }, || {
             std::hint::black_box(clf.predict_batch(&batch));
         });
-        records.push(Rec { name: "predict_batch".into(), threads: t, wall_ms: wall });
+        records.push(Rec { name: "predict_batch".into(), threads: t, value: wall, unit: "ms" });
     }
     pool::set_threads(0);
 
+    // --- Serving under the fault sweep ----------------------------------
+    // End-to-end `ServeEngine::serve_trace` over a corrupted, bursty
+    // capture (the E15 regime): throughput in requests served per second,
+    // plus the deterministic shed rate — which is identical at every
+    // thread count, so it is recorded once.
+    let lt = simulate(&SimConfig {
+        n_sessions: if quick { 40 } else { 120 },
+        n_general_hosts: 4,
+        n_iot_sets: 1,
+        ..SimConfig::default()
+    });
+    let (noisy, _) = inject(
+        &lt.trace,
+        &FaultConfig { corrupt_chance: 0.3, snaplen: 200, seed: 21, ..FaultConfig::default() },
+    );
+    let tokenizer = FieldTokenizer::new();
+    let serve_cfg = ServeConfig { queue_capacity: 8, shed_watermark: 4, ..ServeConfig::default() };
+    let schedule = burst_schedule(
+        noisy.len() * 4,
+        &FaultConfig { burst_chance: 0.5, max_burst: 16, seed: 9, ..FaultConfig::default() },
+    );
+    let mut shed_rate = 0.0;
+    for &t in &thread_counts {
+        pool::set_threads(t);
+        let mut served = 0usize;
+        let wall = best_of(if quick { 2 } else { 3 }, || {
+            let mut engine = ServeEngine::new(
+                clf.clone(),
+                Fallback::Majority(MajorityBaseline { class: 0, n_classes: 2 }),
+                serve_cfg,
+            );
+            served = engine.serve_trace(&noisy, &tokenizer, &schedule).len();
+            shed_rate = engine.stats().shed_rate();
+        });
+        let throughput = served as f64 / (wall / 1e3);
+        records.push(Rec {
+            name: "serve_throughput".into(),
+            threads: t,
+            value: throughput,
+            unit: "req_per_s",
+        });
+    }
+    records.push(Rec {
+        name: "serve_shed_rate".into(),
+        threads: 1,
+        value: shed_rate,
+        unit: "ratio",
+    });
+    pool::set_threads(0);
+
     // --- Report ---------------------------------------------------------
-    let mut table = nfm_core::report::Table::new(&["name", "threads", "wall_ms", "speedup"]);
+    let mut table = nfm_core::report::Table::new(&["name", "threads", "value", "unit", "speedup"]);
     for rec in &records {
         let base = records
             .iter()
             .find(|r| r.name == rec.name && r.threads == 1)
-            .map_or(rec.wall_ms, |r| r.wall_ms);
+            .map_or(rec.value, |r| r.value);
+        // Speedup is a wall-time ratio; for throughput the gain is the
+        // value ratio inverted, and dimensionless rows have no speedup.
+        let speedup = match rec.unit {
+            "ms" => format!("{:.2}x", base / rec.value),
+            "req_per_s" => format!("{:.2}x", rec.value / base),
+            _ => "-".into(),
+        };
         table.row(&[
             rec.name.clone(),
             rec.threads.to_string(),
-            format!("{:.3}", rec.wall_ms),
-            format!("{:.2}x", base / rec.wall_ms),
+            format!("{:.3}", rec.value),
+            rec.unit.into(),
+            speedup,
         ]);
     }
     println!("{}", table.render());
@@ -154,8 +225,8 @@ fn main() {
     for (i, rec) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
         json.push_str(&format!(
-            "  {{\"name\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}}}{}\n",
-            rec.name, rec.threads, rec.wall_ms, comma
+            "  {{\"name\": \"{}\", \"threads\": {}, \"value\": {:.3}, \"unit\": \"{}\"}}{}\n",
+            rec.name, rec.threads, rec.value, rec.unit, comma
         ));
     }
     json.push_str("]\n");

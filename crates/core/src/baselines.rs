@@ -174,6 +174,54 @@ impl GruBaseline {
     }
 }
 
+/// The cheapest graceful-degradation tier: a class-prior heuristic fitted
+/// from labeled flow statistics alone. It answers the majority class of its
+/// training set in O(1), so the serving path can always produce *some*
+/// response even when both the foundation model and the GRU fallback are
+/// unavailable. Ties resolve to the lowest class id; an empty fit yields
+/// class 0 — deterministic either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MajorityBaseline {
+    /// The class this heuristic always answers.
+    pub class: usize,
+    /// Number of classes in the task.
+    pub n_classes: usize,
+}
+
+impl MajorityBaseline {
+    /// Fit the prior from labeled examples (labels ≥ `n_classes` are
+    /// ignored rather than panicking).
+    pub fn fit(examples: &[TextExample], n_classes: usize) -> MajorityBaseline {
+        let mut counts = vec![0usize; n_classes.max(1)];
+        for e in examples {
+            if let Some(c) = counts.get_mut(e.label) {
+                *c += 1;
+            }
+        }
+        let class = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        MajorityBaseline { class, n_classes: n_classes.max(1) }
+    }
+
+    /// The prior's answer (independent of the input by construction).
+    pub fn predict(&self) -> usize {
+        self.class
+    }
+
+    /// Evaluate on examples — the floor any model must beat.
+    pub fn evaluate(&self, examples: &[TextExample]) -> Confusion {
+        let mut c = Confusion::new(self.n_classes);
+        for e in examples {
+            c.add(e.label, self.class);
+        }
+        c
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +271,22 @@ mod tests {
         // Completely unseen vocabulary — prediction must still work.
         let pred = clf.predict(&["never-seen".to_string(), "also-new".to_string()]);
         assert!(pred < 3);
+    }
+
+    #[test]
+    fn majority_baseline_is_deterministic_and_bounded() {
+        let mut ex = separable_examples(30); // 10 of each of 3 classes
+        ex.push(TextExample { tokens: vec!["t".into()], label: 2 });
+        let m = MajorityBaseline::fit(&ex, 3);
+        assert_eq!(m.predict(), 2);
+        let acc = m.evaluate(&ex).accuracy();
+        assert!((acc - 11.0 / 31.0).abs() < 1e-9, "accuracy {acc}");
+        // Ties resolve to the lowest class; empty fits answer class 0.
+        assert_eq!(MajorityBaseline::fit(&separable_examples(30), 3).predict(), 0);
+        assert_eq!(MajorityBaseline::fit(&[], 4).predict(), 0);
+        // Out-of-range labels are ignored, not a panic.
+        let bad = vec![TextExample { tokens: vec![], label: 99 }];
+        assert_eq!(MajorityBaseline::fit(&bad, 2).predict(), 0);
     }
 
     #[test]

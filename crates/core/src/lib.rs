@@ -32,12 +32,18 @@ pub mod netglue;
 pub mod ood;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 
-pub use baselines::{BaselineConfig, BaselineKind, GruBaseline};
+pub use baselines::{BaselineConfig, BaselineKind, GruBaseline, MajorityBaseline};
 pub use metrics::{auroc, Confusion};
 pub use netglue::Task;
 pub use ood::{OodDetector, OodScore};
 pub use pipeline::{
     examples_from_flows, FineTuneConfig, FmClassifier, FoundationModel, PipelineConfig,
     PipelineError, TextExample,
+};
+pub use serve::{
+    load_model_with_retry, retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker,
+    Fallback, Responder, Response, RetryLog, RetryPolicy, ServeConfig, ServeEngine, ServeError,
+    ServeStats,
 };

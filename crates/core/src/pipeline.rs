@@ -15,7 +15,7 @@ use nfm_model::checkpoint::{read_encoder, read_vocab, write_encoder, write_vocab
 use nfm_model::context::{contexts_from_trace, flow_context, ContextStrategy};
 use nfm_model::guard::{GuardConfig, TrainError, TrainGuard};
 use nfm_model::nn::heads::ClsHead;
-use nfm_model::nn::transformer::{Encoder, EncoderConfig};
+use nfm_model::nn::transformer::{Encoder, EncoderConfig, InferError};
 use nfm_model::pretrain::{encode_context, epoch_seed, pretrain, PretrainConfig, PretrainStats};
 use nfm_model::tokenize::Tokenizer;
 use nfm_model::vocab::Vocab;
@@ -283,6 +283,20 @@ impl Default for FineTuneConfig {
     }
 }
 
+/// Argmax with NaN treated as −∞ and ties resolving to the lowest index —
+/// a degraded model still yields a deterministic answer.
+pub(crate) fn argmax_nan_tolerant(logits: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
 fn pool(hidden: &Matrix, pooling: Pooling) -> Matrix {
     match pooling {
         Pooling::Cls => hidden.rows_slice(0, 1),
@@ -513,16 +527,50 @@ impl FmClassifier {
     /// still yields a deterministic answer instead of panicking); ties
     /// resolve to the lowest class index.
     pub fn predict(&self, tokens: &[String]) -> usize {
-        let logits = self.logits(tokens);
-        let mut best = 0usize;
-        let mut best_v = f32::NEG_INFINITY;
-        for (i, &v) in logits.iter().enumerate() {
-            if v > best_v {
-                best_v = v;
-                best = i;
-            }
+        argmax_nan_tolerant(&self.logits(tokens))
+    }
+
+    /// Deterministic inference cost (multiply-accumulate units) of
+    /// classifying a `n_tokens`-token sequence: encoder plus head. The
+    /// serving path budgets request deadlines against this proxy, so the
+    /// same request costs the same on every run.
+    pub fn inference_cost(&self, n_tokens: usize) -> u64 {
+        // encode_context adds [CLS]/[SEP] framing; mirror it so callers can
+        // budget from raw token counts.
+        let t = (n_tokens + 2).min(self.max_len);
+        let head = (self.encoder.config.d_model * self.n_classes) as u64;
+        self.encoder.inference_cost(t) + head
+    }
+
+    /// Deadline-aware logits: computes within `budget` cost units or
+    /// returns a typed [`InferError`] without finishing the forward pass.
+    /// On success also reports the cost actually spent. Never panics —
+    /// empty post-encoding sequences surface as [`InferError::EmptyInput`].
+    pub fn logits_within(
+        &self,
+        tokens: &[String],
+        budget: u64,
+    ) -> Result<(Vec<f32>, u64), InferError> {
+        let ids = encode_context(&self.vocab, tokens, self.max_len);
+        let head_cost = (self.encoder.config.d_model * self.n_classes) as u64;
+        let (hidden, spent) = self.encoder.forward_inference_within(&ids, budget)?;
+        if spent + head_cost > budget {
+            return Err(InferError::DeadlineExceeded { spent, needed: head_cost, budget });
         }
-        best
+        let pooled = pool(&hidden, self.pooling);
+        let logits = self.head.forward_inference(&pooled).row(0).to_vec();
+        Ok((logits, spent + head_cost))
+    }
+
+    /// Deadline-aware predict: argmax of [`FmClassifier::logits_within`]
+    /// (NaN-tolerant, ties to the lowest class), plus the cost spent.
+    pub fn predict_within(
+        &self,
+        tokens: &[String],
+        budget: u64,
+    ) -> Result<(usize, u64), InferError> {
+        let (logits, spent) = self.logits_within(tokens, budget)?;
+        Ok((argmax_nan_tolerant(&logits), spent))
     }
 
     /// Predicted class ids for a batch of sequences. Examples are sharded
@@ -662,6 +710,28 @@ mod tests {
         let logits = clf.logits(&train[0].tokens);
         assert!(logits.iter().all(|v| v.is_nan()));
         assert_eq!(clf.predict(&train[0].tokens), 0);
+    }
+
+    #[test]
+    fn predict_within_budget_agrees_with_predict_and_misses_deadlines() {
+        let (fm, _) = tiny_fm();
+        let train: Vec<TextExample> = (0..10)
+            .map(|i| TextExample {
+                tokens: vec![if i % 2 == 0 { "PORT_53" } else { "PORT_443" }.to_string()],
+                label: i % 2,
+            })
+            .collect();
+        let clf = FmClassifier::fine_tune(&fm, &train, 2, &FineTuneConfig::default())
+            .expect("fine-tuning failed");
+        let tokens = &train[0].tokens;
+        let cost = clf.inference_cost(tokens.len());
+        let (class, spent) = clf.predict_within(tokens, cost).expect("budget covers the cost");
+        assert_eq!(class, clf.predict(tokens));
+        assert_eq!(spent, cost, "cost model matches metered spend");
+        // A budget one unit short is a deterministic deadline miss.
+        let err = clf.predict_within(tokens, cost - 1).expect_err("short budget");
+        assert!(matches!(err, InferError::DeadlineExceeded { .. }));
+        assert_eq!(clf.predict_within(tokens, cost - 1).unwrap_err(), err);
     }
 
     #[test]

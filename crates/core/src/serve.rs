@@ -1,0 +1,1009 @@
+//! Robust streaming inference: the serving half of the paper's operational
+//! story (§4.3). Training fault tolerance (E14) keeps the model *producible*;
+//! this module keeps it *answerable* when live traffic is messy — malformed
+//! packets, bursts, and partial model failures.
+//!
+//! [`ServeEngine`] pulls [`TracePacket`]s from a capture source, assembles
+//! bidirectional flows, and classifies each flow with a fine-tuned
+//! [`FmClassifier`] under four explicit robustness controls:
+//!
+//! 1. **Bounded admission queue with deterministic load shedding** — above a
+//!    watermark, arrivals are shed with a probability that rises with queue
+//!    occupancy, decided by a seeded RNG; at capacity they are shed
+//!    outright. The same seed and arrival order reproduce the same shed
+//!    decisions bit for bit.
+//! 2. **Per-request deadline budgets** — deadlines are metered in the
+//!    deterministic cost units of
+//!    [`Encoder::forward_inference_within`](nfm_model::nn::transformer::Encoder::forward_inference_within)
+//!    (a multiply-accumulate proxy for wall time), so a request that misses
+//!    its deadline misses it identically on every run.
+//! 3. **Retry with backoff** — transient model faults are retried a bounded
+//!    number of times, each retry charging a growing backoff cost against
+//!    the request's remaining budget. The same policy drives
+//!    [`load_model_with_retry`] for checkpoint loads.
+//! 4. **Circuit breaker with graceful degradation** — after K consecutive
+//!    failed requests the breaker opens and traffic is answered by the
+//!    [`Fallback`] baseline (GRU or class-prior heuristic from
+//!    [`crate::baselines`]) instead of being dropped; after a cooldown the
+//!    breaker half-opens and probes the model, closing again once probes
+//!    succeed.
+//!
+//! Every admitted request gets a response — from the model or the fallback —
+//! and nothing in this module panics on hostile input.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+use nfm_model::context::flow_context;
+use nfm_model::nn::transformer::InferError;
+use nfm_model::tokenize::Tokenizer;
+use nfm_net::capture::{Trace, TracePacket};
+use nfm_net::flow::FlowTable;
+use nfm_tensor::checkpoint::CheckpointError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::baselines::{GruBaseline, MajorityBaseline};
+use crate::pipeline::{argmax_nan_tolerant, FmClassifier, FoundationModel};
+
+/// Errors surfaced by the serving engine instead of panics.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A model checkpoint could not be loaded even after retries.
+    ModelLoad {
+        /// Load attempts made (initial try plus retries).
+        attempts: usize,
+        /// The final load failure.
+        source: CheckpointError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ModelLoad { attempts, source } => {
+                write!(f, "model load failed after {attempts} attempt(s): {source}")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::ModelLoad { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Bounded-retry policy with exponential backoff, metered in the same
+/// deterministic cost units as inference deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: usize,
+    /// Backoff charged before the first retry.
+    pub backoff_base: u64,
+    /// Multiplier applied to the backoff on each further retry.
+    pub backoff_factor: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 2, backoff_base: 1024, backoff_factor: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff cost charged before retry number `retry` (0-based):
+    /// `backoff_base * backoff_factor^retry`, saturating.
+    pub fn backoff_cost(&self, retry: usize) -> u64 {
+        let mut cost = self.backoff_base;
+        for _ in 0..retry {
+            cost = cost.saturating_mul(self.backoff_factor);
+        }
+        cost
+    }
+}
+
+/// What [`retry_with_backoff`] did: attempts made and total backoff charged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryLog {
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: usize,
+    /// Total backoff cost accumulated across retries.
+    pub backoff_cost: u64,
+}
+
+/// Run `op` until it succeeds or the policy's retries are exhausted,
+/// charging exponential backoff between attempts. `op` receives the
+/// 0-based attempt number. Returns the final result plus a [`RetryLog`];
+/// deterministic (the "backoff" is cost accounting, not wall-clock sleep),
+/// so retry behavior is reproducible in tests and chaos sweeps.
+pub fn retry_with_backoff<T, E>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut(usize) -> Result<T, E>,
+) -> (Result<T, E>, RetryLog) {
+    let mut log = RetryLog::default();
+    loop {
+        let attempt = log.attempts;
+        log.attempts += 1;
+        match op(attempt) {
+            Ok(v) => return (Ok(v), log),
+            Err(e) => {
+                if attempt >= policy.max_retries {
+                    return (Err(e), log);
+                }
+                log.backoff_cost = log.backoff_cost.saturating_add(policy.backoff_cost(attempt));
+            }
+        }
+    }
+}
+
+/// Load a [`FoundationModel`] checkpoint, retrying transient faults (partial
+/// writes, racing replacements) under `policy`. A fault that persists
+/// through every retry becomes a typed [`ServeError::ModelLoad`].
+pub fn load_model_with_retry(
+    path: &Path,
+    policy: &RetryPolicy,
+) -> Result<(FoundationModel, RetryLog), ServeError> {
+    let (result, log) = retry_with_backoff(policy, |_| FoundationModel::load(path));
+    match result {
+        Ok(model) => Ok((model, log)),
+        Err(source) => Err(ServeError::ModelLoad { attempts: log.attempts, source }),
+    }
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failed requests that trip the breaker open.
+    pub failure_threshold: usize,
+    /// Requests answered by the fallback while open before half-opening.
+    pub cooldown: usize,
+    /// Consecutive successful half-open probes required to close again.
+    pub probes_to_close: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown: 8, probes_to_close: 2 }
+    }
+}
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests go to the model.
+    Closed,
+    /// Tripped: requests go straight to the fallback until the cooldown
+    /// elapses.
+    Open,
+    /// Probing: requests go to the model; failures re-open, sustained
+    /// success closes.
+    HalfOpen,
+}
+
+/// A consecutive-failure circuit breaker with half-open recovery probes.
+/// Pure state machine — no clocks, no randomness — so its transitions are
+/// exactly reproducible.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    /// Thresholds.
+    pub config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: usize,
+    cooldown_left: usize,
+    probe_successes: usize,
+    /// Times the breaker transitioned to [`BreakerState::Open`].
+    pub trips: usize,
+    /// Times a half-open probe run closed the breaker again.
+    pub recoveries: usize,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            probe_successes: 0,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Ask to send one request to the model. `false` means the caller must
+    /// answer with the fallback. While open, each denied request counts
+    /// down the cooldown; when it elapses the breaker half-opens and admits
+    /// the next request as a probe.
+    pub fn try_acquire(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.cooldown_left > 1 {
+                    self.cooldown_left -= 1;
+                    false
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Report that a model-answered request succeeded.
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.probes_to_close {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.recoveries += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Report that a model-answered request failed (after any retries).
+    pub fn on_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.cooldown_left = self.config.cooldown.max(1);
+        self.consecutive_failures = 0;
+        self.probe_successes = 0;
+        self.trips += 1;
+    }
+}
+
+/// The graceful-degradation tier that answers when the model cannot: the
+/// GRU flow baseline or the O(1) class-prior heuristic, both from
+/// [`crate::baselines`]. Fallback prediction never fails.
+pub enum Fallback {
+    /// GRU classifier trained on labeled flows (boxed: a trained GRU is
+    /// orders of magnitude larger than the majority prior).
+    Gru(Box<GruBaseline>),
+    /// Majority-class prior — the cheapest possible responder.
+    Majority(MajorityBaseline),
+}
+
+impl Fallback {
+    /// Answer a request from its flow tokens.
+    pub fn predict(&self, tokens: &[String]) -> usize {
+        match self {
+            Fallback::Gru(m) => m.predict(tokens),
+            Fallback::Majority(m) => m.predict(),
+        }
+    }
+
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fallback::Gru(_) => "gru",
+            Fallback::Majority(_) => "majority",
+        }
+    }
+}
+
+/// Serving-engine knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Hard cap on queued requests; arrivals beyond it are always shed.
+    pub queue_capacity: usize,
+    /// Occupancy at which probabilistic shedding begins (≥ capacity
+    /// disables the probabilistic band, leaving pure tail drop).
+    pub shed_watermark: usize,
+    /// Per-request deadline, in deterministic inference-cost units.
+    pub deadline_budget: u64,
+    /// Token cap per flow context.
+    pub max_tokens: usize,
+    /// Seed for the shed decision RNG.
+    pub seed: u64,
+    /// Retry policy for transient model faults.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 32,
+            shed_watermark: 24,
+            deadline_budget: u64::MAX,
+            max_tokens: 64,
+            seed: 17,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Who produced a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Responder {
+    /// The foundation-model classifier.
+    Model,
+    /// The degradation baseline.
+    Fallback,
+}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Flow index within the serve call's assembly order.
+    pub flow: usize,
+    /// Predicted class id.
+    pub class: usize,
+    /// Who answered.
+    pub responder: Responder,
+    /// Deadline-budget cost units spent (inference plus retry backoff).
+    pub cost: u64,
+    /// Model retries attempted for this request.
+    pub retries: usize,
+    /// True when the model path was abandoned for running out of budget.
+    pub deadline_missed: bool,
+}
+
+/// Availability accounting for the serve path. All counters are integers,
+/// so two runs with the same seed agree exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests that reached admission control.
+    pub arrived: usize,
+    /// Requests admitted to the queue.
+    pub admitted: usize,
+    /// Requests shed by admission control (watermark or capacity).
+    pub shed: usize,
+    /// Admitted requests answered by the model.
+    pub answered_model: usize,
+    /// Admitted requests answered by the fallback baseline.
+    pub answered_fallback: usize,
+    /// Requests whose model path ran out of deadline budget.
+    pub deadline_misses: usize,
+    /// Model attempts that produced non-finite logits.
+    pub model_failures: usize,
+    /// Model retries attempted across all requests.
+    pub retries: usize,
+    /// Circuit-breaker trips (to open).
+    pub breaker_trips: usize,
+    /// Circuit-breaker recoveries (half-open probes closing it).
+    pub breaker_recoveries: usize,
+    /// Capture packets that failed to parse during ingest.
+    pub malformed_packets: usize,
+    /// Flows assembled from parseable packets.
+    pub flows_assembled: usize,
+    /// Flows dropped because no packet produced any tokens.
+    pub empty_contexts: usize,
+}
+
+impl ServeStats {
+    /// Answered requests (model plus fallback).
+    pub fn answered(&self) -> usize {
+        self.answered_model + self.answered_fallback
+    }
+
+    /// Fraction of arrivals that received an answer (1.0 when nothing
+    /// arrived).
+    pub fn availability(&self) -> f64 {
+        if self.arrived == 0 {
+            1.0
+        } else {
+            self.answered() as f64 / self.arrived as f64
+        }
+    }
+
+    /// Fraction of arrivals shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.arrived as f64
+        }
+    }
+}
+
+/// One classifiable unit of work: a flow and its token context.
+#[derive(Debug, Clone)]
+struct Request {
+    flow: usize,
+    tokens: Vec<String>,
+}
+
+/// The synchronous streaming inference engine. See the module docs for the
+/// robustness controls; see [`ServeEngine::serve_trace`] for the lifecycle.
+pub struct ServeEngine {
+    clf: FmClassifier,
+    fallback: Fallback,
+    config: ServeConfig,
+    breaker: CircuitBreaker,
+    shed_rng: StdRng,
+    stats: ServeStats,
+    queue: VecDeque<Request>,
+}
+
+impl ServeEngine {
+    /// Build an engine around a fine-tuned classifier and a fallback tier.
+    /// A zero queue capacity is promoted to 1 (a queue that admits nothing
+    /// cannot serve anything).
+    pub fn new(clf: FmClassifier, fallback: Fallback, config: ServeConfig) -> ServeEngine {
+        let mut config = config;
+        config.queue_capacity = config.queue_capacity.max(1);
+        ServeEngine {
+            breaker: CircuitBreaker::new(config.breaker),
+            shed_rng: StdRng::seed_from_u64(config.seed ^ 0x5E_u64.rotate_left(40)),
+            stats: ServeStats::default(),
+            queue: VecDeque::with_capacity(config.queue_capacity),
+            clf,
+            fallback,
+            config,
+        }
+    }
+
+    /// Cumulative statistics (breaker counters folded in).
+    pub fn stats(&self) -> ServeStats {
+        let mut s = self.stats;
+        s.breaker_trips = self.breaker.trips;
+        s.breaker_recoveries = self.breaker.recoveries;
+        s
+    }
+
+    /// The circuit breaker (for inspection).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Mutable access to the served model — the hot-swap/chaos hook. An
+    /// operator (or a chaos harness) can poison or replace weights between
+    /// [`ServeEngine::serve_trace`] calls; the breaker and fallback decide
+    /// what traffic notices.
+    pub fn model_mut(&mut self) -> &mut FmClassifier {
+        &mut self.clf
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &FmClassifier {
+        &self.clf
+    }
+
+    /// Assemble flows from a capture and build one request per flow with a
+    /// non-empty token context. Unparseable packets are counted and
+    /// skipped — never a panic — which is exactly the corrupted/truncated
+    /// regime the chaos harness drives.
+    fn ingest(&mut self, trace: &Trace, tokenizer: &dyn Tokenizer) -> Vec<Request> {
+        let mut table = FlowTable::new();
+        for (i, tp) in trace.packets().iter().enumerate() {
+            match tp.parse() {
+                Ok(parsed) => table.push(i, tp.ts_us, &parsed),
+                Err(_) => self.stats.malformed_packets += 1,
+            }
+        }
+        self.stats.flows_assembled += table.len();
+        let mut requests = Vec::with_capacity(table.len());
+        for (flow_idx, flow) in table.flows().iter().enumerate() {
+            let packets: Vec<TracePacket> =
+                flow.packets.iter().map(|fp| trace.packets()[fp.index].clone()).collect();
+            let tokens = flow_context(&packets, tokenizer, self.config.max_tokens);
+            if tokens.is_empty() {
+                self.stats.empty_contexts += 1;
+                continue;
+            }
+            requests.push(Request { flow: flow_idx, tokens });
+        }
+        requests
+    }
+
+    /// Admission control for one arrival. Below the watermark the request
+    /// is admitted; between watermark and capacity it is shed with a
+    /// probability that rises linearly with occupancy (seeded RNG, so the
+    /// decision sequence is reproducible); at capacity it is always shed.
+    fn offer(&mut self, request: Request) {
+        self.stats.arrived += 1;
+        let occupancy = self.queue.len();
+        let capacity = self.config.queue_capacity;
+        let watermark = self.config.shed_watermark.min(capacity);
+        let shed = if occupancy >= capacity {
+            true
+        } else if occupancy >= watermark {
+            let band = (capacity - watermark + 1) as f64;
+            let depth = (occupancy - watermark + 1) as f64;
+            self.shed_rng.gen_bool(depth / band)
+        } else {
+            false
+        };
+        if shed {
+            self.stats.shed += 1;
+        } else {
+            self.stats.admitted += 1;
+            self.queue.push_back(request);
+        }
+    }
+
+    /// Answer one admitted request: model first (under the breaker, the
+    /// deadline budget, and the retry policy), fallback otherwise. Always
+    /// returns a response.
+    fn process(&mut self, request: Request) -> Response {
+        let budget = self.config.deadline_budget;
+        let mut remaining = budget;
+        let mut retries_used = 0usize;
+        let mut deadline_missed = false;
+        if self.breaker.try_acquire() {
+            loop {
+                match self.clf.logits_within(&request.tokens, remaining) {
+                    Ok((logits, spent)) => {
+                        remaining = remaining.saturating_sub(spent);
+                        if logits.iter().all(|v| v.is_finite()) {
+                            self.breaker.on_success();
+                            self.stats.answered_model += 1;
+                            return Response {
+                                flow: request.flow,
+                                class: argmax_nan_tolerant(&logits),
+                                responder: Responder::Model,
+                                cost: budget - remaining,
+                                retries: retries_used,
+                                deadline_missed: false,
+                            };
+                        }
+                        // Non-finite logits: the model itself is unhealthy
+                        // (e.g. NaN-poisoned weights). Retry within budget,
+                        // then report one failure to the breaker.
+                        self.stats.model_failures += 1;
+                        if retries_used < self.config.retry.max_retries {
+                            let backoff = self.config.retry.backoff_cost(retries_used);
+                            retries_used += 1;
+                            self.stats.retries += 1;
+                            if remaining <= backoff {
+                                deadline_missed = true;
+                                self.stats.deadline_misses += 1;
+                                self.breaker.on_failure();
+                                break;
+                            }
+                            remaining -= backoff;
+                            continue;
+                        }
+                        self.breaker.on_failure();
+                        break;
+                    }
+                    Err(InferError::DeadlineExceeded { .. }) => {
+                        // A deadline miss is load, not model health: the
+                        // fallback answers but the breaker is not charged.
+                        deadline_missed = true;
+                        self.stats.deadline_misses += 1;
+                        break;
+                    }
+                    Err(InferError::EmptyInput) => break,
+                }
+            }
+        }
+        self.stats.answered_fallback += 1;
+        Response {
+            flow: request.flow,
+            class: self.fallback.predict(&request.tokens),
+            responder: Responder::Fallback,
+            cost: budget - remaining,
+            retries: retries_used,
+            deadline_missed,
+        }
+    }
+
+    /// Serve every flow in `trace`. `schedule` groups arrivals into bursts
+    /// (e.g. from [`nfm_traffic::faults::burst_schedule`]): all requests of
+    /// a burst hit admission control before the queue drains, so bursts —
+    /// not average load — drive shedding. A short (or empty) schedule makes
+    /// the remaining requests arrive one by one. Statistics accumulate
+    /// across calls, which is how a chaos harness interleaves traffic with
+    /// weight poisoning/healing.
+    ///
+    /// Every admitted request gets exactly one [`Response`]; the method
+    /// never panics on malformed capture bytes.
+    pub fn serve_trace(
+        &mut self,
+        trace: &Trace,
+        tokenizer: &dyn Tokenizer,
+        schedule: &[usize],
+    ) -> Vec<Response> {
+        let requests = self.ingest(trace, tokenizer);
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut pending = requests.into_iter();
+        let mut exhausted = false;
+        for &burst in schedule {
+            for _ in 0..burst {
+                match pending.next() {
+                    Some(r) => self.offer(r),
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+            while let Some(req) = self.queue.pop_front() {
+                responses.push(self.process(req));
+            }
+            if exhausted {
+                break;
+            }
+        }
+        for request in pending {
+            self.offer(request);
+            while let Some(req) = self.queue.pop_front() {
+                responses.push(self.process(req));
+            }
+        }
+        responses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{FineTuneConfig, PipelineConfig, TextExample};
+    use nfm_model::pretrain::{PretrainConfig, TaskMix};
+    use nfm_model::tokenize::field::FieldTokenizer;
+    use nfm_tensor::layers::Module;
+    use nfm_traffic::faults::{burst_schedule, inject, FaultConfig};
+    use nfm_traffic::netsim::{simulate, SimConfig};
+
+    fn tiny_engine_parts() -> (FmClassifier, Fallback, Trace) {
+        let lt = simulate(&SimConfig {
+            n_sessions: 30,
+            n_general_hosts: 3,
+            n_iot_sets: 1,
+            ..SimConfig::default()
+        });
+        let tok = FieldTokenizer::new();
+        let cfg = PipelineConfig {
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 48,
+            pretrain: PretrainConfig {
+                epochs: 1,
+                tasks: TaskMix::mlm_only(),
+                ..PretrainConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let (fm, _) =
+            FoundationModel::pretrain_on(&[&lt.trace], &tok, &cfg).expect("pretraining failed");
+        let train: Vec<TextExample> = (0..10)
+            .map(|i| TextExample {
+                tokens: vec![if i % 2 == 0 { "PORT_53" } else { "PORT_443" }.to_string()],
+                label: i % 2,
+            })
+            .collect();
+        let clf = FmClassifier::fine_tune(
+            &fm,
+            &train,
+            2,
+            &FineTuneConfig { epochs: 2, ..FineTuneConfig::default() },
+        )
+        .expect("fine-tuning failed");
+        let fallback = Fallback::Majority(MajorityBaseline::fit(&train, 2));
+        (clf, fallback, lt.trace)
+    }
+
+    fn drain(engine: &mut ServeEngine, trace: &Trace) -> Vec<Response> {
+        engine.serve_trace(trace, &FieldTokenizer::new(), &[])
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let cfg = BreakerConfig { failure_threshold: 3, cooldown: 2, probes_to_close: 2 };
+        let mut b = CircuitBreaker::new(cfg);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Two failures + a success: consecutive counter resets, still closed.
+        assert!(b.try_acquire());
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips, 0);
+        // Three consecutive failures trip it.
+        b.on_failure();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips, 1);
+        // Cooldown: one denied request, then the next is a half-open probe.
+        assert!(!b.try_acquire());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.try_acquire());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Two successful probes close it again.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries, 1);
+    }
+
+    #[test]
+    fn breaker_half_open_failure_reopens() {
+        let cfg = BreakerConfig { failure_threshold: 1, cooldown: 1, probes_to_close: 1 };
+        let mut b = CircuitBreaker::new(cfg);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips, 1);
+        // cooldown=1: the very next request probes.
+        assert!(b.try_acquire());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips, 2, "a failed probe counts as a fresh trip");
+        assert!(b.try_acquire());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries, 1);
+    }
+
+    #[test]
+    fn retry_with_backoff_recovers_from_transient_faults() {
+        let policy = RetryPolicy { max_retries: 3, backoff_base: 10, backoff_factor: 2 };
+        // Fails twice, then succeeds.
+        let (result, log) =
+            retry_with_backoff(
+                &policy,
+                |attempt| {
+                    if attempt < 2 {
+                        Err("transient")
+                    } else {
+                        Ok(attempt)
+                    }
+                },
+            );
+        assert_eq!(result, Ok(2));
+        assert_eq!(log.attempts, 3);
+        assert_eq!(log.backoff_cost, 10 + 20);
+        // Permanent fault: retries exhaust.
+        let (result, log) = retry_with_backoff(&policy, |_| Err::<(), _>("permanent"));
+        assert_eq!(result, Err("permanent"));
+        assert_eq!(log.attempts, 4, "initial try plus three retries");
+        assert_eq!(log.backoff_cost, 10 + 20 + 40);
+        // max_retries = 0 means a single attempt and no backoff.
+        let zero = RetryPolicy { max_retries: 0, ..policy };
+        let (_, log) = retry_with_backoff(&zero, |_| Err::<(), _>("x"));
+        assert_eq!(log, RetryLog { attempts: 1, backoff_cost: 0 });
+    }
+
+    #[test]
+    fn load_model_with_retry_reports_typed_error() {
+        let dir = std::env::temp_dir().join(format!("nfm_serve_load_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("missing.nfmc");
+        let policy = RetryPolicy { max_retries: 2, ..RetryPolicy::default() };
+        let err = load_model_with_retry(&path, &policy).expect_err("no file on disk");
+        let ServeError::ModelLoad { attempts, .. } = &err;
+        assert_eq!(*attempts, 3);
+        assert!(err.to_string().contains("model load failed"));
+        assert!(std::error::Error::source(&err).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_admitted_request_is_answered() {
+        let (clf, fallback, trace) = tiny_engine_parts();
+        let mut engine = ServeEngine::new(clf, fallback, ServeConfig::default());
+        let responses = drain(&mut engine, &trace);
+        let stats = engine.stats();
+        assert!(stats.arrived > 0);
+        assert_eq!(stats.admitted, responses.len());
+        assert_eq!(stats.answered(), stats.admitted);
+        assert_eq!(stats.arrived, stats.admitted + stats.shed);
+        // A healthy model under an infinite deadline answers everything.
+        assert_eq!(stats.answered_model, stats.admitted);
+        assert_eq!(stats.deadline_misses, 0);
+        assert!((stats.availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_overload_sheds_deterministically() {
+        let (clf, fallback, trace) = tiny_engine_parts();
+        let config = ServeConfig { queue_capacity: 4, shed_watermark: 2, ..ServeConfig::default() };
+        let tok = FieldTokenizer::new();
+        // One giant burst: everything arrives before the queue drains.
+        let run = |clf: FmClassifier, fallback: Fallback| {
+            let mut engine = ServeEngine::new(clf, fallback, config);
+            let responses = engine.serve_trace(&trace, &tok, &[usize::MAX]);
+            (responses, engine.stats())
+        };
+        let (ra, sa) = run(clf.clone(), Fallback::Majority(MajorityBaseline::fit(&[], 2)));
+        let (rb, sb) = run(clf, fallback);
+        assert!(sa.shed > 0, "a burst larger than the queue must shed");
+        assert_eq!(sa.admitted, ra.len());
+        assert_eq!(sa.answered(), sa.admitted);
+        // Same seed, same arrivals → bitwise-identical shed decisions.
+        assert_eq!(sa, sb);
+        assert_eq!(
+            ra.iter().map(|r| r.flow).collect::<Vec<_>>(),
+            rb.iter().map(|r| r.flow).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn smooth_arrivals_do_not_shed() {
+        let (clf, fallback, trace) = tiny_engine_parts();
+        let config = ServeConfig { queue_capacity: 4, shed_watermark: 2, ..ServeConfig::default() };
+        let mut engine = ServeEngine::new(clf, fallback, config);
+        let n = {
+            // schedule of all-1s: the queue never holds more than one item.
+            let ones = vec![1usize; 10_000];
+            engine.serve_trace(&trace, &FieldTokenizer::new(), &ones).len()
+        };
+        let stats = engine.stats();
+        assert_eq!(stats.shed, 0, "no bursts, no shedding");
+        assert_eq!(stats.admitted, n);
+    }
+
+    #[test]
+    fn nan_poisoned_model_trips_breaker_and_fallback_answers() {
+        let (clf, fallback, trace) = tiny_engine_parts();
+        let config = ServeConfig {
+            breaker: BreakerConfig { failure_threshold: 2, cooldown: 3, probes_to_close: 1 },
+            retry: RetryPolicy { max_retries: 1, ..RetryPolicy::default() },
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(clf, fallback, config);
+        // Phase 1: healthy.
+        let healthy = drain(&mut engine, &trace);
+        assert!(healthy.iter().all(|r| r.responder == Responder::Model));
+        // Phase 2: poison every encoder weight — logits go NaN.
+        let snapshot: Vec<Vec<f32>> = {
+            let mut params = Vec::new();
+            engine.model_mut().encoder.visit_params(&mut |p, _| params.push(p.to_vec()));
+            params
+        };
+        engine.model_mut().encoder.visit_params(&mut |p, _| p.fill(f32::NAN));
+        let degraded = drain(&mut engine, &trace);
+        assert!(!degraded.is_empty());
+        assert!(degraded.iter().all(|r| r.responder == Responder::Fallback));
+        let mid = engine.stats();
+        assert!(mid.breaker_trips >= 1, "breaker must trip");
+        assert!(mid.model_failures >= config.breaker.failure_threshold);
+        assert!(mid.retries > 0, "transient-fault retries were attempted");
+        assert_eq!(mid.answered_model + mid.answered_fallback, mid.admitted);
+        // Phase 3: heal the weights; half-open probes recover the breaker.
+        let mut slot = 0usize;
+        engine.model_mut().encoder.visit_params(&mut |p, _| {
+            p.copy_from_slice(&snapshot[slot]);
+            slot += 1;
+        });
+        let recovered = drain(&mut engine, &trace);
+        let end = engine.stats();
+        assert!(end.breaker_recoveries >= 1, "half-open probes must close the breaker");
+        assert!(
+            recovered.iter().filter(|r| r.responder == Responder::Model).count()
+                > recovered.len() / 2,
+            "most post-heal requests are model-answered"
+        );
+        assert_eq!(engine.breaker().state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn starvation_deadline_routes_to_fallback_without_tripping_breaker() {
+        let (clf, fallback, trace) = tiny_engine_parts();
+        let config = ServeConfig { deadline_budget: 3, ..ServeConfig::default() };
+        let mut engine = ServeEngine::new(clf, fallback, config);
+        let responses = drain(&mut engine, &trace);
+        let stats = engine.stats();
+        assert!(!responses.is_empty());
+        assert!(responses.iter().all(|r| r.responder == Responder::Fallback));
+        assert!(responses.iter().all(|r| r.deadline_missed));
+        assert_eq!(stats.deadline_misses, stats.admitted);
+        assert_eq!(stats.breaker_trips, 0, "deadline misses are load, not model health");
+        assert_eq!(stats.answered(), stats.admitted);
+    }
+
+    #[test]
+    fn corrupted_and_truncated_captures_never_panic_and_still_serve() {
+        let (clf, fallback, trace) = tiny_engine_parts();
+        let (noisy, _) = inject(
+            &trace,
+            &FaultConfig {
+                corrupt_chance: 0.6,
+                snaplen: 40,
+                reorder_chance: 0.3,
+                duplicate_chance: 0.2,
+                seed: 11,
+                ..FaultConfig::default()
+            },
+        );
+        let mut engine = ServeEngine::new(clf, fallback, ServeConfig::default());
+        let schedule = burst_schedule(
+            10_000,
+            &FaultConfig { burst_chance: 0.5, max_burst: 16, seed: 3, ..FaultConfig::default() },
+        );
+        let responses = engine.serve_trace(&noisy, &FieldTokenizer::new(), &schedule);
+        let stats = engine.stats();
+        assert!(stats.malformed_packets > 0, "corruption produced unparseable packets");
+        assert_eq!(stats.answered(), stats.admitted);
+        assert_eq!(responses.len(), stats.admitted);
+    }
+
+    #[test]
+    fn identical_runs_are_bitwise_identical() {
+        let (clf, _, trace) = tiny_engine_parts();
+        let (noisy, _) = inject(&trace, &FaultConfig::noisy(5));
+        let config = ServeConfig {
+            queue_capacity: 6,
+            shed_watermark: 3,
+            deadline_budget: 2_000_000,
+            ..ServeConfig::default()
+        };
+        let schedule = burst_schedule(
+            10_000,
+            &FaultConfig { burst_chance: 0.4, max_burst: 12, seed: 8, ..FaultConfig::default() },
+        );
+        let run = |clf: FmClassifier| {
+            let mut engine =
+                ServeEngine::new(clf, Fallback::Majority(MajorityBaseline::fit(&[], 2)), config);
+            let r = engine.serve_trace(&noisy, &FieldTokenizer::new(), &schedule);
+            (r, engine.stats())
+        };
+        let (ra, sa) = run(clf.clone());
+        let (rb, sb) = run(clf);
+        assert_eq!(sa, sb, "stats must reproduce exactly");
+        assert_eq!(ra, rb, "every response must reproduce exactly");
+    }
+
+    #[test]
+    fn gru_fallback_answers_when_breaker_is_open() {
+        use crate::baselines::{BaselineConfig, BaselineKind};
+        let (clf, _, trace) = tiny_engine_parts();
+        let train: Vec<TextExample> = (0..12)
+            .map(|i| TextExample {
+                tokens: vec![format!("tok{}", i % 3), "IP4".to_string()],
+                label: i % 3,
+            })
+            .collect();
+        let gru = GruBaseline::train(
+            &train,
+            3,
+            BaselineKind::GruRandom,
+            &BaselineConfig { epochs: 2, d_embed: 8, d_hidden: 8, ..BaselineConfig::default() },
+        );
+        let mut engine = ServeEngine::new(
+            clf,
+            Fallback::Gru(Box::new(gru)),
+            ServeConfig {
+                breaker: BreakerConfig { failure_threshold: 1, cooldown: 1000, probes_to_close: 1 },
+                retry: RetryPolicy { max_retries: 0, ..RetryPolicy::default() },
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(engine.model().n_classes, 2);
+        engine.model_mut().encoder.visit_params(&mut |p, _| p.fill(f32::NAN));
+        let responses = drain(&mut engine, &trace);
+        assert!(!responses.is_empty());
+        assert!(responses.iter().all(|r| r.responder == Responder::Fallback));
+        // GRU fallback produces in-range classes for its own task.
+        assert!(responses.iter().all(|r| r.class < 3));
+        assert_eq!(engine.stats().answered(), engine.stats().admitted);
+    }
+}

@@ -1,12 +1,54 @@
 //! The BERT-style transformer encoder: token + learned position embeddings,
 //! post-LN encoder blocks (attention and feed-forward sublayers with
 //! residuals), processed one unpadded sequence at a time.
+//!
+//! For serving under deadlines, [`Encoder::forward_inference_within`] is a
+//! budgeted entry point: inference cost is metered in deterministic
+//! multiply-accumulate units (a reproducible proxy for wall time), checked
+//! before every encoder block, and the call returns a typed
+//! [`InferError::DeadlineExceeded`] instead of starting work it cannot
+//! afford.
+
+use std::fmt;
 
 use nfm_tensor::layers::{Embedding, Gelu, LayerNorm, Linear, Module};
 use nfm_tensor::matrix::Matrix;
 use rand::Rng;
 
 use super::attention::MultiHeadAttention;
+
+/// Why a budgeted inference call could not produce hidden states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// The token sequence is empty (nothing to encode).
+    EmptyInput,
+    /// The remaining deadline budget cannot cover the next unit of work.
+    /// Costs are deterministic multiply-accumulate counts, so the same
+    /// request against the same model misses its deadline identically on
+    /// every run.
+    DeadlineExceeded {
+        /// Cost units already spent when the check failed.
+        spent: u64,
+        /// Cost units the next unit of work would need.
+        needed: u64,
+        /// The total budget the request arrived with.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::EmptyInput => write!(f, "empty token sequence"),
+            InferError::DeadlineExceeded { spent, needed, budget } => write!(
+                f,
+                "deadline exceeded: spent {spent} + next step {needed} cost units > budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
 
 /// Encoder hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +229,66 @@ impl Encoder {
         h
     }
 
+    /// Deterministic cost (multiply-accumulate units) of running one
+    /// encoder block on a `t`-token sequence: QKV/output projections,
+    /// attention scores, and the feed-forward sublayer.
+    pub fn block_cost(&self, t: usize) -> u64 {
+        let t = t as u64;
+        let d = self.config.d_model as u64;
+        let d_ff = self.config.d_ff as u64;
+        4 * t * d * d + 2 * t * t * d + 2 * t * d * d_ff
+    }
+
+    /// Cost of the embedding lookup + embedding layer norm for `t` tokens.
+    pub fn embed_cost(&self, t: usize) -> u64 {
+        2 * t as u64 * self.config.d_model as u64
+    }
+
+    /// Total inference cost for a `t`-token sequence (after clamping to
+    /// `max_len`): embeddings plus every block. This is the reproducible
+    /// wall-time proxy the serving path budgets against.
+    pub fn inference_cost(&self, t: usize) -> u64 {
+        let t = t.min(self.config.max_len);
+        self.embed_cost(t) + self.config.n_layers as u64 * self.block_cost(t)
+    }
+
+    /// Budgeted inference: like [`Encoder::forward_inference`], but meters
+    /// deterministic cost units against `budget`, checking **before** each
+    /// encoder block so no work is started that the deadline cannot cover.
+    /// Returns the hidden states and the cost actually spent, or a typed
+    /// [`InferError`] (never panics — including on empty input, which the
+    /// unbudgeted path asserts on).
+    pub fn forward_inference_within(
+        &self,
+        ids: &[usize],
+        budget: u64,
+    ) -> Result<(Matrix, u64), InferError> {
+        let ids = self.clamp_ids(ids);
+        if ids.is_empty() {
+            return Err(InferError::EmptyInput);
+        }
+        let mut spent = 0u64;
+        let mut charge = |needed: u64| -> Result<(), InferError> {
+            if spent + needed > budget {
+                Err(InferError::DeadlineExceeded { spent, needed, budget })
+            } else {
+                spent += needed;
+                Ok(())
+            }
+        };
+        charge(self.embed_cost(ids.len()))?;
+        let positions: Vec<usize> = (0..ids.len()).collect();
+        let mut x = self.tok_emb.lookup(ids);
+        x.add_assign(&self.pos_emb.lookup(&positions));
+        let mut h = self.emb_ln.forward_inference(&x);
+        let block_cost = self.block_cost(ids.len());
+        for block in &self.blocks {
+            charge(block_cost)?;
+            h = block.forward_inference(&h);
+        }
+        Ok((h, spent))
+    }
+
     /// Backward from dL/dhidden; accumulates gradients in all submodules.
     pub fn backward(&mut self, dhidden: &Matrix) {
         let mut d = dhidden.clone();
@@ -357,6 +459,54 @@ mod tests {
         let numeric = (lp - lm) / (2.0 * eps);
         let rel = (numeric - analytic).abs() / numeric.abs().max(1e-2);
         assert!(rel < 0.1, "numeric {numeric} analytic {analytic}");
+    }
+
+    #[test]
+    fn budgeted_inference_matches_unbudgeted_when_affordable() {
+        let (enc, _) = small();
+        let ids = [2usize, 5, 6, 7, 3];
+        let cost = enc.inference_cost(ids.len());
+        assert!(cost > 0);
+        let (h, spent) = enc.forward_inference_within(&ids, cost).expect("exact budget suffices");
+        assert_eq!(spent, cost);
+        let full = enc.forward_inference(&ids);
+        assert_eq!(h.data(), full.data(), "budgeted path computes the same hidden states");
+    }
+
+    #[test]
+    fn budgeted_inference_rejects_tight_budgets_deterministically() {
+        let (enc, _) = small();
+        let ids = [2usize, 5, 6, 7, 3];
+        let cost = enc.inference_cost(ids.len());
+        let err = enc.forward_inference_within(&ids, cost - 1).expect_err("one unit short");
+        match err {
+            InferError::DeadlineExceeded { spent, needed, budget } => {
+                assert_eq!(budget, cost - 1);
+                assert!(spent + needed > budget);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // Zero budget fails before any block runs; the error displays.
+        let err = enc.forward_inference_within(&ids, 0).expect_err("zero budget");
+        assert!(err.to_string().contains("deadline exceeded"));
+        // Same inputs, same verdict: the proxy is reproducible.
+        assert_eq!(
+            enc.forward_inference_within(&ids, cost - 1).unwrap_err(),
+            enc.forward_inference_within(&ids, cost - 1).unwrap_err(),
+        );
+    }
+
+    #[test]
+    fn budgeted_inference_handles_empty_and_overlong_input() {
+        let (enc, _) = small();
+        assert_eq!(enc.forward_inference_within(&[], u64::MAX), Err(InferError::EmptyInput));
+        // Sequences past max_len are clamped, and the cost model agrees.
+        let ids: Vec<usize> = (0..40).map(|i| i % 20).collect();
+        let cost = enc.inference_cost(ids.len());
+        assert_eq!(cost, enc.inference_cost(enc.config.max_len));
+        let (h, spent) = enc.forward_inference_within(&ids, cost).expect("clamped fits");
+        assert_eq!(h.rows(), enc.config.max_len);
+        assert_eq!(spent, cost);
     }
 
     #[test]

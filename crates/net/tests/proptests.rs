@@ -9,7 +9,7 @@ use nfm_net::addr::MacAddr;
 use nfm_net::packet::{Packet, Transport};
 use nfm_net::wire::dns::{Message, Name, Rcode, Rdata, Record, RecordType};
 use nfm_net::wire::tcp::Flags;
-use nfm_net::wire::{dhcp, http, icmp, ntp, tcp, tls, udp};
+use nfm_net::wire::{arp, dhcp, ethernet, http, icmp, ipv4, ipv6, ntp, tcp, tls, udp};
 use proptest::prelude::*;
 
 fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
@@ -186,6 +186,101 @@ proptest! {
         let msg = icmp::Message::new_checked(&bytes[..]).expect("emitted parses");
         prop_assert_eq!(icmp::Repr::parse(&msg).expect("checksum valid"), repr);
         prop_assert_eq!(msg.payload(), &data[..]);
+    }
+
+    // ---- ingest never-panics: the serving path's hard guarantee --------
+    //
+    // `ServeEngine::ingest` feeds capture bytes straight into these
+    // decoders; a panic anywhere below means a single corrupted packet
+    // takes down the whole service. Every entry point must return `Err`
+    // (or a lossy-but-valid value) on arbitrary and truncated input.
+
+    #[test]
+    fn pcap_read_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = nfm_net::pcap::read(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn pcap_read_never_panics_on_truncation(
+        n_packets in 1usize..8,
+        keep in 0usize..600,
+        do_flip in any::<bool>(),
+        flip_idx in 0usize..600,
+        flip_bit in 0u8..8,
+    ) {
+        let packets: Vec<_> = (0..n_packets)
+            .map(|i| nfm_net::TracePacket::from_packet(
+                i as u64 * 10,
+                &Packet::udp_v4(
+                    MacAddr::from_index(1), MacAddr::from_index(2),
+                    Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2),
+                    4000, 53, 64, vec![7; 8],
+                ),
+            ))
+            .collect();
+        let mut buf = Vec::new();
+        nfm_net::pcap::write(&mut buf, &nfm_net::Trace::from_packets(packets)).expect("in-memory write");
+        buf.truncate(keep.min(buf.len()));
+        if do_flip && !buf.is_empty() {
+            let idx = flip_idx % buf.len();
+            buf[idx] ^= 1 << flip_bit;
+        }
+        let _ = nfm_net::pcap::read(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn trace_packet_parse_never_panics_on_noise(
+        ts in any::<u64>(),
+        frame in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = nfm_net::TracePacket { ts_us: ts, frame }.parse();
+    }
+
+    #[test]
+    fn every_wire_decoder_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(f) = ethernet::Frame::new_checked(&bytes[..]) {
+            let _ = ethernet::Repr::parse(&f);
+        }
+        if let Ok(p) = ipv4::Packet::new_checked(&bytes[..]) {
+            let _ = ipv4::Repr::parse(&p);
+        }
+        if let Ok(p) = ipv6::Packet::new_checked(&bytes[..]) {
+            let _ = ipv6::Repr::parse(&p);
+        }
+        if let Ok(s) = tcp::Segment::new_checked(&bytes[..]) {
+            let _ = tcp::Repr::parse(&s);
+        }
+        if let Ok(d) = udp::Datagram::new_checked(&bytes[..]) {
+            let _ = udp::Repr::parse(&d);
+        }
+        if let Ok(m) = icmp::Message::new_checked(&bytes[..]) {
+            let _ = icmp::Repr::parse(&m);
+        }
+        let _ = arp::Packet::parse(&bytes);
+    }
+
+    #[test]
+    fn truncated_emitted_packets_never_panic(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        sp in 1u16.., dp in 1u16..,
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        cut in 0usize..512,
+        use_tcp in any::<bool>(),
+    ) {
+        let p = if use_tcp {
+            let repr = tcp::Repr { src_port: sp, dst_port: dp, seq: 1, ack: 2, flags: Flags(0x18), window: 1024 };
+            Packet::tcp_v4(MacAddr::from_index(1), MacAddr::from_index(2), src, dst, repr, 64, payload)
+        } else {
+            Packet::udp_v4(MacAddr::from_index(1), MacAddr::from_index(2), src, dst, sp, dp, 64, payload)
+        };
+        let bytes = p.emit();
+        let cut = cut % (bytes.len() + 1);
+        // Parsing any prefix of a valid frame must be panic-free, and a
+        // strict prefix must never round-trip to the original packet.
+        match Packet::parse(&bytes[..cut]) {
+            Ok(parsed) => prop_assert!(cut == bytes.len() && parsed == p),
+            Err(_) => prop_assert!(cut < bytes.len()),
+        }
     }
 
     #[test]

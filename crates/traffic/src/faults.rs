@@ -4,6 +4,9 @@
 //! models degrade on lossy or corrupted input, and to make training data
 //! realistically imperfect.
 
+use std::error::Error;
+use std::fmt;
+
 use nfm_net::capture::{Trace, TracePacket};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +29,12 @@ pub struct FaultConfig {
     /// Truncate packets longer than this to this many bytes (0 disables) —
     /// models a capture snap length.
     pub snaplen: usize,
+    /// Probability that an arrival at the serving path starts a burst
+    /// instead of a single request (see [`burst_schedule`]).
+    pub burst_chance: f64,
+    /// Largest burst [`burst_schedule`] may emit (minimum 2 when bursts
+    /// are enabled).
+    pub max_burst: usize,
     /// Seed for the fault process.
     pub seed: u64,
 }
@@ -39,10 +48,41 @@ impl Default for FaultConfig {
             reorder_chance: 0.0,
             max_delay_us: 50_000,
             snaplen: 0,
+            burst_chance: 0.0,
+            max_burst: 8,
             seed: 1,
         }
     }
 }
+
+/// A fault configuration that does not describe a probability process:
+/// some chance field is NaN, infinite, or outside [0, 1]. Typed (like
+/// `PipelineError`/`TrainError`) so callers can match on it and carry it
+/// through `?`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// One or more chance fields are not finite probabilities in [0, 1].
+    OutOfRange {
+        /// The offending `(field name, value)` pairs, in declaration order.
+        fields: Vec<(&'static str, f64)>,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::OutOfRange { fields } => {
+                let list: Vec<String> = fields
+                    .iter()
+                    .map(|(name, v)| format!("{name} = {v} (must be in [0, 1])"))
+                    .collect();
+                write!(f, "invalid FaultConfig: {}", list.join(", "))
+            }
+        }
+    }
+}
+
+impl Error for FaultError {}
 
 impl FaultConfig {
     /// The "15%" starting point smoltcp's README suggests for demos.
@@ -57,25 +97,26 @@ impl FaultConfig {
         }
     }
 
-    /// Check every probability is a finite value in [0, 1]. Returns a
-    /// message naming each offending field. `inject` tolerates invalid
-    /// configs by clamping; call this to reject them loudly instead.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Check every probability is a finite value in [0, 1]. Returns a typed
+    /// [`FaultError`] naming each offending field. `inject` tolerates
+    /// invalid configs by clamping; call this to reject them loudly instead.
+    pub fn validate(&self) -> Result<(), FaultError> {
         let fields = [
             ("drop_chance", self.drop_chance),
             ("corrupt_chance", self.corrupt_chance),
             ("duplicate_chance", self.duplicate_chance),
             ("reorder_chance", self.reorder_chance),
+            ("burst_chance", self.burst_chance),
         ];
-        let bad: Vec<String> = fields
+        let bad: Vec<(&'static str, f64)> = fields
             .iter()
             .filter(|(_, v)| !v.is_finite() || !(0.0..=1.0).contains(v))
-            .map(|(name, v)| format!("{name} = {v} (must be in [0, 1])"))
+            .copied()
             .collect();
         if bad.is_empty() {
             Ok(())
         } else {
-            Err(format!("invalid FaultConfig: {}", bad.join(", ")))
+            Err(FaultError::OutOfRange { fields: bad })
         }
     }
 
@@ -87,6 +128,7 @@ impl FaultConfig {
             corrupt_chance: clamp(self.corrupt_chance),
             duplicate_chance: clamp(self.duplicate_chance),
             reorder_chance: clamp(self.reorder_chance),
+            burst_chance: clamp(self.burst_chance),
             ..*self
         }
     }
@@ -148,6 +190,31 @@ pub fn inject(trace: &Trace, config: &FaultConfig) -> (Trace, FaultStats) {
         out.push(packet);
     }
     (Trace::from_packets(out), stats)
+}
+
+/// Group `n` serve-path arrivals into bursts: each schedule entry is how
+/// many requests arrive back-to-back before the service gets to drain its
+/// queue. With `burst_chance = 0` every entry is 1 (a smooth arrival
+/// process); otherwise an arrival starts a burst of `2..=max_burst`
+/// requests with the configured probability. Deterministic under
+/// `config.seed`; the sizes always sum to exactly `n`. Out-of-range
+/// chances are clamped like [`inject`] does.
+pub fn burst_schedule(n: usize, config: &FaultConfig) -> Vec<usize> {
+    let config = config.clamped();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB0_u64.rotate_left(16));
+    let mut out = Vec::new();
+    let mut left = n;
+    while left > 0 {
+        let size = if config.burst_chance > 0.0 && rng.gen_bool(config.burst_chance) {
+            rng.gen_range(2..=config.max_burst.max(2))
+        } else {
+            1
+        };
+        let size = size.min(left);
+        out.push(size);
+        left -= size;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -237,7 +304,10 @@ mod tests {
     fn out_of_range_probability_is_rejected_by_validate_and_clamped_by_inject() {
         let cfg = FaultConfig { drop_chance: 1.5, ..FaultConfig::default() };
         let err = cfg.validate().expect_err("1.5 is not a probability");
-        assert!(err.contains("drop_chance"), "message names the field: {err}");
+        let FaultError::OutOfRange { fields } = &err;
+        assert_eq!(fields.as_slice(), &[("drop_chance", 1.5)]);
+        let msg = err.to_string();
+        assert!(msg.contains("drop_chance"), "message names the field: {msg}");
         // inject clamps to 1.0 instead of panicking: every packet drops.
         let trace = base_trace();
         let (out, stats) = inject(&trace, &cfg);
@@ -287,6 +357,40 @@ mod tests {
         let (out, stats) = inject(&trace, &cfg);
         assert_eq!(stats.reordered, trace.len());
         assert_eq!(out.len(), trace.len());
+    }
+
+    #[test]
+    fn fault_error_is_a_std_error_listing_every_bad_field() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<FaultError>();
+        let cfg = FaultConfig {
+            drop_chance: -0.1,
+            burst_chance: f64::INFINITY,
+            ..FaultConfig::default()
+        };
+        let err = cfg.validate().expect_err("two bad fields");
+        let FaultError::OutOfRange { fields } = &err;
+        assert_eq!(fields.len(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("drop_chance") && msg.contains("burst_chance"), "{msg}");
+    }
+
+    #[test]
+    fn burst_schedule_sums_to_n_and_is_deterministic() {
+        let smooth = burst_schedule(50, &FaultConfig::default());
+        assert_eq!(smooth, vec![1; 50]);
+        let cfg =
+            FaultConfig { burst_chance: 0.4, max_burst: 6, seed: 9, ..FaultConfig::default() };
+        let a = burst_schedule(200, &cfg);
+        let b = burst_schedule(200, &cfg);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.iter().sum::<usize>(), 200);
+        assert!(a.iter().any(|&s| s > 1), "bursts actually occur");
+        assert!(a.iter().all(|&s| (1..=6).contains(&s)));
+        // NaN burst chance clamps to 0 (smooth) instead of panicking.
+        let nan = FaultConfig { burst_chance: f64::NAN, ..FaultConfig::default() };
+        assert_eq!(burst_schedule(5, &nan), vec![1; 5]);
+        assert!(burst_schedule(0, &cfg).is_empty());
     }
 
     #[test]
