@@ -4,7 +4,7 @@ use std::ops::Range;
 
 use crate::{Strategy, TestRng};
 
-/// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+/// Sizes accepted by [`vec()`]: a fixed length or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,

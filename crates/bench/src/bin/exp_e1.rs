@@ -22,8 +22,8 @@
 //! which bounds the data requirements the paper's §4.5 asks about.
 
 use nfm_bench::{
-    banner, dns_category_classes, dns_category_examples, dns_heavy, emit, pretrain_dns_heavy,
-    pretrain_standard, train_family, ModelFamily, Scale,
+    banner, dns_category_classes, dns_category_examples, dns_heavy, pretrain_dns_heavy,
+    pretrain_standard, render_table, train_family, ModelFamily, Scale,
 };
 use nfm_core::netglue::Task;
 use nfm_core::report::{f3, Table};
@@ -73,7 +73,7 @@ fn main() {
         ]);
     }
     println!("\n[condition A] application classification across deployments:");
-    emit(&table_a);
+    render_table("e1.condition_a", &table_a);
 
     // ------------- Condition B: DNS category, disjoint names -------------
     println!("[condition B] pretraining on DNS-heavy corpus (NorBERT's setting)…");
@@ -104,10 +104,11 @@ fn main() {
         ]);
     }
     println!("\n[condition B] DNS site-category with disjoint name vocabulary:");
-    emit(&table_b);
+    render_table("e1.condition_b", &table_b);
 
     println!("paper shape (condition A): fm-finetuned leads on both columns and");
     println!("retains more of its F1 on the independent environment.");
     println!("condition B is reported as a scale boundary: no family transfers");
     println!("fully-disjoint name semantics at laptop-scale corpora.");
+    nfm_bench::finish();
 }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use nfm_bench::{banner, emit, train_family, ModelFamily, Scale};
+use nfm_bench::{banner, render_table, train_family, ModelFamily, Scale};
 use nfm_core::netglue::Task;
 use nfm_core::pipeline::{FoundationModel, PipelineConfig};
 use nfm_core::report::{count, f3, Table};
@@ -80,7 +80,8 @@ fn main() {
         ]);
     }
     println!();
-    emit(&table);
+    render_table("e10.results", &table);
     println!("paper shape: F1 saturates by d_model≈32-64 while cost keeps growing —");
     println!("the minimum adequate model is tiny compared to NLP foundation models.");
+    nfm_bench::finish();
 }

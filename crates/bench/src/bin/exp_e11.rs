@@ -7,7 +7,7 @@
 //! corpus and one unified model on everything, then evaluate all of them on
 //! the full multi-protocol downstream task.
 
-use nfm_bench::{banner, emit, pipeline_config, train_family, ModelFamily, Scale};
+use nfm_bench::{banner, pipeline_config, render_table, train_family, ModelFamily, Scale};
 use nfm_core::netglue::Task;
 use nfm_core::pipeline::FoundationModel;
 use nfm_core::report::{f3, Table};
@@ -78,7 +78,8 @@ fn main() {
         ]);
     }
     println!();
-    emit(&table);
+    render_table("e11.results", &table);
     println!("paper shape: unified > every specialist on the multi-protocol task,");
     println!("because specialists lack the other protocols' vocabulary entirely.");
+    nfm_bench::finish();
 }

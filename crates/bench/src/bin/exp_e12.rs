@@ -1,12 +1,12 @@
 //! E12 — the NetGLUE benchmark leaderboard (paper §4.2).
 //!
-//! Claim: the community needs "benchmarks [comprising] a dozen of network
+//! Claim: the community needs "benchmarks \[comprising\] a dozen of network
 //! downstream tasks including device classification, flow classification,
 //! performance prediction, … malware detection". This binary runs the whole
 //! suite across all four model families and prints the leaderboard — the
 //! repository's flagship table.
 
-use nfm_bench::{banner, emit, pretrain_standard, train_family, ModelFamily, Scale};
+use nfm_bench::{banner, pretrain_standard, render_table, train_family, ModelFamily, Scale};
 use nfm_core::netglue::{Task, TaskResult};
 use nfm_core::report::{f3, Table};
 use nfm_model::pretrain::TaskMix;
@@ -88,7 +88,8 @@ fn main() {
         row.push(f3(mean));
         table.row(&row);
     }
-    emit(&table);
+    render_table("e12.results", &table);
     println!("paper shape: fm-finetuned leads the mean column; the benchmark");
     println!("separates families the way GLUE separates NLP models.");
+    nfm_bench::finish();
 }

@@ -6,7 +6,9 @@
 //! capture degrades — the deployment question a downstream user hits first.
 //! (Fault model mirrors smoltcp's example fault injector.)
 
-use nfm_bench::{banner, emit, pretrain_standard, train_family, ModelFamily, Scale, TrainedModel};
+use nfm_bench::{
+    banner, pretrain_standard, render_table, train_family, ModelFamily, Scale, TrainedModel,
+};
 use nfm_core::netglue::Task;
 use nfm_core::report::{f3, Table};
 use nfm_model::pretrain::TaskMix;
@@ -70,7 +72,8 @@ fn main() {
         ]);
     }
     println!();
-    emit(&table);
+    render_table("e13.results", &table);
     println!("expected shape: graceful degradation; corruption hurts least (checksums");
     println!("drop bad packets), snap-length hurts payload-dependent classes most.");
+    nfm_bench::finish();
 }

@@ -18,7 +18,7 @@
 
 use std::path::PathBuf;
 
-use nfm_bench::{banner, emit, Scale};
+use nfm_bench::{banner, render_table, Scale};
 use nfm_core::pipeline::{FoundationModel, PipelineConfig};
 use nfm_core::report::Table;
 use nfm_model::context::contexts_from_trace;
@@ -87,7 +87,7 @@ fn main() {
             ev.action.clone(),
         ]);
     }
-    emit(&recovery);
+    render_table("e14.recovery", &recovery);
     assert!(!stats.guard_events.is_empty(), "injected NaNs must trip the guard");
     assert_eq!(stats.mlm_loss.len(), cfg.epochs, "all epochs completed despite faults");
     println!(
@@ -119,7 +119,7 @@ fn main() {
         resumed_bits.len().to_string(),
         identical.to_string(),
     ]);
-    emit(&resume_table);
+    render_table("e14.resume", &resume_table);
     assert!(identical, "resumed weights must be bitwise identical to the uninterrupted run");
     std::fs::remove_dir_all(&snap_dir).ok();
     println!();
@@ -159,4 +159,5 @@ fn main() {
 
     println!("\npaper shape: fault tolerance is table stakes for §4.3 operational");
     println!("deployment — recovery is automatic and resume changes nothing.");
+    nfm_bench::finish();
 }

@@ -20,7 +20,7 @@
 //! | nan-poison  | NaN weights mid-run, then healed (breaker cycle)   |
 //! | combined    | all of the above at once                           |
 
-use nfm_bench::{banner, emit, Scale};
+use nfm_bench::{banner, render_table, Scale};
 use nfm_core::baselines::MajorityBaseline;
 use nfm_core::pipeline::{
     FineTuneConfig, FmClassifier, FoundationModel, PipelineConfig, TextExample,
@@ -253,7 +253,7 @@ fn main() {
     };
     let outcomes = run_sweep();
     let table = availability_table(&outcomes);
-    emit(&table);
+    render_table("e15.availability", &table);
 
     // --- The acceptance criteria, asserted, not eyeballed ---------------
     for o in &outcomes {
@@ -287,4 +287,5 @@ fn main() {
     println!("in production; the answer on the serving side is explicit backpressure,");
     println!("deadlines, and a breaker that degrades to the cheap baseline instead of");
     println!("failing — availability holds even when the model itself is poisoned.");
+    nfm_bench::finish();
 }

@@ -10,7 +10,7 @@
 //! embeddings. Tokens are related if they occur in interchangeable traffic
 //! contexts; the probes ask whether each source discovers that.
 
-use nfm_bench::{banner, emit, pretrain_standard, Scale};
+use nfm_bench::{banner, pretrain_standard, render_table, Scale};
 use nfm_core::report::{f3, Table};
 use nfm_model::context::{contexts_from_trace, ContextStrategy};
 use nfm_model::embed::analysis::{nearest_neighbors, neighbor_rank};
@@ -109,7 +109,7 @@ fn main() {
         Table::new(&["embeddings", "query", "expected", "rank", "top-3 neighbors", "note"]);
     probe(&mut table, "word2vec", &w2v.embeddings, &vocab);
     probe(&mut table, "fm-input", fm.encoder.token_embeddings(), &fm.vocab);
-    emit(&table);
+    render_table("e2.results", &table);
 
     let (same, total) = suite_purity(&w2v.embeddings, &vocab);
     println!(
@@ -123,4 +123,5 @@ fn main() {
     );
     println!("paper shape: semantically-related tokens are mutual nearest neighbors;");
     println!("the distributional (word2vec) probe shows it most cleanly at this scale.");
+    nfm_bench::finish();
 }

@@ -7,7 +7,7 @@
 //! Compared across Word2Vec skip-gram embeddings and the FM's input
 //! embeddings, over the same field-token corpus.
 
-use nfm_bench::{banner, emit, pretrain_standard, Scale};
+use nfm_bench::{banner, pretrain_standard, render_table, Scale};
 use nfm_core::report::Table;
 use nfm_model::context::{contexts_from_trace, ContextStrategy};
 use nfm_model::embed::analysis::analogy;
@@ -89,6 +89,7 @@ fn main() {
     let mut table = Table::new(&["embeddings", "analogy", "expected", "rank", "top-3"]);
     probe(&mut table, "word2vec", &w2v.embeddings, &vocab);
     probe(&mut table, "fm-input", fm.encoder.token_embeddings(), &fm.vocab);
-    emit(&table);
+    render_table("e3.results", &table);
     println!("paper shape: the expected completion ranks at or near the top.");
+    nfm_bench::finish();
 }

@@ -6,7 +6,7 @@
 //! on downstream quality at the same budget, while byte-level models pay a
 //! long-sequence tax.
 
-use nfm_bench::{banner, emit, pipeline_config, train_family, ModelFamily, Scale};
+use nfm_bench::{banner, pipeline_config, render_table, train_family, ModelFamily, Scale};
 use nfm_core::netglue::Task;
 use nfm_core::pipeline::FoundationModel;
 use nfm_core::report::{f3, Table};
@@ -85,7 +85,8 @@ fn main() {
     run_one("bpe", &bpe, &refs, &scale, &mut table);
 
     println!();
-    emit(&table);
+    render_table("e4.results", &table);
     println!("paper shape: field > bpe > bytes on downstream quality; bytes pay");
     println!("a long-sequence tax (mean seq len) for the same packet budget.");
+    nfm_bench::finish();
 }

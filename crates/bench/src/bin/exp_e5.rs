@@ -6,7 +6,7 @@
 //! packets" as a budget-aware context. We sweep the four strategies for
 //! pre-training (downstream encoding held fixed) and report downstream F1.
 
-use nfm_bench::{banner, emit, pipeline_config, train_family, ModelFamily, Scale};
+use nfm_bench::{banner, pipeline_config, render_table, train_family, ModelFamily, Scale};
 use nfm_core::netglue::Task;
 use nfm_core::pipeline::FoundationModel;
 use nfm_core::report::{f3, Table};
@@ -69,6 +69,7 @@ fn main() {
         ]);
     }
     println!();
-    emit(&table);
+    render_table("e5.results", &table);
     println!("paper shape: flow > first-m-of-n > interleaved ≈ packet.");
+    nfm_bench::finish();
 }

@@ -6,7 +6,7 @@
 //! {MLM+query-answer} → all three, and additionally probe each model's
 //! ability to predict masked DNS *answer* tokens (the QA skill itself).
 
-use nfm_bench::{banner, emit, pretrain_standard, train_family, ModelFamily, Scale};
+use nfm_bench::{banner, pretrain_standard, render_table, train_family, ModelFamily, Scale};
 use nfm_core::netglue::Task;
 use nfm_core::report::{f3, Table};
 use nfm_model::pretrain::TaskMix;
@@ -45,6 +45,7 @@ fn main() {
         table.row(&[mix.name(), f3(confusion.accuracy()), f3(confusion.macro_f1())]);
     }
     println!();
-    emit(&table);
+    render_table("e6.results", &table);
     println!("paper shape: mlm+nfp+qa ≥ mlm+single-extra ≥ mlm alone.");
+    nfm_bench::finish();
 }

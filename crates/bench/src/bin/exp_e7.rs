@@ -1,12 +1,12 @@
 //! E7 — label efficiency (paper §1/§2).
 //!
-//! Claim: pre-training "significantly reduce[s] and even eliminate[s] the
+//! Claim: pre-training "significantly reduce\[s\] and even eliminate\[s\] the
 //! need for data labeling" — BERT cut labeled-data needs, GPT-3 cut them by
 //! another order of magnitude. We sweep the number of labeled fine-tuning
 //! examples and compare the pre-trained model against the from-scratch GRU:
 //! the FM's curve should dominate at small label counts.
 
-use nfm_bench::{banner, emit, pretrain_standard, train_family, ModelFamily, Scale};
+use nfm_bench::{banner, pretrain_standard, render_table, train_family, ModelFamily, Scale};
 use nfm_core::netglue::Task;
 use nfm_core::report::{f3, Table};
 use nfm_model::pretrain::TaskMix;
@@ -82,7 +82,8 @@ fn main() {
         }
     }
     println!();
-    emit(&table);
+    render_table("e7.results", &table);
     println!("paper shape: the FM column dominates at small label budgets and the");
     println!("gap narrows as labels become plentiful.");
+    nfm_bench::finish();
 }

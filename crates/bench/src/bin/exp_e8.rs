@@ -8,7 +8,7 @@
 //! encoder is compared with a never-pre-trained one to isolate the
 //! contribution of the foundation model.
 
-use nfm_bench::{banner, emit, pipeline_config, Scale};
+use nfm_bench::{banner, pipeline_config, render_table, Scale};
 use nfm_core::metrics::auroc;
 use nfm_core::netglue::Task;
 use nfm_core::ood::{OodDetector, OodScore};
@@ -93,8 +93,9 @@ fn main() {
         }
     }
     println!();
-    emit(&table);
+    render_table("e8.results", &table);
     let _ = AnomalyClass::ALL; // anchor the label set in the binary
     println!("paper shape: mahalanobis/energy ≫ 0.5 on zero-days; the pretrained");
     println!("encoder beats the random-init one, answering Sommer-Paxson.");
+    nfm_bench::finish();
 }

@@ -8,7 +8,9 @@
 //! the model actually uses) for token-level occlusion, field-group
 //! occlusion, attention rollout, and a random-attribution control.
 
-use nfm_bench::{banner, emit, pretrain_standard, train_family, ModelFamily, Scale, TrainedModel};
+use nfm_bench::{
+    banner, pretrain_standard, render_table, train_family, ModelFamily, Scale, TrainedModel,
+};
 use nfm_core::interpret::{
     attention_rollout, deletion_auc, occlusion_groups, occlusion_tokens, Attribution,
 };
@@ -107,7 +109,8 @@ fn main() {
         f3(mean(&auc_random)),
     ]);
     println!();
-    emit(&table);
+    render_table("e9.results", &table);
     println!("paper shape: occlusion methods < random; groups give comparable");
     println!("fidelity with ~4x fewer units — the superpixel argument.");
+    nfm_bench::finish();
 }

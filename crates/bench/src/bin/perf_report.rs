@@ -3,7 +3,11 @@
 //!
 //! Records are `{name, threads, value, unit}` — `unit` is `"ms"` for wall
 //! times, `"req_per_s"` for serving throughput, and `"ratio"` for the
-//! shed rate under the fault sweep. Every measured operation is bitwise
+//! shed rate under the fault sweep. Rows with `threads: 0` are run-wide
+//! counter totals snapshotted from the `nfm_obs` metrics registry (MAC
+//! counts, pool dispatch totals, serving outcome counters — see
+//! `OBSERVABILITY.md`), accumulated across every thread setting the report
+//! timed. Every measured operation is bitwise
 //! deterministic across thread counts (see `nfm_tensor::pool`), so each
 //! setting performs the exact same arithmetic and the wall-clock ratio is a
 //! pure parallel-speedup measurement. On a single-core machine the 4-thread
@@ -197,6 +201,21 @@ fn main() {
     });
     pool::set_threads(0);
 
+    // --- Registry counter rows ------------------------------------------
+    // Run-wide totals from the observability layer: deterministic work
+    // accounting (MACs, pool dispatches, serving outcomes) to sit next to
+    // the wall-clock rows. `threads: 0` marks a cumulative counter.
+    for m in nfm_obs::global().snapshot() {
+        if let nfm_obs::MetricValue::Counter(v) = m.value {
+            records.push(Rec {
+                name: m.name.to_string(),
+                threads: 0,
+                value: v as f64,
+                unit: m.unit.as_str(),
+            });
+        }
+    }
+
     // --- Report ---------------------------------------------------------
     let mut table = nfm_core::report::Table::new(&["name", "threads", "value", "unit", "speedup"]);
     for rec in &records {
@@ -205,10 +224,11 @@ fn main() {
             .find(|r| r.name == rec.name && r.threads == 1)
             .map_or(rec.value, |r| r.value);
         // Speedup is a wall-time ratio; for throughput the gain is the
-        // value ratio inverted, and dimensionless rows have no speedup.
-        let speedup = match rec.unit {
-            "ms" => format!("{:.2}x", base / rec.value),
-            "req_per_s" => format!("{:.2}x", rec.value / base),
+        // value ratio inverted; dimensionless and counter rows have none.
+        let speedup = match (rec.unit, rec.threads) {
+            (_, 0) => "-".into(),
+            ("ms", _) => format!("{:.2}x", base / rec.value),
+            ("req_per_s", _) => format!("{:.2}x", rec.value / base),
             _ => "-".into(),
         };
         table.row(&[
@@ -219,7 +239,7 @@ fn main() {
             speedup,
         ]);
     }
-    println!("{}", table.render());
+    nfm_bench::render_table("perf.records", &table);
 
     let mut json = String::from("[\n");
     for (i, rec) in records.iter().enumerate() {
@@ -232,4 +252,5 @@ fn main() {
     json.push_str("]\n");
     std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
     println!("wrote BENCH_perf.json ({} records)", records.len());
+    nfm_bench::finish();
 }

@@ -53,18 +53,33 @@ impl Scale {
     }
 }
 
-/// Print the standard experiment banner.
+/// Print the standard experiment banner and emit an `exp.run` event to the
+/// observability sink (a no-op unless `NFM_OBS_OUT` is set).
 pub fn banner(id: &str, anchor: &str, claim: &str) {
     println!("==============================================================");
     println!("{id} — paper anchor: {anchor}");
     println!("claim under test: {claim}");
     println!("==============================================================\n");
+    nfm_obs::event(
+        "exp.run",
+        &[("id", nfm_obs::Value::S(id)), ("anchor", nfm_obs::Value::S(anchor))],
+    );
 }
 
-/// Print a table in both aligned and CSV form.
-pub fn emit(table: &Table) {
+/// Print a table in both aligned and CSV form, and mirror it to the
+/// observability sink as `table`/`row` records under the given title.
+pub fn render_table(title: &str, table: &Table) {
     println!("{}", table.render());
     println!("[csv]\n{}", table.to_csv());
+    nfm_obs::emit_table(title, table.header(), table.rows());
+}
+
+/// Finish an experiment run: snapshot the global metrics registry into the
+/// observability sink (as `metric` records) and flush it. Call at the end of
+/// every experiment `main`.
+pub fn finish() {
+    nfm_obs::emit_metrics(nfm_obs::global());
+    nfm_obs::flush();
 }
 
 /// The default pipeline configuration at a given scale.

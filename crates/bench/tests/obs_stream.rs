@@ -1,0 +1,65 @@
+//! Double-run determinism of the observability stream (OBSERVABILITY.md's
+//! headline contract): two seeded runs of `exp_e15` must emit byte-identical
+//! JSONL event streams.
+//!
+//! The test shells out to the real binary (Cargo exposes its path via
+//! `CARGO_BIN_EXE_exp_e15`), so the property is checked end-to-end — lazy
+//! sink init from `NFM_OBS_OUT`, instrumentation across tensor/model/core,
+//! and the final `nfm_bench::finish()` snapshot — not just in-process.
+
+use std::process::{Command, Stdio};
+
+/// Run `exp_e15` at quick scale with the sink pointed at `path`, pinned to a
+/// fixed thread count, and return the emitted stream.
+fn run_e15(path: &std::path::Path) -> Vec<u8> {
+    let status = Command::new(env!("CARGO_BIN_EXE_exp_e15"))
+        .env("NFM_SCALE", "quick")
+        .env("NFM_THREADS", "2")
+        .env("NFM_OBS_OUT", path)
+        .env_remove("NFM_OBS_WALL")
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn exp_e15");
+    assert!(status.success(), "exp_e15 exited with {status}");
+    let bytes = std::fs::read(path).expect("read emitted stream");
+    let _ = std::fs::remove_file(path);
+    bytes
+}
+
+/// Minimal structural check that one emitted line is a plausible JSON
+/// object of a known record type carrying the expected `seq`. (CI
+/// additionally parses every line with a real JSON parser.)
+fn check_line(line: &str, expected_seq: u64) {
+    assert!(line.starts_with("{\"type\":\"") && line.ends_with('}'), "not an object: {line}");
+    let ty = line["{\"type\":\"".len()..].split('"').next().unwrap();
+    assert!(
+        matches!(ty, "event" | "span" | "table" | "row" | "metric"),
+        "unknown record type {ty:?}: {line}"
+    );
+    let seq_field = format!("\"seq\":{expected_seq},");
+    assert!(line.contains(&seq_field), "expected {seq_field} in: {line}");
+}
+
+#[test]
+fn e15_obs_stream_is_byte_identical_across_runs() {
+    let dir = std::env::temp_dir();
+    let a = run_e15(&dir.join("nfm_obs_e15_run_a.jsonl"));
+    let b = run_e15(&dir.join("nfm_obs_e15_run_b.jsonl"));
+    assert!(!a.is_empty(), "exp_e15 must emit events when NFM_OBS_OUT is set");
+    assert_eq!(a, b, "seeded runs must produce byte-identical JSONL streams");
+
+    let text = String::from_utf8(a).expect("stream is UTF-8");
+    let mut kinds: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        check_line(line, i as u64);
+        kinds.insert(line["{\"type\":\"".len()..].split('"').next().unwrap().to_string());
+    }
+    // The stream must exercise the full record vocabulary: banner event,
+    // train/serve spans, the availability table + rows, and the final
+    // registry snapshot.
+    for want in ["event", "span", "table", "row", "metric"] {
+        assert!(kinds.iter().any(|k| *k == want), "no {want:?} record in stream");
+    }
+    // Wall-clock metrics must be filtered out of the deterministic stream.
+    assert!(!text.contains("\"unit\":\"us\""), "wall-time metrics leaked into the stream");
+}

@@ -151,7 +151,7 @@ impl GruBaseline {
         GruBaseline { model, vocab, n_classes, max_len: config.max_len }
     }
 
-    /// Predicted class for a token sequence (unknown tokens become [UNK] —
+    /// Predicted class for a token sequence (unknown tokens become `[UNK]` —
     /// exactly what hurts baselines on shifted data).
     pub fn predict(&self, tokens: &[String]) -> usize {
         let mut ids = self.vocab.encode(tokens);

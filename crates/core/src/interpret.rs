@@ -77,7 +77,7 @@ pub fn occlusion_groups(clf: &FmClassifier, tokens: &[String]) -> Vec<Attributio
 
 /// Attention rollout (Abnar & Zuidema-style): multiply per-layer,
 /// head-averaged attention matrices (with residual mixing) and read the
-/// [CLS] row — how much each input position feeds the classification.
+/// `[CLS]` row — how much each input position feeds the classification.
 pub fn attention_rollout(clf: &mut FmClassifier, tokens: &[String]) -> Vec<f64> {
     let ids = encode_context(&clf.vocab, tokens, clf.max_len);
     let t = ids.len();

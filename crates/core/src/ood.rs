@@ -5,7 +5,7 @@
 //! Three scores over a fine-tuned classifier, all higher-means-more-OOD:
 //! negative max-softmax probability (MSP), the energy score
 //! `−log Σ exp(logits)` (Liu et al., cited), and Mahalanobis distance to the
-//! nearest class centroid in [CLS]-embedding space (Lee et al., cited).
+//! nearest class centroid in `[CLS]`-embedding space (Lee et al., cited).
 
 use nfm_tensor::matrix::Matrix;
 

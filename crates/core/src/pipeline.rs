@@ -196,7 +196,7 @@ impl FoundationModel {
         encode_context(&self.vocab, tokens, self.max_len)
     }
 
-    /// [CLS] embedding for a token sequence.
+    /// `[CLS]` embedding for a token sequence.
     pub fn embed(&self, tokens: &[String]) -> Vec<f32> {
         self.encoder.cls_embedding(&self.encode(tokens))
     }
@@ -237,7 +237,7 @@ pub fn examples_from_flows(
 /// classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pooling {
-    /// Use the [CLS] (first) position.
+    /// Use the `[CLS]` (first) position.
     Cls,
     /// Mean over all positions — exposes token geometry directly and is
     /// more robust for small models.
@@ -397,6 +397,10 @@ impl FmClassifier {
         if examples.is_empty() {
             return Err(PipelineError::NoExamples);
         }
+        // Span cost = MAC delta over the run (deterministic work units).
+        let macs = nfm_obs::global().counter("tensor.matmul.macs", nfm_obs::Unit::Macs);
+        let macs_at_start = macs.get();
+        let mut run_span = nfm_obs::span!("finetune.run");
         let mut init_rng = StdRng::seed_from_u64(config.seed);
         let mut encoder = fm.encoder.clone();
         let mut head = ClsHead::new(&mut init_rng, encoder.config.d_model, n_classes);
@@ -429,6 +433,8 @@ impl FmClassifier {
                     order.swap(i, rng.gen_range(0..=i));
                 }
                 let mut tripped: Option<(u64, String)> = None;
+                let mut epoch_loss = 0.0f64;
+                let mut epoch_steps = 0usize;
                 'batches: for batch in order.chunks(config.batch_size) {
                     encoder.zero_grad();
                     head.zero_grad();
@@ -464,6 +470,15 @@ impl FmClassifier {
                         }
                         grad_norm = grad_norm.max(clip_global_norm(&mut encoder, 5.0));
                     }
+                    epoch_loss += mean_loss as f64;
+                    epoch_steps += 1;
+                    nfm_obs::counter!("finetune.steps").inc();
+                    nfm_obs::histogram!(
+                        "finetune.grad_norm_milli",
+                        nfm_obs::Unit::Milli,
+                        nfm_obs::NORM_EDGES
+                    )
+                    .observe((grad_norm as f64 * 1000.0) as u64);
                     if let Some(cause) = guard.inspect(mean_loss, grad_norm) {
                         tripped = Some((step, cause));
                         break 'batches;
@@ -474,7 +489,22 @@ impl FmClassifier {
                     }
                 }
                 match tripped {
-                    None => break,
+                    None => {
+                        nfm_obs::counter!("finetune.epochs").inc();
+                        let mean = if epoch_steps > 0 {
+                            (epoch_loss / epoch_steps as f64) as f32
+                        } else {
+                            0.0
+                        };
+                        nfm_obs::event(
+                            "finetune.epoch",
+                            &[
+                                ("epoch", nfm_obs::Value::U(epoch as u64)),
+                                ("mean_loss", nfm_obs::Value::F32(mean)),
+                            ],
+                        );
+                        break;
+                    }
                     Some((step, cause)) => {
                         attempt += 1;
                         total_retries += 1;
@@ -487,6 +517,16 @@ impl FmClassifier {
                         lr_scale *= config.guard.lr_backoff;
                         opt_enc.set_lr_scale(lr_scale);
                         opt_head.set_lr_scale(lr_scale);
+                        nfm_obs::counter!("finetune.rollbacks").inc();
+                        nfm_obs::event(
+                            "finetune.guard.rollback",
+                            &[
+                                ("epoch", nfm_obs::Value::U(epoch as u64)),
+                                ("step", nfm_obs::Value::U(step)),
+                                ("cause", nfm_obs::Value::S(&cause)),
+                                ("lr_scale", nfm_obs::Value::F32(lr_scale)),
+                            ],
+                        );
                         guard.record(
                             epoch,
                             step,
@@ -505,6 +545,7 @@ impl FmClassifier {
                 }
             }
         }
+        run_span.add_cost(macs.get().saturating_sub(macs_at_start));
         Ok(FmClassifier {
             encoder,
             head,

@@ -237,6 +237,10 @@ impl CircuitBreaker {
                 } else {
                     self.state = BreakerState::HalfOpen;
                     self.probe_successes = 0;
+                    nfm_obs::event(
+                        "serve.breaker.transition",
+                        &[("to", nfm_obs::Value::S("half_open"))],
+                    );
                     true
                 }
             }
@@ -253,6 +257,14 @@ impl CircuitBreaker {
                     self.state = BreakerState::Closed;
                     self.consecutive_failures = 0;
                     self.recoveries += 1;
+                    nfm_obs::counter!("serve.breaker.recoveries").inc();
+                    nfm_obs::event(
+                        "serve.breaker.transition",
+                        &[
+                            ("to", nfm_obs::Value::S("closed")),
+                            ("recoveries", nfm_obs::Value::U(self.recoveries as u64)),
+                        ],
+                    );
                 }
             }
             BreakerState::Open => {}
@@ -279,6 +291,11 @@ impl CircuitBreaker {
         self.consecutive_failures = 0;
         self.probe_successes = 0;
         self.trips += 1;
+        nfm_obs::counter!("serve.breaker.trips").inc();
+        nfm_obs::event(
+            "serve.breaker.transition",
+            &[("to", nfm_obs::Value::S("open")), ("trips", nfm_obs::Value::U(self.trips as u64))],
+        );
     }
 }
 
@@ -401,6 +418,8 @@ pub struct ServeStats {
     pub flows_assembled: usize,
     /// Flows dropped because no packet produced any tokens.
     pub empty_contexts: usize,
+    /// Deepest queue occupancy observed after an admission.
+    pub queue_peak: usize,
 }
 
 impl ServeStats {
@@ -501,10 +520,14 @@ impl ServeEngine {
         for (i, tp) in trace.packets().iter().enumerate() {
             match tp.parse() {
                 Ok(parsed) => table.push(i, tp.ts_us, &parsed),
-                Err(_) => self.stats.malformed_packets += 1,
+                Err(_) => {
+                    self.stats.malformed_packets += 1;
+                    nfm_obs::counter!("serve.malformed_packets").inc();
+                }
             }
         }
         self.stats.flows_assembled += table.len();
+        nfm_obs::counter!("serve.flows_assembled").add(table.len() as u64);
         let mut requests = Vec::with_capacity(table.len());
         for (flow_idx, flow) in table.flows().iter().enumerate() {
             let packets: Vec<TracePacket> =
@@ -512,6 +535,7 @@ impl ServeEngine {
             let tokens = flow_context(&packets, tokenizer, self.config.max_tokens);
             if tokens.is_empty() {
                 self.stats.empty_contexts += 1;
+                nfm_obs::counter!("serve.empty_contexts").inc();
                 continue;
             }
             requests.push(Request { flow: flow_idx, tokens });
@@ -537,12 +561,17 @@ impl ServeEngine {
         } else {
             false
         };
+        nfm_obs::counter!("serve.arrived").inc();
         if shed {
             self.stats.shed += 1;
+            nfm_obs::counter!("serve.shed").inc();
         } else {
             self.stats.admitted += 1;
             self.queue.push_back(request);
+            self.stats.queue_peak = self.stats.queue_peak.max(self.queue.len());
+            nfm_obs::counter!("serve.admitted").inc();
         }
+        nfm_obs::gauge!("serve.queue.depth").set(self.queue.len() as f64);
     }
 
     /// Answer one admitted request: model first (under the breaker, the
@@ -561,6 +590,13 @@ impl ServeEngine {
                         if logits.iter().all(|v| v.is_finite()) {
                             self.breaker.on_success();
                             self.stats.answered_model += 1;
+                            nfm_obs::counter!("serve.answered_model").inc();
+                            nfm_obs::histogram!(
+                                "serve.request.cost",
+                                nfm_obs::Unit::Cost,
+                                nfm_obs::COST_EDGES
+                            )
+                            .observe(budget - remaining);
                             return Response {
                                 flow: request.flow,
                                 class: argmax_nan_tolerant(&logits),
@@ -574,13 +610,16 @@ impl ServeEngine {
                         // (e.g. NaN-poisoned weights). Retry within budget,
                         // then report one failure to the breaker.
                         self.stats.model_failures += 1;
+                        nfm_obs::counter!("serve.model_failures").inc();
                         if retries_used < self.config.retry.max_retries {
                             let backoff = self.config.retry.backoff_cost(retries_used);
                             retries_used += 1;
                             self.stats.retries += 1;
+                            nfm_obs::counter!("serve.retries").inc();
                             if remaining <= backoff {
                                 deadline_missed = true;
                                 self.stats.deadline_misses += 1;
+                                nfm_obs::counter!("serve.deadline_misses").inc();
                                 self.breaker.on_failure();
                                 break;
                             }
@@ -595,6 +634,7 @@ impl ServeEngine {
                         // fallback answers but the breaker is not charged.
                         deadline_missed = true;
                         self.stats.deadline_misses += 1;
+                        nfm_obs::counter!("serve.deadline_misses").inc();
                         break;
                     }
                     Err(InferError::EmptyInput) => break,
@@ -602,6 +642,9 @@ impl ServeEngine {
             }
         }
         self.stats.answered_fallback += 1;
+        nfm_obs::counter!("serve.answered_fallback").inc();
+        nfm_obs::histogram!("serve.request.cost", nfm_obs::Unit::Cost, nfm_obs::COST_EDGES)
+            .observe(budget - remaining);
         Response {
             flow: request.flow,
             class: self.fallback.predict(&request.tokens),

@@ -3,7 +3,7 @@
 //! [`nfm_tensor::checkpoint`].
 //!
 //! Models are stored as their construction config plus a flat parameter
-//! dump in [`Module::visit_params`] order (which every layer keeps
+//! dump in [`nfm_tensor::layers::Module::visit_params`] order (which every layer keeps
 //! stable); loading reconstructs the architecture and overwrites every
 //! slot, so a round trip is bitwise exact.
 
@@ -59,7 +59,7 @@ pub fn read_encoder_config(r: &mut ByteReader) -> Result<EncoderConfig, Checkpoi
 }
 
 /// Serialize an encoder (config + parameters). Takes `&mut` because
-/// parameter access goes through [`Module::visit_params`].
+/// parameter access goes through [`nfm_tensor::layers::Module::visit_params`].
 pub fn write_encoder(w: &mut ByteWriter, encoder: &mut Encoder) {
     write_encoder_config(w, &encoder.config);
     write_module_params(w, encoder);

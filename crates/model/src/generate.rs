@@ -3,7 +3,7 @@
 //! into "classification, anomaly detection, generator, and reinforcement
 //! learning") and a path toward the §4.2 idea of training-data synthesis.
 //!
-//! Gibbs-style sampling: start from an all-[MASK] canvas (optionally with
+//! Gibbs-style sampling: start from an all-`[MASK]` canvas (optionally with
 //! pinned prompt tokens) and iteratively resample positions from the MLM's
 //! conditional distributions until the sequence stabilizes.
 
@@ -18,7 +18,7 @@ use crate::vocab::Vocab;
 /// Generation configuration.
 #[derive(Debug, Clone)]
 pub struct GenerateConfig {
-    /// Number of body tokens to generate (excludes [CLS]/[SEP]).
+    /// Number of body tokens to generate (excludes `[CLS]`/`[SEP]`).
     pub length: usize,
     /// Gibbs sweeps over the sequence.
     pub sweeps: usize,
@@ -59,7 +59,7 @@ fn sample_from_logits(rng: &mut StdRng, logits: &[f32], temperature: f32) -> usi
 }
 
 /// Generate one token sequence. `prompt` pins the first tokens (they are
-/// never resampled); the rest of the canvas starts as [MASK] and is filled
+/// never resampled); the rest of the canvas starts as `[MASK]` and is filled
 /// left-to-right on the first sweep, then refined on subsequent sweeps.
 /// Special tokens are never sampled into the body.
 pub fn generate(

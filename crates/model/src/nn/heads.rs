@@ -1,5 +1,5 @@
 //! Task heads attached to the encoder: the MLM head for pre-training, a
-//! [CLS] classification head for fine-tuning, and a regression head for
+//! `[CLS]` classification head for fine-tuning, and a regression head for
 //! performance prediction.
 
 use nfm_tensor::layers::{Gelu, LayerNorm, Linear, Module};
@@ -60,7 +60,7 @@ impl Module for MlmHead {
     }
 }
 
-/// Classification head over the [CLS] position: dense → GELU → logits.
+/// Classification head over the `[CLS]` position: dense → GELU → logits.
 #[derive(Debug, Clone)]
 pub struct ClsHead {
     dense: Linear,
@@ -83,7 +83,7 @@ impl ClsHead {
         (self.dense.w.rows(), self.out.w.cols())
     }
 
-    /// [CLS] row (1×d) → logits (1×n_classes). Training mode.
+    /// `[CLS]` row (1×d) → logits (1×n_classes). Training mode.
     pub fn forward(&mut self, cls: &Matrix) -> Matrix {
         self.out.forward(&self.act.forward(&self.dense.forward(cls)))
     }

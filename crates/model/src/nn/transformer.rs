@@ -305,7 +305,7 @@ impl Encoder {
         self.blocks.iter().filter_map(|b| b.last_attention()).collect()
     }
 
-    /// The [CLS] (first-position) embedding of a sequence, inference mode.
+    /// The `[CLS]` (first-position) embedding of a sequence, inference mode.
     pub fn cls_embedding(&self, ids: &[usize]) -> Vec<f32> {
         self.forward_inference(ids).row(0).to_vec()
     }

@@ -190,7 +190,7 @@ pub fn mask_sequence(
     (input, targets)
 }
 
-/// Wrap a context with [CLS] … [SEP] and encode, truncating to `max_len`.
+/// Wrap a context with `[CLS]` … `[SEP]` and encode, truncating to `max_len`.
 pub fn encode_context(vocab: &Vocab, ctx: &[String], max_len: usize) -> Vec<usize> {
     let body = ctx.len().min(max_len.saturating_sub(2));
     let mut ids = Vec::with_capacity(body + 2);
@@ -202,7 +202,7 @@ pub fn encode_context(vocab: &Vocab, ctx: &[String], max_len: usize) -> Vec<usiz
     ids
 }
 
-/// Build a [CLS] A [SEP] B [SEP] pair for next-flow prediction.
+/// Build a `[CLS]` A `[SEP]` B `[SEP]` pair for next-flow prediction.
 ///
 /// Truncation policy: the token budget after the three specials is
 /// `max_len - 3`. Segment A is capped at half the budget; segment B then
@@ -332,6 +332,12 @@ pub fn pretrain(
     if contexts.is_empty() {
         return Err(TrainError::NoData);
     }
+    // The whole run is one span; its deterministic cost is the MAC delta of
+    // the global matmul counter, so the trace carries reproducible work
+    // units alongside (histogram-only) wall time.
+    let macs = nfm_obs::global().counter("tensor.matmul.macs", nfm_obs::Unit::Macs);
+    let macs_at_start = macs.get();
+    let mut run_span = nfm_obs::span!("pretrain.run");
     // The init stream is separate from the per-epoch training streams so a
     // resumed run can rebuild identical initial weights without replaying
     // any training randomness.
@@ -475,6 +481,13 @@ pub fn pretrain(
                 if config.tasks.next_flow {
                     grad_norm = grad_norm.max(clip_global_norm(&mut nfp_head, 5.0));
                 }
+                nfm_obs::counter!("train.steps").inc();
+                nfm_obs::histogram!(
+                    "train.grad_norm_milli",
+                    nfm_obs::Unit::Milli,
+                    nfm_obs::NORM_EDGES
+                )
+                .observe((grad_norm as f64 * 1000.0) as u64);
                 if let Some(cause) = guard.inspect(check_loss, grad_norm) {
                     tripped = Some(cause);
                     break 'batches;
@@ -493,6 +506,16 @@ pub fn pretrain(
                 opt_enc.set_lr_scale(lr_scale);
                 opt_mlm.set_lr_scale(lr_scale);
                 opt_nfp.set_lr_scale(lr_scale);
+                nfm_obs::counter!("train.rollbacks").inc();
+                nfm_obs::event(
+                    "train.guard.rollback",
+                    &[
+                        ("epoch", nfm_obs::Value::U(epoch as u64)),
+                        ("step", nfm_obs::Value::U(global_step - 1)),
+                        ("cause", nfm_obs::Value::S(&cause)),
+                        ("lr_scale", nfm_obs::Value::F32(lr_scale)),
+                    ],
+                );
                 let action = format!(
                     "rolled back to epoch {epoch} start; lr_scale {lr_scale:.4}; reshuffled"
                 );
@@ -510,6 +533,18 @@ pub fn pretrain(
                     0.0
                 });
             }
+            nfm_obs::counter!("train.epochs").inc();
+            let mut fields = vec![
+                ("epoch", nfm_obs::Value::U(epoch as u64)),
+                ("mlm_loss", nfm_obs::Value::F32(*stats.mlm_loss.last().unwrap_or(&0.0))),
+            ];
+            if config.tasks.next_flow {
+                fields.push((
+                    "nfp_loss",
+                    nfm_obs::Value::F32(*stats.next_flow_loss.last().unwrap_or(&0.0)),
+                ));
+            }
+            nfm_obs::event("train.epoch", &fields);
             break;
         }
         if let Some(dir) = &config.snapshot_dir {
@@ -563,6 +598,7 @@ pub fn pretrain(
     stats.final_mlm_accuracy =
         if total_masked > 0 { correct as f32 / total_masked as f32 } else { 0.0 };
     stats.guard_events = guard.events;
+    run_span.add_cost(macs.get().saturating_sub(macs_at_start));
 
     Ok((encoder, mlm_head, stats))
 }

@@ -1,0 +1,71 @@
+//! Human-readable rendering of a metrics snapshot.
+
+use crate::metrics::{MetricSnapshot, MetricValue};
+
+/// Render a snapshot (from [`crate::MetricsRegistry::snapshot`]) as an
+/// aligned text table with `metric | kind | value | unit` columns. Wall-time
+/// metrics are included here — unlike the JSONL stream, the rendered table
+/// is for eyes, not for byte-wise comparison.
+pub fn render_metrics(snapshot: &[MetricSnapshot]) -> String {
+    let header = ["metric", "kind", "value", "unit"];
+    let rows: Vec<[String; 4]> = snapshot
+        .iter()
+        .map(|m| {
+            let (kind, value) = match &m.value {
+                MetricValue::Counter(v) => ("counter", v.to_string()),
+                MetricValue::Gauge(v) => ("gauge", format!("{v}")),
+                MetricValue::Histogram { count, sum, .. } => {
+                    ("histogram", format!("n={count} sum={sum}"))
+                }
+            };
+            [m.name.to_string(), kind.to_string(), value, m.unit.as_str().to_string()]
+        })
+        .collect();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            line.push_str(&" ".repeat(w - cell.len()));
+        }
+        line.trim_end().to_string()
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let mut out = fmt_row(&head);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in &rows {
+        out.push('\n');
+        out.push_str(&fmt_row(row.as_slice()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsRegistry, Unit};
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("r.calls", Unit::Count).add(12);
+        reg.gauge("r.depth", Unit::Count).set(3.0);
+        static EDGES: &[u64] = &[10];
+        reg.histogram("r.lat_us", Unit::Micros, EDGES).observe(7);
+        let out = render_metrics(&reg.snapshot());
+        assert!(out.starts_with("metric"));
+        assert!(out.contains("r.calls"), "{out}");
+        assert!(out.contains("counter"));
+        assert!(out.contains("n=1 sum=7"));
+        assert!(out.contains("us"));
+    }
+}

@@ -1,0 +1,392 @@
+//! The JSONL event sink.
+//!
+//! One line per record, written through a single process-wide writer. The
+//! writer is installed from the `NFM_OBS_OUT` environment variable on first
+//! use (lazily — binaries need no init call), or explicitly via
+//! [`set_writer`] / [`install_buffer`] in tests. With no writer installed
+//! every emit is a no-op, so instrumented library code costs one atomic
+//! load on the disabled path.
+//!
+//! Record shapes are documented in `OBSERVABILITY.md`. Every line carries a
+//! monotonically increasing `"seq"` field allocated under the writer lock,
+//! so line order and sequence numbers always agree.
+
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{MetricValue, MetricsRegistry};
+
+enum State {
+    /// `NFM_OBS_OUT` has not been consulted yet.
+    Unprobed,
+    /// No sink: emits are no-ops.
+    Disabled,
+    /// An installed writer.
+    Active(Box<dyn Write + Send>),
+}
+
+static STATE: Mutex<State> = Mutex::new(State::Unprobed);
+static PROBED: AtomicBool = AtomicBool::new(false);
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn lock_state() -> std::sync::MutexGuard<'static, State> {
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn probe() {
+    let mut g = lock_state();
+    if matches!(*g, State::Unprobed) {
+        *g = match std::env::var_os("NFM_OBS_OUT") {
+            Some(path) => match std::fs::File::create(&path) {
+                Ok(f) => {
+                    ENABLED.store(true, Ordering::Release);
+                    State::Active(Box::new(f))
+                }
+                Err(e) => {
+                    eprintln!("nfm_obs: cannot open {path:?}: {e}; sink disabled");
+                    State::Disabled
+                }
+            },
+            None => State::Disabled,
+        };
+        PROBED.store(true, Ordering::Release);
+    }
+}
+
+/// Whether a JSONL sink is installed (after lazily consulting
+/// `NFM_OBS_OUT` on first call).
+pub fn enabled() -> bool {
+    if !PROBED.load(Ordering::Acquire) {
+        probe();
+    }
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Install an explicit sink writer, replacing any current one.
+pub fn set_writer(w: Box<dyn Write + Send>) {
+    let mut g = lock_state();
+    *g = State::Active(w);
+    PROBED.store(true, Ordering::Release);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Remove the sink; subsequent emits are no-ops (and `NFM_OBS_OUT` is not
+/// re-probed).
+pub fn disable() {
+    let mut g = lock_state();
+    *g = State::Disabled;
+    PROBED.store(true, Ordering::Release);
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Install an in-memory sink and return a handle to its bytes. Test helper
+/// for asserting on the exact emitted stream.
+pub fn install_buffer() -> Arc<Mutex<Vec<u8>>> {
+    let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    set_writer(Box::new(Shared(Arc::clone(&buf))));
+    buf
+}
+
+/// Flush the sink writer (no-op when disabled).
+pub fn flush() {
+    if let State::Active(w) = &mut *lock_state() {
+        let _ = w.flush();
+    }
+}
+
+pub(crate) fn reset_seq() {
+    SEQ.store(0, Ordering::Relaxed);
+}
+
+/// Build one record under the writer lock (so `seq` allocation and line
+/// order agree) and write it with a trailing newline.
+fn write_record(build: impl FnOnce(u64, &mut String)) {
+    if !enabled() {
+        return;
+    }
+    let mut g = lock_state();
+    if let State::Active(w) = &mut *g {
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut line = String::with_capacity(96);
+        build(seq, &mut line);
+        line.push('\n');
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+/// Append `s` JSON-escaped (quotes, backslashes, control characters).
+fn esc(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A field value attached to an [`event`].
+///
+/// Float variants print the shortest round-trip decimal form, which is a
+/// pure function of the bits — deterministic whenever the computation that
+/// produced the float is. `F32` exists so `f32` losses are not widened to
+/// `f64` first (which would print a much longer decimal).
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// An unsigned integer.
+    U(u64),
+    /// A signed integer.
+    I(i64),
+    /// A 64-bit float (`NaN`/infinities serialize as `null`).
+    F(f64),
+    /// A 32-bit float (`NaN`/infinities serialize as `null`).
+    F32(f32),
+    /// A string (JSON-escaped).
+    S(&'a str),
+    /// A boolean.
+    B(bool),
+}
+
+fn push_value(out: &mut String, v: &Value<'_>) {
+    match *v {
+        Value::U(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F(x) => push_f64(out, x),
+        Value::F32(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::S(s) => {
+            out.push('"');
+            esc(out, s);
+            out.push('"');
+        }
+        Value::B(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Emit a named event record:
+/// `{"type":"event","seq":N,"name":...,"fields":{...}}`.
+///
+/// No-op unless a sink is installed. Field order follows the slice order,
+/// so the emitted bytes are deterministic.
+pub fn event(name: &str, fields: &[(&str, Value<'_>)]) {
+    write_record(|seq, out| {
+        let _ = write!(out, "{{\"type\":\"event\",\"seq\":{seq},\"name\":\"");
+        esc(out, name);
+        out.push_str("\",\"fields\":{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            esc(out, k);
+            out.push_str("\":");
+            push_value(out, v);
+        }
+        out.push_str("}}");
+    });
+}
+
+/// Emit a closed span record:
+/// `{"type":"span","seq":N,"name":...,"id":I,"parent":P|null,"cost":C}`.
+///
+/// Wall time is deliberately absent — it lives in the `<name>.wall_us`
+/// histogram instead — so span records are byte-identical across runs.
+pub(crate) fn span_event(name: &str, id: u64, parent: Option<u64>, cost: u64) {
+    write_record(|seq, out| {
+        let _ = write!(out, "{{\"type\":\"span\",\"seq\":{seq},\"name\":\"");
+        esc(out, name);
+        let _ = write!(out, "\",\"id\":{id},\"parent\":");
+        match parent {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ",\"cost\":{cost}}}");
+    });
+}
+
+/// Mirror a rendered table into the sink: one `table` record carrying the
+/// header, then one `row` record per row.
+pub fn emit_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    if !enabled() {
+        return;
+    }
+    write_record(|seq, out| {
+        let _ = write!(out, "{{\"type\":\"table\",\"seq\":{seq},\"title\":\"");
+        esc(out, title);
+        out.push_str("\",\"header\":[");
+        for (i, h) in header.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            esc(out, h);
+            out.push('"');
+        }
+        out.push_str("]}");
+    });
+    for row in rows {
+        write_record(|seq, out| {
+            let _ = write!(out, "{{\"type\":\"row\",\"seq\":{seq},\"title\":\"");
+            esc(out, title);
+            out.push_str("\",\"cells\":[");
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                esc(out, cell);
+                out.push('"');
+            }
+            out.push_str("]}");
+        });
+    }
+}
+
+/// Emit one `metric` record per registered metric, sorted by name.
+///
+/// Metrics in non-deterministic units (wall time) are skipped unless the
+/// `NFM_OBS_WALL` environment variable is set, so the default stream is
+/// byte-identical across seeded runs.
+pub fn emit_metrics(reg: &MetricsRegistry) {
+    if !enabled() {
+        return;
+    }
+    let include_wall = std::env::var_os("NFM_OBS_WALL").is_some();
+    for m in reg.snapshot() {
+        if !m.unit.is_deterministic() && !include_wall {
+            continue;
+        }
+        write_record(|seq, out| {
+            let _ = write!(out, "{{\"type\":\"metric\",\"seq\":{seq},\"name\":\"");
+            esc(out, m.name);
+            let _ = write!(out, "\",\"unit\":\"{}\",", m.unit.as_str());
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"kind\":\"counter\",\"value\":{v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str("\"kind\":\"gauge\",\"value\":");
+                    push_f64(out, *v);
+                    out.push('}');
+                }
+                MetricValue::Histogram { count, sum, buckets } => {
+                    let _ = write!(out, "\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},");
+                    out.push_str("\"buckets\":[");
+                    for (i, (edge, n)) in buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        match edge {
+                            Some(e) => {
+                                let _ = write!(out, "[{e},{n}]");
+                            }
+                            None => {
+                                let _ = write!(out, "[null,{n}]");
+                            }
+                        }
+                    }
+                    out.push_str("]}");
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unit;
+    use std::sync::OnceLock;
+
+    /// Sink state is process-global; serialize the tests that touch it.
+    fn sink_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn drain(buf: &Arc<Mutex<Vec<u8>>>) -> String {
+        String::from_utf8(buf.lock().unwrap().clone()).unwrap()
+    }
+
+    #[test]
+    fn events_escape_json_and_carry_seq() {
+        let _g = sink_guard();
+        crate::reset();
+        let buf = install_buffer();
+        event("quote\"break", &[("msg", Value::S("a\\b\nc")), ("n", Value::U(7))]);
+        event("second", &[("ok", Value::B(true)), ("bad", Value::F(f64::NAN))]);
+        let got = drain(&buf);
+        assert_eq!(
+            got,
+            "{\"type\":\"event\",\"seq\":0,\"name\":\"quote\\\"break\",\
+             \"fields\":{\"msg\":\"a\\\\b\\nc\",\"n\":7}}\n\
+             {\"type\":\"event\",\"seq\":1,\"name\":\"second\",\
+             \"fields\":{\"ok\":true,\"bad\":null}}\n"
+        );
+        disable();
+    }
+
+    #[test]
+    fn metrics_snapshot_skips_wall_units() {
+        let _g = sink_guard();
+        crate::reset();
+        let reg = crate::MetricsRegistry::new();
+        reg.counter("z.count", Unit::Count).add(4);
+        static EDGES: &[u64] = &[10];
+        reg.histogram("z.wall_us", Unit::Micros, EDGES).observe(3);
+        let buf = install_buffer();
+        emit_metrics(&reg);
+        let got = drain(&buf);
+        assert!(got.contains("\"name\":\"z.count\""));
+        assert!(!got.contains("z.wall_us"), "wall-unit metrics must not reach the stream: {got}");
+        disable();
+    }
+
+    #[test]
+    fn disabled_sink_is_a_noop() {
+        let _g = sink_guard();
+        disable();
+        event("nobody.listening", &[]);
+        assert!(!enabled());
+    }
+}

@@ -1,0 +1,149 @@
+//! Span timers: scoped regions that meter wall time and deterministic cost.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::sink;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn reset_ids() {
+    NEXT_ID.store(1, Ordering::Relaxed);
+}
+
+/// A scoped timer opened by the [`crate::span!`] macro.
+///
+/// While alive, the span sits on a thread-local stack so nested spans record
+/// their parent's id. On drop it:
+///
+/// 1. records elapsed wall time into its `<name>.wall_us` histogram
+///    (non-deterministic, excluded from the JSONL metrics snapshot);
+/// 2. records any cost charged via [`Span::add_cost`] into `<name>.cost`
+///    (deterministic MAC-style units);
+/// 3. emits a `span` JSONL record carrying name, id, parent id, and cost —
+///    but never wall time — so traces are bitwise-reproducible.
+///
+/// Span ids come from one process-wide counter: they are deterministic as
+/// long as spans are opened in a deterministic order (i.e. from the main
+/// thread, not inside pool workers).
+pub struct Span {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    cost: u64,
+    wall_hist: &'static Histogram,
+    cost_hist: &'static Histogram,
+}
+
+impl Span {
+    /// Open a span. Prefer the [`crate::span!`] macro, which derives the two
+    /// histograms from the span name at compile time.
+    pub fn enter(
+        name: &'static str,
+        wall_hist: &'static Histogram,
+        cost_hist: &'static Histogram,
+    ) -> Span {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            let parent = st.last().copied();
+            st.push(id);
+            parent
+        });
+        Span { name, id, parent, start: Instant::now(), cost: 0, wall_hist, cost_hist }
+    }
+
+    /// This span's id (unique within the process until [`crate::reset`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the span this one is nested inside, if any.
+    pub fn parent(&self) -> Option<u64> {
+        self.parent
+    }
+
+    /// Charge deterministic cost units (e.g. MACs) to this span,
+    /// saturating at `u64::MAX`.
+    pub fn add_cost(&mut self, units: u64) {
+        self.cost = self.cost.saturating_add(units);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            // Spans normally drop in LIFO order; tolerate out-of-order drops
+            // (e.g. spans moved out of their scope) by removing by id.
+            if st.last() == Some(&self.id) {
+                st.pop();
+            } else {
+                st.retain(|&x| x != self.id);
+            }
+        });
+        let wall_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.wall_hist.observe(wall_us);
+        if self.cost > 0 {
+            self.cost_hist.observe(self.cost);
+        }
+        sink::span_event(self.name, self.id, self.parent, self.cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unit;
+
+    fn hists() -> (&'static Histogram, &'static Histogram) {
+        static EDGES: &[u64] = &[1_000_000];
+        (
+            crate::global().histogram("t.span.wall_us", Unit::Micros, EDGES),
+            crate::global().histogram("t.span.cost", Unit::Cost, EDGES),
+        )
+    }
+
+    #[test]
+    fn nesting_links_parents() {
+        let (w, c) = hists();
+        let outer = Span::enter("outer", w, c);
+        assert_eq!(outer.parent(), None);
+        {
+            let mid = Span::enter("mid", w, c);
+            assert_eq!(mid.parent(), Some(outer.id()));
+            let inner = Span::enter("inner", w, c);
+            assert_eq!(inner.parent(), Some(mid.id()));
+        }
+        // Siblings after the nested scope closed re-attach to `outer`.
+        let sibling = Span::enter("sibling", w, c);
+        assert_eq!(sibling.parent(), Some(outer.id()));
+    }
+
+    #[test]
+    fn drop_records_wall_and_cost() {
+        let (w, c) = hists();
+        let wall_before = w.count();
+        let cost_before = c.count();
+        {
+            let mut sp = Span::enter("cost-span", w, c);
+            sp.add_cost(40);
+            sp.add_cost(2);
+        }
+        assert_eq!(w.count(), wall_before + 1);
+        assert_eq!(c.count(), cost_before + 1);
+        assert!(c.sum() >= cost_before + 42);
+        {
+            let _zero = Span::enter("zero-cost", w, c);
+        }
+        // Zero-cost spans skip the cost histogram to keep it meaningful.
+        assert_eq!(c.count(), cost_before + 1);
+    }
+}

@@ -223,6 +223,8 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        nfm_obs::counter!("tensor.matmul.calls").inc();
+        nfm_obs::counter!("tensor.matmul.macs", nfm_obs::Unit::Macs).add((m * k * n) as u64);
         let mut out = Matrix::zeros(m, n);
         let (a, b) = (&self.data, &other.data);
         let chunk_rows = row_chunk(m, m * k * n);
@@ -237,6 +239,8 @@ impl Matrix {
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn outer dims");
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        nfm_obs::counter!("tensor.matmul_tn.calls").inc();
+        nfm_obs::counter!("tensor.matmul.macs", nfm_obs::Unit::Macs).add((m * k * n) as u64);
         let mut out = Matrix::zeros(m, n);
         let (a, b) = (&self.data, &other.data);
         let chunk_rows = row_chunk(m, m * k * n);
@@ -250,6 +254,8 @@ impl Matrix {
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt inner dims");
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        nfm_obs::counter!("tensor.matmul_nt.calls").inc();
+        nfm_obs::counter!("tensor.matmul.macs", nfm_obs::Unit::Macs).add((m * k * n) as u64);
         let mut out = Matrix::zeros(m, n);
         let (a, b) = (&self.data, &other.data);
         let chunk_rows = row_chunk(m, m * k * n);

@@ -97,6 +97,17 @@ pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Time one task and record it in the `pool.task.wall_us` histogram (a
+/// wall-clock metric: rendered in tables, excluded from the deterministic
+/// JSONL snapshot).
+fn timed_task<R>(f: &(impl Fn(usize) -> R + Sync), i: usize) -> R {
+    let t0 = std::time::Instant::now();
+    let r = f(i);
+    nfm_obs::histogram!("pool.task.wall_us", nfm_obs::Unit::Micros, nfm_obs::WALL_EDGES)
+        .observe(t0.elapsed().as_micros() as u64);
+    r
+}
+
 /// Run `f(task_index)` for every task, returning results in task order.
 /// Tasks are handed to workers through an atomic counter, so scheduling is
 /// nondeterministic — callers must ensure tasks are independent (they get
@@ -108,8 +119,16 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let threads = effective_threads().min(n_tasks);
+    nfm_obs::counter!("pool.par_map.calls").inc();
+    nfm_obs::counter!("pool.par_map.tasks").add(n_tasks as u64);
+    // Gauge writes are last-write-wins; restricting them to the main thread
+    // keeps the final snapshot value deterministic (workers would race).
+    if !IN_WORKER.with(Cell::get) {
+        nfm_obs::gauge!("pool.threads.effective").set(threads.max(1) as f64);
+    }
     if threads <= 1 {
-        return (0..n_tasks).map(f).collect();
+        let f = &f;
+        return (0..n_tasks).map(|i| timed_task(f, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let f = &f;
@@ -126,7 +145,7 @@ where
                         if i >= n_tasks {
                             break;
                         }
-                        local.push((i, f(i)));
+                        local.push((i, timed_task(f, i)));
                     }
                     local
                 })
@@ -152,6 +171,7 @@ where
     let chunk_len = chunk_len.max(1);
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = effective_threads().min(n_chunks.max(1));
+    nfm_obs::counter!("pool.par_chunks.calls").inc();
     if threads <= 1 {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(i * chunk_len, chunk);
