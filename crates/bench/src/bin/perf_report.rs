@@ -2,8 +2,10 @@
 //! 1 and 4 worker threads, written to `BENCH_perf.json`.
 //!
 //! Records are `{name, threads, value, unit}` — `unit` is `"ms"` for wall
-//! times, `"req_per_s"` for serving throughput, and `"ratio"` for the
-//! shed rate under the fault sweep. Rows with `threads: 0` are run-wide
+//! times, `"req_per_s"` for serving/cluster throughput, and `"ratio"` for
+//! the shed rate and cluster availability under the fault sweeps (ratio
+//! rows are seed-deterministic and thread-invariant, but recorded at every
+//! measured thread count). Rows with `threads: 0` are run-wide
 //! counter totals snapshotted from the `nfm_obs` metrics registry (MAC
 //! counts, pool dispatch totals, serving outcome counters — see
 //! `OBSERVABILITY.md`), accumulated across every thread setting the report
@@ -19,6 +21,7 @@
 use std::time::Instant;
 
 use nfm_core::baselines::MajorityBaseline;
+use nfm_core::cluster::{ClusterConfig, ClusterSupervisor};
 use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, TextExample};
 use nfm_core::serve::{Fallback, ServeConfig, ServeEngine};
 use nfm_model::nn::transformer::EncoderConfig;
@@ -27,7 +30,7 @@ use nfm_model::tokenize::field::FieldTokenizer;
 use nfm_model::vocab::Vocab;
 use nfm_tensor::matrix::Matrix;
 use nfm_tensor::pool;
-use nfm_traffic::faults::{burst_schedule, inject, FaultConfig};
+use nfm_traffic::faults::{burst_schedule, inject, FaultConfig, ReplicaFault, ReplicaFaultKind};
 use nfm_traffic::netsim::{simulate, SimConfig};
 
 struct Rec {
@@ -172,10 +175,10 @@ fn main() {
         noisy.len() * 4,
         &FaultConfig { burst_chance: 0.5, max_burst: 16, seed: 9, ..FaultConfig::default() },
     );
-    let mut shed_rate = 0.0;
     for &t in &thread_counts {
         pool::set_threads(t);
         let mut served = 0usize;
+        let mut shed_rate = 0.0;
         let wall = best_of(if quick { 2 } else { 3 }, || {
             let mut engine = ServeEngine::new(
                 clf.clone(),
@@ -192,13 +195,65 @@ fn main() {
             value: throughput,
             unit: "req_per_s",
         });
+        // The shed decision is seeded and thread-invariant, but record it
+        // at every measured thread count so downstream tooling never has to
+        // special-case which setting carried the ratio.
+        records.push(Rec {
+            name: "serve_shed_rate".into(),
+            threads: t,
+            value: shed_rate,
+            unit: "ratio",
+        });
     }
-    records.push(Rec {
-        name: "serve_shed_rate".into(),
-        threads: 1,
-        value: shed_rate,
-        unit: "ratio",
-    });
+    pool::set_threads(0);
+
+    // --- Cluster serving under a replica crash ---------------------------
+    // End-to-end `ClusterSupervisor::serve_trace` (the E16 regime): three
+    // replicas over the same corrupted bursty capture with one replica
+    // crashing mid-run. Throughput counts final answers per second;
+    // availability is the (deterministic) fraction of arrivals answered.
+    let ckpt_dir = std::env::temp_dir().join(format!("nfm_perf_cluster_{}", std::process::id()));
+    let crash =
+        [ReplicaFault { replica: 0, at_burst: schedule.len() / 3, kind: ReplicaFaultKind::Crash }];
+    for &t in &thread_counts {
+        pool::set_threads(t);
+        let mut served = 0usize;
+        let mut availability = 0.0;
+        let mut model_availability = 0.0;
+        let wall = best_of(if quick { 2 } else { 3 }, || {
+            let majority = || Fallback::Majority(MajorityBaseline { class: 0, n_classes: 2 });
+            let replicas = (0..3).map(|_| (clf.clone(), majority())).collect();
+            let mut cluster = ClusterSupervisor::new(
+                replicas,
+                majority(),
+                &ckpt_dir,
+                ClusterConfig { serve: serve_cfg, ..ClusterConfig::default() },
+            )
+            .expect("cluster construction");
+            served = cluster.serve_trace(&noisy, &tokenizer, &schedule, &crash).len();
+            availability = cluster.stats().availability();
+            model_availability = cluster.stats().model_availability();
+        });
+        records.push(Rec {
+            name: "cluster_throughput".into(),
+            threads: t,
+            value: served as f64 / (wall / 1e3),
+            unit: "req_per_s",
+        });
+        records.push(Rec {
+            name: "cluster_availability".into(),
+            threads: t,
+            value: availability,
+            unit: "ratio",
+        });
+        records.push(Rec {
+            name: "cluster_model_availability".into(),
+            threads: t,
+            value: model_availability,
+            unit: "ratio",
+        });
+    }
+    std::fs::remove_dir_all(&ckpt_dir).ok();
     pool::set_threads(0);
 
     // --- Registry counter rows ------------------------------------------

@@ -1,0 +1,889 @@
+//! Supervised multi-replica serving: the cluster layer above
+//! [`ServeEngine`]. PR 3 made a *single* engine robust to hostile requests;
+//! this module makes the *service* robust to the failure of whole replicas,
+//! which is what serving heavy traffic from millions of users (ROADMAP
+//! north star) actually requires.
+//!
+//! A [`ClusterSupervisor`] owns N replicas, each a full [`ServeEngine`]
+//! (queue, breaker, retry, fallback) around its own copy of the model, and
+//! adds four cluster-level controls:
+//!
+//! 1. **Routing + failover** — each request is routed round-robin across
+//!    routable replicas (`Healthy` first, then `Degraded`); when a
+//!    request's natural target is not routable it fails over to the next
+//!    one, and when *no* replica is routable the supervisor itself answers
+//!    from its own [`Fallback`] tier so availability never reaches zero.
+//! 2. **Deterministic health probes** — every `probe_interval` ticks the
+//!    supervisor classifies a fixed canary context on every replica within
+//!    a probe budget. Crashes, deadline overruns (stalled replicas), and
+//!    non-finite logits (corrupted weights) all fail the probe;
+//!    consecutive failures walk the replica down a
+//!    `Healthy → Degraded → Down` state machine, and one passing probe
+//!    restores it.
+//! 3. **Hedged dispatch** — when a replica answers past its deadline
+//!    budget and hedging is enabled, the supervisor re-issues the request
+//!    to a second healthy replica and keeps the better answer.
+//! 4. **Supervised warm restart** — a `Down` replica is restarted with
+//!    exponential backoff from its last good checkpoint via
+//!    [`load_classifier_with_retry`]; a checkpoint that fails its CRC is a
+//!    typed error, not a panic, and the supervisor falls back to cloning
+//!    the model from a healthy peer before giving up and doubling the
+//!    backoff.
+//!
+//! Everything is metered in the same deterministic cost units as the
+//! engine, faults arrive on a seeded schedule
+//! ([`nfm_traffic::faults::replica_fault_schedule`]), and every counter is
+//! an integer — so a full chaos sweep (E16) reproduces bit for bit.
+
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use nfm_model::tokenize::Tokenizer;
+use nfm_net::capture::Trace;
+use nfm_tensor::checkpoint::CheckpointError;
+use nfm_tensor::layers::Module;
+use nfm_traffic::faults::{ReplicaFault, ReplicaFaultKind};
+
+use crate::pipeline::FmClassifier;
+use crate::serve::{
+    assemble_requests, load_classifier_with_retry, Fallback, IngestStats, Responder, Response,
+    RetryPolicy, ServeConfig, ServeEngine, ServeRequest, ServeStats,
+};
+
+/// Errors surfaced by cluster construction instead of panics.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A cluster needs at least one replica.
+    NoReplicas,
+    /// A replica checkpoint could not be written at construction.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoReplicas => write!(f, "cluster needs at least one replica"),
+            ClusterError::Checkpoint(e) => write!(f, "replica checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::NoReplicas => None,
+            ClusterError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+/// A replica's position in the probe-driven state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Passing probes; preferred routing target.
+    Healthy,
+    /// Recently failed a probe (or on post-restart probation); routed to
+    /// only when no healthy replica exists.
+    Degraded,
+    /// Crashed or persistently failing probes; receives no traffic until a
+    /// supervised restart brings it back.
+    Down,
+}
+
+impl ReplicaHealth {
+    /// Short name for events and report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicaHealth::Healthy => "healthy",
+            ReplicaHealth::Degraded => "degraded",
+            ReplicaHealth::Down => "down",
+        }
+    }
+
+    /// Ordering for the probe state machine: probe failures may only move a
+    /// replica toward `Down`, never back up (a crashed replica must not be
+    /// "promoted" to `Degraded` by its first failed probe).
+    fn severity(&self) -> u8 {
+        match self {
+            ReplicaHealth::Healthy => 0,
+            ReplicaHealth::Degraded => 1,
+            ReplicaHealth::Down => 2,
+        }
+    }
+}
+
+/// Cluster-supervisor knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-replica engine configuration (each replica derives its own shed
+    /// seed from `serve.seed`, so replicas shed independently but
+    /// reproducibly).
+    pub serve: ServeConfig,
+    /// Probe every replica once per this many ticks (bursts).
+    pub probe_interval: usize,
+    /// Cost budget for one health probe on an unimpaired replica.
+    pub probe_budget: u64,
+    /// Token context classified by every probe.
+    pub canary: Vec<String>,
+    /// Consecutive probe failures that mark a replica `Degraded`.
+    pub degraded_after: usize,
+    /// Consecutive probe failures that mark a replica `Down`.
+    pub down_after: usize,
+    /// Re-issue deadline-missed requests to a second healthy replica.
+    pub hedge: bool,
+    /// Ticks before the first restart attempt of a `Down` replica.
+    pub restart_backoff_base: usize,
+    /// Backoff multiplier after each failed restart attempt.
+    pub restart_backoff_factor: usize,
+    /// Retry policy for checkpoint loads during warm restart.
+    pub restart_retry: RetryPolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            serve: ServeConfig::default(),
+            probe_interval: 4,
+            probe_budget: u64::MAX,
+            canary: vec!["PORT_443".to_string(), "IP4".to_string()],
+            degraded_after: 1,
+            down_after: 2,
+            hedge: true,
+            restart_backoff_base: 2,
+            restart_backoff_factor: 2,
+            restart_retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Availability accounting for the cluster. All counters are integers, so
+/// two runs with the same seeds agree exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Requests that reached cluster routing.
+    pub arrived: usize,
+    /// Requests whose final answer came from a replica's model path.
+    pub answered_model: usize,
+    /// Requests whose final answer came from a replica's fallback tier.
+    pub answered_fallback: usize,
+    /// Requests answered by the supervisor's own fallback because no
+    /// replica was routable.
+    pub answered_supervisor: usize,
+    /// Requests shed by replica admission control.
+    pub shed: usize,
+    /// Requests routed past a non-routable natural target.
+    pub failovers: usize,
+    /// Hedged re-dispatches issued.
+    pub hedges: usize,
+    /// Hedges whose secondary answer (model path) replaced the primary's.
+    pub hedge_wins: usize,
+    /// Health probes issued.
+    pub probes: usize,
+    /// Health probes failed.
+    pub probe_failures: usize,
+    /// Transitions into `Degraded`.
+    pub to_degraded: usize,
+    /// Transitions into `Down`.
+    pub to_down: usize,
+    /// Transitions back to `Healthy`.
+    pub to_healthy: usize,
+    /// Replica crashes injected.
+    pub crashes_injected: usize,
+    /// Replica stalls injected.
+    pub stalls_injected: usize,
+    /// Weight corruptions injected.
+    pub corruptions_injected: usize,
+    /// Supervised restarts attempted.
+    pub restarts_attempted: usize,
+    /// Supervised restarts that brought a replica back.
+    pub restarts_ok: usize,
+    /// Restart attempts whose checkpoint load failed (e.g. CRC mismatch).
+    pub restart_load_errors: usize,
+    /// Restarts recovered by cloning a healthy peer's model instead.
+    pub peer_clones: usize,
+    /// Capture packets that failed to parse during ingest.
+    pub malformed_packets: usize,
+    /// Flows assembled from parseable packets.
+    pub flows_assembled: usize,
+    /// Flows dropped for producing no tokens.
+    pub empty_contexts: usize,
+}
+
+impl ClusterStats {
+    /// Requests that received any answer (replica model, replica fallback,
+    /// or supervisor fallback).
+    pub fn answered(&self) -> usize {
+        self.answered_model + self.answered_fallback + self.answered_supervisor
+    }
+
+    /// Fraction of arrivals that received an answer (1.0 when nothing
+    /// arrived).
+    pub fn availability(&self) -> f64 {
+        if self.arrived == 0 {
+            1.0
+        } else {
+            self.answered() as f64 / self.arrived as f64
+        }
+    }
+
+    /// Strict availability: fraction of arrivals answered by a replica's
+    /// *model* path (fallback tiers excluded). This is the number the E16
+    /// acceptance bar (≥ 0.99 under single-replica failure) is measured on.
+    pub fn model_availability(&self) -> f64 {
+        if self.arrived == 0 {
+            1.0
+        } else {
+            self.answered_model as f64 / self.arrived as f64
+        }
+    }
+}
+
+/// One managed replica: an engine plus the supervisor's view of it.
+struct Replica {
+    engine: ServeEngine,
+    health: ReplicaHealth,
+    crashed: bool,
+    stall_factor: u64,
+    probe_failures: usize,
+    backoff: usize,
+    restart_due: Option<usize>,
+    checkpoint: PathBuf,
+}
+
+/// The cluster supervisor: N replicas, health probes, failover, hedging,
+/// and supervised warm restarts. See the module docs for the full design.
+pub struct ClusterSupervisor {
+    replicas: Vec<Replica>,
+    fallback: Fallback,
+    config: ClusterConfig,
+    stats: ClusterStats,
+    tick: usize,
+    rr: usize,
+}
+
+impl ClusterSupervisor {
+    /// Build a supervisor over one engine per `(model, fallback)` pair,
+    /// saving each replica's model to `<checkpoint_dir>/replica_<i>.nfmc`
+    /// as its warm-restart artifact. `supervisor_fallback` answers when no
+    /// replica is routable. Each replica's shed RNG is derived from
+    /// `config.serve.seed` and its index, so replicas behave independently
+    /// but reproducibly.
+    pub fn new(
+        replicas: Vec<(FmClassifier, Fallback)>,
+        supervisor_fallback: Fallback,
+        checkpoint_dir: &Path,
+        config: ClusterConfig,
+    ) -> Result<ClusterSupervisor, ClusterError> {
+        if replicas.is_empty() {
+            return Err(ClusterError::NoReplicas);
+        }
+        std::fs::create_dir_all(checkpoint_dir)
+            .map_err(|e| ClusterError::Checkpoint(CheckpointError::Io(e.to_string())))?;
+        let mut managed = Vec::with_capacity(replicas.len());
+        for (i, (clf, fallback)) in replicas.into_iter().enumerate() {
+            let checkpoint = checkpoint_dir.join(format!("replica_{i}.nfmc"));
+            clf.save(&checkpoint).map_err(ClusterError::Checkpoint)?;
+            let serve = ServeConfig {
+                seed: config.serve.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..config.serve
+            };
+            managed.push(Replica {
+                engine: ServeEngine::new(clf, fallback, serve),
+                health: ReplicaHealth::Healthy,
+                crashed: false,
+                stall_factor: 1,
+                probe_failures: 0,
+                backoff: config.restart_backoff_base.max(1),
+                restart_due: None,
+                checkpoint,
+            });
+        }
+        nfm_obs::gauge!("cluster.healthy_replicas").set(managed.len() as f64);
+        Ok(ClusterSupervisor {
+            replicas: managed,
+            fallback: supervisor_fallback,
+            config,
+            stats: ClusterStats::default(),
+            tick: 0,
+            rr: 0,
+        })
+    }
+
+    /// Number of replicas (in any health state).
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// A replica's current health.
+    pub fn replica_health(&self, replica: usize) -> ReplicaHealth {
+        self.replicas[replica].health
+    }
+
+    /// Replicas currently `Healthy`.
+    pub fn healthy_count(&self) -> usize {
+        self.replicas.iter().filter(|r| r.health == ReplicaHealth::Healthy).count()
+    }
+
+    /// Path of a replica's warm-restart checkpoint — exposed so chaos
+    /// harnesses can corrupt the file on disk and exercise the CRC path.
+    pub fn checkpoint_path(&self, replica: usize) -> &Path {
+        &self.replicas[replica].checkpoint
+    }
+
+    /// Cumulative cluster statistics.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// One replica's engine-level statistics.
+    pub fn replica_stats(&self, replica: usize) -> ServeStats {
+        self.replicas[replica].engine.stats()
+    }
+
+    fn transition(&mut self, replica: usize, to: ReplicaHealth, cause: &str) {
+        let from = self.replicas[replica].health;
+        if from == to {
+            return;
+        }
+        self.replicas[replica].health = to;
+        match to {
+            ReplicaHealth::Healthy => self.stats.to_healthy += 1,
+            ReplicaHealth::Degraded => self.stats.to_degraded += 1,
+            ReplicaHealth::Down => self.stats.to_down += 1,
+        }
+        nfm_obs::counter!("cluster.transitions").inc();
+        nfm_obs::event(
+            "cluster.replica.transition",
+            &[
+                ("replica", nfm_obs::Value::U(replica as u64)),
+                ("from", nfm_obs::Value::S(from.name())),
+                ("to", nfm_obs::Value::S(to.name())),
+                ("cause", nfm_obs::Value::S(cause)),
+            ],
+        );
+        nfm_obs::gauge!("cluster.healthy_replicas").set(self.healthy_count() as f64);
+    }
+
+    /// Apply one injected fault to its replica, as a chaos harness (or the
+    /// seeded schedule in [`ClusterSupervisor::serve_trace`]) would.
+    pub fn inject(&mut self, fault: &ReplicaFault) {
+        let i = fault.replica;
+        if i >= self.replicas.len() {
+            return;
+        }
+        nfm_obs::counter!("cluster.faults_injected").inc();
+        match fault.kind {
+            ReplicaFaultKind::Crash => {
+                self.stats.crashes_injected += 1;
+                self.replicas[i].crashed = true;
+                self.transition(i, ReplicaHealth::Down, "crash");
+                let backoff = self.replicas[i].backoff;
+                self.replicas[i].restart_due = Some(self.tick + backoff);
+            }
+            ReplicaFaultKind::Stall { factor } => {
+                self.stats.stalls_injected += 1;
+                let factor = factor.max(2);
+                self.replicas[i].stall_factor = factor;
+                let base = self.config.serve.deadline_budget;
+                self.replicas[i].engine.set_deadline_budget(base / factor);
+            }
+            ReplicaFaultKind::CorruptWeights => {
+                self.stats.corruptions_injected += 1;
+                self.replicas[i].engine.model_mut().encoder.visit_params(&mut |p, _| {
+                    p.fill(f32::NAN);
+                });
+            }
+        }
+    }
+
+    /// Probe one replica: classify the canary context within the probe
+    /// budget (shrunk by any stall factor, modelling the slow box). A crash,
+    /// a deadline overrun, or non-finite logits fail the probe.
+    fn probe_one(&mut self, i: usize) -> bool {
+        self.stats.probes += 1;
+        nfm_obs::counter!("cluster.probes").inc();
+        let ok = if self.replicas[i].crashed {
+            false
+        } else {
+            let budget = self.config.probe_budget / self.replicas[i].stall_factor;
+            match self.replicas[i].engine.model().logits_within(&self.config.canary, budget) {
+                Ok((logits, _)) => logits.iter().all(|v| v.is_finite()),
+                Err(_) => false,
+            }
+        };
+        if ok {
+            self.replicas[i].probe_failures = 0;
+            if !self.replicas[i].crashed {
+                self.transition(i, ReplicaHealth::Healthy, "probe_pass");
+            }
+        } else {
+            self.replicas[i].probe_failures += 1;
+            self.stats.probe_failures += 1;
+            nfm_obs::counter!("cluster.probe_failures").inc();
+            let target = if self.replicas[i].crashed
+                || self.replicas[i].probe_failures >= self.config.down_after
+            {
+                ReplicaHealth::Down
+            } else if self.replicas[i].probe_failures >= self.config.degraded_after {
+                ReplicaHealth::Degraded
+            } else {
+                self.replicas[i].health
+            };
+            // Failures only walk the ladder downward.
+            if target.severity() > self.replicas[i].health.severity() {
+                self.transition(i, target, "probe_fail");
+            }
+            if self.replicas[i].health == ReplicaHealth::Down
+                && self.replicas[i].restart_due.is_none()
+            {
+                // A non-crash Down (stall, corruption) also warrants a
+                // supervised restart: reload from the last good checkpoint.
+                let backoff = self.replicas[i].backoff;
+                self.replicas[i].restart_due = Some(self.tick + backoff);
+            }
+        }
+        ok
+    }
+
+    fn probe_all(&mut self) {
+        for i in 0..self.replicas.len() {
+            self.probe_one(i);
+        }
+    }
+
+    /// Attempt every due supervised restart. Load failures (a corrupted
+    /// checkpoint fails its CRC inside [`load_classifier_with_retry`]) fall
+    /// back to cloning a healthy peer's model; with no healthy peer the
+    /// replica stays `Down` and its backoff doubles.
+    fn restart_due(&mut self) {
+        for i in 0..self.replicas.len() {
+            let due = matches!(self.replicas[i].restart_due, Some(t) if self.tick >= t);
+            if !due {
+                continue;
+            }
+            self.stats.restarts_attempted += 1;
+            nfm_obs::counter!("cluster.restarts_attempted").inc();
+            let loaded = load_classifier_with_retry(
+                &self.replicas[i].checkpoint,
+                &self.config.restart_retry,
+            );
+            let model = match loaded {
+                Ok((clf, _log)) => Some(clf),
+                Err(e) => {
+                    self.stats.restart_load_errors += 1;
+                    nfm_obs::counter!("cluster.restart_load_errors").inc();
+                    nfm_obs::event(
+                        "cluster.restart.load_error",
+                        &[
+                            ("replica", nfm_obs::Value::U(i as u64)),
+                            ("error", nfm_obs::Value::S(&e.to_string())),
+                        ],
+                    );
+                    // Checkpoint unusable: clone a healthy peer instead.
+                    let peer = (0..self.replicas.len())
+                        .find(|&p| p != i && self.replicas[p].health == ReplicaHealth::Healthy);
+                    peer.map(|p| {
+                        self.stats.peer_clones += 1;
+                        nfm_obs::counter!("cluster.peer_clones").inc();
+                        self.replicas[p].engine.model().clone()
+                    })
+                }
+            };
+            match model {
+                Some(clf) => {
+                    self.replicas[i].engine.replace_model(clf);
+                    self.replicas[i].engine.set_deadline_budget(self.config.serve.deadline_budget);
+                    self.replicas[i].crashed = false;
+                    self.replicas[i].stall_factor = 1;
+                    self.replicas[i].probe_failures = 0;
+                    self.replicas[i].restart_due = None;
+                    self.replicas[i].backoff = self.config.restart_backoff_base.max(1);
+                    self.stats.restarts_ok += 1;
+                    nfm_obs::counter!("cluster.restarts_ok").inc();
+                    // Probation: the next passing probe promotes to Healthy.
+                    self.transition(i, ReplicaHealth::Degraded, "restart");
+                }
+                None => {
+                    let backoff = self.replicas[i]
+                        .backoff
+                        .saturating_mul(self.config.restart_backoff_factor.max(2));
+                    self.replicas[i].backoff = backoff;
+                    self.replicas[i].restart_due = Some(self.tick + backoff);
+                }
+            }
+        }
+    }
+
+    /// Pick the routing target for the next request: round-robin over
+    /// `Healthy` replicas, then `Degraded` ones. `None` means the
+    /// supervisor must answer itself. Counts a failover when the natural
+    /// round-robin target was not routable.
+    fn route(&mut self) -> Option<usize> {
+        let n = self.replicas.len();
+        let natural = self.rr % n;
+        self.rr = self.rr.wrapping_add(1);
+        for tier in [ReplicaHealth::Healthy, ReplicaHealth::Degraded] {
+            for off in 0..n {
+                let i = (natural + off) % n;
+                if self.replicas[i].health == tier {
+                    if i != natural || tier != ReplicaHealth::Healthy {
+                        self.stats.failovers += 1;
+                        nfm_obs::counter!("cluster.failovers").inc();
+                    }
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Answer one request from the supervisor's own fallback tier (no
+    /// replica was routable).
+    fn supervisor_answer(&mut self, request: &ServeRequest) -> Response {
+        self.stats.answered_supervisor += 1;
+        nfm_obs::counter!("cluster.answered_supervisor").inc();
+        Response {
+            flow: request.flow,
+            class: self.fallback.predict(&request.tokens),
+            responder: Responder::Fallback,
+            cost: 0,
+            retries: 0,
+            deadline_missed: false,
+        }
+    }
+
+    /// Run one cluster tick: apply this tick's faults, attempt due
+    /// restarts, probe on the probe cadence, route and serve one burst of
+    /// requests, then hedge deadline-missed answers. Returns the tick's
+    /// responses in a deterministic order (replica-drain order, hedged
+    /// answers substituted in place).
+    fn run_tick(&mut self, burst: &[ServeRequest], faults: &[ReplicaFault]) -> Vec<Response> {
+        let tick = self.tick;
+        for fault in faults.iter().filter(|f| f.at_burst == tick) {
+            self.inject(fault);
+        }
+        self.restart_due();
+        if self.config.probe_interval > 0 && self.tick.is_multiple_of(self.config.probe_interval) {
+            self.probe_all();
+        }
+
+        // Route the whole burst before any replica drains: bursts — not
+        // average load — drive per-replica shedding, as in the engine.
+        let mut routed: Vec<Vec<ServeRequest>> =
+            (0..self.replicas.len()).map(|_| Vec::new()).collect();
+        let mut responses = Vec::with_capacity(burst.len());
+        for request in burst {
+            self.stats.arrived += 1;
+            nfm_obs::counter!("cluster.arrived").inc();
+            match self.route() {
+                Some(i) => {
+                    self.replicas[i].engine.submit(request.clone());
+                    routed[i].push(request.clone());
+                }
+                None => {
+                    let r = self.supervisor_answer(request);
+                    responses.push(r);
+                }
+            }
+        }
+        for (i, routed_i) in routed.iter().enumerate() {
+            let submitted = routed_i.len();
+            if submitted == 0 {
+                continue;
+            }
+            let drained = self.replicas[i].engine.drain_queue();
+            let shed = submitted - drained.len();
+            self.stats.shed += shed;
+            if shed > 0 {
+                nfm_obs::counter!("cluster.shed").add(shed as u64);
+            }
+            for response in drained {
+                let finalized = self.maybe_hedge(i, routed_i, response);
+                match finalized.responder {
+                    Responder::Model => {
+                        self.stats.answered_model += 1;
+                        nfm_obs::counter!("cluster.answered_model").inc();
+                    }
+                    Responder::Fallback => {
+                        self.stats.answered_fallback += 1;
+                        nfm_obs::counter!("cluster.answered_fallback").inc();
+                    }
+                }
+                responses.push(finalized);
+            }
+        }
+        self.tick += 1;
+        responses
+    }
+
+    /// Re-issue a deadline-missed response's request to a second healthy
+    /// replica; keep the secondary's answer when its model path succeeds.
+    fn maybe_hedge(
+        &mut self,
+        primary: usize,
+        routed: &[ServeRequest],
+        response: Response,
+    ) -> Response {
+        if !self.config.hedge || !response.deadline_missed {
+            return response;
+        }
+        let secondary = (0..self.replicas.len())
+            .find(|&p| p != primary && self.replicas[p].health == ReplicaHealth::Healthy);
+        let Some(p) = secondary else {
+            return response;
+        };
+        let Some(request) = routed.iter().find(|r| r.flow == response.flow) else {
+            return response;
+        };
+        self.stats.hedges += 1;
+        nfm_obs::counter!("cluster.hedges").inc();
+        self.replicas[p].engine.submit(request.clone());
+        let hedged = self.replicas[p].engine.drain_queue();
+        match hedged.into_iter().next() {
+            Some(h) if h.responder == Responder::Model => {
+                self.stats.hedge_wins += 1;
+                nfm_obs::counter!("cluster.hedge_wins").inc();
+                h
+            }
+            _ => response,
+        }
+    }
+
+    /// Serve every flow in `trace` across the cluster. `schedule` groups
+    /// arrivals into bursts exactly as in [`ServeEngine::serve_trace`];
+    /// each burst is one cluster tick (faults strike, restarts fire, and
+    /// probes run on tick boundaries). Requests left after the schedule
+    /// arrive one per tick. Statistics accumulate across calls.
+    ///
+    /// Every arrived request gets exactly one [`Response`] unless a replica
+    /// shed it; nothing panics on malformed capture bytes.
+    pub fn serve_trace(
+        &mut self,
+        trace: &Trace,
+        tokenizer: &dyn Tokenizer,
+        schedule: &[usize],
+        faults: &[ReplicaFault],
+    ) -> Vec<Response> {
+        let (requests, ingest) = assemble_requests(trace, tokenizer, self.config.serve.max_tokens);
+        self.fold_ingest(ingest);
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut pending = requests.into_iter();
+        let mut exhausted = false;
+        for &burst in schedule {
+            let mut batch = Vec::with_capacity(burst.min(1024));
+            for _ in 0..burst {
+                match pending.next() {
+                    Some(r) => batch.push(r),
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+            responses.extend(self.run_tick(&batch, faults));
+            if exhausted {
+                break;
+            }
+        }
+        for request in pending {
+            let batch = [request];
+            responses.extend(self.run_tick(&batch, faults));
+        }
+        responses
+    }
+
+    fn fold_ingest(&mut self, ingest: IngestStats) {
+        self.stats.malformed_packets += ingest.malformed_packets;
+        self.stats.flows_assembled += ingest.flows_assembled;
+        self.stats.empty_contexts += ingest.empty_contexts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::MajorityBaseline;
+    use crate::pipeline::{FineTuneConfig, FoundationModel, PipelineConfig, TextExample};
+    use nfm_model::pretrain::{PretrainConfig, TaskMix};
+    use nfm_model::tokenize::field::FieldTokenizer;
+    use nfm_traffic::netsim::{simulate, SimConfig};
+
+    fn tiny_parts() -> (FmClassifier, Trace) {
+        let lt = simulate(&SimConfig {
+            n_sessions: 30,
+            n_general_hosts: 3,
+            n_iot_sets: 1,
+            ..SimConfig::default()
+        });
+        let tok = FieldTokenizer::new();
+        let cfg = PipelineConfig {
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 48,
+            pretrain: PretrainConfig {
+                epochs: 1,
+                tasks: TaskMix::mlm_only(),
+                ..PretrainConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let (fm, _) =
+            FoundationModel::pretrain_on(&[&lt.trace], &tok, &cfg).expect("pretraining failed");
+        let train: Vec<TextExample> = (0..10)
+            .map(|i| TextExample {
+                tokens: vec![if i % 2 == 0 { "PORT_53" } else { "PORT_443" }.to_string()],
+                label: i % 2,
+            })
+            .collect();
+        let clf = FmClassifier::fine_tune(
+            &fm,
+            &train,
+            2,
+            &FineTuneConfig { epochs: 2, ..FineTuneConfig::default() },
+        )
+        .expect("fine-tuning failed");
+        (clf, lt.trace)
+    }
+
+    fn majority() -> Fallback {
+        Fallback::Majority(MajorityBaseline::fit(&[], 2))
+    }
+
+    fn build(clf: &FmClassifier, n: usize, dir: &Path, config: ClusterConfig) -> ClusterSupervisor {
+        let replicas = (0..n).map(|_| (clf.clone(), majority())).collect();
+        ClusterSupervisor::new(replicas, majority(), dir, config).expect("cluster")
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nfm_cluster_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn empty_cluster_is_a_typed_error() {
+        let dir = temp_dir("empty");
+        let Err(err) =
+            ClusterSupervisor::new(Vec::new(), majority(), &dir, ClusterConfig::default())
+        else {
+            panic!("empty replica set must be rejected");
+        };
+        assert!(matches!(err, ClusterError::NoReplicas));
+        assert!(err.to_string().contains("at least one replica"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn healthy_cluster_answers_everything_from_the_model() {
+        let (clf, trace) = tiny_parts();
+        let dir = temp_dir("healthy");
+        let mut cluster = build(&clf, 3, &dir, ClusterConfig::default());
+        let responses = cluster.serve_trace(&trace, &FieldTokenizer::new(), &[], &[]);
+        let stats = cluster.stats();
+        assert!(stats.arrived > 0);
+        assert_eq!(stats.answered(), responses.len());
+        assert_eq!(stats.answered_model, stats.arrived, "healthy cluster: all model answers");
+        assert_eq!(stats.answered_supervisor, 0);
+        assert!((stats.availability() - 1.0).abs() < 1e-12);
+        assert!((stats.model_availability() - 1.0).abs() < 1e-12);
+        assert_eq!(cluster.healthy_count(), 3);
+        // Round-robin spreads load across every replica.
+        for i in 0..3 {
+            assert!(cluster.replica_stats(i).admitted > 0, "replica {i} got traffic");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_fails_over_and_warm_restarts_from_checkpoint() {
+        let (clf, trace) = tiny_parts();
+        let dir = temp_dir("crash");
+        let mut cluster = build(&clf, 3, &dir, ClusterConfig::default());
+        let faults = [ReplicaFault { replica: 0, at_burst: 2, kind: ReplicaFaultKind::Crash }];
+        let schedule = vec![1usize; 64];
+        let responses = cluster.serve_trace(&trace, &FieldTokenizer::new(), &schedule, &faults);
+        let stats = cluster.stats();
+        assert!(!responses.is_empty());
+        assert_eq!(stats.crashes_injected, 1);
+        assert!(stats.to_down >= 1, "crash marks the replica down");
+        assert!(stats.failovers >= 1, "traffic fails over off the crashed replica");
+        assert_eq!(stats.restarts_attempted, stats.restarts_ok, "checkpoint restores cleanly");
+        assert!(stats.restarts_ok >= 1, "supervised restart fired");
+        assert_eq!(stats.answered(), stats.arrived - stats.shed);
+        assert_eq!(
+            cluster.replica_health(0),
+            ReplicaHealth::Healthy,
+            "restarted replica passes probes again"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_checkpoint_falls_back_to_peer_clone() {
+        let (clf, trace) = tiny_parts();
+        let dir = temp_dir("peer");
+        let mut cluster = build(&clf, 3, &dir, ClusterConfig::default());
+        // Corrupt replica 0's warm-restart artifact before it crashes: the
+        // CRC check must fail the load and the supervisor clones a peer.
+        let path = cluster.checkpoint_path(0).to_path_buf();
+        let mut bytes = std::fs::read(&path).expect("read checkpoint");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write checkpoint");
+        let faults = [ReplicaFault { replica: 0, at_burst: 1, kind: ReplicaFaultKind::Crash }];
+        let schedule = vec![1usize; 64];
+        cluster.serve_trace(&trace, &FieldTokenizer::new(), &schedule, &faults);
+        let stats = cluster.stats();
+        assert!(stats.restart_load_errors >= 1, "CRC mismatch surfaced as a load error");
+        assert!(stats.peer_clones >= 1, "a healthy peer donated its model");
+        assert!(stats.restarts_ok >= 1);
+        assert_eq!(cluster.replica_health(0), ReplicaHealth::Healthy);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_replicas_down_routes_to_supervisor_fallback() {
+        let (clf, trace) = tiny_parts();
+        let dir = temp_dir("alldown");
+        // Backoff long enough that no restart completes within the run.
+        let config = ClusterConfig { restart_backoff_base: 100_000, ..ClusterConfig::default() };
+        let mut cluster = build(&clf, 2, &dir, config);
+        let faults = [
+            ReplicaFault { replica: 0, at_burst: 0, kind: ReplicaFaultKind::Crash },
+            ReplicaFault { replica: 1, at_burst: 0, kind: ReplicaFaultKind::Crash },
+        ];
+        let responses = cluster.serve_trace(&trace, &FieldTokenizer::new(), &[], &faults);
+        let stats = cluster.stats();
+        assert!(!responses.is_empty());
+        assert_eq!(stats.answered_supervisor, stats.arrived, "supervisor answers everything");
+        assert!((stats.availability() - 1.0).abs() < 1e-12, "availability never reaches zero");
+        assert_eq!(stats.model_availability(), 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn identical_chaos_runs_are_bitwise_identical() {
+        let (clf, trace) = tiny_parts();
+        let faults = [
+            ReplicaFault { replica: 1, at_burst: 3, kind: ReplicaFaultKind::Crash },
+            ReplicaFault { replica: 2, at_burst: 5, kind: ReplicaFaultKind::CorruptWeights },
+        ];
+        let schedule = vec![2usize; 48];
+        let run = |tag: &str| {
+            let dir = temp_dir(tag);
+            let mut cluster = build(&clf, 3, &dir, ClusterConfig::default());
+            let r = cluster.serve_trace(&trace, &FieldTokenizer::new(), &schedule, &faults);
+            let s = cluster.stats();
+            std::fs::remove_dir_all(&dir).ok();
+            (r, s)
+        };
+        let (ra, sa) = run("det_a");
+        let (rb, sb) = run("det_b");
+        assert_eq!(sa, sb, "stats must reproduce exactly");
+        assert_eq!(ra, rb, "every response must reproduce exactly");
+        assert!(sa.corruptions_injected == 1 && sa.crashes_injected == 1);
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod cluster;
 pub mod interpret;
 pub mod metrics;
 pub mod netglue;
@@ -35,6 +36,7 @@ pub mod report;
 pub mod serve;
 
 pub use baselines::{BaselineConfig, BaselineKind, GruBaseline, MajorityBaseline};
+pub use cluster::{ClusterConfig, ClusterError, ClusterStats, ClusterSupervisor, ReplicaHealth};
 pub use metrics::{auroc, Confusion};
 pub use netglue::Task;
 pub use ood::{OodDetector, OodScore};
@@ -43,7 +45,7 @@ pub use pipeline::{
     PipelineError, TextExample,
 };
 pub use serve::{
-    load_model_with_retry, retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker,
-    Fallback, Responder, Response, RetryLog, RetryPolicy, ServeConfig, ServeEngine, ServeError,
-    ServeStats,
+    assemble_requests, load_classifier_with_retry, load_model_with_retry, retry_with_backoff,
+    BreakerConfig, BreakerState, CircuitBreaker, Fallback, IngestStats, Responder, Response,
+    RetryLog, RetryPolicy, ServeConfig, ServeEngine, ServeError, ServeRequest, ServeStats,
 };

@@ -11,7 +11,9 @@ use std::error::Error;
 use std::fmt;
 use std::path::Path;
 
-use nfm_model::checkpoint::{read_encoder, read_vocab, write_encoder, write_vocab};
+use nfm_model::checkpoint::{
+    read_cls_head, read_encoder, read_vocab, write_cls_head, write_encoder, write_vocab,
+};
 use nfm_model::context::{contexts_from_trace, flow_context, ContextStrategy};
 use nfm_model::guard::{GuardConfig, TrainError, TrainGuard};
 use nfm_model::nn::heads::ClsHead;
@@ -21,7 +23,7 @@ use nfm_model::tokenize::Tokenizer;
 use nfm_model::vocab::Vocab;
 use nfm_net::capture::Trace;
 use nfm_tensor::checkpoint::{
-    load_record, save_record, ByteReader, ByteWriter, CheckpointError, KIND_MODEL,
+    load_record, save_record, ByteReader, ByteWriter, CheckpointError, KIND_CLASSIFIER, KIND_MODEL,
 };
 use nfm_tensor::layers::Module;
 use nfm_tensor::loss::softmax_cross_entropy;
@@ -556,6 +558,54 @@ impl FmClassifier {
         })
     }
 
+    /// Serialize the fine-tuned classifier (vocabulary + encoder + head +
+    /// pooling) to a versioned, checksummed checkpoint file. Writes
+    /// atomically (tmp + rename). This is the artifact a cluster replica
+    /// warm-restarts from.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.max_len as u64);
+        w.put_u64(self.n_classes as u64);
+        w.put_u8(match self.pooling {
+            Pooling::Cls => 0,
+            Pooling::Mean => 1,
+        });
+        write_vocab(&mut w, &self.vocab);
+        let mut encoder = self.encoder.clone();
+        write_encoder(&mut w, &mut encoder);
+        let mut head = self.head.clone();
+        write_cls_head(&mut w, &mut head);
+        save_record(path, KIND_CLASSIFIER, &w.into_bytes())
+    }
+
+    /// Load a classifier previously written by [`FmClassifier::save`].
+    /// Returns a typed error (never panics) on truncation, corruption, or
+    /// version mismatch — the contract [`crate::serve::load_classifier_with_retry`]
+    /// builds its retry loop on.
+    pub fn load(path: &Path) -> Result<FmClassifier, CheckpointError> {
+        let payload = load_record(path, KIND_CLASSIFIER)?;
+        let mut r = ByteReader::new(&payload);
+        let max_len = r.get_count()?;
+        let n_classes = r.get_count()?;
+        let pooling = match r.get_u8()? {
+            0 => Pooling::Cls,
+            1 => Pooling::Mean,
+            tag => {
+                return Err(CheckpointError::Malformed(format!("unknown pooling tag {tag}")));
+            }
+        };
+        let vocab = read_vocab(&mut r)?;
+        let encoder = read_encoder(&mut r)?;
+        let head = read_cls_head(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing bytes after classifier payload",
+                r.remaining()
+            )));
+        }
+        Ok(FmClassifier { encoder, head, vocab, max_len, n_classes, pooling })
+    }
+
     /// Raw logits for a token sequence.
     pub fn logits(&self, tokens: &[String]) -> Vec<f32> {
         let ids = encode_context(&self.vocab, tokens, self.max_len);
@@ -731,6 +781,44 @@ mod tests {
         bytes[mid] ^= 0x40;
         std::fs::write(&path, &bytes).expect("write");
         assert!(FoundationModel::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn classifier_save_load_round_trip_is_bitwise() {
+        let (fm, _) = tiny_fm();
+        let train: Vec<TextExample> = (0..10)
+            .map(|i| TextExample {
+                tokens: vec![if i % 2 == 0 { "PORT_53" } else { "PORT_443" }.to_string()],
+                label: i % 2,
+            })
+            .collect();
+        let clf = FmClassifier::fine_tune(
+            &fm,
+            &train,
+            2,
+            &FineTuneConfig { pooling: Pooling::Mean, ..FineTuneConfig::default() },
+        )
+        .expect("fine-tuning failed");
+        let dir = std::env::temp_dir().join(format!("nfm_clf_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("clf.nfmc");
+        clf.save(&path).expect("save");
+        let loaded = FmClassifier::load(&path).expect("load");
+        assert_eq!(loaded.max_len, clf.max_len);
+        assert_eq!(loaded.n_classes, clf.n_classes);
+        assert_eq!(loaded.pooling, clf.pooling);
+        let toks = &train[0].tokens;
+        let (a, b) = (clf.logits(toks), loaded.logits(toks));
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "loaded classifier must be bitwise identical"
+        );
+        // A foundation-model record is rejected by kind, not mangled.
+        let fm_path = dir.join("fm.nfmc");
+        fm.save(&fm_path).expect("save fm");
+        assert!(matches!(FmClassifier::load(&fm_path), Err(CheckpointError::WrongKind { .. })));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -156,6 +156,21 @@ pub fn load_model_with_retry(
     }
 }
 
+/// Load a fine-tuned [`FmClassifier`] checkpoint, retrying transient faults
+/// under `policy` — the warm-restart path for cluster replicas. A fault that
+/// persists through every retry (e.g. a CRC mismatch from a corrupted file)
+/// becomes a typed [`ServeError::ModelLoad`].
+pub fn load_classifier_with_retry(
+    path: &Path,
+    policy: &RetryPolicy,
+) -> Result<(FmClassifier, RetryLog), ServeError> {
+    let (result, log) = retry_with_backoff(policy, |_| FmClassifier::load(path));
+    match result {
+        Ok(clf) => Ok((clf, log)),
+        Err(source) => Err(ServeError::ModelLoad { attempts: log.attempts, source }),
+    }
+}
+
 /// Circuit-breaker thresholds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerConfig {
@@ -448,11 +463,65 @@ impl ServeStats {
     }
 }
 
-/// One classifiable unit of work: a flow and its token context.
-#[derive(Debug, Clone)]
-struct Request {
-    flow: usize,
-    tokens: Vec<String>,
+/// One classifiable unit of work: a flow and its token context. Built by
+/// [`assemble_requests`], routed by a cluster supervisor, and offered to an
+/// engine via [`ServeEngine::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Flow index within its capture's assembly order.
+    pub flow: usize,
+    /// Token context for the flow.
+    pub tokens: Vec<String>,
+}
+
+/// Ingest accounting from [`assemble_requests`]. All-integer, so two runs
+/// over the same capture agree exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Capture packets that failed to parse.
+    pub malformed_packets: usize,
+    /// Flows assembled from parseable packets.
+    pub flows_assembled: usize,
+    /// Flows dropped because no packet produced any tokens.
+    pub empty_contexts: usize,
+}
+
+/// Assemble flows from a capture and build one request per flow with a
+/// non-empty token context. Unparseable packets are counted and skipped —
+/// never a panic — which is exactly the corrupted/truncated regime the chaos
+/// harnesses drive. Factored out of [`ServeEngine`] so a cluster supervisor
+/// can assemble a capture once and route each request to a replica.
+pub fn assemble_requests(
+    trace: &Trace,
+    tokenizer: &dyn Tokenizer,
+    max_tokens: usize,
+) -> (Vec<ServeRequest>, IngestStats) {
+    let mut stats = IngestStats::default();
+    let mut table = FlowTable::new();
+    for (i, tp) in trace.packets().iter().enumerate() {
+        match tp.parse() {
+            Ok(parsed) => table.push(i, tp.ts_us, &parsed),
+            Err(_) => {
+                stats.malformed_packets += 1;
+                nfm_obs::counter!("serve.malformed_packets").inc();
+            }
+        }
+    }
+    stats.flows_assembled = table.len();
+    nfm_obs::counter!("serve.flows_assembled").add(table.len() as u64);
+    let mut requests = Vec::with_capacity(table.len());
+    for (flow_idx, flow) in table.flows().iter().enumerate() {
+        let packets: Vec<TracePacket> =
+            flow.packets.iter().map(|fp| trace.packets()[fp.index].clone()).collect();
+        let tokens = flow_context(&packets, tokenizer, max_tokens);
+        if tokens.is_empty() {
+            stats.empty_contexts += 1;
+            nfm_obs::counter!("serve.empty_contexts").inc();
+            continue;
+        }
+        requests.push(ServeRequest { flow: flow_idx, tokens });
+    }
+    (requests, stats)
 }
 
 /// The synchronous streaming inference engine. See the module docs for the
@@ -464,7 +533,7 @@ pub struct ServeEngine {
     breaker: CircuitBreaker,
     shed_rng: StdRng,
     stats: ServeStats,
-    queue: VecDeque<Request>,
+    queue: VecDeque<ServeRequest>,
 }
 
 impl ServeEngine {
@@ -511,35 +580,54 @@ impl ServeEngine {
         &self.clf
     }
 
-    /// Assemble flows from a capture and build one request per flow with a
-    /// non-empty token context. Unparseable packets are counted and
-    /// skipped — never a panic — which is exactly the corrupted/truncated
-    /// regime the chaos harness drives.
-    fn ingest(&mut self, trace: &Trace, tokenizer: &dyn Tokenizer) -> Vec<Request> {
-        let mut table = FlowTable::new();
-        for (i, tp) in trace.packets().iter().enumerate() {
-            match tp.parse() {
-                Ok(parsed) => table.push(i, tp.ts_us, &parsed),
-                Err(_) => {
-                    self.stats.malformed_packets += 1;
-                    nfm_obs::counter!("serve.malformed_packets").inc();
-                }
-            }
+    /// Swap in a replacement model — the warm-restart path. The breaker is
+    /// re-armed (the old model's failure streak says nothing about the new
+    /// weights) but its cumulative trip/recovery counters are preserved so
+    /// [`ServeEngine::stats`] stays monotonic across restarts.
+    pub fn replace_model(&mut self, clf: FmClassifier) {
+        self.clf = clf;
+        let (trips, recoveries) = (self.breaker.trips, self.breaker.recoveries);
+        self.breaker = CircuitBreaker::new(self.config.breaker);
+        self.breaker.trips = trips;
+        self.breaker.recoveries = recoveries;
+    }
+
+    /// Current per-request deadline budget, in deterministic cost units.
+    pub fn deadline_budget(&self) -> u64 {
+        self.config.deadline_budget
+    }
+
+    /// Replace the per-request deadline budget. The cluster layer models a
+    /// stalled replica by shrinking its budget: every cost unit takes
+    /// `factor`× as long on a slow box, so the wall-clock deadline buys
+    /// `1/factor` of the compute.
+    pub fn set_deadline_budget(&mut self, budget: u64) {
+        self.config.deadline_budget = budget;
+    }
+
+    /// Offer one pre-assembled request to admission control — the cluster
+    /// routing entry point. Drain answered work with
+    /// [`ServeEngine::drain_queue`].
+    pub fn submit(&mut self, request: ServeRequest) {
+        self.offer(request);
+    }
+
+    /// Answer every queued request, in admission order.
+    pub fn drain_queue(&mut self) -> Vec<Response> {
+        let mut responses = Vec::with_capacity(self.queue.len());
+        while let Some(req) = self.queue.pop_front() {
+            responses.push(self.process(req));
         }
-        self.stats.flows_assembled += table.len();
-        nfm_obs::counter!("serve.flows_assembled").add(table.len() as u64);
-        let mut requests = Vec::with_capacity(table.len());
-        for (flow_idx, flow) in table.flows().iter().enumerate() {
-            let packets: Vec<TracePacket> =
-                flow.packets.iter().map(|fp| trace.packets()[fp.index].clone()).collect();
-            let tokens = flow_context(&packets, tokenizer, self.config.max_tokens);
-            if tokens.is_empty() {
-                self.stats.empty_contexts += 1;
-                nfm_obs::counter!("serve.empty_contexts").inc();
-                continue;
-            }
-            requests.push(Request { flow: flow_idx, tokens });
-        }
+        responses
+    }
+
+    /// Assemble `trace` into requests via [`assemble_requests`], folding the
+    /// ingest accounting into this engine's statistics.
+    fn ingest(&mut self, trace: &Trace, tokenizer: &dyn Tokenizer) -> Vec<ServeRequest> {
+        let (requests, ingest) = assemble_requests(trace, tokenizer, self.config.max_tokens);
+        self.stats.malformed_packets += ingest.malformed_packets;
+        self.stats.flows_assembled += ingest.flows_assembled;
+        self.stats.empty_contexts += ingest.empty_contexts;
         requests
     }
 
@@ -547,7 +635,7 @@ impl ServeEngine {
     /// is admitted; between watermark and capacity it is shed with a
     /// probability that rises linearly with occupancy (seeded RNG, so the
     /// decision sequence is reproducible); at capacity it is always shed.
-    fn offer(&mut self, request: Request) {
+    fn offer(&mut self, request: ServeRequest) {
         self.stats.arrived += 1;
         let occupancy = self.queue.len();
         let capacity = self.config.queue_capacity;
@@ -577,7 +665,7 @@ impl ServeEngine {
     /// Answer one admitted request: model first (under the breaker, the
     /// deadline budget, and the retry policy), fallback otherwise. Always
     /// returns a response.
-    fn process(&mut self, request: Request) -> Response {
+    fn process(&mut self, request: ServeRequest) -> Response {
         let budget = self.config.deadline_budget;
         let mut remaining = budget;
         let mut retries_used = 0usize;

@@ -1,9 +1,35 @@
-//! Property-based invariants for metrics and reporting: AUROC rank
-//! statistics, confusion-matrix identities, table rendering.
+//! Property-based invariants for metrics, reporting, and the serving
+//! layer: AUROC rank statistics, confusion-matrix identities, table
+//! rendering, and the circuit breaker's admit/deny state machine.
 
 use nfm_core::metrics::{auroc, mean_std, Confusion};
 use nfm_core::report::Table;
+use nfm_core::serve::{
+    retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy,
+};
 use proptest::prelude::*;
+
+/// One externally visible circuit-breaker operation.
+#[derive(Debug, Clone, Copy)]
+enum BreakerOp {
+    Acquire,
+    Success,
+    Failure,
+}
+
+fn arb_breaker_op() -> impl Strategy<Value = BreakerOp> {
+    (0u8..3).prop_map(|v| match v {
+        0 => BreakerOp::Acquire,
+        1 => BreakerOp::Success,
+        _ => BreakerOp::Failure,
+    })
+}
+
+fn arb_breaker_config() -> impl Strategy<Value = BreakerConfig> {
+    (1usize..6, 0usize..10, 1usize..4).prop_map(|(failure_threshold, cooldown, probes_to_close)| {
+        BreakerConfig { failure_threshold, cooldown, probes_to_close }
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -106,5 +132,90 @@ proptest! {
         prop_assert_eq!(rendered.lines().count(), 2 + rows.len());
         let csv = t.to_csv();
         prop_assert_eq!(csv.lines().count(), 1 + rows.len());
+    }
+
+    #[test]
+    fn breaker_never_panics_and_never_admits_while_open(
+        config in arb_breaker_config(),
+        ops in proptest::collection::vec(arb_breaker_op(), 0..200),
+    ) {
+        let mut b = CircuitBreaker::new(config);
+        let mut trips_seen = 0usize;
+        for op in ops {
+            match op {
+                BreakerOp::Acquire => {
+                    let admitted = b.try_acquire();
+                    // The admit decision must agree with the post-call
+                    // state: admitted ⟹ not open, denied ⟹ still open.
+                    if admitted {
+                        prop_assert_ne!(b.state(), BreakerState::Open);
+                    } else {
+                        prop_assert_eq!(b.state(), BreakerState::Open);
+                    }
+                }
+                BreakerOp::Success => b.on_success(),
+                BreakerOp::Failure => b.on_failure(),
+            }
+            // Trip count is monotone, and recoveries never outnumber trips.
+            prop_assert!(b.trips >= trips_seen);
+            trips_seen = b.trips;
+            prop_assert!(b.recoveries <= b.trips);
+        }
+    }
+
+    #[test]
+    fn breaker_open_denies_until_cooldown_elapses(config in arb_breaker_config()) {
+        let mut b = CircuitBreaker::new(config);
+        for _ in 0..config.failure_threshold {
+            b.on_failure();
+        }
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        // Exactly cooldown−1 denials, then the next acquire half-opens.
+        let mut denials = 0usize;
+        loop {
+            if b.try_acquire() {
+                break;
+            }
+            denials += 1;
+            prop_assert!(denials <= config.cooldown.max(1), "cooldown must terminate");
+        }
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+        prop_assert_eq!(denials, config.cooldown.max(1) - 1);
+        // A failed probe re-opens; sustained success closes.
+        b.on_failure();
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        while !b.try_acquire() {}
+        for _ in 0..config.probes_to_close {
+            b.on_success();
+        }
+        prop_assert_eq!(b.state(), BreakerState::Closed);
+        prop_assert_eq!(b.trips, 2);
+        prop_assert_eq!(b.recoveries, 1);
+    }
+
+    #[test]
+    fn retry_accounting_is_exact(
+        max_retries in 0usize..6,
+        backoff_base in 0u64..1_000,
+        backoff_factor in 0u64..5,
+        fail_first in 0usize..10,
+    ) {
+        let policy = RetryPolicy { max_retries, backoff_base, backoff_factor };
+        let (result, log) = retry_with_backoff(&policy, |attempt| {
+            if attempt < fail_first { Err(attempt) } else { Ok(attempt) }
+        });
+        prop_assert!(log.attempts >= 1 && log.attempts <= max_retries + 1);
+        match result {
+            Ok(a) => {
+                prop_assert_eq!(a, fail_first);
+                prop_assert_eq!(log.attempts, fail_first + 1);
+            }
+            Err(_) => prop_assert_eq!(log.attempts, max_retries + 1),
+        }
+        // Backoff total matches the policy's closed form.
+        let expected: u64 = (0..log.attempts.saturating_sub(1))
+            .map(|r| policy.backoff_cost(r))
+            .fold(0u64, u64::saturating_add);
+        prop_assert_eq!(log.backoff_cost, expected);
     }
 }

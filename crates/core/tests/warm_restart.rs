@@ -1,0 +1,146 @@
+//! Checkpoint-based warm restart under corruption: bit flips and
+//! truncation of a saved classifier checkpoint must surface typed errors
+//! from the retrying load path, and the cluster supervisor must degrade —
+//! never panic — when its restart artifact is unusable.
+
+use std::path::PathBuf;
+
+use nfm_core::baselines::MajorityBaseline;
+use nfm_core::cluster::{ClusterConfig, ClusterSupervisor, ReplicaHealth};
+use nfm_core::pipeline::{
+    FineTuneConfig, FmClassifier, FoundationModel, PipelineConfig, TextExample,
+};
+use nfm_core::serve::{load_classifier_with_retry, Fallback, Responder, RetryPolicy, ServeError};
+use nfm_model::pretrain::{PretrainConfig, TaskMix};
+use nfm_model::tokenize::field::FieldTokenizer;
+use nfm_net::capture::Trace;
+use nfm_traffic::faults::{ReplicaFault, ReplicaFaultKind};
+use nfm_traffic::netsim::{simulate, SimConfig};
+
+fn tiny_classifier() -> (FmClassifier, Trace) {
+    let lt = simulate(&SimConfig {
+        n_sessions: 30,
+        n_general_hosts: 3,
+        n_iot_sets: 1,
+        ..SimConfig::default()
+    });
+    let tok = FieldTokenizer::new();
+    let cfg = PipelineConfig {
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        max_len: 48,
+        pretrain: PretrainConfig {
+            epochs: 1,
+            tasks: TaskMix::mlm_only(),
+            ..PretrainConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let (fm, _) =
+        FoundationModel::pretrain_on(&[&lt.trace], &tok, &cfg).expect("pretraining failed");
+    let train: Vec<TextExample> = (0..10)
+        .map(|i| TextExample {
+            tokens: vec![if i % 2 == 0 { "PORT_53" } else { "PORT_443" }.to_string()],
+            label: i % 2,
+        })
+        .collect();
+    let clf = FmClassifier::fine_tune(
+        &fm,
+        &train,
+        2,
+        &FineTuneConfig { epochs: 2, ..FineTuneConfig::default() },
+    )
+    .expect("fine-tuning failed");
+    (clf, lt.trace)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nfm_warm_restart_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn bit_flipped_checkpoint_is_a_typed_error() {
+    let (clf, _) = tiny_classifier();
+    let dir = temp_dir("flip");
+    let path = dir.join("clf.nfmc");
+    clf.save(&path).expect("save");
+    let clean = std::fs::read(&path).expect("read");
+    let policy = RetryPolicy { max_retries: 2, ..RetryPolicy::default() };
+    // Flip one bit at several positions spread across the record: header,
+    // early payload, middle, and tail must all be caught (magic/kind checks
+    // or the CRC) and come back as a typed error, never a panic.
+    for frac in [0, 1, 2, 3] {
+        let mut bytes = clean.clone();
+        let at = (bytes.len() - 1) * frac / 3;
+        bytes[at] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("write");
+        let err = load_classifier_with_retry(&path, &policy)
+            .err()
+            .unwrap_or_else(|| panic!("bit flip at byte {at} must fail the load"));
+        let ServeError::ModelLoad { attempts, source } = &err;
+        assert_eq!(*attempts, 3, "initial try plus two retries");
+        assert!(!source.to_string().is_empty());
+    }
+    // The pristine bytes still load (the flips really were the cause).
+    std::fs::write(&path, &clean).expect("write");
+    assert!(load_classifier_with_retry(&path, &policy).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_checkpoint_is_a_typed_error() {
+    let (clf, _) = tiny_classifier();
+    let dir = temp_dir("trunc");
+    let path = dir.join("clf.nfmc");
+    clf.save(&path).expect("save");
+    let clean = std::fs::read(&path).expect("read");
+    let policy = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+    // Truncations at every scale: empty file, inside the header, inside
+    // the payload, one byte short.
+    for keep in [0, 3, 16, clean.len() / 2, clean.len() - 1] {
+        std::fs::write(&path, &clean[..keep]).expect("write");
+        let err = load_classifier_with_retry(&path, &policy)
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {keep} bytes must fail the load"));
+        let ServeError::ModelLoad { attempts, .. } = &err;
+        assert_eq!(*attempts, 1);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervisor_without_usable_checkpoint_or_peer_degrades_gracefully() {
+    let (clf, trace) = tiny_classifier();
+    let dir = temp_dir("nopeer");
+    let majority = || Fallback::Majority(MajorityBaseline::fit(&[], 2));
+    // Single replica: after its checkpoint is corrupted and it crashes,
+    // there is no peer to clone from — the supervisor must keep answering
+    // from its own fallback, with the replica staying down.
+    let mut cluster =
+        ClusterSupervisor::new(vec![(clf, majority())], majority(), &dir, ClusterConfig::default())
+            .expect("cluster");
+    let path = cluster.checkpoint_path(0).to_path_buf();
+    let mut bytes = std::fs::read(&path).expect("read checkpoint");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("write checkpoint");
+    let faults = [ReplicaFault { replica: 0, at_burst: 1, kind: ReplicaFaultKind::Crash }];
+    let schedule = vec![1usize; 64];
+    let responses = cluster.serve_trace(&trace, &FieldTokenizer::new(), &schedule, &faults);
+    let stats = cluster.stats();
+    assert!(!responses.is_empty());
+    assert!(stats.restarts_attempted >= 1, "restarts were tried");
+    assert!(stats.restart_load_errors >= 1, "the corrupted checkpoint failed its load");
+    assert_eq!(stats.restarts_ok, 0, "nothing could actually restart");
+    assert_eq!(stats.peer_clones, 0, "no peer exists to clone");
+    assert_eq!(cluster.replica_health(0), ReplicaHealth::Down);
+    // Post-crash arrivals are all answered by the supervisor fallback.
+    assert!(stats.answered_supervisor > 0);
+    assert_eq!(stats.answered(), stats.arrived - stats.shed);
+    assert!(responses.iter().any(|r| r.responder == Responder::Fallback));
+    std::fs::remove_dir_all(&dir).ok();
+}

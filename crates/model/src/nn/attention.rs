@@ -48,6 +48,14 @@ fn head_insert(dst: &mut Matrix, src: &Matrix, head: usize, d_head: usize) {
     }
 }
 
+/// Approximate flop count of one attention pass over a T-row input: the
+/// two T×T×d_head matmuls per head dominate, summed across heads. Used to
+/// gate head-level parallelism — serving single short sequences through a
+/// small model must not pay a thread spawn per layer per request.
+fn attend_work(t: usize, d_model: usize) -> usize {
+    4 * t * t * d_model
+}
+
 impl MultiHeadAttention {
     /// Create with `n_heads` dividing `d_model`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, d_model: usize, n_heads: usize) -> MultiHeadAttention {
@@ -76,7 +84,8 @@ impl MultiHeadAttention {
         let q = self.wq.forward_inference(x);
         let k = self.wk.forward_inference(x);
         let v = self.wv.forward_inference(x);
-        let heads = pool::par_map(self.n_heads, |h| attend(&q, &k, &v, h, d_head).0);
+        let work = attend_work(x.rows(), self.d_model);
+        let heads = pool::par_map_work(self.n_heads, work, |h| attend(&q, &k, &v, h, d_head).0);
         let mut concat = Matrix::zeros(x.rows(), self.d_model);
         for (h, oh) in heads.iter().enumerate() {
             head_insert(&mut concat, oh, h, d_head);
@@ -102,7 +111,8 @@ impl MultiHeadAttention {
         };
         // Heads are independent; par_map returns them in head order, so the
         // concat/probs layout matches the sequential loop exactly.
-        let heads = pool::par_map(self.n_heads, |h| attend(&q, &k, &v, h, d_head));
+        let work = attend_work(x.rows(), self.d_model);
+        let heads = pool::par_map_work(self.n_heads, work, |h| attend(&q, &k, &v, h, d_head));
         let mut concat = Matrix::zeros(x.rows(), self.d_model);
         let mut probs = Vec::with_capacity(self.n_heads);
         for (h, (oh, p)) in heads.into_iter().enumerate() {
@@ -122,7 +132,9 @@ impl MultiHeadAttention {
 
         let dconcat = self.wo.backward(dy);
         let t = cache.concat.rows();
-        let head_grads = pool::par_map(self.n_heads, |h| {
+        // Backward roughly doubles the forward's per-head matmul work.
+        let work = 2 * attend_work(t, self.d_model);
+        let head_grads = pool::par_map_work(self.n_heads, work, |h| {
             let doh = head_slice(&dconcat, h, d_head);
             let p = &cache.probs[h];
             let qh = head_slice(&cache.q, h, d_head);

@@ -36,6 +36,8 @@ pub const KIND_VOCAB: u8 = 4;
 pub const KIND_MODEL: u8 = 5;
 /// Record kind: mid-run training state (model + optimizers + progress).
 pub const KIND_TRAIN: u8 = 6;
+/// Record kind: a fine-tuned classifier (vocab + encoder + head + pooling).
+pub const KIND_CLASSIFIER: u8 = 7;
 
 /// Why a checkpoint could not be read or written.
 #[derive(Debug)]

@@ -17,7 +17,10 @@ const TILE_K: usize = 64;
 /// Tile width along the output-column (`n`) dimension of matmuls.
 const TILE_N: usize = 256;
 /// Minimum multiply-add count before a matmul fans out across threads.
-const PAR_FLOPS_MIN: usize = 1 << 16;
+/// Workers are scoped OS threads, so the spawn cost (~tens of µs) only
+/// amortises once a call carries on the order of a million MACs; below
+/// that the single-threaded tiled loop wins outright.
+const PAR_FLOPS_MIN: usize = 1 << 20;
 
 /// Rows per parallel chunk for an op of `work` total scalar operations over
 /// `rows` independent rows; `rows` (one chunk → sequential) when threading

@@ -159,6 +159,32 @@ where
     slots.into_iter().map(|s| s.expect("pool task not executed")).collect()
 }
 
+/// Minimum total work (in flop-like units) before [`par_map_work`] spawns
+/// threads. Mirrors the matmul gate: workers are scoped OS threads
+/// (~tens of µs to spawn), so fanning out below roughly a million
+/// flop-like units of work costs more than it saves — the sequential path
+/// is strictly faster for small jobs like single-request inference.
+pub const PAR_WORK_MIN: usize = 1 << 20;
+
+/// [`par_map`] with a work gate: runs sequentially inline when
+/// `total_work < ` [`PAR_WORK_MIN`], spawning workers only when the job is
+/// big enough to amortise thread startup. `total_work` is the caller's
+/// estimate of the whole call's cost in flop-like units. Results are
+/// bitwise identical on either path — tasks are independent and returned
+/// in task order — so the gate is a performance decision, never a
+/// correctness one.
+pub fn par_map_work<R, F>(n_tasks: usize, total_work: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if total_work < PAR_WORK_MIN || effective_threads() <= 1 {
+        let f = &f;
+        return (0..n_tasks).map(|i| timed_task(f, i)).collect();
+    }
+    par_map(n_tasks, f)
+}
+
 /// Split `data` into chunks of `chunk_len` elements and run
 /// `f(element_offset, chunk)` over each, in parallel when worthwhile.
 /// Chunks are disjoint, so any per-element or per-chunk computation is
@@ -305,6 +331,17 @@ mod tests {
         let nested = par_map(4, |_| effective_threads());
         set_threads(0);
         assert!(nested.iter().all(|&t| t == 1), "workers must not nest: {nested:?}");
+    }
+
+    #[test]
+    fn par_map_work_gates_small_jobs_and_matches_par_map() {
+        set_threads(4);
+        let small = par_map_work(8, 100, |i| i * 7);
+        let big = par_map_work(8, PAR_WORK_MIN * 2, |i| i * 7);
+        set_threads(0);
+        let expect: Vec<usize> = (0..8).map(|i| i * 7).collect();
+        assert_eq!(small, expect, "sequential path below the gate");
+        assert_eq!(big, expect, "parallel path above the gate");
     }
 
     #[test]
