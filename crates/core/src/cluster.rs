@@ -120,9 +120,17 @@ pub struct ClusterConfig {
     /// seed from `serve.seed`, so replicas shed independently but
     /// reproducibly).
     pub serve: ServeConfig,
-    /// Probe every replica once per this many ticks (bursts).
+    /// Probe every replica once per this many ticks (bursts); `0` disables
+    /// probing.
     pub probe_interval: usize,
-    /// Cost budget for one health probe on an unimpaired replica.
+    /// Cost budget for one health probe on an unimpaired replica. The
+    /// default, `u64::MAX`, is a sentinel meaning *auto*: construction
+    /// resolves it to 1.5× the canary's inference cost on the replica
+    /// model, so an unimpaired replica always passes while any stall
+    /// factor (≥ 2) shrinks the budget below one canary inference and
+    /// fails the probe. Finite values are used as-is; stall detection
+    /// requires the budget to be finite and within `stall_factor`× of the
+    /// canary cost.
     pub probe_budget: u64,
     /// Token context classified by every probe.
     pub canary: Vec<String>,
@@ -172,7 +180,9 @@ pub struct ClusterStats {
     pub answered_supervisor: usize,
     /// Requests shed by replica admission control.
     pub shed: usize,
-    /// Requests routed past a non-routable natural target.
+    /// Requests routed away from their natural round-robin target. Serving
+    /// a request on its natural target while that target is merely
+    /// `Degraded` is not a failover.
     pub failovers: usize,
     /// Hedged re-dispatches issued.
     pub hedges: usize,
@@ -277,6 +287,15 @@ impl ClusterSupervisor {
     ) -> Result<ClusterSupervisor, ClusterError> {
         if replicas.is_empty() {
             return Err(ClusterError::NoReplicas);
+        }
+        let mut config = config;
+        if config.probe_budget == u64::MAX {
+            // Auto probe budget: 1.5× one canary inference. Healthy
+            // replicas fit (cost ≤ 1.5×cost); a stalled replica's shrunk
+            // budget (1.5×cost / factor, factor ≥ 2) cannot, so stalls are
+            // detectable without any per-model tuning.
+            let cost = replicas[0].0.inference_cost(config.canary.len());
+            config.probe_budget = cost.saturating_add(cost / 2);
         }
         std::fs::create_dir_all(checkpoint_dir)
             .map_err(|e| ClusterError::Checkpoint(CheckpointError::Io(e.to_string())))?;
@@ -517,8 +536,10 @@ impl ClusterSupervisor {
 
     /// Pick the routing target for the next request: round-robin over
     /// `Healthy` replicas, then `Degraded` ones. `None` means the
-    /// supervisor must answer itself. Counts a failover when the natural
-    /// round-robin target was not routable.
+    /// supervisor must answer itself. Counts a failover only when the
+    /// request actually moved off its natural round-robin target — a
+    /// cluster running steadily on degraded replicas is degraded, not
+    /// failing over on every request.
     fn route(&mut self) -> Option<usize> {
         let n = self.replicas.len();
         let natural = self.rr % n;
@@ -527,7 +548,7 @@ impl ClusterSupervisor {
             for off in 0..n {
                 let i = (natural + off) % n;
                 if self.replicas[i].health == tier {
-                    if i != natural || tier != ReplicaHealth::Healthy {
+                    if i != natural {
                         self.stats.failovers += 1;
                         nfm_obs::counter!("cluster.failovers").inc();
                     }
@@ -570,6 +591,10 @@ impl ClusterSupervisor {
 
         // Route the whole burst before any replica drains: bursts — not
         // average load — drive per-replica shedding, as in the engine.
+        // Shed is taken from each engine's own counter (delta across the
+        // tick), not inferred from submitted-minus-drained counts, so it
+        // stays honest even when responses are consumed out of band.
+        let shed_before: Vec<usize> = self.replicas.iter().map(|r| r.engine.stats().shed).collect();
         let mut routed: Vec<Vec<ServeRequest>> =
             (0..self.replicas.len()).map(|_| Vec::new()).collect();
         let mut responses = Vec::with_capacity(burst.len());
@@ -588,12 +613,11 @@ impl ClusterSupervisor {
             }
         }
         for (i, routed_i) in routed.iter().enumerate() {
-            let submitted = routed_i.len();
-            if submitted == 0 {
+            if routed_i.is_empty() {
                 continue;
             }
             let drained = self.replicas[i].engine.drain_queue();
-            let shed = submitted - drained.len();
+            let shed = self.replicas[i].engine.stats().shed - shed_before[i];
             self.stats.shed += shed;
             if shed > 0 {
                 nfm_obs::counter!("cluster.shed").add(shed as u64);
@@ -638,15 +662,18 @@ impl ClusterSupervisor {
         };
         self.stats.hedges += 1;
         nfm_obs::counter!("cluster.hedges").inc();
-        self.replicas[p].engine.submit(request.clone());
-        let hedged = self.replicas[p].engine.drain_queue();
-        match hedged.into_iter().next() {
-            Some(h) if h.responder == Responder::Model => {
-                self.stats.hedge_wins += 1;
-                nfm_obs::counter!("cluster.hedge_wins").inc();
-                h
-            }
-            _ => response,
+        // `serve_one` bypasses the secondary's queue and admission control:
+        // requests this tick already routed to the secondary (but not yet
+        // drained) stay queued, and the answer is guaranteed to belong to
+        // the hedged request's flow — a queue drain here would steal and
+        // discard the secondary's own pending work.
+        let hedged = self.replicas[p].engine.serve_one(request.clone());
+        if hedged.responder == Responder::Model {
+            self.stats.hedge_wins += 1;
+            nfm_obs::counter!("cluster.hedge_wins").inc();
+            hedged
+        } else {
+            response
         }
     }
 
@@ -861,6 +888,44 @@ mod tests {
         assert_eq!(stats.answered_supervisor, stats.arrived, "supervisor answers everything");
         assert!((stats.availability() - 1.0).abs() < 1e-12, "availability never reaches zero");
         assert_eq!(stats.model_availability(), 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hedges_in_multi_request_bursts_lose_no_answers() {
+        let (clf, trace) = tiny_parts();
+        let dir = temp_dir("hedge_burst");
+        // A stalled replica 0 misses every deadline while bursts of 3 keep
+        // all three replicas' queues non-empty at hedge time. Probing is
+        // disabled so the stall stays undetected and hedging alone must
+        // cover it; a deep queue rules out genuine shedding.
+        let config = ClusterConfig {
+            serve: ServeConfig {
+                queue_capacity: 1024,
+                shed_watermark: 1024,
+                deadline_budget: clf.inference_cost(64) * 2,
+                ..ServeConfig::default()
+            },
+            probe_interval: 0,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = build(&clf, 3, &dir, config);
+        let faults = [ReplicaFault {
+            replica: 0,
+            at_burst: 0,
+            kind: ReplicaFaultKind::Stall { factor: 64 },
+        }];
+        let schedule = vec![3usize; 64];
+        let responses = cluster.serve_trace(&trace, &FieldTokenizer::new(), &schedule, &faults);
+        let stats = cluster.stats();
+        assert!(stats.hedges >= 1, "a stalled primary must trigger hedges");
+        assert_eq!(stats.shed, 0, "nothing sheds under a deep queue");
+        assert_eq!(responses.len(), stats.arrived, "no answer may be lost to a hedge drain");
+        let mut flows: Vec<usize> = responses.iter().map(|r| r.flow).collect();
+        flows.sort_unstable();
+        let before = flows.len();
+        flows.dedup();
+        assert_eq!(flows.len(), before, "every flow answered exactly once, by its own answer");
         std::fs::remove_dir_all(&dir).ok();
     }
 

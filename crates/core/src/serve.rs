@@ -612,6 +612,14 @@ impl ServeEngine {
         self.offer(request);
     }
 
+    /// Answer one request immediately, bypassing the admission queue (and
+    /// its shedding) entirely — the cluster layer's hedge path. Requests
+    /// already queued on this engine are untouched, and the returned
+    /// response always belongs to `request`'s flow.
+    pub fn serve_one(&mut self, request: ServeRequest) -> Response {
+        self.process(request)
+    }
+
     /// Answer every queued request, in admission order.
     pub fn drain_queue(&mut self) -> Vec<Response> {
         let mut responses = Vec::with_capacity(self.queue.len());
