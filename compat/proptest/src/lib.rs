@@ -20,8 +20,8 @@ pub mod string;
 pub mod prelude {
     pub use crate::collection as prop_collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
-        TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
@@ -136,6 +136,57 @@ impl<T: Clone> Strategy for Just<T> {
     fn generate(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
     }
+}
+
+/// Weighted union of strategies over a common value type — what the
+/// `prop_oneof!` macro builds. Each generation picks one branch with
+/// probability proportional to its weight, then delegates to it.
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    /// An empty union; generation panics until a branch is added.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Union<T> {
+        Union { options: Vec::new() }
+    }
+
+    /// Add a branch with the given weight (builder-style, used by
+    /// `prop_oneof!` so each strategy type is boxed at a call site where
+    /// it is still concrete).
+    pub fn or(mut self, weight: u32, strategy: impl Strategy<Value = T> + 'static) -> Union<T> {
+        self.options.push((weight.max(1), Box::new(strategy)));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! needs at least one strategy");
+        let total: u32 = self.options.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.rng().gen_range(0..total);
+        for (w, s) in &self.options {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= *w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Choose among strategies, optionally weighted (`weight => strategy`), as
+/// in upstream proptest.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new()$(.or($weight as u32, $strategy))+
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new()$(.or(1u32, $strategy))+
+    };
 }
 
 impl<T: SampleUniform> Strategy for Range<T> {

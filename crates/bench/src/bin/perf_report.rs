@@ -17,6 +17,19 @@
 //! multi-core host for the numbers recorded in EXPERIMENTS.md.
 //!
 //! `NFM_SCALE=quick` shrinks the workloads for CI.
+//!
+//! `--baseline <path>` compares this run against a previously written
+//! `BENCH_perf.json`: the report gains a `vs_base` column, and the process
+//! exits nonzero when `serve_throughput`, `serve_throughput_batched`, or
+//! `cluster_throughput` regresses by more than 20% at any thread count.
+//!
+//! `NFM_BENCH_ASSERT_BATCHED=1` turns the batched-serving comparison into a
+//! smoke gate: the process exits 2 if micro-batched serving at one thread is
+//! more than 5% slower than unbatched serving. The 5% band absorbs
+//! single-core VM timer noise — since the elementwise kernels vectorised,
+//! batched and unbatched serving are within a few percent of each other on
+//! bench-sized models, and the gate exists to catch structural regressions
+//! (batching losing outright), not scheduler jitter.
 
 use std::time::Instant;
 
@@ -55,6 +68,40 @@ fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// One `{name, threads, value, unit}` row parsed back out of a previously
+/// written `BENCH_perf.json`. The file is our own fixed-format output, so a
+/// small line-oriented parser is enough — no JSON dependency.
+fn parse_baseline(text: &str) -> Vec<Rec> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let rest = &line[line.find(&tag)? + tag.len()..];
+        let rest = rest.trim_start();
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with('{') {
+                return None;
+            }
+            Some(Rec {
+                name: field(line, "name")?.to_string(),
+                threads: field(line, "threads")?.parse().ok()?,
+                value: field(line, "value")?.parse().ok()?,
+                // The unit is display-only for baselines; leak-free static
+                // mapping of the handful we emit.
+                unit: match field(line, "unit")? {
+                    "ms" => "ms",
+                    "req_per_s" => "req_per_s",
+                    "ratio" => "ratio",
+                    _ => "count",
+                },
+            })
+        })
+        .collect()
+}
+
 /// Deterministic synthetic corpus with enough token diversity to give the
 /// encoder a non-trivial vocabulary.
 fn synthetic_corpus(n: usize) -> (Vocab, Vec<Vec<String>>) {
@@ -70,6 +117,18 @@ fn synthetic_corpus(n: usize) -> (Vocab, Vec<Vec<String>>) {
 
 fn main() {
     let quick = matches!(std::env::var("NFM_SCALE").as_deref(), Ok("quick"));
+    let args: Vec<String> = std::env::args().collect();
+    let baseline: Option<Vec<Rec>> = args.iter().position(|a| a == "--baseline").map(|i| {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--baseline requires a path to a prior BENCH_perf.json");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_baseline(&text)
+    });
     let thread_counts = [1usize, 4];
     let mut records: Vec<Rec> = Vec::new();
     println!("perf_report: timing hot paths at threads = {thread_counts:?}\n");
@@ -207,6 +266,69 @@ fn main() {
     }
     pool::set_threads(0);
 
+    // --- Micro-batched serving ------------------------------------------
+    // The same workload with the queue drained in micro-batches
+    // (`max_batch` requests per packed forward pass, scratch buffers
+    // reused). Responses are asserted bitwise identical to the unbatched
+    // run before anything is timed, so the throughput delta is pure
+    // batching effect.
+    let batched_cfg = ServeConfig { max_batch: 16, ..serve_cfg };
+    {
+        pool::set_threads(1);
+        let majority = || Fallback::Majority(MajorityBaseline { class: 0, n_classes: 2 });
+        let mut single = ServeEngine::new(clf.clone(), majority(), serve_cfg);
+        let mut batched = ServeEngine::new(clf.clone(), majority(), batched_cfg);
+        let rs = single.serve_trace(&noisy, &tokenizer, &schedule);
+        let rb = batched.serve_trace(&noisy, &tokenizer, &schedule);
+        assert_eq!(rs, rb, "micro-batched serving must answer bitwise identically");
+        assert_eq!(single.stats(), batched.stats(), "serving stats must match");
+        println!("batched-vs-unbatched identity: ok ({} responses)\n", rs.len());
+        pool::set_threads(0);
+    }
+    let mut batched_t1 = f64::NAN;
+    for &t in &thread_counts {
+        pool::set_threads(t);
+        let mut served = 0usize;
+        let wall = best_of(if quick { 2 } else { 3 }, || {
+            let mut engine = ServeEngine::new(
+                clf.clone(),
+                Fallback::Majority(MajorityBaseline { class: 0, n_classes: 2 }),
+                batched_cfg,
+            );
+            served = engine.serve_trace(&noisy, &tokenizer, &schedule).len();
+        });
+        let throughput = served as f64 / (wall / 1e3);
+        if t == 1 {
+            batched_t1 = throughput;
+        }
+        records.push(Rec {
+            name: "serve_throughput_batched".into(),
+            threads: t,
+            value: throughput,
+            unit: "req_per_s",
+        });
+    }
+    pool::set_threads(0);
+    let single_t1 = records
+        .iter()
+        .find(|r| r.name == "serve_throughput" && r.threads == 1)
+        .map(|r| r.value)
+        .unwrap_or(f64::NAN);
+    println!(
+        "serve throughput at 1 thread: unbatched {single_t1:.0} req/s, \
+         batched {batched_t1:.0} req/s ({:.2}x)\n",
+        batched_t1 / single_t1
+    );
+    if std::env::var("NFM_BENCH_ASSERT_BATCHED").as_deref() == Ok("1")
+        && batched_t1 < single_t1 * 0.95
+    {
+        eprintln!(
+            "FAIL: batched serving ({batched_t1:.0} req/s) is more than 5% slower than \
+             unbatched ({single_t1:.0} req/s) at 1 thread"
+        );
+        std::process::exit(2);
+    }
+
     // --- Cluster serving under a replica crash ---------------------------
     // End-to-end `ClusterSupervisor::serve_trace` (the E16 regime): three
     // replicas over the same corrupted bursty capture with one replica
@@ -272,7 +394,13 @@ fn main() {
     }
 
     // --- Report ---------------------------------------------------------
-    let mut table = nfm_core::report::Table::new(&["name", "threads", "value", "unit", "speedup"]);
+    let header: &[&str] = if baseline.is_some() {
+        &["name", "threads", "value", "unit", "speedup", "vs_base"]
+    } else {
+        &["name", "threads", "value", "unit", "speedup"]
+    };
+    let mut table = nfm_core::report::Table::new(header);
+    let mut regressions: Vec<String> = Vec::new();
     for rec in &records {
         let base = records
             .iter()
@@ -286,13 +414,40 @@ fn main() {
             ("req_per_s", _) => format!("{:.2}x", rec.value / base),
             _ => "-".into(),
         };
-        table.row(&[
+        let mut row = vec![
             rec.name.clone(),
             rec.threads.to_string(),
             format!("{:.3}", rec.value),
             rec.unit.into(),
             speedup,
-        ]);
+        ];
+        if let Some(base_recs) = &baseline {
+            let prior = base_recs.iter().find(|r| r.name == rec.name && r.threads == rec.threads);
+            row.push(match prior {
+                Some(p) if p.value > 0.0 => {
+                    let delta = rec.value / p.value - 1.0;
+                    // Gatekeep the serving throughputs: a >20% drop against
+                    // the baseline file fails the run.
+                    let gated = matches!(
+                        rec.name.as_str(),
+                        "serve_throughput" | "serve_throughput_batched" | "cluster_throughput"
+                    );
+                    if gated && delta < -0.20 {
+                        regressions.push(format!(
+                            "{} (threads={}): {:.3} -> {:.3} ({:+.1}%)",
+                            rec.name,
+                            rec.threads,
+                            p.value,
+                            rec.value,
+                            delta * 100.0
+                        ));
+                    }
+                    format!("{:+.1}%", delta * 100.0)
+                }
+                _ => "-".into(),
+            });
+        }
+        table.row(&row);
     }
     nfm_bench::render_table("perf.records", &table);
 
@@ -308,4 +463,11 @@ fn main() {
     std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
     println!("wrote BENCH_perf.json ({} records)", records.len());
     nfm_bench::finish();
+    if !regressions.is_empty() {
+        eprintln!("FAIL: throughput regressed >20% against the baseline:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
 }

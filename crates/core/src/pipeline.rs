@@ -30,6 +30,7 @@ use nfm_tensor::loss::softmax_cross_entropy;
 use nfm_tensor::matrix::Matrix;
 use nfm_tensor::optim::{clip_global_norm, Adam, Schedule};
 use nfm_tensor::pool as tpool;
+use nfm_tensor::scratch::ScratchArena;
 use nfm_traffic::dataset::LabeledFlow;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -366,6 +367,10 @@ fn run_fine_tune_shard(
     (enc_grads, hd.export_grads(), loss_sum)
 }
 
+/// One request's outcome from the deadline-aware logits paths: the logits
+/// plus the cost actually spent, or the typed refusal.
+pub type CostedLogits = Result<(Vec<f32>, u64), InferError>;
+
 /// A fine-tuned classifier: encoder copy plus classification head.
 #[derive(Debug, Clone)]
 pub struct FmClassifier {
@@ -442,9 +447,16 @@ impl FmClassifier {
                     head.zero_grad();
                     // Fixed microbatch shards (boundaries depend only on
                     // the batch length) run on replicas in parallel; the
-                    // reduction below folds them in shard order.
+                    // reduction below folds them in shard order. Work-gated:
+                    // forward+backward ≈ 3× the inference MACs, and below
+                    // the gate the spawn + model-clone + grad-reduce
+                    // overhead beats any parallel win.
+                    let batch_work: usize = batch
+                        .iter()
+                        .map(|&idx| 3 * encoder.inference_cost(encoded[idx].0.len()) as usize)
+                        .sum();
                     let shards = tpool::shard_ranges(batch.len(), tpool::REDUCE_SHARDS);
-                    let results = tpool::par_map(shards.len(), |s| {
+                    let results = tpool::par_map_work(shards.len(), batch_work, |s| {
                         run_fine_tune_shard(
                             &encoder,
                             &head,
@@ -664,12 +676,89 @@ impl FmClassifier {
         Ok((argmax_nan_tolerant(&logits), spent))
     }
 
+    /// Deadline-aware logits for a whole micro-batch, element-wise bitwise
+    /// identical to calling [`FmClassifier::logits_within`] per request
+    /// with the same `budget`.
+    ///
+    /// Each request's charge schedule is first replayed without compute
+    /// ([`Encoder::plan_inference_cost`] plus the head check), so requests
+    /// the budget cannot cover get their exact deterministic
+    /// [`InferError::DeadlineExceeded`] without holding up the batch. The
+    /// affordable remainder runs through one packed
+    /// [`Encoder::forward_inference_batch`] — the layer projections and the
+    /// classifier head each execute as a single GEMM across the batch —
+    /// with scratch matrices drawn from `arena`. Per-request cost
+    /// accounting is unchanged: each request is charged its own encoder
+    /// spend plus the head cost, never a batch-amortised share.
+    pub fn logits_batch_within(
+        &self,
+        batch: &[&[String]],
+        budget: u64,
+        arena: &mut ScratchArena,
+    ) -> Vec<CostedLogits> {
+        let head_cost = (self.encoder.config.d_model * self.n_classes) as u64;
+        let encoded: Vec<Vec<usize>> =
+            batch.iter().map(|t| encode_context(&self.vocab, t, self.max_len)).collect();
+        let mut results: Vec<Option<CostedLogits>> = (0..batch.len()).map(|_| None).collect();
+        let mut run: Vec<(usize, u64)> = Vec::with_capacity(batch.len());
+        for (i, ids) in encoded.iter().enumerate() {
+            match self.encoder.plan_inference_cost(ids.len(), budget) {
+                Err(e) => results[i] = Some(Err(e)),
+                Ok(enc_spent) if enc_spent + head_cost > budget => {
+                    results[i] = Some(Err(InferError::DeadlineExceeded {
+                        spent: enc_spent,
+                        needed: head_cost,
+                        budget,
+                    }));
+                }
+                Ok(enc_spent) => run.push((i, enc_spent)),
+            }
+        }
+        if !run.is_empty() {
+            let seqs: Vec<&[usize]> = run.iter().map(|&(i, _)| encoded[i].as_slice()).collect();
+            let (hidden, bounds) = self.encoder.forward_inference_batch(&seqs, arena);
+            let mut pooled = arena.take(run.len(), self.encoder.config.d_model);
+            for (j, _) in run.iter().enumerate() {
+                // Pool straight off the packed hidden rows — the same
+                // per-element operations `pool` applies to a materialised
+                // row slice (CLS copy, or ascending-row sum then scale), so
+                // the same bits without the copies.
+                let (r0, r1) = (bounds[j], bounds[j + 1]);
+                let prow = pooled.row_mut(j);
+                match self.pooling {
+                    Pooling::Cls => prow.copy_from_slice(hidden.row(r0)),
+                    Pooling::Mean => {
+                        for r in r0..r1 {
+                            for (o, v) in prow.iter_mut().zip(hidden.row(r)) {
+                                *o += v;
+                            }
+                        }
+                        let inv = 1.0 / (r1 - r0) as f32;
+                        for o in prow.iter_mut() {
+                            *o *= inv;
+                        }
+                    }
+                }
+            }
+            arena.put(hidden);
+            let logits_m = self.head.forward_inference(&pooled);
+            arena.put(pooled);
+            for (j, &(i, enc_spent)) in run.iter().enumerate() {
+                results[i] = Some(Ok((logits_m.row(j).to_vec(), enc_spent + head_cost)));
+            }
+        }
+        results.into_iter().map(|r| r.expect("every request resolved")).collect()
+    }
+
     /// Predicted class ids for a batch of sequences. Examples are sharded
     /// across the worker pool (inference only reads `&self`), and results
     /// come back in input order, so the output is identical to mapping
-    /// [`FmClassifier::predict`] sequentially.
+    /// [`FmClassifier::predict`] sequentially. The dispatch is work-gated
+    /// on the batch's deterministic MAC estimate so small batches skip the
+    /// thread-spawn overhead.
     pub fn predict_batch(&self, batch: &[Vec<String>]) -> Vec<usize> {
-        tpool::par_map(batch.len(), |i| self.predict(&batch[i]))
+        let work: usize = batch.iter().map(|t| self.inference_cost(t.len()) as usize).sum();
+        tpool::par_map_work(batch.len(), work, |i| self.predict(&batch[i]))
     }
 
     /// Softmax class probabilities.
@@ -691,7 +780,10 @@ impl FmClassifier {
     /// run example-parallel; the confusion matrix accumulates integer
     /// counts, so the result never depends on the thread count.
     pub fn evaluate(&self, examples: &[TextExample]) -> crate::metrics::Confusion {
-        let preds = tpool::par_map(examples.len(), |i| self.predict(&examples[i].tokens));
+        let work: usize =
+            examples.iter().map(|e| self.inference_cost(e.tokens.len()) as usize).sum();
+        let preds =
+            tpool::par_map_work(examples.len(), work, |i| self.predict(&examples[i].tokens));
         let mut c = crate::metrics::Confusion::new(self.n_classes);
         for (e, p) in examples.iter().zip(preds) {
             c.add(e.label, p);
@@ -820,6 +912,68 @@ mod tests {
         fm.save(&fm_path).expect("save fm");
         assert!(matches!(FmClassifier::load(&fm_path), Err(CheckpointError::WrongKind { .. })));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn logits_batch_within_matches_logits_within_bitwise() {
+        let (fm, _) = tiny_fm();
+        let train: Vec<TextExample> = (0..10)
+            .map(|i| TextExample {
+                tokens: vec![if i % 2 == 0 { "PORT_53" } else { "PORT_443" }.to_string()],
+                label: i % 2,
+            })
+            .collect();
+        let long: Vec<String> = (0..60).map(|i| format!("tok{}", i % 7)).collect();
+        let batch: Vec<Vec<String>> = vec![
+            vec!["PORT_53".to_string()],
+            vec!["IP4".to_string(), "PROTO_UDP".to_string(), "PORT_443".to_string()],
+            long, // clamps to max_len
+            vec!["PORT_443".to_string(), "PORT_53".to_string()],
+        ];
+        let refs: Vec<&[String]> = batch.iter().map(|t| t.as_slice()).collect();
+        for pooling in [Pooling::Cls, Pooling::Mean] {
+            let clf = FmClassifier::fine_tune(
+                &fm,
+                &train,
+                2,
+                &FineTuneConfig { pooling, ..FineTuneConfig::default() },
+            )
+            .expect("fine-tuning failed");
+            let mid = clf.inference_cost(batch[0].len());
+            let max = clf.inference_cost(60);
+            let mut arena = ScratchArena::new();
+            // Budgets cover: everything fits, nothing fits, exact-fit
+            // boundary, and a mix where short requests fit but long ones
+            // exceed the deadline.
+            for budget in [u64::MAX, 0, mid, mid - 1, mid + 1, max, max - 1] {
+                // Two passes per budget: the second runs on a warm arena.
+                for pass in 0..2 {
+                    let got = clf.logits_batch_within(&refs, budget, &mut arena);
+                    for (i, tokens) in batch.iter().enumerate() {
+                        let want = clf.logits_within(tokens, budget);
+                        match (&got[i], &want) {
+                            (Ok((gl, gc)), Ok((wl, wc))) => {
+                                assert_eq!(gc, wc, "cost (req {i}, budget {budget})");
+                                assert_eq!(
+                                    gl.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                                    wl.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                                    "logits must be bitwise identical \
+                                     (req {i}, budget {budget}, pass {pass})"
+                                );
+                            }
+                            (Err(ge), Err(we)) => {
+                                assert_eq!(ge, we, "error (req {i}, budget {budget})");
+                            }
+                            (g, w) => panic!(
+                                "outcome diverged for req {i} at budget {budget}: \
+                                 batch={g:?} single={w:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+            assert!(arena.available() > 0, "arena retains warm buffers");
+        }
     }
 
     #[test]

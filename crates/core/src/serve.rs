@@ -42,11 +42,15 @@ use nfm_model::tokenize::Tokenizer;
 use nfm_net::capture::{Trace, TracePacket};
 use nfm_net::flow::FlowTable;
 use nfm_tensor::checkpoint::CheckpointError;
+use nfm_tensor::scratch::ScratchArena;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::baselines::{GruBaseline, MajorityBaseline};
 use crate::pipeline::{argmax_nan_tolerant, FmClassifier, FoundationModel};
+
+/// Histogram bucket edges for micro-batch sizes (`serve.batch.size`).
+const BATCH_SIZE_EDGES: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
 
 /// Errors surfaced by the serving engine instead of panics.
 #[derive(Debug)]
@@ -361,6 +365,14 @@ pub struct ServeConfig {
     pub retry: RetryPolicy,
     /// Circuit-breaker thresholds.
     pub breaker: BreakerConfig,
+    /// Requests per micro-batch when draining the queue (≤ 1 disables
+    /// batching and serves strictly one request at a time).
+    pub max_batch: usize,
+    /// Cap on the summed planned inference cost of one micro-batch, in the
+    /// same deterministic units as `deadline_budget`. A batch always takes
+    /// at least one request, so a tiny cap degrades to unbatched serving
+    /// rather than stalling.
+    pub batch_cost_budget: u64,
 }
 
 impl Default for ServeConfig {
@@ -373,6 +385,8 @@ impl Default for ServeConfig {
             seed: 17,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            max_batch: 1,
+            batch_cost_budget: u64::MAX,
         }
     }
 }
@@ -534,6 +548,7 @@ pub struct ServeEngine {
     shed_rng: StdRng,
     stats: ServeStats,
     queue: VecDeque<ServeRequest>,
+    arena: ScratchArena,
 }
 
 impl ServeEngine {
@@ -548,6 +563,7 @@ impl ServeEngine {
             shed_rng: StdRng::seed_from_u64(config.seed ^ 0x5E_u64.rotate_left(40)),
             stats: ServeStats::default(),
             queue: VecDeque::with_capacity(config.queue_capacity),
+            arena: ScratchArena::new(),
             clf,
             fallback,
             config,
@@ -617,16 +633,79 @@ impl ServeEngine {
     /// already queued on this engine are untouched, and the returned
     /// response always belongs to `request`'s flow.
     pub fn serve_one(&mut self, request: ServeRequest) -> Response {
-        self.process(request)
+        self.answer(request, None)
     }
 
-    /// Answer every queued request, in admission order.
+    /// Answer every queued request, in admission order. With
+    /// `max_batch > 1` the queue drains in micro-batches: each batch's
+    /// token sequences run through the model as one packed forward pass
+    /// ([`FmClassifier::logits_batch_within`]) with scratch buffers reused
+    /// across batches, and every request is then settled individually
+    /// against the breaker/retry/deadline state machine. Responses and
+    /// statistics are bitwise identical to serving the same requests one
+    /// at a time via [`ServeEngine::serve_one`].
     pub fn drain_queue(&mut self) -> Vec<Response> {
         let mut responses = Vec::with_capacity(self.queue.len());
-        while let Some(req) = self.queue.pop_front() {
-            responses.push(self.process(req));
+        if self.config.max_batch <= 1 {
+            while let Some(req) = self.queue.pop_front() {
+                responses.push(self.answer(req, None));
+            }
+            return responses;
+        }
+        while !self.queue.is_empty() {
+            let batch = self.next_batch();
+            let precomputed = self.run_batch(&batch);
+            for (req, pre) in batch.into_iter().zip(precomputed) {
+                responses.push(self.answer(req, pre));
+            }
         }
         responses
+    }
+
+    /// Pop the next micro-batch off the queue: up to `max_batch` requests
+    /// whose summed planned inference cost (the same deterministic units
+    /// as `deadline_budget`) stays within `batch_cost_budget`. The first
+    /// request of a batch is always taken, so an over-budget single
+    /// request degrades to unbatched serving rather than wedging the
+    /// queue.
+    fn next_batch(&mut self) -> Vec<ServeRequest> {
+        let mut batch = Vec::new();
+        let mut planned = 0u64;
+        while batch.len() < self.config.max_batch {
+            let Some(front) = self.queue.front() else { break };
+            let cost = self.clf.inference_cost(front.tokens.len());
+            if !batch.is_empty() && planned.saturating_add(cost) > self.config.batch_cost_budget {
+                break;
+            }
+            planned = planned.saturating_add(cost);
+            batch.push(self.queue.pop_front().expect("front() was Some"));
+        }
+        batch
+    }
+
+    /// Run one micro-batch through the packed forward pass, returning the
+    /// per-request model outcome to replay inside [`ServeEngine::answer`].
+    /// `None` entries mean "compute lazily": a single-request batch gains
+    /// nothing from packing, and while the breaker is open most requests
+    /// will be denied before ever touching the model, so eager batch
+    /// compute would be wasted work (the half-open probe computes lazily
+    /// and identically).
+    #[allow(clippy::type_complexity)]
+    fn run_batch(
+        &mut self,
+        batch: &[ServeRequest],
+    ) -> Vec<Option<Result<(Vec<f32>, u64), InferError>>> {
+        if batch.len() <= 1 || self.breaker.state() == BreakerState::Open {
+            return batch.iter().map(|_| None).collect();
+        }
+        let tokens: Vec<&[String]> = batch.iter().map(|r| r.tokens.as_slice()).collect();
+        let budget = self.config.deadline_budget;
+        let results = self.clf.logits_batch_within(&tokens, budget, &mut self.arena);
+        nfm_obs::counter!("serve.batch.count").inc();
+        nfm_obs::counter!("serve.batch.requests").add(batch.len() as u64);
+        nfm_obs::histogram!("serve.batch.size", nfm_obs::Unit::Count, BATCH_SIZE_EDGES)
+            .observe(batch.len() as u64);
+        results.into_iter().map(Some).collect()
     }
 
     /// Assemble `trace` into requests via [`assemble_requests`], folding the
@@ -673,14 +752,44 @@ impl ServeEngine {
     /// Answer one admitted request: model first (under the breaker, the
     /// deadline budget, and the retry policy), fallback otherwise. Always
     /// returns a response.
-    fn process(&mut self, request: ServeRequest) -> Response {
+    ///
+    /// `pre` is an optional precomputed model outcome from the batched
+    /// forward pass, evaluated at the full `deadline_budget`. Because the
+    /// model is deterministic, every retry of the single-request path
+    /// recomputes the exact same logits at the exact same cost, so one
+    /// budget-level result replays the whole retry ladder: an attempt with
+    /// `remaining` budget succeeds iff the precomputed cost fits, and
+    /// fails with a deadline error otherwise (the serve state machine
+    /// matches the error variant only, so the replayed error's accounting
+    /// fields never influence a response). With `pre = None` the model is
+    /// invoked lazily — and only if the breaker admits the request.
+    fn answer(
+        &mut self,
+        request: ServeRequest,
+        pre: Option<Result<(Vec<f32>, u64), InferError>>,
+    ) -> Response {
         let budget = self.config.deadline_budget;
         let mut remaining = budget;
         let mut retries_used = 0usize;
         let mut deadline_missed = false;
         if self.breaker.try_acquire() {
+            let pre = pre.unwrap_or_else(|| self.clf.logits_within(&request.tokens, budget));
             loop {
-                match self.clf.logits_within(&request.tokens, remaining) {
+                let attempt = match &pre {
+                    Ok((logits, cost)) => {
+                        if *cost <= remaining {
+                            Ok((logits.clone(), *cost))
+                        } else {
+                            Err(InferError::DeadlineExceeded {
+                                spent: 0,
+                                needed: *cost,
+                                budget: remaining,
+                            })
+                        }
+                    }
+                    Err(e) => Err(e.clone()),
+                };
+                match attempt {
                     Ok((logits, spent)) => {
                         remaining = remaining.saturating_sub(spent);
                         if logits.iter().all(|v| v.is_finite()) {
@@ -781,18 +890,14 @@ impl ServeEngine {
                     }
                 }
             }
-            while let Some(req) = self.queue.pop_front() {
-                responses.push(self.process(req));
-            }
+            responses.append(&mut self.drain_queue());
             if exhausted {
                 break;
             }
         }
         for request in pending {
             self.offer(request);
-            while let Some(req) = self.queue.pop_front() {
-                responses.push(self.process(req));
-            }
+            responses.append(&mut self.drain_queue());
         }
         responses
     }
@@ -1109,6 +1214,93 @@ mod tests {
         let (rb, sb) = run(clf);
         assert_eq!(sa, sb, "stats must reproduce exactly");
         assert_eq!(ra, rb, "every response must reproduce exactly");
+    }
+
+    #[test]
+    fn batched_drain_queue_matches_unbatched_and_serve_one_bitwise() {
+        let (clf, _, trace) = tiny_engine_parts();
+        let tok = FieldTokenizer::new();
+        let (requests, _) = assemble_requests(&trace, &tok, 64);
+        assert!(requests.len() > 8, "need a non-trivial batch");
+        let config =
+            ServeConfig { queue_capacity: 256, shed_watermark: 256, ..ServeConfig::default() };
+        let run = |max_batch: usize, batch_cost_budget: u64| {
+            let mut engine = ServeEngine::new(
+                clf.clone(),
+                Fallback::Majority(MajorityBaseline::fit(&[], 2)),
+                ServeConfig { max_batch, batch_cost_budget, ..config },
+            );
+            for r in requests.iter().cloned() {
+                engine.submit(r);
+            }
+            (engine.drain_queue(), engine.stats())
+        };
+        let (r1, s1) = run(1, u64::MAX);
+        // serve_one on a fresh engine answers identically (admission stats
+        // aside — serve_one bypasses the queue).
+        let mut solo = ServeEngine::new(
+            clf.clone(),
+            Fallback::Majority(MajorityBaseline::fit(&[], 2)),
+            config,
+        );
+        let r_solo: Vec<Response> = requests.iter().cloned().map(|r| solo.serve_one(r)).collect();
+        assert_eq!(r1, r_solo, "queued and hedged paths agree");
+        for (max_batch, batch_cost_budget) in
+            [(4, u64::MAX), (8, u64::MAX), (requests.len() + 1, u64::MAX), (8, 1), (8, 250_000)]
+        {
+            let (rb, sb) = run(max_batch, batch_cost_budget);
+            assert_eq!(r1, rb, "batched responses (max_batch={max_batch})");
+            assert_eq!(s1, sb, "batched stats (max_batch={max_batch})");
+        }
+    }
+
+    #[test]
+    fn batched_serve_trace_matches_unbatched_under_faults() {
+        let (clf, _, trace) = tiny_engine_parts();
+        let (noisy, _) = inject(&trace, &FaultConfig::noisy(5));
+        let schedule = burst_schedule(
+            10_000,
+            &FaultConfig { burst_chance: 0.4, max_burst: 12, seed: 8, ..FaultConfig::default() },
+        );
+        let tok = FieldTokenizer::new();
+        let base = ServeConfig {
+            queue_capacity: 6,
+            shed_watermark: 3,
+            deadline_budget: 2_000_000,
+            breaker: BreakerConfig { failure_threshold: 2, cooldown: 3, probes_to_close: 1 },
+            retry: RetryPolicy { max_retries: 1, ..RetryPolicy::default() },
+            ..ServeConfig::default()
+        };
+        let run = |max_batch: usize| {
+            let mut engine = ServeEngine::new(
+                clf.clone(),
+                Fallback::Majority(MajorityBaseline::fit(&[], 2)),
+                ServeConfig { max_batch, ..base },
+            );
+            // Healthy traffic, then NaN-poisoned weights (breaker trips,
+            // fallback answers), then healed weights (half-open recovery).
+            let mut all = engine.serve_trace(&noisy, &tok, &schedule);
+            let snapshot: Vec<Vec<f32>> = {
+                let mut params = Vec::new();
+                engine.model_mut().encoder.visit_params(&mut |p, _| params.push(p.to_vec()));
+                params
+            };
+            engine.model_mut().encoder.visit_params(&mut |p, _| p.fill(f32::NAN));
+            all.extend(engine.serve_trace(&noisy, &tok, &schedule));
+            let mut slot = 0usize;
+            engine.model_mut().encoder.visit_params(&mut |p, _| {
+                p.copy_from_slice(&snapshot[slot]);
+                slot += 1;
+            });
+            all.extend(engine.serve_trace(&noisy, &tok, &schedule));
+            (all, engine.stats())
+        };
+        let (r1, s1) = run(1);
+        let (r8, s8) = run(8);
+        assert!(s1.breaker_trips >= 1, "fault schedule must exercise the breaker");
+        assert!(s1.shed > 0, "bursts against a short queue must shed");
+        assert_eq!(s1, s8, "stats identical across batching modes");
+        assert_eq!(r1, r8, "responses identical across batching modes");
     }
 
     #[test]

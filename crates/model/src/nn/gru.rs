@@ -127,7 +127,7 @@ impl GruCell {
         let mut n = self.bn.clone();
         matvec(&self.wn, x, &mut n);
         matvec(&self.un, &rh, &mut n);
-        n.iter_mut().for_each(|v| *v = v.tanh());
+        n.iter_mut().for_each(|v| *v = nfm_tensor::fastmath::tanhf(*v));
         let mut h_new = vec![0.0; h];
         for i in 0..h {
             h_new[i] = (1.0 - z[i]) * n[i] + z[i] * h_prev[i];

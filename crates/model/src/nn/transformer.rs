@@ -13,6 +13,7 @@ use std::fmt;
 
 use nfm_tensor::layers::{Embedding, Gelu, LayerNorm, Linear, Module};
 use nfm_tensor::matrix::Matrix;
+use nfm_tensor::scratch::ScratchArena;
 use rand::Rng;
 
 use super::attention::MultiHeadAttention;
@@ -119,6 +120,47 @@ impl EncoderBlock {
         let mut r2 = h1.clone();
         r2.add_assign(&f);
         self.ln2.forward_inference(&r2)
+    }
+
+    /// Packed-batch inference over concatenated sequences (rows of `x`;
+    /// sequence `s` owns rows `bounds[s]..bounds[s+1]`). Linear/LayerNorm/
+    /// GELU sublayers operate per row, so they run once over the packed
+    /// matrix; attention iterates per sequence inside
+    /// [`MultiHeadAttention::forward_inference_batch`]. Takes ownership of
+    /// `x` to reuse its buffer for the first residual; every intermediate
+    /// comes from (and retires into) `arena`. Bitwise identical, row for
+    /// row, to [`EncoderBlock::forward_inference`] on each sequence.
+    fn forward_inference_batch(
+        &self,
+        mut x: Matrix,
+        bounds: &[usize],
+        arena: &mut ScratchArena,
+    ) -> Matrix {
+        let (rows, d) = (x.rows(), x.cols());
+        let a = self.attn.forward_inference_batch(&x, bounds, arena);
+        // r1 = x + a, reusing x's buffer (same `+=` arithmetic as the
+        // single-sequence `r1 = x.clone(); r1 += a`).
+        x.add_assign(&a);
+        arena.put(a);
+        let mut h1 = arena.take(rows, d);
+        self.ln1.forward_inference_into(&x, &mut h1);
+        arena.put(x);
+        let d_ff = self.ff1.w.cols();
+        let mut f1 = arena.take(rows, d_ff);
+        self.ff1.forward_inference_into(&h1, &mut f1);
+        let mut g = arena.take(rows, d_ff);
+        self.gelu.forward_inference_into(&f1, &mut g);
+        arena.put(f1);
+        let mut f2 = arena.take(rows, d);
+        self.ff2.forward_inference_into(&g, &mut f2);
+        arena.put(g);
+        // r2 = h1 + f, reusing h1's buffer.
+        h1.add_assign(&f2);
+        arena.put(f2);
+        let mut out = arena.take(rows, d);
+        self.ln2.forward_inference_into(&h1, &mut out);
+        arena.put(h1);
+        out
     }
 
     fn backward(&mut self, dy: &Matrix) -> Matrix {
@@ -287,6 +329,86 @@ impl Encoder {
             h = block.forward_inference(&h);
         }
         Ok((h, spent))
+    }
+
+    /// Packed-batch inference over several token sequences at once: clamps
+    /// each sequence to `max_len`, concatenates them row-wise, and runs
+    /// embeddings, layer norms, and all linear projections as single
+    /// operations over the packed rows (attention iterates per sequence).
+    /// Returns the packed hidden states plus row bounds: sequence `s`
+    /// occupies rows `bounds[s]..bounds[s+1]`.
+    ///
+    /// Every per-row computation in the stack (GEMM output rows, layer
+    /// norm, GELU, embedding gathers) is independent of neighbouring rows
+    /// and of the total row count, so each sequence's block of the output
+    /// is bitwise identical to [`Encoder::forward_inference`] on that
+    /// sequence alone. Scratch matrices come from `arena`, which after the
+    /// first batch serves every request from warm buffers.
+    ///
+    /// Panics if any sequence is empty (mirroring the single-sequence
+    /// assert); budgeted callers must filter affordable, non-empty
+    /// sequences first (see [`Encoder::plan_inference_cost`]).
+    pub fn forward_inference_batch(
+        &self,
+        seqs: &[&[usize]],
+        arena: &mut ScratchArena,
+    ) -> (Matrix, Vec<usize>) {
+        let clamped: Vec<&[usize]> = seqs.iter().map(|ids| self.clamp_ids(ids)).collect();
+        let mut bounds = Vec::with_capacity(clamped.len() + 1);
+        bounds.push(0usize);
+        for ids in &clamped {
+            assert!(!ids.is_empty(), "empty sequence");
+            bounds.push(bounds.last().unwrap() + ids.len());
+        }
+        let rows = *bounds.last().unwrap();
+        let d = self.config.d_model;
+        let mut x = arena.take(rows, d);
+        let mut pos_ids = Vec::with_capacity(rows);
+        for (s, ids) in clamped.iter().enumerate() {
+            self.tok_emb.lookup_span(ids, &mut x, bounds[s]);
+            pos_ids.extend(0..ids.len());
+        }
+        let mut pos = arena.take(rows, d);
+        self.pos_emb.lookup_span(&pos_ids, &mut pos, 0);
+        x.add_assign(&pos);
+        arena.put(pos);
+        let mut h = arena.take(rows, d);
+        self.emb_ln.forward_inference_into(&x, &mut h);
+        arena.put(x);
+        for block in &self.blocks {
+            h = block.forward_inference_batch(h, &bounds, arena);
+        }
+        (h, bounds)
+    }
+
+    /// Replay the exact charge schedule [`Encoder::forward_inference_within`]
+    /// walks for a `t`-token (pre-clamp) sequence against `budget`, without
+    /// doing any compute: the embedding charge, then one block charge per
+    /// layer. Returns the encoder cost it would spend, or the identical
+    /// [`InferError::DeadlineExceeded`] (same `spent`/`needed`/`budget`
+    /// fields) the budgeted forward would produce. The batch scheduler uses
+    /// this to give unaffordable requests their deterministic refusal
+    /// without holding up the rest of the batch.
+    pub fn plan_inference_cost(&self, t: usize, budget: u64) -> Result<u64, InferError> {
+        let t = t.min(self.config.max_len);
+        if t == 0 {
+            return Err(InferError::EmptyInput);
+        }
+        let mut spent = 0u64;
+        let mut charge = |needed: u64| -> Result<(), InferError> {
+            if spent + needed > budget {
+                Err(InferError::DeadlineExceeded { spent, needed, budget })
+            } else {
+                spent += needed;
+                Ok(())
+            }
+        };
+        charge(self.embed_cost(t))?;
+        let block_cost = self.block_cost(t);
+        for _ in &self.blocks {
+            charge(block_cost)?;
+        }
+        Ok(spent)
     }
 
     /// Backward from dL/dhidden; accumulates gradients in all submodules.
@@ -507,6 +629,58 @@ mod tests {
         let (h, spent) = enc.forward_inference_within(&ids, cost).expect("clamped fits");
         assert_eq!(h.rows(), enc.config.max_len);
         assert_eq!(spent, cost);
+    }
+
+    #[test]
+    fn packed_batch_forward_matches_single_sequences_bitwise() {
+        let (enc, _) = small();
+        let seqs: Vec<Vec<usize>> = vec![
+            vec![2, 5, 6, 7, 3],
+            vec![2, 3],
+            vec![2, 9, 10, 11, 12, 13, 14, 3],
+            (0..40).map(|i| i % 20).collect(), // clamped to max_len
+        ];
+        let refs: Vec<&[usize]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut arena = ScratchArena::new();
+        // Two passes: the second runs entirely on recycled dirty buffers.
+        for pass in 0..2 {
+            let (h, bounds) = enc.forward_inference_batch(&refs, &mut arena);
+            assert_eq!(bounds.len(), seqs.len() + 1);
+            for (s, ids) in seqs.iter().enumerate() {
+                let single = enc.forward_inference(ids);
+                assert_eq!(bounds[s + 1] - bounds[s], single.rows(), "seq {s} rows");
+                for r in 0..single.rows() {
+                    let got: Vec<u32> = h.row(bounds[s] + r).iter().map(|v| v.to_bits()).collect();
+                    let want: Vec<u32> = single.row(r).iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(got, want, "pass {pass} seq {s} row {r}");
+                }
+            }
+            arena.put(h);
+        }
+        assert!(arena.available() > 0, "buffers were retired for reuse");
+    }
+
+    #[test]
+    fn plan_inference_cost_mirrors_budgeted_forward_exactly() {
+        let (enc, _) = small();
+        let ids = [2usize, 5, 6, 7, 3];
+        let cost = enc.inference_cost(ids.len());
+        // Affordable: spent agrees with the real budgeted forward.
+        assert_eq!(enc.plan_inference_cost(ids.len(), cost), Ok(cost));
+        // Every refusal budget yields the identical typed error.
+        for budget in [0u64, 1, cost / 2, cost - 1] {
+            assert_eq!(
+                enc.plan_inference_cost(ids.len(), budget),
+                enc.forward_inference_within(&ids, budget).map(|(_, spent)| spent),
+                "budget {budget}"
+            );
+        }
+        assert_eq!(enc.plan_inference_cost(0, u64::MAX), Err(InferError::EmptyInput));
+        // Over-long sequences clamp the same way the forward does.
+        assert_eq!(
+            enc.plan_inference_cost(40, u64::MAX),
+            Ok(enc.inference_cost(enc.config.max_len))
+        );
     }
 
     #[test]

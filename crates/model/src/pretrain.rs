@@ -449,9 +449,21 @@ pub fn pretrain(
                 }
                 // Stage 2 (parallel): forward/backward each fixed shard on
                 // model replicas. Shard boundaries depend only on the item
-                // count, never on the thread count.
+                // count, never on the thread count. The dispatch is work-
+                // gated: a backward pass costs roughly twice the forward,
+                // and below the gate the per-batch spawn (plus per-shard
+                // model clone + gradient reduction) costs more than it
+                // saves, so small batches run inline.
+                let batch_work: usize = items
+                    .iter()
+                    .map(|it| {
+                        let mlm_t = it.mlm.as_ref().map_or(0, |(ids, _)| ids.len());
+                        let nfp_t = it.nfp.as_ref().map_or(0, |(ids, _)| ids.len());
+                        3 * (encoder.inference_cost(mlm_t) + encoder.inference_cost(nfp_t)) as usize
+                    })
+                    .sum();
                 let shards = pool::shard_ranges(items.len(), pool::REDUCE_SHARDS);
-                let results = pool::par_map(shards.len(), |s| {
+                let results = pool::par_map_work(shards.len(), batch_work, |s| {
                     run_pretrain_shard(&encoder, &mlm_head, &nfp_head, &items[shards[s].clone()])
                 });
                 // Stage 3 (sequential): reduce gradients and loss partials

@@ -33,15 +33,18 @@
 #![forbid(unsafe_code)]
 
 pub mod checkpoint;
+pub mod fastmath;
 pub mod init;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
 pub mod optim;
 pub mod pool;
+pub mod scratch;
 
 pub use checkpoint::CheckpointError;
 pub use layers::{Embedding, Gelu, LayerNorm, Linear, Module};
 pub use loss::{mse, softmax_cross_entropy, IGNORE_INDEX};
 pub use matrix::{cosine, Matrix};
 pub use optim::{clip_global_norm, Adam, Schedule, Sgd};
+pub use scratch::ScratchArena;

@@ -17,10 +17,14 @@ const TILE_K: usize = 64;
 /// Tile width along the output-column (`n`) dimension of matmuls.
 const TILE_N: usize = 256;
 /// Minimum multiply-add count before a matmul fans out across threads.
-/// Workers are scoped OS threads, so the spawn cost (~tens of µs) only
-/// amortises once a call carries on the order of a million MACs; below
-/// that the single-threaded tiled loop wins outright.
-const PAR_FLOPS_MIN: usize = 1 << 20;
+/// Workers are scoped OS threads, so the spawn cost (~tens of µs) must be
+/// amortised by several milliseconds of kernel time before fanning out
+/// wins. Bench data showed the previous 2^20 gate admitting sub-millisecond
+/// calls (96×256·256×256 ≈ 6M MACs ≈ 0.8 ms) where the spawn overhead ate
+/// the entire speedup; at 2^25 MACs (~4 ms single-threaded) the overhead is
+/// a few percent and parallel dispatch wins outright on every shape that
+/// clears the gate.
+const PAR_FLOPS_MIN: usize = 1 << 25;
 
 /// Rows per parallel chunk for an op of `work` total scalar operations over
 /// `rows` independent rows; `rows` (one chunk → sequential) when threading
@@ -37,6 +41,14 @@ fn row_chunk(rows: usize, work: usize) -> usize {
 /// `out[r][j] += sum_p a[row0+r][p] * b[p][j]` for the chunk's rows, tiled
 /// over `(p, j)`. The `p` index ascends globally per output element, so the
 /// result is bitwise identical to the untiled `ikj` loop.
+///
+/// The hot path is a 4×8 register tile: four output rows by eight columns
+/// of accumulators live in vector registers across the whole `p` loop, so
+/// each streamed `b` row feeds 32 multiply-adds and `out` is touched once
+/// per tile instead of once per `p`. Tiling only regroups *which elements*
+/// share a pass — each element still starts from its current value and
+/// accumulates over `p` ascending — so the output is bitwise identical to
+/// the scalar form at any row count, shape, or chunk boundary.
 fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
     if n == 0 {
         return;
@@ -46,7 +58,55 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: 
         let jw = TILE_N.min(n - jb);
         for pb in (0..k).step_by(TILE_K) {
             let pw = TILE_K.min(k - pb);
-            for r in 0..rows {
+            let mut r = 0;
+            while r + 4 <= rows {
+                let a0 = &a[(row0 + r) * k..][..k];
+                let a1 = &a[(row0 + r + 1) * k..][..k];
+                let a2 = &a[(row0 + r + 2) * k..][..k];
+                let a3 = &a[(row0 + r + 3) * k..][..k];
+                let mut j = 0;
+                while j + 8 <= jw {
+                    let col = jb + j;
+                    let mut acc0 = [0.0f32; 8];
+                    let mut acc1 = [0.0f32; 8];
+                    let mut acc2 = [0.0f32; 8];
+                    let mut acc3 = [0.0f32; 8];
+                    acc0.copy_from_slice(&out[r * n + col..][..8]);
+                    acc1.copy_from_slice(&out[(r + 1) * n + col..][..8]);
+                    acc2.copy_from_slice(&out[(r + 2) * n + col..][..8]);
+                    acc3.copy_from_slice(&out[(r + 3) * n + col..][..8]);
+                    for p in pb..pb + pw {
+                        let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+                        let b8 = &b[p * n + col..][..8];
+                        for l in 0..8 {
+                            acc0[l] += v0 * b8[l];
+                            acc1[l] += v1 * b8[l];
+                            acc2[l] += v2 * b8[l];
+                            acc3[l] += v3 * b8[l];
+                        }
+                    }
+                    out[r * n + col..][..8].copy_from_slice(&acc0);
+                    out[(r + 1) * n + col..][..8].copy_from_slice(&acc1);
+                    out[(r + 2) * n + col..][..8].copy_from_slice(&acc2);
+                    out[(r + 3) * n + col..][..8].copy_from_slice(&acc3);
+                    j += 8;
+                }
+                if j < jw {
+                    // Column remainder (< 8 wide): plain per-p accumulation.
+                    for p in pb..pb + pw {
+                        let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+                        let b_row = &b[p * n + jb + j..][..jw - j];
+                        for (l, &bv) in b_row.iter().enumerate() {
+                            out[r * n + jb + j + l] += v0 * bv;
+                            out[(r + 1) * n + jb + j + l] += v1 * bv;
+                            out[(r + 2) * n + jb + j + l] += v2 * bv;
+                            out[(r + 3) * n + jb + j + l] += v3 * bv;
+                        }
+                    }
+                }
+                r += 4;
+            }
+            for r in r..rows {
                 let a_row = &a[(row0 + r) * k..][..k];
                 let o_row = &mut out[r * n + jb..][..jw];
                 for p in pb..pb + pw {
@@ -62,7 +122,9 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: 
 }
 
 /// `out[row0+r][j] += sum_p a[p][row0+r] * b[p][j]` (aᵀ·b) for the chunk's
-/// rows; `a` is `k × m` and read down columns, `b` streams row-wise.
+/// rows; `a` is `k × m` and read down columns, `b` streams row-wise. Rows
+/// are register-blocked four at a time exactly like [`matmul_rows`] — same
+/// per-element accumulation order, same bitwise guarantee.
 fn matmul_tn_rows(
     a: &[f32],
     b: &[f32],
@@ -80,7 +142,30 @@ fn matmul_tn_rows(
         let jw = TILE_N.min(n - jb);
         for pb in (0..k).step_by(TILE_K) {
             let pw = TILE_K.min(k - pb);
-            for r in 0..rows {
+            let mut r = 0;
+            while r + 4 <= rows {
+                let i = row0 + r;
+                let (o0, rest) = out[r * n..(r + 4) * n].split_at_mut(n);
+                let (o1, rest) = rest.split_at_mut(n);
+                let (o2, o3) = rest.split_at_mut(n);
+                let o0 = &mut o0[jb..jb + jw];
+                let o1 = &mut o1[jb..jb + jw];
+                let o2 = &mut o2[jb..jb + jw];
+                let o3 = &mut o3[jb..jb + jw];
+                for p in pb..pb + pw {
+                    let a_col = &a[p * m + i..][..4];
+                    let (v0, v1, v2, v3) = (a_col[0], a_col[1], a_col[2], a_col[3]);
+                    let b_row = &b[p * n + jb..][..jw];
+                    for (j, &bv) in b_row.iter().enumerate() {
+                        o0[j] += v0 * bv;
+                        o1[j] += v1 * bv;
+                        o2[j] += v2 * bv;
+                        o3[j] += v3 * bv;
+                    }
+                }
+                r += 4;
+            }
+            for r in r..rows {
                 let i = row0 + r;
                 let o_row = &mut out[r * n + jb..][..jw];
                 for p in pb..pb + pw {
@@ -97,8 +182,12 @@ fn matmul_tn_rows(
 
 /// Eight-lane dot product with a fixed reduction tree; deterministic and
 /// autovectorizable (the lanes remove the serial dependence that blocks
-/// LLVM from vectorizing a plain f32 accumulator).
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+/// LLVM from vectorizing a plain f32 accumulator). Public so callers that
+/// work on strided views (e.g. per-head attention over packed Q/K slices)
+/// can reproduce [`Matrix::matmul_nt`]'s exact bits without materialising
+/// the slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     let mut lanes = [0.0f32; 8];
     let mut ca = a.chunks_exact(8);
     let mut cb = b.chunks_exact(8);
@@ -114,6 +203,32 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
     let s04_15 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
     let s26_37 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
     (s04_15 + s26_37) + tail
+}
+
+/// [`dot`] specialised to exactly 8 elements — the attention head width in
+/// every bench config. The op sequence is identical (each lane starts from
+/// the accumulator's `+0.0`, same reduction tree, same trailing `+ 0.0` for
+/// the empty tail, none of which are FP identities for signed zeros), so the
+/// result is bit-for-bit the same as `dot(a, b)` with `a.len() == 8`; only
+/// the chunk/tail loop machinery is gone, which lets LLVM keep the whole dot
+/// in two SIMD lanes.
+///
+/// # Panics
+/// Panics if either slice is shorter than 8.
+#[inline(always)]
+pub fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    let (a, b) = (&a[..8], &b[..8]);
+    let l0 = 0.0f32 + a[0] * b[0];
+    let l1 = 0.0f32 + a[1] * b[1];
+    let l2 = 0.0f32 + a[2] * b[2];
+    let l3 = 0.0f32 + a[3] * b[3];
+    let l4 = 0.0f32 + a[4] * b[4];
+    let l5 = 0.0f32 + a[5] * b[5];
+    let l6 = 0.0f32 + a[6] * b[6];
+    let l7 = 0.0f32 + a[7] * b[7];
+    let s04_15 = (l0 + l4) + (l1 + l5);
+    let s26_37 = (l2 + l6) + (l3 + l7);
+    (s04_15 + s26_37) + 0.0f32
 }
 
 /// `out[r][j] = dot(a[row0+r], b[j])` for the chunk's rows (a·bᵀ).
@@ -159,6 +274,22 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
         Matrix { rows, cols, data }
+    }
+
+    /// All-zeros `rows×cols` matrix reusing `backing`'s allocation: the
+    /// vector is cleared and zero-resized in place, so no heap allocation
+    /// happens when its capacity already fits. The workhorse of
+    /// [`crate::scratch::ScratchArena`].
+    pub fn zeros_in(rows: usize, cols: usize, mut backing: Vec<f32>) -> Matrix {
+        backing.clear();
+        backing.resize(rows * cols, 0.0);
+        Matrix { rows, cols, data: backing }
+    }
+
+    /// Consume the matrix, yielding its flat row-major backing vector (so
+    /// the allocation can be recycled through [`Matrix::zeros_in`]).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
     }
 
     /// Build elementwise from a function of (row, col).
@@ -220,6 +351,34 @@ impl Matrix {
 
     /// `self @ other` — (m×k)·(k×n) → m×n.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_fill(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] written into a caller-provided `m×n` output,
+    /// overwriting its contents without allocating. Same kernels, same
+    /// shard boundaries, same accumulation order — the result is bitwise
+    /// identical to the allocating form.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul_into output shape {}x{} for {}x{} @ {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
+        out.data.fill(0.0);
+        self.matmul_fill(other, out);
+    }
+
+    /// Shared matmul dispatch; `out` must be `m×n` and all zeros (the
+    /// kernels accumulate into it).
+    fn matmul_fill(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul inner dims {}x{} @ {}x{}",
@@ -228,13 +387,11 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         nfm_obs::counter!("tensor.matmul.calls").inc();
         nfm_obs::counter!("tensor.matmul.macs", nfm_obs::Unit::Macs).add((m * k * n) as u64);
-        let mut out = Matrix::zeros(m, n);
         let (a, b) = (&self.data, &other.data);
         let chunk_rows = row_chunk(m, m * k * n);
         pool::par_chunks_mut(&mut out.data, chunk_rows * n, |offset, chunk| {
             matmul_rows(a, b, chunk, offset / n.max(1), k, n);
         });
-        out
     }
 
     /// `selfᵀ @ other` — (k×m)ᵀ·(k×n) → m×n, without materializing the
@@ -362,6 +519,20 @@ impl Matrix {
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
+    /// [`Matrix::map`] written into a caller-provided same-shape output,
+    /// overwriting its contents without allocating; bitwise identical to
+    /// the allocating form.
+    pub fn map_into(&self, f: impl Fn(f32) -> f32 + Sync, out: &mut Matrix) {
+        assert_eq!((self.rows, self.cols), (out.rows, out.cols), "map_into shape");
+        let src = &self.data;
+        pool::par_chunks_mut(&mut out.data, pool::elem_chunk(src.len()), |offset, chunk| {
+            let n = chunk.len();
+            for (o, &x) in chunk.iter_mut().zip(&src[offset..offset + n]) {
+                *o = f(x);
+            }
+        });
+    }
+
     /// Elementwise product into a new matrix.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
@@ -482,6 +653,27 @@ mod tests {
 
     fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
         Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn dot8_matches_dot_bitwise() {
+        // LCG-driven values spanning magnitudes and signs, plus signed-zero
+        // products, where `+0.0` non-identities would show up first.
+        let mut state = 0x1234_5678_u32;
+        let mut next = || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            ((state >> 8) as f32 / 8_388_608.0 - 1.0) * 3.0
+        };
+        for _ in 0..1000 {
+            let a: Vec<f32> = (0..8).map(|_| next()).collect();
+            let b: Vec<f32> = (0..8).map(|_| next()).collect();
+            assert_eq!(dot(&a, &b).to_bits(), dot8(&a, &b).to_bits());
+        }
+        let z = [-0.0f32; 8];
+        let p = [1.0f32; 8];
+        assert_eq!(dot(&z, &p).to_bits(), dot8(&z, &p).to_bits());
+        assert_eq!(dot(&z, &z).to_bits(), dot8(&z, &z).to_bits());
+        assert_eq!(dot(&p, &z).to_bits(), dot8(&p, &z).to_bits());
     }
 
     #[test]
@@ -618,10 +810,103 @@ mod tests {
         }
     }
 
+    /// Emulate the parallel dispatch by running the row kernels over
+    /// manually split output chunks and comparing against the one-chunk
+    /// call. This covers the shard-boundary arithmetic directly, without
+    /// depending on the host's core count or the `PAR_FLOPS_MIN` gate
+    /// (which small test shapes no longer clear).
+    #[test]
+    fn row_kernels_are_chunk_boundary_invariant() {
+        let (m_, k_, n_) = (13, 70, 37);
+        let a = int_matrix(m_, k_, 5);
+        let b = int_matrix(k_, n_, 6);
+        let at = a.transpose();
+        let bt = b.transpose();
+        for split in [1usize, 2, 3, 5, 12] {
+            let mut whole = vec![0.0f32; m_ * n_];
+            let mut parts = vec![0.0f32; m_ * n_];
+            matmul_rows(a.data(), b.data(), &mut whole, 0, k_, n_);
+            for r in shard_test_ranges(m_, split) {
+                matmul_rows(
+                    a.data(),
+                    b.data(),
+                    &mut parts[r.start * n_..r.end * n_],
+                    r.start,
+                    k_,
+                    n_,
+                );
+            }
+            assert_eq!(whole, parts, "matmul_rows split {split}");
+
+            let mut whole_tn = vec![0.0f32; m_ * n_];
+            let mut parts_tn = vec![0.0f32; m_ * n_];
+            matmul_tn_rows(at.data(), b.data(), &mut whole_tn, 0, k_, m_, n_);
+            for r in shard_test_ranges(m_, split) {
+                matmul_tn_rows(
+                    at.data(),
+                    b.data(),
+                    &mut parts_tn[r.start * n_..r.end * n_],
+                    r.start,
+                    k_,
+                    m_,
+                    n_,
+                );
+            }
+            assert_eq!(whole_tn, parts_tn, "matmul_tn_rows split {split}");
+
+            let mut whole_nt = vec![0.0f32; m_ * n_];
+            let mut parts_nt = vec![0.0f32; m_ * n_];
+            matmul_nt_rows(a.data(), bt.data(), &mut whole_nt, 0, k_, n_);
+            for r in shard_test_ranges(m_, split) {
+                matmul_nt_rows(
+                    a.data(),
+                    bt.data(),
+                    &mut parts_nt[r.start * n_..r.end * n_],
+                    r.start,
+                    k_,
+                    n_,
+                );
+            }
+            assert_eq!(whole_nt, parts_nt, "matmul_nt_rows split {split}");
+        }
+    }
+
+    fn shard_test_ranges(rows: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+        let chunk = rows.div_ceil(parts);
+        (0..rows).step_by(chunk.max(1)).map(|s| s..(s + chunk).min(rows)).collect()
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let a = int_matrix(9, 33, 7);
+        let b = int_matrix(33, 21, 8);
+        let want = a.matmul(&b);
+        // Dirty, reused backing: matmul_into must fully overwrite it.
+        let mut out = Matrix::zeros(9, 21);
+        out.data_mut().fill(f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), want.data());
+
+        let mapped = want.map(|v| v * 0.5 - 1.0);
+        let mut mout = Matrix::zeros(9, 21);
+        mout.data_mut().fill(f32::NAN);
+        want.map_into(|v| v * 0.5 - 1.0, &mut mout);
+        assert_eq!(mout.data(), mapped.data());
+    }
+
+    #[test]
+    fn zeros_in_recycles_backing_without_reallocating() {
+        let big = Matrix::zeros(8, 16);
+        let backing = big.into_data();
+        let ptr = backing.as_ptr();
+        let m = Matrix::zeros_in(4, 5, backing);
+        assert_eq!((m.rows(), m.cols()), (4, 5));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+        assert_eq!(m.data().as_ptr(), ptr, "capacity was large enough: no realloc");
+    }
+
     #[test]
     fn matmul_is_thread_count_invariant() {
-        // Large enough to clear PAR_FLOPS_MIN so the parallel dispatch
-        // actually engages at 4 threads.
         let a = int_matrix(64, 96, 3);
         let b = int_matrix(96, 80, 4);
         pool::set_threads(1);

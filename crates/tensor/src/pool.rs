@@ -20,7 +20,10 @@
 //!
 //! The thread count comes from the `NFM_THREADS` environment variable,
 //! falling back to [`std::thread::available_parallelism`]; tests override
-//! it in-process with [`set_threads`].
+//! it in-process with [`set_threads`]. Whatever is requested, the count
+//! actually used to spawn workers is capped at the machine's hardware
+//! parallelism (see [`effective_threads`]) — oversubscribing compute-bound
+//! kernels only adds spawn overhead.
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -69,13 +72,26 @@ pub fn set_threads(n: usize) {
     OVERRIDE.store(n.min(MAX_THREADS), Ordering::Relaxed);
 }
 
+/// The machine's available hardware parallelism (cached).
+fn hw_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Worker count effective at this call site: 1 inside a pool worker (no
-/// nested spawning), [`num_threads`] otherwise.
+/// nested spawning), otherwise [`num_threads`] capped at the machine's
+/// hardware parallelism. The cap matters for compute-bound kernels:
+/// requesting `NFM_THREADS=4` on a 1-core host used to spawn four scoped
+/// threads that time-slice one core, paying full spawn overhead for zero
+/// speedup (the `matmul_96x256x256`/`pretrain_epoch` 4-thread bench
+/// regressions). Oversubscription never helps these kernels, and results
+/// are bitwise identical at every worker count, so capping is purely a
+/// performance decision.
 pub fn effective_threads() -> usize {
     if IN_WORKER.with(Cell::get) {
         1
     } else {
-        num_threads()
+        num_threads().min(hw_threads())
     }
 }
 
@@ -342,6 +358,14 @@ mod tests {
         let expect: Vec<usize> = (0..8).map(|i| i * 7).collect();
         assert_eq!(small, expect, "sequential path below the gate");
         assert_eq!(big, expect, "parallel path above the gate");
+    }
+
+    #[test]
+    fn effective_threads_never_exceeds_hardware() {
+        set_threads(MAX_THREADS);
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(effective_threads() <= hw);
+        set_threads(0);
     }
 
     #[test]
