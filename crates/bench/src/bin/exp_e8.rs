@@ -73,7 +73,7 @@ fn main() {
 
     let mut table = Table::new(&["encoder", "zero-day", "score", "auroc"]);
     for (enc_name, clf) in [("pretrained", &clf_pre), ("random-init", &clf_rand)] {
-        let detector = OodDetector::new(clf, &train_ex);
+        let detector = OodDetector::fit(clf, &train_ex);
         for class in &split.zero_day {
             let attacks =
                 flows_tokens(&eval_flows, &tokenizer, |f| f.label.anomaly == Some(*class));
@@ -81,8 +81,8 @@ fn main() {
                 continue;
             }
             for score in OodScore::ALL {
-                let pos: Vec<f64> = attacks.iter().map(|t| detector.score(t, score)).collect();
-                let neg: Vec<f64> = benign.iter().map(|t| detector.score(t, score)).collect();
+                let pos: Vec<f64> = attacks.iter().map(|t| detector.score(clf, t, score)).collect();
+                let neg: Vec<f64> = benign.iter().map(|t| detector.score(clf, t, score)).collect();
                 table.row(&[
                     enc_name.to_string(),
                     class.name().to_string(),

@@ -45,7 +45,8 @@ use nfm_tensor::checkpoint::CheckpointError;
 use nfm_tensor::layers::Module;
 use nfm_traffic::faults::{ReplicaFault, ReplicaFaultKind};
 
-use crate::pipeline::FmClassifier;
+use crate::ood::DriftMonitor;
+use crate::pipeline::{FineTuneConfig, FmClassifier, TextExample};
 use crate::serve::{
     assemble_requests, load_classifier_with_retry, Fallback, IngestStats, Responder, Response,
     RetryPolicy, ServeConfig, ServeEngine, ServeRequest, ServeStats,
@@ -218,6 +219,21 @@ pub struct ClusterStats {
     pub flows_assembled: usize,
     /// Flows dropped for producing no tokens.
     pub empty_contexts: usize,
+    /// Background adaptations started (detector tripped with enough
+    /// quarantined traffic).
+    pub adaptations_started: usize,
+    /// Adaptations whose fine-tune failed (e.g. diverged past the guard).
+    pub adaptations_failed: usize,
+    /// Candidates rejected by the shadow evaluation (worse than incumbent).
+    pub candidates_rejected: usize,
+    /// Canary rollouts started (candidate deployed to one replica).
+    pub rollouts_started: usize,
+    /// Rollouts completed fleet-wide after the canary verified.
+    pub rollouts_completed: usize,
+    /// Canary rollbacks (candidate failed verification on the canary).
+    pub rollbacks: usize,
+    /// Quarantined examples drained into adaptation attempts.
+    pub quarantine_drained: usize,
 }
 
 impl ClusterStats {
@@ -249,6 +265,67 @@ impl ClusterStats {
     }
 }
 
+/// Self-healing knobs: when a replica's drift detector trips and enough
+/// traffic sits in quarantine, the supervisor fine-tunes the incumbent
+/// model in the background (quarantine + `replay` against catastrophic
+/// forgetting), shadow-evaluates the candidate on `holdout` plus the
+/// drained quarantine, and — only if the candidate is no worse — rolls it
+/// out through a canary replica before the fleet.
+#[derive(Debug, Clone)]
+pub struct AdaptConfig {
+    /// Minimum quarantined examples (summed across replicas) before an
+    /// adaptation starts; trips with less traffic keep accumulating.
+    pub min_quarantine: usize,
+    /// Replay slice of the original training data mixed into every
+    /// adaptation fine-tune so the candidate keeps its old competence.
+    pub replay: Vec<TextExample>,
+    /// Deterministic held-out examples for the shadow evaluation (compared
+    /// alongside the drained quarantine).
+    pub holdout: Vec<TextExample>,
+    /// Fine-tune settings for the background adaptation pass.
+    pub fine_tune: FineTuneConfig,
+    /// Ticks to wait before retrying after a failed/rejected adaptation or
+    /// a rollback.
+    pub backoff_base: usize,
+    /// Backoff multiplier per consecutive failure.
+    pub backoff_factor: usize,
+    /// Ticks of quiet after a completed rollout before the next adaptation
+    /// may start.
+    pub cooldown: usize,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            min_quarantine: 32,
+            replay: Vec::new(),
+            holdout: Vec::new(),
+            fine_tune: FineTuneConfig::default(),
+            backoff_base: 4,
+            backoff_factor: 2,
+            cooldown: 8,
+        }
+    }
+}
+
+/// An in-flight canary rollout.
+struct Rollout {
+    candidate: FmClassifier,
+    incumbent: FmClassifier,
+    canary: usize,
+    /// Examples the candidate was fitted on — the fleet's drift monitors
+    /// recalibrate against these once the rollout completes.
+    recal: Vec<TextExample>,
+}
+
+/// Supervisor-side adaptation state.
+struct AdaptState {
+    config: AdaptConfig,
+    rollout: Option<Rollout>,
+    backoff: usize,
+    not_before: usize,
+}
+
 /// One managed replica: an engine plus the supervisor's view of it.
 struct Replica {
     engine: ServeEngine,
@@ -270,6 +347,7 @@ pub struct ClusterSupervisor {
     stats: ClusterStats,
     tick: usize,
     rr: usize,
+    adapt: Option<AdaptState>,
 }
 
 impl ClusterSupervisor {
@@ -326,6 +404,7 @@ impl ClusterSupervisor {
             stats: ClusterStats::default(),
             tick: 0,
             rr: 0,
+            adapt: None,
         })
     }
 
@@ -344,6 +423,14 @@ impl ClusterSupervisor {
         self.replicas.iter().filter(|r| r.health == ReplicaHealth::Healthy).count()
     }
 
+    /// The cumulative tick counter (one tick per burst across every
+    /// [`ClusterSupervisor::serve_trace`] call). Fault `at_burst` times are
+    /// matched against this counter, so harnesses that serve multiple
+    /// traces through one supervisor schedule faults relative to it.
+    pub fn tick(&self) -> usize {
+        self.tick
+    }
+
     /// Path of a replica's warm-restart checkpoint — exposed so chaos
     /// harnesses can corrupt the file on disk and exercise the CRC path.
     pub fn checkpoint_path(&self, replica: usize) -> &Path {
@@ -358,6 +445,204 @@ impl ClusterSupervisor {
     /// One replica's engine-level statistics.
     pub fn replica_stats(&self, replica: usize) -> ServeStats {
         self.replicas[replica].engine.stats()
+    }
+
+    /// One replica's currently served model.
+    pub fn replica_model(&self, replica: usize) -> &FmClassifier {
+        self.replicas[replica].engine.model()
+    }
+
+    /// Arm the self-healing loop: every replica gets a clone of `monitor`
+    /// (scoring its own traffic independently but from identical
+    /// calibration), and the supervisor starts watching for trips to
+    /// schedule background adaptation and canary-gated rollouts.
+    pub fn enable_adaptation(&mut self, monitor: DriftMonitor, config: AdaptConfig) {
+        for r in &mut self.replicas {
+            r.engine.enable_drift(monitor.clone());
+        }
+        self.adapt = Some(AdaptState {
+            backoff: config.backoff_base.max(1),
+            config,
+            rollout: None,
+            not_before: 0,
+        });
+    }
+
+    /// Whether any replica's drift detector is currently tripped.
+    pub fn drift_tripped(&self) -> bool {
+        self.replicas.iter().any(|r| r.engine.drift_monitor().is_some_and(|m| m.tripped()))
+    }
+
+    /// Examples currently quarantined across the fleet.
+    pub fn quarantined_total(&self) -> usize {
+        self.replicas.iter().map(|r| r.engine.quarantine().len()).sum()
+    }
+
+    /// Apply delayed ground-truth labels to every replica (see
+    /// [`ServeEngine::record_feedback`]); returns how many times detectors
+    /// newly tripped across the fleet.
+    pub fn apply_feedback(&mut self, truth: &dyn Fn(&[String]) -> Option<usize>) -> usize {
+        self.replicas.iter_mut().map(|r| r.engine.record_feedback(truth)).sum()
+    }
+
+    /// The self-healing step, run once per tick: advance an in-flight
+    /// canary rollout, or start a new background adaptation when a drift
+    /// detector has tripped with enough quarantined traffic.
+    fn maybe_adapt(&mut self) {
+        let Some(mut state) = self.adapt.take() else { return };
+        match state.rollout.take() {
+            Some(rollout) => self.advance_rollout(&mut state, rollout),
+            None => self.maybe_start_adaptation(&mut state),
+        }
+        self.adapt = Some(state);
+    }
+
+    /// The least-impaired replica — adaptation's incumbent source and the
+    /// canary target.
+    fn least_impaired(&self) -> usize {
+        (0..self.replicas.len()).min_by_key(|&i| self.replicas[i].health.severity()).unwrap_or(0)
+    }
+
+    /// Begin an adaptation cycle if warranted: drain every quarantine, warm
+    /// fine-tune the incumbent on quarantine + replay, shadow-evaluate the
+    /// candidate, and deploy it to one canary replica only if it is no
+    /// worse than the incumbent.
+    fn maybe_start_adaptation(&mut self, state: &mut AdaptState) {
+        if self.tick < state.not_before {
+            return;
+        }
+        let tripped =
+            self.replicas.iter().any(|r| r.engine.drift_monitor().is_some_and(|m| m.tripped()));
+        if !tripped || self.quarantined_total() < state.config.min_quarantine {
+            return;
+        }
+        self.stats.adaptations_started += 1;
+        nfm_obs::counter!("adapt.started").inc();
+        let mut fresh: Vec<TextExample> = Vec::new();
+        for r in &mut self.replicas {
+            fresh.append(&mut r.engine.quarantine_mut().drain());
+        }
+        self.stats.quarantine_drained += fresh.len();
+        nfm_obs::counter!("adapt.quarantine_drained").add(fresh.len() as u64);
+        nfm_obs::event(
+            "adapt.start",
+            &[
+                ("tick", nfm_obs::Value::U(self.tick as u64)),
+                ("quarantined", nfm_obs::Value::U(fresh.len() as u64)),
+            ],
+        );
+        let canary = self.least_impaired();
+        let incumbent = self.replicas[canary].engine.model().clone();
+        let mut train = fresh.clone();
+        train.extend(state.config.replay.iter().cloned());
+        let candidate =
+            match FmClassifier::fine_tune_from(&incumbent, &train, &state.config.fine_tune) {
+                Ok(clf) => clf,
+                Err(e) => {
+                    self.stats.adaptations_failed += 1;
+                    nfm_obs::counter!("adapt.failed").inc();
+                    nfm_obs::event("adapt.failed", &[("error", nfm_obs::Value::S(&e.to_string()))]);
+                    self.adapt_backoff(state);
+                    return;
+                }
+            };
+        // Shadow evaluation: integer correct-counts on the deterministic
+        // holdout plus the traffic that triggered the adaptation. The
+        // candidate must be at least as good as the incumbent.
+        let mut eval: Vec<&TextExample> = state.config.holdout.iter().collect();
+        eval.extend(fresh.iter());
+        let correct = |clf: &FmClassifier| -> usize {
+            eval.iter().filter(|e| clf.predict(&e.tokens) == e.label).count()
+        };
+        let cand_correct = correct(&candidate);
+        let inc_correct = correct(&incumbent);
+        if cand_correct < inc_correct {
+            self.stats.candidates_rejected += 1;
+            nfm_obs::counter!("adapt.rejected").inc();
+            nfm_obs::event(
+                "adapt.rejected",
+                &[
+                    ("candidate_correct", nfm_obs::Value::U(cand_correct as u64)),
+                    ("incumbent_correct", nfm_obs::Value::U(inc_correct as u64)),
+                    ("eval_n", nfm_obs::Value::U(eval.len() as u64)),
+                ],
+            );
+            self.adapt_backoff(state);
+            return;
+        }
+        // Canary deploy: one replica serves the candidate; the fleet keeps
+        // the incumbent, so model availability never dips.
+        self.replicas[canary].engine.replace_model(candidate.clone());
+        self.stats.rollouts_started += 1;
+        nfm_obs::counter!("rollout.started").inc();
+        nfm_obs::event(
+            "rollout.canary",
+            &[
+                ("replica", nfm_obs::Value::U(canary as u64)),
+                ("candidate_correct", nfm_obs::Value::U(cand_correct as u64)),
+                ("incumbent_correct", nfm_obs::Value::U(inc_correct as u64)),
+            ],
+        );
+        state.rollout = Some(Rollout { candidate, incumbent, canary, recal: train });
+    }
+
+    /// One tick after the canary deploy, verify the canary replica still
+    /// answers its health probe; promote the candidate fleet-wide (with
+    /// checkpoint refresh and monitor recalibration) or roll it back.
+    fn advance_rollout(&mut self, state: &mut AdaptState, rollout: Rollout) {
+        let canary = rollout.canary;
+        let healthy = self.probe_one(canary) && self.replicas[canary].health != ReplicaHealth::Down;
+        if !healthy {
+            self.replicas[canary].engine.replace_model(rollout.incumbent.clone());
+            self.stats.rollbacks += 1;
+            nfm_obs::counter!("rollout.rollbacks").inc();
+            nfm_obs::event("rollout.rollback", &[("replica", nfm_obs::Value::U(canary as u64))]);
+            self.adapt_backoff(state);
+            return;
+        }
+        // Fleet-wide promotion: swap every other replica, refresh the
+        // warm-restart checkpoints, and recalibrate every drift monitor
+        // against the candidate + the traffic it was fitted on so the
+        // detectors measure drift from the *new* distribution.
+        let drift_config =
+            self.replicas.iter().find_map(|r| r.engine.drift_monitor().map(|m| m.config()));
+        for i in 0..self.replicas.len() {
+            if i != canary {
+                self.replicas[i].engine.replace_model(rollout.candidate.clone());
+            }
+            if let Err(e) = rollout.candidate.save(&self.replicas[i].checkpoint) {
+                nfm_obs::event(
+                    "rollout.checkpoint_error",
+                    &[
+                        ("replica", nfm_obs::Value::U(i as u64)),
+                        ("error", nfm_obs::Value::S(&e.to_string())),
+                    ],
+                );
+            }
+        }
+        if let Some(cfg) = drift_config {
+            let monitor = DriftMonitor::calibrate(&rollout.candidate, &rollout.recal, cfg);
+            for r in &mut self.replicas {
+                r.engine.enable_drift(monitor.clone());
+            }
+        }
+        self.stats.rollouts_completed += 1;
+        nfm_obs::counter!("rollout.completed").inc();
+        nfm_obs::event(
+            "rollout.completed",
+            &[
+                ("tick", nfm_obs::Value::U(self.tick as u64)),
+                ("canary", nfm_obs::Value::U(canary as u64)),
+            ],
+        );
+        state.backoff = state.config.backoff_base.max(1);
+        state.not_before = self.tick + state.config.cooldown;
+    }
+
+    /// Exponential backoff after a failed/rejected adaptation or rollback.
+    fn adapt_backoff(&mut self, state: &mut AdaptState) {
+        state.not_before = self.tick + state.backoff;
+        state.backoff = state.backoff.saturating_mul(state.config.backoff_factor.max(2));
     }
 
     fn transition(&mut self, replica: usize, to: ReplicaHealth, cause: &str) {
@@ -588,6 +873,7 @@ impl ClusterSupervisor {
         if self.config.probe_interval > 0 && self.tick.is_multiple_of(self.config.probe_interval) {
             self.probe_all();
         }
+        self.maybe_adapt();
 
         // Route the whole burst before any replica drains: bursts — not
         // average load — drive per-replica shedding, as in the engine.
@@ -950,5 +1236,69 @@ mod tests {
         assert_eq!(sa, sb, "stats must reproduce exactly");
         assert_eq!(ra, rb, "every response must reproduce exactly");
         assert!(sa.corruptions_injected == 1 && sa.crashes_injected == 1);
+    }
+
+    #[test]
+    fn label_drift_triggers_adaptation_and_canary_rollout() {
+        let (clf, trace) = tiny_parts();
+        let tok = FieldTokenizer::new();
+        // Calibrate on the traffic the cluster will actually serve so the
+        // score detector stays quiet; this test drives the feedback signal.
+        let (requests, _) = assemble_requests(&trace, &tok, ServeConfig::default().max_tokens);
+        let reference: Vec<TextExample> = requests
+            .iter()
+            .map(|r| TextExample { tokens: r.tokens.clone(), label: clf.predict(&r.tokens) })
+            .collect();
+        let drift_cfg = crate::ood::DriftConfig {
+            lambda_milli: 1_000_000,
+            quarantine_threshold_milli: 1_000_000,
+            err_warmup: 4,
+            err_lambda_milli: 2_000,
+            ..crate::ood::DriftConfig::default()
+        };
+        let monitor = DriftMonitor::calibrate(&clf, &reference, drift_cfg);
+        let dir = temp_dir("adapt");
+        let mut cluster = build(&clf, 3, &dir, ClusterConfig::default());
+        cluster.enable_adaptation(
+            monitor,
+            AdaptConfig {
+                min_quarantine: 4,
+                fine_tune: FineTuneConfig { epochs: 4, ..FineTuneConfig::default() },
+                ..AdaptConfig::default()
+            },
+        );
+        let schedule = vec![2usize; 64];
+        let oracle = clf.clone();
+        let agree = |t: &[String]| Some(oracle.predict(t));
+        let flip = |t: &[String]| Some(1 - oracle.predict(t));
+        // Phase 1: ground truth agrees with the incumbent — nothing adapts.
+        for _ in 0..2 {
+            cluster.serve_trace(&trace, &tok, &schedule, &[]);
+            cluster.apply_feedback(&agree);
+        }
+        assert_eq!(cluster.stats().adaptations_started, 0, "no drift, no adaptation");
+        // Phase 2: every label flips, so every answer is suddenly wrong.
+        for _ in 0..6 {
+            cluster.serve_trace(&trace, &tok, &schedule, &[]);
+            cluster.apply_feedback(&flip);
+        }
+        let stats = cluster.stats();
+        assert!(stats.adaptations_started >= 1, "label drift must schedule an adaptation");
+        assert!(stats.quarantine_drained >= 4, "adaptation must consume quarantined traffic");
+        assert!(stats.rollouts_started >= 1, "an accepted candidate must start a rollout");
+        assert!(stats.rollouts_completed >= 1, "the canary must pass and promote fleet-wide");
+        assert_eq!(stats.rollbacks, 0, "healthy canary must not roll back");
+        // The promoted candidate must beat the incumbent on the new labels.
+        let flipped: Vec<TextExample> = reference
+            .iter()
+            .map(|e| TextExample { tokens: e.tokens.clone(), label: 1 - e.label })
+            .collect();
+        let acc =
+            |m: &FmClassifier| flipped.iter().filter(|e| m.predict(&e.tokens) == e.label).count();
+        assert!(
+            acc(cluster.replica_model(0)) > acc(&clf),
+            "rolled-out model must outperform the incumbent on drifted labels"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

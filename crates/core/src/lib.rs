@@ -36,16 +36,21 @@ pub mod report;
 pub mod serve;
 
 pub use baselines::{BaselineConfig, BaselineKind, GruBaseline, MajorityBaseline};
-pub use cluster::{ClusterConfig, ClusterError, ClusterStats, ClusterSupervisor, ReplicaHealth};
+pub use cluster::{
+    AdaptConfig, ClusterConfig, ClusterError, ClusterStats, ClusterSupervisor, ReplicaHealth,
+};
 pub use metrics::{auroc, Confusion};
 pub use netglue::Task;
-pub use ood::{OodDetector, OodScore};
+pub use ood::{
+    DriftConfig, DriftMonitor, DriftObservation, EmbeddingStats, OodDetector, OodScore, PageHinkley,
+};
 pub use pipeline::{
     examples_from_flows, FineTuneConfig, FmClassifier, FoundationModel, PipelineConfig,
     PipelineError, TextExample,
 };
 pub use serve::{
     assemble_requests, load_classifier_with_retry, load_model_with_retry, retry_with_backoff,
-    BreakerConfig, BreakerState, CircuitBreaker, Fallback, IngestStats, Responder, Response,
-    RetryLog, RetryPolicy, ServeConfig, ServeEngine, ServeError, ServeRequest, ServeStats,
+    BreakerConfig, BreakerState, CircuitBreaker, Fallback, IngestStats, QuarantineBuffer,
+    Responder, Response, RetryLog, RetryPolicy, ServeConfig, ServeEngine, ServeError, ServeRequest,
+    ServeStats,
 };

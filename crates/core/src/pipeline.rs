@@ -206,7 +206,7 @@ impl FoundationModel {
 }
 
 /// One labeled training example: a token sequence and its class id.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TextExample {
     /// Tokens (pre-vocabulary).
     pub tokens: Vec<String>,
@@ -404,17 +404,68 @@ impl FmClassifier {
         if examples.is_empty() {
             return Err(PipelineError::NoExamples);
         }
+        let mut init_rng = StdRng::seed_from_u64(config.seed);
+        let encoder = fm.encoder.clone();
+        let head = ClsHead::new(&mut init_rng, encoder.config.d_model, n_classes);
+        Self::fine_tune_loop(
+            encoder,
+            head,
+            fm.vocab.clone(),
+            fm.max_len,
+            examples,
+            n_classes,
+            config,
+        )
+    }
+
+    /// Warm-start fine-tuning from an existing classifier: the encoder and
+    /// head continue from `base`'s weights instead of a freshly initialized
+    /// head. This is the serving-adaptation path — a cluster re-fits its
+    /// incumbent model on quarantined + replay traffic without retraining
+    /// from the foundation model. Class count and pooling are inherited
+    /// from `base` (a head cannot change shape mid-flight), so
+    /// `config.pooling` is ignored.
+    pub fn fine_tune_from(
+        base: &FmClassifier,
+        examples: &[TextExample],
+        config: &FineTuneConfig,
+    ) -> Result<FmClassifier, PipelineError> {
+        if examples.is_empty() {
+            return Err(PipelineError::NoExamples);
+        }
+        let mut config = config.clone();
+        config.pooling = base.pooling;
+        Self::fine_tune_loop(
+            base.encoder.clone(),
+            base.head.clone(),
+            base.vocab.clone(),
+            base.max_len,
+            examples,
+            base.n_classes,
+            &config,
+        )
+    }
+
+    /// The guard-supervised training loop shared by
+    /// [`FmClassifier::fine_tune`] (fresh head) and
+    /// [`FmClassifier::fine_tune_from`] (warm start).
+    fn fine_tune_loop(
+        mut encoder: Encoder,
+        mut head: ClsHead,
+        vocab: Vocab,
+        max_len: usize,
+        examples: &[TextExample],
+        n_classes: usize,
+        config: &FineTuneConfig,
+    ) -> Result<FmClassifier, PipelineError> {
         // Span cost = MAC delta over the run (deterministic work units).
         let macs = nfm_obs::global().counter("tensor.matmul.macs", nfm_obs::Unit::Macs);
         let macs_at_start = macs.get();
         let mut run_span = nfm_obs::span!("finetune.run");
-        let mut init_rng = StdRng::seed_from_u64(config.seed);
-        let mut encoder = fm.encoder.clone();
-        let mut head = ClsHead::new(&mut init_rng, encoder.config.d_model, n_classes);
 
         let encoded: Vec<(Vec<usize>, usize)> = examples
             .iter()
-            .map(|e| (encode_context(&fm.vocab, &e.tokens, fm.max_len), e.label))
+            .map(|e| (encode_context(&vocab, &e.tokens, max_len), e.label))
             .collect();
         let steps = (encoded.len().div_ceil(config.batch_size) * config.epochs).max(1);
         let schedule =
@@ -560,14 +611,7 @@ impl FmClassifier {
             }
         }
         run_span.add_cost(macs.get().saturating_sub(macs_at_start));
-        Ok(FmClassifier {
-            encoder,
-            head,
-            vocab: fm.vocab.clone(),
-            max_len: fm.max_len,
-            n_classes,
-            pooling: config.pooling,
-        })
+        Ok(FmClassifier { encoder, head, vocab, max_len, n_classes, pooling: config.pooling })
     }
 
     /// Serialize the fine-tuned classifier (vocabulary + encoder + head +
@@ -715,39 +759,80 @@ impl FmClassifier {
             }
         }
         if !run.is_empty() {
-            let seqs: Vec<&[usize]> = run.iter().map(|&(i, _)| encoded[i].as_slice()).collect();
-            let (hidden, bounds) = self.encoder.forward_inference_batch(&seqs, arena);
-            let mut pooled = arena.take(run.len(), self.encoder.config.d_model);
-            for (j, _) in run.iter().enumerate() {
-                // Pool straight off the packed hidden rows — the same
-                // per-element operations `pool` applies to a materialised
-                // row slice (CLS copy, or ascending-row sum then scale), so
-                // the same bits without the copies.
-                let (r0, r1) = (bounds[j], bounds[j + 1]);
-                let prow = pooled.row_mut(j);
-                match self.pooling {
-                    Pooling::Cls => prow.copy_from_slice(hidden.row(r0)),
-                    Pooling::Mean => {
-                        for r in r0..r1 {
-                            for (o, v) in prow.iter_mut().zip(hidden.row(r)) {
-                                *o += v;
-                            }
-                        }
-                        let inv = 1.0 / (r1 - r0) as f32;
-                        for o in prow.iter_mut() {
-                            *o *= inv;
-                        }
-                    }
+            // Per-request results are independent of batch composition (the
+            // bitwise test below packs every prefix), so a big batch can be
+            // sharded across workers — one spawn per drain instead of one
+            // per kernel — and still produce the same bits at every thread
+            // count. The gate is the batch's own deterministic cost
+            // estimate: small drains keep the single packed pass and the
+            // engine's warm arena.
+            let threads = tpool::effective_threads().min(run.len());
+            let total_work: u64 =
+                run.iter().map(|&(_, s)| s).sum::<u64>() + head_cost * run.len() as u64;
+            if threads > 1 && total_work as usize >= tpool::PAR_WORK_MIN {
+                let shards = tpool::shard_ranges(run.len(), threads);
+                let encoded = &encoded;
+                let run = &run;
+                let shard_out = tpool::par_map(shards.len(), |s| {
+                    let mut local = ScratchArena::new();
+                    self.packed_forward(encoded, &run[shards[s].clone()], head_cost, &mut local)
+                });
+                for (i, r) in shard_out.into_iter().flatten() {
+                    results[i] = Some(Ok(r));
                 }
-            }
-            arena.put(hidden);
-            let logits_m = self.head.forward_inference(&pooled);
-            arena.put(pooled);
-            for (j, &(i, enc_spent)) in run.iter().enumerate() {
-                results[i] = Some(Ok((logits_m.row(j).to_vec(), enc_spent + head_cost)));
+            } else {
+                for (i, r) in self.packed_forward(&encoded, &run, head_cost, arena) {
+                    results[i] = Some(Ok(r));
+                }
             }
         }
         results.into_iter().map(|r| r.expect("every request resolved")).collect()
+    }
+
+    /// One packed forward over `run` (indices into `encoded` plus their
+    /// planned encoder spend): the layer projections and the classifier
+    /// head each execute as a single GEMM across the shard, with scratch
+    /// drawn from `arena`. Returns `(request_index, (logits, spent))` per
+    /// entry, bitwise identical to per-request [`FmClassifier::logits_within`].
+    fn packed_forward(
+        &self,
+        encoded: &[Vec<usize>],
+        run: &[(usize, u64)],
+        head_cost: u64,
+        arena: &mut ScratchArena,
+    ) -> Vec<(usize, (Vec<f32>, u64))> {
+        let seqs: Vec<&[usize]> = run.iter().map(|&(i, _)| encoded[i].as_slice()).collect();
+        let (hidden, bounds) = self.encoder.forward_inference_batch(&seqs, arena);
+        let mut pooled = arena.take(run.len(), self.encoder.config.d_model);
+        for (j, _) in run.iter().enumerate() {
+            // Pool straight off the packed hidden rows — the same
+            // per-element operations `pool` applies to a materialised
+            // row slice (CLS copy, or ascending-row sum then scale), so
+            // the same bits without the copies.
+            let (r0, r1) = (bounds[j], bounds[j + 1]);
+            let prow = pooled.row_mut(j);
+            match self.pooling {
+                Pooling::Cls => prow.copy_from_slice(hidden.row(r0)),
+                Pooling::Mean => {
+                    for r in r0..r1 {
+                        for (o, v) in prow.iter_mut().zip(hidden.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    let inv = 1.0 / (r1 - r0) as f32;
+                    for o in prow.iter_mut() {
+                        *o *= inv;
+                    }
+                }
+            }
+        }
+        arena.put(hidden);
+        let logits_m = self.head.forward_inference(&pooled);
+        arena.put(pooled);
+        run.iter()
+            .enumerate()
+            .map(|(j, &(i, enc_spent))| (i, (logits_m.row(j).to_vec(), enc_spent + head_cost)))
+            .collect()
     }
 
     /// Predicted class ids for a batch of sequences. Examples are sharded

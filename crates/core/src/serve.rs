@@ -47,10 +47,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::baselines::{GruBaseline, MajorityBaseline};
-use crate::pipeline::{argmax_nan_tolerant, FmClassifier, FoundationModel};
+use crate::ood::DriftMonitor;
+use crate::pipeline::{argmax_nan_tolerant, FmClassifier, FoundationModel, TextExample};
 
 /// Histogram bucket edges for micro-batch sizes (`serve.batch.size`).
 const BATCH_SIZE_EDGES: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
+/// Buckets for per-request drift scores (milli-units: confidence part spans
+/// 0..=1000, distance part 0..=4000).
+const DRIFT_EDGES: &[u64] = &[250, 500, 1_000, 1_500, 2_000, 3_000, 4_000, 5_000];
 
 /// Errors surfaced by the serving engine instead of panics.
 #[derive(Debug)]
@@ -373,6 +377,9 @@ pub struct ServeConfig {
     /// at least one request, so a tiny cap degrades to unbatched serving
     /// rather than stalling.
     pub batch_cost_budget: u64,
+    /// Capacity of the drift quarantine buffer (and of the recent-answer
+    /// window scored by ground-truth feedback). 0 disables capture.
+    pub quarantine_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -387,6 +394,7 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             max_batch: 1,
             batch_cost_budget: u64::MAX,
+            quarantine_capacity: 256,
         }
     }
 }
@@ -449,6 +457,11 @@ pub struct ServeStats {
     pub empty_contexts: usize,
     /// Deepest queue occupancy observed after an admission.
     pub queue_peak: usize,
+    /// Times the drift detector newly tripped (score or feedback signal).
+    pub drift_trips: usize,
+    /// Examples captured into the quarantine buffer (cumulative offers,
+    /// including feedback-driven recaptures; the buffer itself is bounded).
+    pub quarantined: usize,
 }
 
 impl ServeStats {
@@ -538,6 +551,98 @@ pub fn assemble_requests(
     (requests, stats)
 }
 
+/// A bounded capture buffer for drifted traffic: examples the drift monitor
+/// flags are held here (with the model's own predictions as heuristic
+/// labels until ground-truth feedback relabels them) to seed background
+/// adaptation. Eviction is uniform reservoir sampling (Algorithm R) under a
+/// seeded RNG, so the retained set over any offer stream is reproducible
+/// and no traffic era can monopolize the buffer.
+#[derive(Debug, Clone)]
+pub struct QuarantineBuffer {
+    capacity: usize,
+    items: Vec<TextExample>,
+    rng: StdRng,
+    offered: u64,
+    evicted: u64,
+}
+
+impl QuarantineBuffer {
+    /// New buffer; a capacity of 0 disables capture entirely.
+    pub fn new(capacity: usize, seed: u64) -> QuarantineBuffer {
+        QuarantineBuffer {
+            capacity,
+            items: Vec::with_capacity(capacity.min(1024)),
+            rng: StdRng::seed_from_u64(seed ^ 0x0D_u64.rotate_left(48)),
+            offered: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Offer one example. While below capacity it is always kept; past
+    /// capacity it replaces a uniformly drawn resident with probability
+    /// `capacity / offered` (reservoir sampling), so every offer in the
+    /// stream is retained with equal probability.
+    pub fn offer(&mut self, example: TextExample) {
+        self.offered += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(example);
+            return;
+        }
+        self.evicted += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        let slot = self.rng.gen_range(0..self.offered);
+        if (slot as usize) < self.capacity {
+            self.items[slot as usize] = example;
+        }
+    }
+
+    /// Take every captured example, leaving the buffer empty and starting a
+    /// fresh reservoir epoch (the offer counter restarts so post-drain
+    /// traffic is sampled uniformly among itself).
+    pub fn drain(&mut self) -> Vec<TextExample> {
+        self.offered = 0;
+        std::mem::take(&mut self.items)
+    }
+
+    /// Captured examples, oldest slot first.
+    pub fn items(&self) -> &[TextExample] {
+        &self.items
+    }
+
+    /// Mutable captured examples — the feedback path relabels in place.
+    pub fn items_mut(&mut self) -> &mut [TextExample] {
+        &mut self.items
+    }
+
+    /// Currently held examples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Examples offered since the last drain.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Offers that displaced (or failed to displace) a resident — i.e.
+    /// offers arriving while the buffer was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
 /// The synchronous streaming inference engine. See the module docs for the
 /// robustness controls; see [`ServeEngine::serve_trace`] for the lifecycle.
 pub struct ServeEngine {
@@ -549,6 +654,11 @@ pub struct ServeEngine {
     stats: ServeStats,
     queue: VecDeque<ServeRequest>,
     arena: ScratchArena,
+    drift: Option<DriftMonitor>,
+    quarantine: QuarantineBuffer,
+    /// Recent model-answered requests (label = the model's prediction)
+    /// awaiting ground-truth feedback; bounded by `quarantine_capacity`.
+    recent: VecDeque<TextExample>,
 }
 
 impl ServeEngine {
@@ -564,6 +674,9 @@ impl ServeEngine {
             stats: ServeStats::default(),
             queue: VecDeque::with_capacity(config.queue_capacity),
             arena: ScratchArena::new(),
+            drift: None,
+            quarantine: QuarantineBuffer::new(config.quarantine_capacity, config.seed),
+            recent: VecDeque::new(),
             clf,
             fallback,
             config,
@@ -606,6 +719,80 @@ impl ServeEngine {
         self.breaker = CircuitBreaker::new(self.config.breaker);
         self.breaker.trips = trips;
         self.breaker.recoveries = recoveries;
+    }
+
+    /// Arm (or replace) the streaming drift monitor: every model-answered
+    /// request is scored, suspicious traffic is quarantined, and trips are
+    /// surfaced via [`ServeStats::drift_trips`] and `drift.*` telemetry.
+    pub fn enable_drift(&mut self, monitor: DriftMonitor) {
+        self.drift = Some(monitor);
+    }
+
+    /// The drift monitor, if armed.
+    pub fn drift_monitor(&self) -> Option<&DriftMonitor> {
+        self.drift.as_ref()
+    }
+
+    /// Mutable drift monitor — the adaptation layer re-arms tests here.
+    pub fn drift_monitor_mut(&mut self) -> Option<&mut DriftMonitor> {
+        self.drift.as_mut()
+    }
+
+    /// The quarantine buffer of drift-flagged traffic.
+    pub fn quarantine(&self) -> &QuarantineBuffer {
+        &self.quarantine
+    }
+
+    /// Mutable quarantine buffer — the adaptation layer drains it for
+    /// fine-tuning.
+    pub fn quarantine_mut(&mut self) -> &mut QuarantineBuffer {
+        &mut self.quarantine
+    }
+
+    /// Apply delayed ground-truth labels. `truth` maps a token context to
+    /// its true class when the oracle knows it. Quarantined examples are
+    /// relabeled in place; every recent model answer with known truth feeds
+    /// the label-drift (feedback error) test, and misclassified answers are
+    /// captured into quarantine under their true label. Returns how many
+    /// times the detector newly tripped.
+    pub fn record_feedback(&mut self, truth: &dyn Fn(&[String]) -> Option<usize>) -> usize {
+        if self.drift.is_none() {
+            self.recent.clear();
+            return 0;
+        }
+        for ex in self.quarantine.items_mut() {
+            if let Some(t) = truth(&ex.tokens) {
+                ex.label = t;
+            }
+        }
+        let mut trips = 0usize;
+        while let Some(ex) = self.recent.pop_front() {
+            let Some(t) = truth(&ex.tokens) else { continue };
+            let correct = t == ex.label;
+            nfm_obs::counter!("drift.feedback").inc();
+            let newly =
+                self.drift.as_mut().map(|mon| mon.observe_feedback(correct)).unwrap_or(false);
+            if !correct {
+                nfm_obs::counter!("drift.feedback_errors").inc();
+                self.stats.quarantined += 1;
+                nfm_obs::counter!("drift.quarantined").inc();
+                self.quarantine.offer(TextExample { tokens: ex.tokens, label: t });
+            }
+            if newly {
+                trips += 1;
+                self.stats.drift_trips += 1;
+                nfm_obs::counter!("drift.trips").inc();
+                let level = self.drift.as_ref().map(|m| m.level_milli()).unwrap_or(0);
+                nfm_obs::event(
+                    "drift.trip",
+                    &[
+                        ("signal", nfm_obs::Value::S("feedback")),
+                        ("level_milli", nfm_obs::Value::U(level.max(0) as u64)),
+                    ],
+                );
+            }
+        }
+        trips
     }
 
     /// Current per-request deadline budget, in deterministic cost units.
@@ -763,6 +950,43 @@ impl ServeEngine {
     /// matches the error variant only, so the replayed error's accounting
     /// fields never influence a response). With `pre = None` the model is
     /// invoked lazily — and only if the breaker admits the request.
+    /// Score one model answer against the drift monitor (when armed):
+    /// quarantine suspicious traffic, remember the answer for delayed
+    /// feedback, and surface trips. The monitor's embedding forward pass is
+    /// monitoring overhead — it is not charged against the request's
+    /// deadline budget, which covers only the serving-path inference.
+    fn score_drift(&mut self, request: &ServeRequest, class: usize, logits: &[f32]) {
+        let Some(mon) = self.drift.as_mut() else { return };
+        let obs = mon.observe(&self.clf, &request.tokens, logits);
+        nfm_obs::counter!("drift.scored").inc();
+        nfm_obs::histogram!("drift.score_milli", nfm_obs::Unit::Milli, DRIFT_EDGES)
+            .observe(obs.score_milli.max(0) as u64);
+        nfm_obs::gauge!("drift.level_milli").set(mon.level_milli() as f64);
+        if obs.tripped_now {
+            self.stats.drift_trips += 1;
+            nfm_obs::counter!("drift.trips").inc();
+            nfm_obs::event(
+                "drift.trip",
+                &[
+                    ("signal", nfm_obs::Value::S("score")),
+                    ("observed", nfm_obs::Value::U(mon.observed())),
+                    ("level_milli", nfm_obs::Value::U(mon.level_milli().max(0) as u64)),
+                ],
+            );
+        }
+        if obs.quarantine {
+            self.stats.quarantined += 1;
+            nfm_obs::counter!("drift.quarantined").inc();
+            self.quarantine.offer(TextExample { tokens: request.tokens.clone(), label: class });
+        }
+        if self.config.quarantine_capacity > 0 {
+            self.recent.push_back(TextExample { tokens: request.tokens.clone(), label: class });
+            while self.recent.len() > self.config.quarantine_capacity {
+                self.recent.pop_front();
+            }
+        }
+    }
+
     fn answer(
         &mut self,
         request: ServeRequest,
@@ -802,9 +1026,11 @@ impl ServeEngine {
                                 nfm_obs::COST_EDGES
                             )
                             .observe(budget - remaining);
+                            let class = argmax_nan_tolerant(&logits);
+                            self.score_drift(&request, class, &logits);
                             return Response {
                                 flow: request.flow,
-                                class: argmax_nan_tolerant(&logits),
+                                class,
                                 responder: Responder::Model,
                                 cost: budget - remaining,
                                 retries: retries_used,

@@ -8,15 +8,17 @@ use std::sync::OnceLock;
 
 use nfm_core::baselines::MajorityBaseline;
 use nfm_core::metrics::{auroc, mean_std, Confusion};
+use nfm_core::ood::PageHinkley;
 use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, TextExample};
 use nfm_core::report::Table;
 use nfm_core::serve::{
-    retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker, Fallback, Responder, Response,
-    RetryPolicy, ServeConfig, ServeEngine, ServeRequest,
+    retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker, Fallback, QuarantineBuffer,
+    Responder, Response, RetryPolicy, ServeConfig, ServeEngine, ServeRequest,
 };
 use nfm_model::nn::transformer::{Encoder, EncoderConfig};
 use nfm_model::vocab::Vocab;
 use nfm_tensor::layers::Module;
+use nfm_traffic::faults::{DriftFaultConfig, FaultError};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -229,6 +231,93 @@ proptest! {
             .map(|r| policy.backoff_cost(r))
             .fold(0u64, u64::saturating_add);
         prop_assert_eq!(log.backoff_cost, expected);
+    }
+
+    #[test]
+    fn quarantine_bounded_and_seed_deterministic(
+        capacity in 0usize..12,
+        seed in 0u64..1_000,
+        labels in proptest::collection::vec(0usize..6, 0..80),
+    ) {
+        let mut a = QuarantineBuffer::new(capacity, seed);
+        let mut b = QuarantineBuffer::new(capacity, seed);
+        for (i, &label) in labels.iter().enumerate() {
+            let ex = TextExample { tokens: vec![format!("TOK_{i}")], label };
+            a.offer(ex.clone());
+            b.offer(ex);
+            // Capacity is a hard bound at every step, and below capacity
+            // nothing is ever evicted.
+            prop_assert!(a.len() <= capacity);
+            prop_assert_eq!(a.len(), capacity.min(i + 1));
+        }
+        // Same seed, same offer stream → identical retained set.
+        prop_assert_eq!(a.items(), b.items());
+        prop_assert_eq!(a.offered(), labels.len() as u64);
+        prop_assert_eq!(a.evicted(), labels.len() as u64 - a.len() as u64);
+        // Draining empties the buffer and restarts the reservoir epoch.
+        let drained = a.drain();
+        prop_assert_eq!(drained.len(), capacity.min(labels.len()));
+        prop_assert!(a.is_empty());
+        prop_assert_eq!(a.offered(), 0);
+    }
+
+    #[test]
+    fn page_hinkley_never_trips_on_iid_stream(
+        base in 200i64..1_500,
+        warmup in 1u64..32,
+        lambda in 500i64..10_000,
+        noise in proptest::collection::vec(-200i64..=200, 0..400),
+    ) {
+        // With delta at least the stream's worst-case deviation from the
+        // running mean (noise ±200 around a fixed base, so |x − mean| is
+        // always < 500 once the integer mean is seeded), every cumulative
+        // increment is negative: an i.i.d. stream can never trip the test,
+        // at any lambda — the false-positive bound drift detection rests on.
+        let mut ph = PageHinkley::new(500, lambda, warmup);
+        for &n in &noise {
+            prop_assert!(!ph.update(base + n));
+            prop_assert_eq!(ph.level_milli(), 0);
+        }
+        prop_assert!(!ph.tripped());
+    }
+
+    #[test]
+    fn drift_fault_config_validate_accepts_exactly_its_domain(
+        mix_shift in prop_oneof![
+            4 => -2.0f64..2.0,
+            1 => Just(f64::NAN),
+            1 => Just(f64::INFINITY),
+            1 => Just(f64::NEG_INFINITY),
+        ],
+        label_flip_chance in prop_oneof![
+            4 => -2.0f64..2.0,
+            1 => Just(f64::NAN),
+            1 => Just(f64::INFINITY),
+            1 => Just(f64::NEG_INFINITY),
+        ],
+        onset_burst in 0usize..100,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = DriftFaultConfig { onset_burst, mix_shift, label_flip_chance, seed };
+        let in_domain =
+            |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
+        match cfg.validate() {
+            Ok(()) => {
+                prop_assert!(in_domain(mix_shift) && in_domain(label_flip_chance));
+            }
+            Err(FaultError::OutOfRange { fields }) => {
+                // Exactly the offending fields, in declaration order.
+                let mut expected = Vec::new();
+                if !in_domain(mix_shift) {
+                    expected.push("mix_shift");
+                }
+                if !in_domain(label_flip_chance) {
+                    expected.push("label_flip_chance");
+                }
+                let got: Vec<&str> = fields.iter().map(|(name, _)| *name).collect();
+                prop_assert_eq!(got, expected);
+            }
+        }
     }
 }
 

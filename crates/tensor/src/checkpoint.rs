@@ -38,6 +38,8 @@ pub const KIND_MODEL: u8 = 5;
 pub const KIND_TRAIN: u8 = 6;
 /// Record kind: a fine-tuned classifier (vocab + encoder + head + pooling).
 pub const KIND_CLASSIFIER: u8 = 7;
+/// Record kind: OOD embedding statistics (class centroids + shared variance).
+pub const KIND_OOD: u8 = 8;
 
 /// Why a checkpoint could not be read or written.
 #[derive(Debug)]

@@ -259,9 +259,17 @@ where
 /// the whole slice when parallelism isn't worthwhile (small input, single
 /// thread, already inside a worker), otherwise an even split across the
 /// effective workers. Chunk boundaries never affect elementwise results.
+///
+/// The gate reuses [`PAR_WORK_MIN`]: elementwise ops are ~one flop-like
+/// unit per element and memory-bound besides, so below a million elements
+/// the scoped-thread spawns (~tens of µs each) cost more than the whole
+/// sequential loop. The old 8192-element gate made every mid-sized tensor
+/// in the micro-batched serving path (e.g. 512×64 activations) spawn
+/// workers for microseconds of work, which is why 4-thread serving
+/// benchmarked *slower* than 1-thread.
 pub fn elem_chunk(len: usize) -> usize {
     let threads = effective_threads();
-    if threads <= 1 || len < 8192 {
+    if threads <= 1 || len < PAR_WORK_MIN {
         len.max(1)
     } else {
         len.div_ceil(threads)

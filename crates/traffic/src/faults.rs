@@ -352,6 +352,95 @@ pub fn replica_fault_schedule(
     out
 }
 
+/// Distribution-drift process for serving scenarios; magnitudes in [0, 1].
+///
+/// Unlike [`ReplicaFaultConfig`] (which breaks replicas), this shifts the
+/// *workload*: after `onset_burst`, traffic is generated from an app mix
+/// blended away from the baseline by `mix_shift` (covariate drift), and
+/// ground-truth labels are remapped with `label_flip_chance` per class
+/// (label/concept drift).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftFaultConfig {
+    /// Burst (cluster tick) index at which the drift begins.
+    pub onset_burst: usize,
+    /// How far the app mix moves toward its reversed weight order: 0 keeps
+    /// the baseline mix, 1 fully reverses the popularity ranking.
+    pub mix_shift: f64,
+    /// Probability per class that its ground-truth label is remapped to a
+    /// different class after onset.
+    pub label_flip_chance: f64,
+    /// Seed for the label-remap draw.
+    pub seed: u64,
+}
+
+impl Default for DriftFaultConfig {
+    fn default() -> Self {
+        DriftFaultConfig { onset_burst: 0, mix_shift: 0.0, label_flip_chance: 0.0, seed: 1 }
+    }
+}
+
+impl DriftFaultConfig {
+    /// Check `mix_shift` and `label_flip_chance` are finite values in
+    /// [0, 1]; same contract as [`FaultConfig::validate`].
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let fields = [("mix_shift", self.mix_shift), ("label_flip_chance", self.label_flip_chance)];
+        let bad: Vec<(&'static str, f64)> = fields
+            .iter()
+            .filter(|(_, v)| !v.is_finite() || !(0.0..=1.0).contains(v))
+            .copied()
+            .collect();
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(FaultError::OutOfRange { fields: bad })
+        }
+    }
+
+    fn clamped(&self) -> DriftFaultConfig {
+        let clamp = |v: f64| if v.is_finite() { v.clamp(0.0, 1.0) } else { 0.0 };
+        DriftFaultConfig {
+            mix_shift: clamp(self.mix_shift),
+            label_flip_chance: clamp(self.label_flip_chance),
+            ..*self
+        }
+    }
+
+    /// The drifted app mix: each of the first 8 weights is blended
+    /// `(1−m)·base + m·reversed` toward the reversed weight order (the DHCP
+    /// slot is pinned — boot traffic is not part of the mix). Deterministic,
+    /// no RNG; out-of-range shifts are clamped like [`inject`].
+    pub fn shifted_mix(&self, base: &crate::netsim::AppMix) -> crate::netsim::AppMix {
+        let m = self.clamped().mix_shift;
+        let mut weights = base.weights;
+        for (i, w) in weights.iter_mut().enumerate().take(8) {
+            *w = (1.0 - m) * base.weights[i] + m * base.weights[7 - i];
+        }
+        crate::netsim::AppMix { weights }
+    }
+
+    /// Deterministic post-onset label remap: for each of `n_classes`
+    /// classes, with `label_flip_chance` the label is redirected to a
+    /// different class (drawn under `seed`); otherwise it maps to itself.
+    pub fn label_map(&self, n_classes: usize) -> Vec<usize> {
+        let config = self.clamped();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD1_u64.rotate_left(8));
+        (0..n_classes)
+            .map(|c| {
+                if n_classes > 1
+                    && config.label_flip_chance > 0.0
+                    && rng.gen_bool(config.label_flip_chance)
+                {
+                    // Draw a partner from the other n−1 classes.
+                    let off = rng.gen_range(1..n_classes);
+                    (c + off) % n_classes
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,5 +678,57 @@ mod tests {
         assert!(nan.validate().is_err());
         let ok = ReplicaFaultConfig { crash_chance: 0.5, ..ReplicaFaultConfig::default() };
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn drift_config_validates_and_clamps() {
+        assert!(DriftFaultConfig::default().validate().is_ok());
+        let full =
+            DriftFaultConfig { mix_shift: 1.0, label_flip_chance: 1.0, ..Default::default() };
+        assert!(full.validate().is_ok());
+        let bad = DriftFaultConfig { mix_shift: 1.5, ..Default::default() };
+        let err = bad.validate().expect_err("out-of-range accepted");
+        let FaultError::OutOfRange { fields } = &err;
+        assert_eq!(fields, &[("mix_shift", 1.5)]);
+        let nan = DriftFaultConfig { label_flip_chance: f64::NAN, ..Default::default() };
+        assert!(nan.validate().is_err());
+        // Clamping instead of panicking on degenerate magnitudes.
+        let mix = nan.shifted_mix(&crate::netsim::AppMix::default());
+        assert_eq!(mix.weights, crate::netsim::AppMix::default().weights);
+        assert_eq!(nan.label_map(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shifted_mix_interpolates_and_pins_dhcp() {
+        let base = crate::netsim::AppMix::default();
+        let zero = DriftFaultConfig::default().shifted_mix(&base);
+        assert_eq!(zero.weights, base.weights);
+        let full = DriftFaultConfig { mix_shift: 1.0, ..Default::default() };
+        let rev = full.shifted_mix(&base);
+        for i in 0..8 {
+            assert!((rev.weights[i] - base.weights[7 - i]).abs() < 1e-12);
+        }
+        assert_eq!(rev.weights[8], base.weights[8], "dhcp slot must be pinned");
+        let half = DriftFaultConfig { mix_shift: 0.5, ..Default::default() };
+        let mid = half.shifted_mix(&base);
+        for i in 0..8 {
+            let want = 0.5 * (base.weights[i] + base.weights[7 - i]);
+            assert!((mid.weights[i] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn label_map_is_seeded_and_within_range() {
+        let cfg = DriftFaultConfig { label_flip_chance: 0.7, seed: 9, ..Default::default() };
+        let a = cfg.label_map(9);
+        let b = cfg.label_map(9);
+        assert_eq!(a, b, "label map must be deterministic under one seed");
+        assert!(a.iter().all(|&l| l < 9));
+        // A full flip always redirects every class somewhere else.
+        let all = DriftFaultConfig { label_flip_chance: 1.0, seed: 3, ..Default::default() };
+        let m = all.label_map(9);
+        assert!(m.iter().enumerate().all(|(c, &l)| l != c && l < 9));
+        // A single class can never flip (no distinct partner exists).
+        assert_eq!(all.label_map(1), vec![0]);
     }
 }

@@ -43,7 +43,7 @@ fn main() {
     // Evaluation environment: benign + zero-day attacks only.
     let eval_lt = split.eval_env(220).simulate();
     let eval_flows = extract_flows(&eval_lt, 2);
-    let detector = OodDetector::new(&clf, &train_ex);
+    let detector = OodDetector::fit(&clf, &train_ex);
 
     let benign: Vec<_> = eval_flows.iter().filter(|f| !f.label.is_malicious()).collect();
     println!("eval flows: {} benign, {} zero-day\n", benign.len(), eval_flows.len() - benign.len());
@@ -60,14 +60,14 @@ fn main() {
                 .iter()
                 .map(|f| {
                     let toks = nfm_model::context::flow_context(&f.packets, &tokenizer, 94);
-                    detector.score(&toks, score)
+                    detector.score(&clf, &toks, score)
                 })
                 .collect();
             let neg: Vec<f64> = benign
                 .iter()
                 .map(|f| {
                     let toks = nfm_model::context::flow_context(&f.packets, &tokenizer, 94);
-                    detector.score(&toks, score)
+                    detector.score(&clf, &toks, score)
                 })
                 .collect();
             table.row(&[class.name().to_string(), score.name().to_string(), f3(auroc(&pos, &neg))]);

@@ -45,7 +45,7 @@ fn zero_day_scores_beat_chance_on_real_attacks() {
         &FineTuneConfig { epochs: 3, ..FineTuneConfig::default() },
     )
     .expect("fine-tuning failed");
-    let detector = OodDetector::new(&clf, &train_ex);
+    let detector = OodDetector::fit(&clf, &train_ex);
 
     let eval_flows = extract_flows(&eval_lt, 2);
     let benign: Vec<Vec<String>> = eval_flows
@@ -63,8 +63,8 @@ fn zero_day_scores_beat_chance_on_real_attacks() {
     // At least one of the three scores must clearly beat chance.
     let mut best = 0.0f64;
     for score in OodScore::ALL {
-        let pos: Vec<f64> = zero_days.iter().map(|t| detector.score(t, score)).collect();
-        let neg: Vec<f64> = benign.iter().map(|t| detector.score(t, score)).collect();
+        let pos: Vec<f64> = zero_days.iter().map(|t| detector.score(&clf, t, score)).collect();
+        let neg: Vec<f64> = benign.iter().map(|t| detector.score(&clf, t, score)).collect();
         best = best.max(auroc(&pos, &neg));
     }
     // At this deliberately tiny scale (1-epoch pretrain, d=16, 1 layer) we
