@@ -5,6 +5,13 @@
 //! performance prediction, … malware detection". This binary runs the whole
 //! suite across all four model families and prints the leaderboard — the
 //! repository's flagship table.
+//!
+//! The `fm-frozen` family (head-only fine-tuning against the frozen
+//! pre-trained encoder) is more than a leaderboard row: it is the training
+//! recipe behind the shared-backbone serving path — `TaskHead::fine_tune`
+//! produces bitwise the same head, and `MultiTaskServer` (E19) serves all
+//! of these tasks off one encoder forward per flow. Its gap to
+//! `fm-finetuned` here is the price of keeping the encoder shareable.
 
 use nfm_bench::{banner, pretrain_standard, render_table, train_family, ModelFamily, Scale};
 use nfm_core::netglue::{Task, TaskResult};

@@ -20,8 +20,9 @@
 //!
 //! `--baseline <path>` compares this run against a previously written
 //! `BENCH_perf.json`: the report gains a `vs_base` column, and the process
-//! exits nonzero when `serve_throughput`, `serve_throughput_batched`, or
-//! `cluster_throughput` regresses by more than 20% at any thread count.
+//! exits nonzero when `serve_throughput`, `serve_throughput_batched`,
+//! `multitask_throughput`, or `cluster_throughput` regresses by more than
+//! 20% at any thread count.
 //!
 //! `NFM_BENCH_ASSERT_BATCHED=1` turns the batched-serving comparison into a
 //! smoke gate: the process exits 2 if micro-batched serving at one thread is
@@ -30,13 +31,20 @@
 //! batched and unbatched serving are within a few percent of each other on
 //! bench-sized models, and the gate exists to catch structural regressions
 //! (batching losing outright), not scheduler jitter.
+//!
+//! The multi-task fan-out comparison is always a gate: the process exits 2
+//! if `MultiTaskServer` at one thread delivers less than 2x the answer
+//! throughput of four separate single-task engines. Unlike micro-batching,
+//! fan-out removes K−1 encoder forwards outright, so the margin is
+//! structural — falling under 2x means the shared-encoder path stopped
+//! sharing.
 
 use std::time::Instant;
 
 use nfm_core::baselines::MajorityBaseline;
 use nfm_core::cluster::{ClusterConfig, ClusterSupervisor};
-use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, TextExample};
-use nfm_core::serve::{Fallback, ServeConfig, ServeEngine};
+use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, TaskHead, TextExample};
+use nfm_core::serve::{Fallback, MultiTaskServer, ServeConfig, ServeEngine};
 use nfm_model::nn::transformer::EncoderConfig;
 use nfm_model::pretrain::{pretrain, PretrainConfig, TaskMix};
 use nfm_model::tokenize::field::FieldTokenizer;
@@ -329,6 +337,97 @@ fn main() {
         std::process::exit(2);
     }
 
+    // --- Multi-task fan-out serving --------------------------------------
+    // K = 4 tasks over the same corrupted bursty capture. The fan-out path
+    // (`MultiTaskServer`: one shared encoder forward per admitted flow, K
+    // head GEMVs) against the separate-engine deployment (K independent
+    // `ServeEngine`s, each running the full encoder). Responses are asserted
+    // bitwise identical per task before anything is timed, so the
+    // throughput delta is pure encoder amortization.
+    const K_TASKS: usize = 4;
+    let backbone = clf.backbone();
+    let fan_heads: Vec<TaskHead> =
+        (0..K_TASKS).map(|k| TaskHead::from_classifier(&clf, &format!("task-{k}"))).collect();
+    let majority = || Fallback::Majority(MajorityBaseline { class: 0, n_classes: 2 });
+    let fan_tasks = || fan_heads.iter().map(|h| (h.clone(), majority())).collect::<Vec<_>>();
+    {
+        pool::set_threads(1);
+        let mut server = MultiTaskServer::new(backbone.clone(), fan_tasks(), serve_cfg);
+        let fanned = server.serve_trace(&noisy, &tokenizer, &schedule);
+        for (k, head) in fan_heads.iter().enumerate() {
+            let mut solo = ServeEngine::new(backbone.attach(head), majority(), serve_cfg);
+            let solo_rs = solo.serve_trace(&noisy, &tokenizer, &schedule);
+            assert_eq!(fanned[k], solo_rs, "fan-out task {k} must answer bitwise identically");
+            assert_eq!(server.task_stats()[k], solo.stats(), "fan-out task {k} stats must match");
+        }
+        let f = server.stats();
+        println!(
+            "fan-out-vs-separate identity: ok ({K_TASKS} tasks, {} encoder rows for {} head \
+             rows)\n",
+            f.encoder_rows, f.head_rows
+        );
+        pool::set_threads(0);
+    }
+    let mut fanout_t1 = f64::NAN;
+    let mut separate_t1 = f64::NAN;
+    for &t in &thread_counts {
+        pool::set_threads(t);
+        let mut answers = 0usize;
+        let wall = best_of(if quick { 2 } else { 3 }, || {
+            let mut server = MultiTaskServer::new(backbone.clone(), fan_tasks(), serve_cfg);
+            answers = server.serve_trace(&noisy, &tokenizer, &schedule).iter().map(Vec::len).sum();
+        });
+        let throughput = answers as f64 / (wall / 1e3);
+        if t == 1 {
+            fanout_t1 = throughput;
+        }
+        records.push(Rec {
+            name: "multitask_throughput".into(),
+            threads: t,
+            value: throughput,
+            unit: "req_per_s",
+        });
+        let mut answers = 0usize;
+        let wall = best_of(if quick { 2 } else { 3 }, || {
+            answers = fan_heads
+                .iter()
+                .map(|head| {
+                    let mut solo = ServeEngine::new(backbone.attach(head), majority(), serve_cfg);
+                    solo.serve_trace(&noisy, &tokenizer, &schedule).len()
+                })
+                .sum();
+        });
+        let throughput = answers as f64 / (wall / 1e3);
+        if t == 1 {
+            separate_t1 = throughput;
+        }
+        records.push(Rec {
+            name: "multitask_throughput_separate".into(),
+            threads: t,
+            value: throughput,
+            unit: "req_per_s",
+        });
+    }
+    pool::set_threads(0);
+    let fanout_speedup = fanout_t1 / separate_t1;
+    records.push(Rec {
+        name: "multitask_speedup".into(),
+        threads: 1,
+        value: fanout_speedup,
+        unit: "ratio",
+    });
+    println!(
+        "multi-task throughput at 1 thread ({K_TASKS} tasks): separate {separate_t1:.0} ans/s, \
+         fan-out {fanout_t1:.0} ans/s ({fanout_speedup:.2}x)\n"
+    );
+    if fanout_speedup < 2.0 {
+        eprintln!(
+            "FAIL: fan-out serving ({fanout_t1:.0} ans/s) is less than 2x the separate-engine \
+             deployment ({separate_t1:.0} ans/s) at 1 thread"
+        );
+        std::process::exit(2);
+    }
+
     // --- Cluster serving under a replica crash ---------------------------
     // End-to-end `ClusterSupervisor::serve_trace` (the E16 regime): three
     // replicas over the same corrupted bursty capture with one replica
@@ -430,7 +529,10 @@ fn main() {
                     // the baseline file fails the run.
                     let gated = matches!(
                         rec.name.as_str(),
-                        "serve_throughput" | "serve_throughput_batched" | "cluster_throughput"
+                        "serve_throughput"
+                            | "serve_throughput_batched"
+                            | "multitask_throughput"
+                            | "cluster_throughput"
                     );
                     if gated && delta < -0.20 {
                         regressions.push(format!(

@@ -292,6 +292,14 @@ pub struct AdaptConfig {
     /// Ticks of quiet after a completed rollout before the next adaptation
     /// may start.
     pub cooldown: usize,
+    /// Adapt the classification head only: the background fine-tune runs
+    /// with the encoder frozen, so the candidate differs from the incumbent
+    /// in head weights alone. This is the shared-backbone serving
+    /// contract — a drifted task can be repaired and canary-rolled without
+    /// perturbing the encoder other tasks share (see
+    /// [`TaskHead`](crate::pipeline::TaskHead) and
+    /// [`MultiTaskServer`](crate::serve::MultiTaskServer)).
+    pub head_only: bool,
 }
 
 impl Default for AdaptConfig {
@@ -304,6 +312,7 @@ impl Default for AdaptConfig {
             backoff_base: 4,
             backoff_factor: 2,
             cooldown: 8,
+            head_only: false,
         }
     }
 }
@@ -535,17 +544,22 @@ impl ClusterSupervisor {
         let incumbent = self.replicas[canary].engine.model().clone();
         let mut train = fresh.clone();
         train.extend(state.config.replay.iter().cloned());
-        let candidate =
-            match FmClassifier::fine_tune_from(&incumbent, &train, &state.config.fine_tune) {
-                Ok(clf) => clf,
-                Err(e) => {
-                    self.stats.adaptations_failed += 1;
-                    nfm_obs::counter!("adapt.failed").inc();
-                    nfm_obs::event("adapt.failed", &[("error", nfm_obs::Value::S(&e.to_string()))]);
-                    self.adapt_backoff(state);
-                    return;
-                }
-            };
+        let mut ft = state.config.fine_tune.clone();
+        if state.config.head_only {
+            // Head-only repair: freeze the encoder so the candidate shares
+            // the incumbent's backbone bitwise and only the head moves.
+            ft.freeze_encoder = true;
+        }
+        let candidate = match FmClassifier::fine_tune_from(&incumbent, &train, &ft) {
+            Ok(clf) => clf,
+            Err(e) => {
+                self.stats.adaptations_failed += 1;
+                nfm_obs::counter!("adapt.failed").inc();
+                nfm_obs::event("adapt.failed", &[("error", nfm_obs::Value::S(&e.to_string()))]);
+                self.adapt_backoff(state);
+                return;
+            }
+        };
         // Shadow evaluation: integer correct-counts on the deterministic
         // holdout plus the traffic that triggered the adaptation. The
         // candidate must be at least as good as the incumbent.
@@ -1298,6 +1312,85 @@ mod tests {
         assert!(
             acc(cluster.replica_model(0)) > acc(&clf),
             "rolled-out model must outperform the incumbent on drifted labels"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn head_only_adaptation_leaves_backbone_untouched() {
+        use nfm_tensor::layers::Module;
+        let (clf, trace) = tiny_parts();
+        let tok = FieldTokenizer::new();
+        let (requests, _) = assemble_requests(&trace, &tok, ServeConfig::default().max_tokens);
+        let reference: Vec<TextExample> = requests
+            .iter()
+            .map(|r| TextExample { tokens: r.tokens.clone(), label: clf.predict(&r.tokens) })
+            .collect();
+        let drift_cfg = crate::ood::DriftConfig {
+            lambda_milli: 1_000_000,
+            quarantine_threshold_milli: 1_000_000,
+            err_warmup: 4,
+            err_lambda_milli: 2_000,
+            ..crate::ood::DriftConfig::default()
+        };
+        let monitor = DriftMonitor::calibrate(&clf, &reference, drift_cfg);
+        let dir = temp_dir("adapt_head_only");
+        let mut cluster = build(&clf, 3, &dir, ClusterConfig::default());
+        cluster.enable_adaptation(
+            monitor,
+            AdaptConfig {
+                min_quarantine: 4,
+                // A hotter, longer head-only fit: with the encoder frozen
+                // only the head can absorb the flipped labels.
+                fine_tune: FineTuneConfig { epochs: 8, lr: 1e-2, ..FineTuneConfig::default() },
+                head_only: true,
+                ..AdaptConfig::default()
+            },
+        );
+        let schedule = vec![2usize; 64];
+        let oracle = clf.clone();
+        let agree = |t: &[String]| Some(oracle.predict(t));
+        let flip = |t: &[String]| Some(1 - oracle.predict(t));
+        // Establish a healthy error baseline, then flip every label.
+        for _ in 0..2 {
+            cluster.serve_trace(&trace, &tok, &schedule, &[]);
+            cluster.apply_feedback(&agree);
+        }
+        for _ in 0..6 {
+            cluster.serve_trace(&trace, &tok, &schedule, &[]);
+            cluster.apply_feedback(&flip);
+        }
+        let stats = cluster.stats();
+        assert!(stats.adaptations_started >= 1, "label drift must schedule an adaptation");
+        assert!(stats.rollouts_started >= 1, "a head-only candidate must still roll out");
+        // The rolled-out model's encoder is bitwise the incumbent's: only
+        // the head moved. This is the multi-task contract — repairing one
+        // task can never perturb the backbone other tasks share.
+        let enc_bits = |c: &FmClassifier| {
+            let mut out = Vec::new();
+            let mut enc = c.encoder.clone();
+            enc.visit_params(&mut |p, _| out.extend(p.iter().map(|v| v.to_bits())));
+            out
+        };
+        let want = enc_bits(&clf);
+        for i in 0..3 {
+            assert_eq!(
+                enc_bits(cluster.replica_model(i)),
+                want,
+                "replica {i}'s encoder must be bitwise the pre-adaptation backbone"
+            );
+        }
+        // And the head really did move: the promoted model beats the frozen
+        // incumbent on the flipped labels despite the identical backbone.
+        let flipped: Vec<TextExample> = reference
+            .iter()
+            .map(|e| TextExample { tokens: e.tokens.clone(), label: 1 - e.label })
+            .collect();
+        let acc =
+            |m: &FmClassifier| flipped.iter().filter(|e| m.predict(&e.tokens) == e.label).count();
+        assert!(
+            acc(cluster.replica_model(0)) > acc(&clf),
+            "head-only candidate must still outperform the incumbent on drifted labels"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

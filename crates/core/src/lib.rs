@@ -22,7 +22,7 @@
 //! println!("MLM accuracy after pretraining: {:.3}", stats.final_mlm_accuracy);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod baselines;
@@ -45,12 +45,12 @@ pub use ood::{
     DriftConfig, DriftMonitor, DriftObservation, EmbeddingStats, OodDetector, OodScore, PageHinkley,
 };
 pub use pipeline::{
-    examples_from_flows, FineTuneConfig, FmClassifier, FoundationModel, PipelineConfig,
-    PipelineError, TextExample,
+    examples_from_flows, FineTuneConfig, FmBackbone, FmClassifier, FoundationModel, PipelineConfig,
+    PipelineError, PooledBatch, TaskHead, TextExample,
 };
 pub use serve::{
     assemble_requests, load_classifier_with_retry, load_model_with_retry, retry_with_backoff,
-    BreakerConfig, BreakerState, CircuitBreaker, Fallback, IngestStats, QuarantineBuffer,
-    Responder, Response, RetryLog, RetryPolicy, ServeConfig, ServeEngine, ServeError, ServeRequest,
-    ServeStats,
+    BreakerConfig, BreakerState, CircuitBreaker, Fallback, IngestStats, MultiTaskServer,
+    MultiTaskStats, QuarantineBuffer, Responder, Response, RetryLog, RetryPolicy, ServeConfig,
+    ServeEngine, ServeError, ServeRequest, ServeStats, TaskSet,
 };

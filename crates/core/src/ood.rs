@@ -428,6 +428,20 @@ impl DriftMonitor {
         tokens: &[String],
         logits: &[f32],
     ) -> DriftObservation {
+        let embedding = clf.embed(tokens);
+        self.observe_with_embedding(&embedding, logits)
+    }
+
+    /// Score one answered request from an already-computed pooled
+    /// embedding — the multi-task path, where one shared encoder forward
+    /// produces the embedding every per-task monitor scores, instead of
+    /// each monitor re-running the encoder. Identical arithmetic to
+    /// [`DriftMonitor::observe`] given the same embedding bits.
+    pub fn observe_with_embedding(
+        &mut self,
+        embedding: &[f32],
+        logits: &[f32],
+    ) -> DriftObservation {
         // Confidence component: 1000·(1 − max softmax prob), NaN-tolerant.
         let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let conf_milli = if max.is_finite() {
@@ -445,7 +459,7 @@ impl DriftMonitor {
         let conf_milli = conf_milli.clamp(0, 1000);
         // Distance component: Mahalanobis distance normalized by the mean
         // calibration distance, clamped so one outlier cannot saturate.
-        let d = self.stats.distance(&clf.embed(tokens));
+        let d = self.stats.distance(embedding);
         let dist_milli = if d.is_finite() {
             ((d * 1_000_000.0 / self.d_ref_milli as f64) as i64).clamp(0, Self::DIST_CLAMP_MILLI)
         } else {

@@ -24,6 +24,7 @@ use nfm_model::vocab::Vocab;
 use nfm_net::capture::Trace;
 use nfm_tensor::checkpoint::{
     load_record, save_record, ByteReader, ByteWriter, CheckpointError, KIND_CLASSIFIER, KIND_MODEL,
+    KIND_TASK_HEAD,
 };
 use nfm_tensor::layers::Module;
 use nfm_tensor::loss::softmax_cross_entropy;
@@ -875,6 +876,328 @@ impl FmClassifier {
         }
         c
     }
+
+    /// The shared backbone view of this classifier — its encoder,
+    /// vocabulary, sequence cap, and pooling, cloned without the head.
+    /// Heads fine-tuned against this backbone ([`TaskHead::fine_tune`])
+    /// share one encoder forward at serving time
+    /// ([`crate::serve::MultiTaskServer`]).
+    pub fn backbone(&self) -> FmBackbone {
+        FmBackbone {
+            encoder: self.encoder.clone(),
+            vocab: self.vocab.clone(),
+            max_len: self.max_len,
+            pooling: self.pooling,
+        }
+    }
+}
+
+/// The shared half of a multi-task deployment: the pre-trained encoder,
+/// its vocabulary, the sequence cap, and the pooling strategy every task
+/// head reads its embedding through. [`TaskHead`]s are trained against a
+/// *frozen* backbone, so serving K tasks costs one encoder forward plus K
+/// head GEMMs instead of K encoder forwards — the paper's amortization
+/// argument (§3) made operational by [`crate::serve::MultiTaskServer`].
+#[derive(Debug, Clone)]
+pub struct FmBackbone {
+    /// The shared encoder. Frozen with respect to task heads: head-only
+    /// fine-tuning never updates it.
+    pub encoder: Encoder,
+    /// Vocabulary shared by every task.
+    pub vocab: Vocab,
+    /// Sequence cap.
+    pub max_len: usize,
+    /// Pooling strategy every head reads the hidden states through.
+    pub pooling: Pooling,
+}
+
+/// The packed pooled embeddings for one micro-batch, produced by
+/// [`FmBackbone::pooled_batch_within`]. `pooled` is drawn from the
+/// caller's [`ScratchArena`]; return it with [`ScratchArena::put`] once
+/// the task heads have consumed it.
+#[derive(Debug)]
+pub struct PooledBatch {
+    /// Arena-backed pooled embeddings, one row per affordable request.
+    pub pooled: Matrix,
+    /// `(request index, encoder cost spent)` for each row of `pooled`.
+    pub rows: Vec<(usize, u64)>,
+    /// Requests the budget could not cover, with their typed refusals.
+    pub refused: Vec<(usize, InferError)>,
+}
+
+impl FmBackbone {
+    /// Wrap a pre-trained foundation model as a serving backbone with the
+    /// pooling its heads will be trained with.
+    pub fn from_model(fm: &FoundationModel, pooling: Pooling) -> FmBackbone {
+        FmBackbone {
+            encoder: fm.encoder.clone(),
+            vocab: fm.vocab.clone(),
+            max_len: fm.max_len,
+            pooling,
+        }
+    }
+
+    /// Model dimension of the shared encoder.
+    pub fn d_model(&self) -> usize {
+        self.encoder.config.d_model
+    }
+
+    /// Deterministic encoder cost (multiply-accumulate units) of embedding
+    /// an `n_tokens`-token sequence, mirroring the `[CLS]`/`[SEP]` framing
+    /// `encode_context` adds — the shared, paid-once part of
+    /// [`FmClassifier::inference_cost`].
+    pub fn encoder_cost(&self, n_tokens: usize) -> u64 {
+        let t = (n_tokens + 2).min(self.max_len);
+        self.encoder.inference_cost(t)
+    }
+
+    /// Reattach a task head, producing the single-task classifier a
+    /// standalone [`crate::serve::ServeEngine`] would serve. Because heads
+    /// are trained with the encoder frozen, this reconstructs exactly the
+    /// classifier head-only fine-tuning produced — the identity `exp_e19`
+    /// and the multi-task proptests assert bitwise.
+    pub fn attach(&self, head: &TaskHead) -> FmClassifier {
+        FmClassifier {
+            encoder: self.encoder.clone(),
+            head: head.head.clone(),
+            vocab: self.vocab.clone(),
+            max_len: self.max_len,
+            n_classes: head.n_classes,
+            pooling: self.pooling,
+        }
+    }
+
+    /// Run the shared encoder once for a whole micro-batch and pool each
+    /// request's hidden states, under a per-request deadline `budget`.
+    ///
+    /// Each request's charge schedule is first replayed without compute
+    /// ([`Encoder::plan_inference_cost`]), so requests the budget cannot
+    /// cover surface their exact deterministic [`InferError`] in
+    /// `refused` without holding up the batch. The affordable remainder
+    /// runs through one packed [`Encoder::forward_inference_batch`], and
+    /// pooling applies the same per-element operations as the
+    /// single-request path, so every row of `pooled` is bitwise identical
+    /// to what [`FmClassifier::logits_within`] pools for that request.
+    pub fn pooled_batch_within(
+        &self,
+        batch: &[&[String]],
+        budget: u64,
+        arena: &mut ScratchArena,
+    ) -> PooledBatch {
+        let encoded: Vec<Vec<usize>> =
+            batch.iter().map(|t| encode_context(&self.vocab, t, self.max_len)).collect();
+        let mut refused = Vec::new();
+        let mut run: Vec<(usize, u64)> = Vec::with_capacity(batch.len());
+        for (i, ids) in encoded.iter().enumerate() {
+            match self.encoder.plan_inference_cost(ids.len(), budget) {
+                Err(e) => refused.push((i, e)),
+                Ok(enc_spent) => run.push((i, enc_spent)),
+            }
+        }
+        let mut pooled = arena.take(run.len(), self.d_model());
+        if !run.is_empty() {
+            let seqs: Vec<&[usize]> = run.iter().map(|&(i, _)| encoded[i].as_slice()).collect();
+            let (hidden, bounds) = self.encoder.forward_inference_batch(&seqs, arena);
+            for (j, _) in run.iter().enumerate() {
+                // Pool straight off the packed hidden rows — the same
+                // per-element operations as the single-request `pool`, so
+                // the same bits without the copies.
+                let (r0, r1) = (bounds[j], bounds[j + 1]);
+                let prow = pooled.row_mut(j);
+                match self.pooling {
+                    Pooling::Cls => prow.copy_from_slice(hidden.row(r0)),
+                    Pooling::Mean => {
+                        for r in r0..r1 {
+                            for (o, v) in prow.iter_mut().zip(hidden.row(r)) {
+                                *o += v;
+                            }
+                        }
+                        let inv = 1.0 / (r1 - r0) as f32;
+                        for o in prow.iter_mut() {
+                            *o *= inv;
+                        }
+                    }
+                }
+            }
+            arena.put(hidden);
+        }
+        PooledBatch { pooled, rows: run, refused }
+    }
+}
+
+/// A lightweight per-task classification head detached from its shared
+/// [`FmBackbone`]: the trainable half of the multi-task split. Heads are
+/// fine-tuned with the encoder frozen, checkpoint independently
+/// ([`nfm_tensor::checkpoint::KIND_TASK_HEAD`]), and can be hot-swapped
+/// one at a time — drift on one task refits and rolls out that task's
+/// head without touching the backbone or any other task.
+#[derive(Debug, Clone)]
+pub struct TaskHead {
+    /// Task display name (also labels `serve.task.*` telemetry).
+    pub name: String,
+    head: ClsHead,
+    /// Number of classes this head predicts.
+    pub n_classes: usize,
+    /// Pooling the head was trained with (always its backbone's).
+    pub pooling: Pooling,
+}
+
+impl TaskHead {
+    /// Fine-tune a fresh head for one task against a frozen shared
+    /// backbone. This is [`FmClassifier::fine_tune`] with
+    /// `freeze_encoder` forced on and the backbone's pooling — the same
+    /// training loop, divergence guard, and seeding — so the head that
+    /// comes back, reattached via [`FmBackbone::attach`], is bitwise
+    /// identical to the classifier head-only fine-tuning produces.
+    pub fn fine_tune(
+        backbone: &FmBackbone,
+        name: &str,
+        examples: &[TextExample],
+        n_classes: usize,
+        config: &FineTuneConfig,
+    ) -> Result<TaskHead, PipelineError> {
+        if examples.is_empty() {
+            return Err(PipelineError::NoExamples);
+        }
+        let mut config = config.clone();
+        config.freeze_encoder = true;
+        config.pooling = backbone.pooling;
+        let mut init_rng = StdRng::seed_from_u64(config.seed);
+        let head = ClsHead::new(&mut init_rng, backbone.d_model(), n_classes);
+        let clf = FmClassifier::fine_tune_loop(
+            backbone.encoder.clone(),
+            head,
+            backbone.vocab.clone(),
+            backbone.max_len,
+            examples,
+            n_classes,
+            &config,
+        )?;
+        Ok(TaskHead {
+            name: name.to_string(),
+            head: clf.head,
+            n_classes,
+            pooling: backbone.pooling,
+        })
+    }
+
+    /// Continue training this head (warm start) against the same frozen
+    /// backbone — the single-head adaptation path: drift on one task
+    /// refits that task's head on quarantined + replay traffic while the
+    /// backbone and every other head stay bitwise untouched.
+    pub fn fine_tune_from(
+        &self,
+        backbone: &FmBackbone,
+        examples: &[TextExample],
+        config: &FineTuneConfig,
+    ) -> Result<TaskHead, PipelineError> {
+        if examples.is_empty() {
+            return Err(PipelineError::NoExamples);
+        }
+        let mut config = config.clone();
+        config.freeze_encoder = true;
+        config.pooling = backbone.pooling;
+        let clf = FmClassifier::fine_tune_loop(
+            backbone.encoder.clone(),
+            self.head.clone(),
+            backbone.vocab.clone(),
+            backbone.max_len,
+            examples,
+            self.n_classes,
+            &config,
+        )?;
+        Ok(TaskHead {
+            name: self.name.clone(),
+            head: clf.head,
+            n_classes: self.n_classes,
+            pooling: backbone.pooling,
+        })
+    }
+
+    /// Detach the head of an existing fine-tuned classifier (e.g. one
+    /// trained with `freeze_encoder` before heads were first-class).
+    pub fn from_classifier(clf: &FmClassifier, name: &str) -> TaskHead {
+        TaskHead {
+            name: name.to_string(),
+            head: clf.head.clone(),
+            n_classes: clf.n_classes,
+            pooling: clf.pooling,
+        }
+    }
+
+    /// Deterministic head cost in the same multiply-accumulate units as
+    /// [`FmClassifier::inference_cost`]: the per-task, paid-per-head part
+    /// of a fan-out request.
+    pub fn head_cost(&self, d_model: usize) -> u64 {
+        (d_model * self.n_classes) as u64
+    }
+
+    /// Mutable access to the head network — the chaos hook (mirroring
+    /// [`crate::serve::ServeEngine::model_mut`]) fault-injection tests use
+    /// to poison per-task weights. Serving code must treat heads as
+    /// immutable and roll new ones via
+    /// [`crate::serve::MultiTaskServer::replace_head`].
+    pub fn network_mut(&mut self) -> &mut ClsHead {
+        &mut self.head
+    }
+
+    /// Logits for a matrix of pooled embeddings (one request per row), as
+    /// one GEMM across the rows — bitwise identical per row to the
+    /// single-request head forward inside [`FmClassifier::logits_within`].
+    pub fn logits_batch(&self, pooled: &Matrix) -> Matrix {
+        self.head.forward_inference(pooled)
+    }
+
+    /// Serialize the head (name + class count + pooling + weights) to a
+    /// versioned, checksummed [`nfm_tensor::checkpoint::KIND_TASK_HEAD`]
+    /// record. Writes atomically (tmp + rename). Orders of magnitude
+    /// smaller than a full classifier checkpoint: per-task rollouts ship
+    /// only the head.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.name);
+        w.put_u64(self.n_classes as u64);
+        w.put_u8(match self.pooling {
+            Pooling::Cls => 0,
+            Pooling::Mean => 1,
+        });
+        let mut head = self.head.clone();
+        write_cls_head(&mut w, &mut head);
+        save_record(path, KIND_TASK_HEAD, &w.into_bytes())
+    }
+
+    /// Load a head previously written by [`TaskHead::save`]. Returns a
+    /// typed error (never panics) on truncation, corruption, version
+    /// mismatch, or a head whose declared class count contradicts its
+    /// weight shapes.
+    pub fn load(path: &Path) -> Result<TaskHead, CheckpointError> {
+        let payload = load_record(path, KIND_TASK_HEAD)?;
+        let mut r = ByteReader::new(&payload);
+        let name = r.get_str()?;
+        let n_classes = r.get_count()?;
+        let pooling = match r.get_u8()? {
+            0 => Pooling::Cls,
+            1 => Pooling::Mean,
+            tag => {
+                return Err(CheckpointError::Malformed(format!("unknown pooling tag {tag}")));
+            }
+        };
+        let head = read_cls_head(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing bytes after task-head payload",
+                r.remaining()
+            )));
+        }
+        if head.dims().1 != n_classes {
+            return Err(CheckpointError::Malformed(format!(
+                "task head declares {} classes but its weights produce {}",
+                n_classes,
+                head.dims().1
+            )));
+        }
+        Ok(TaskHead { name, head, n_classes, pooling })
+    }
 }
 
 #[cfg(test)]
@@ -1259,5 +1582,158 @@ mod tests {
         });
         assert!(only_dns.len() < all.len());
         assert!(!only_dns.is_empty());
+    }
+
+    fn head_train(n_classes: usize) -> Vec<TextExample> {
+        (0..12)
+            .map(|i| TextExample {
+                tokens: vec![format!("PORT_{}", 40 + i % 4), "IP4".to_string()],
+                label: i % n_classes,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn task_head_fine_tune_matches_frozen_classifier_bitwise() {
+        let (fm, _) = tiny_fm();
+        let train = head_train(3);
+        let cfg = FineTuneConfig {
+            epochs: 2,
+            freeze_encoder: true,
+            pooling: Pooling::Mean,
+            ..FineTuneConfig::default()
+        };
+        // Head-only fine-tuning through the classifier API...
+        let clf = FmClassifier::fine_tune(&fm, &train, 3, &cfg).expect("classifier fine-tune");
+        // ...and through the backbone/head split.
+        let backbone = clf.backbone();
+        let head = TaskHead::fine_tune(&backbone, "t", &train, 3, &cfg).expect("head fine-tune");
+        let mut reattached = backbone.attach(&head);
+        let mut direct = clf;
+        let bits = |c: &mut FmClassifier| {
+            let mut out = Vec::new();
+            c.encoder.visit_params(&mut |p, _| out.extend(p.iter().map(|v| v.to_bits())));
+            c.head.visit_params(&mut |p, _| out.extend(p.iter().map(|v| v.to_bits())));
+            out
+        };
+        assert_eq!(
+            bits(&mut direct),
+            bits(&mut reattached),
+            "backbone.attach(head) must reconstruct head-only fine-tuning bitwise"
+        );
+        // The backbone itself is bitwise the pre-trained encoder: freezing
+        // really froze it.
+        let mut enc_bits = Vec::new();
+        let mut fm_enc = fm.encoder.clone();
+        fm_enc.visit_params(&mut |p, _| enc_bits.extend(p.iter().map(|v| v.to_bits())));
+        let mut bb_bits = Vec::new();
+        let mut bb_enc = backbone.encoder.clone();
+        bb_enc.visit_params(&mut |p, _| bb_bits.extend(p.iter().map(|v| v.to_bits())));
+        assert_eq!(enc_bits, bb_bits);
+    }
+
+    #[test]
+    fn task_head_save_load_round_trip_is_bitwise() {
+        let (fm, _) = tiny_fm();
+        let train = head_train(2);
+        let cfg = FineTuneConfig { epochs: 1, pooling: Pooling::Mean, ..FineTuneConfig::default() };
+        let clf = FmClassifier::fine_tune(&fm, &train, 2, &cfg).expect("fine-tune");
+        let backbone = clf.backbone();
+        let head = TaskHead::fine_tune(&backbone, "roundtrip", &train, 2, &cfg).expect("head");
+        let dir = std::env::temp_dir().join(format!("nfm_task_head_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("head.nfmc");
+        head.save(&path).expect("save");
+        let loaded = TaskHead::load(&path).expect("load");
+        assert_eq!(loaded.name, "roundtrip");
+        assert_eq!(loaded.n_classes, 2);
+        assert_eq!(loaded.pooling, Pooling::Mean);
+        let toks: Vec<String> = vec!["PORT_41".to_string(), "IP4".to_string()];
+        let a = backbone.attach(&head).logits_within(&toks, u64::MAX).expect("logits");
+        let b = backbone.attach(&loaded).logits_within(&toks, u64::MAX).expect("logits");
+        assert_eq!(
+            a.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(a.1, b.1);
+        // Corruption is a typed error, not a panic.
+        let bytes = std::fs::read(&path).expect("read");
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        std::fs::write(&path, &corrupt).expect("write");
+        assert!(TaskHead::load(&path).is_err());
+        // Truncation too.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write");
+        assert!(TaskHead::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pooled_fanout_matches_logits_within_bitwise() {
+        let (fm, _) = tiny_fm();
+        let cfg = FineTuneConfig {
+            epochs: 1,
+            freeze_encoder: true,
+            pooling: Pooling::Mean,
+            ..FineTuneConfig::default()
+        };
+        let clf = FmClassifier::fine_tune(&fm, &head_train(2), 2, &cfg).expect("fine-tune");
+        let backbone = clf.backbone();
+        let heads: Vec<TaskHead> = [("a", 2usize), ("b", 3), ("c", 5)]
+            .iter()
+            .map(|&(name, n)| {
+                TaskHead::fine_tune(&backbone, name, &head_train(n), n, &cfg).expect("head")
+            })
+            .collect();
+        // Varied-length contexts (some past max_len, some unknown tokens)
+        // so every budget rung splits the batch differently.
+        let contexts: Vec<Vec<String>> = (0..12)
+            .map(|i| {
+                let len = 1 + (i * 7) % 60;
+                (0..len).map(|j| format!("PORT_{}", 40 + (i + j) % 6)).collect()
+            })
+            .collect();
+        let batch: Vec<&[String]> = contexts.iter().map(|t| t.as_slice()).collect();
+        // Budget ladder: from refuse-everything to afford-everything.
+        let full = backbone.encoder_cost(64) + 1024;
+        let d_model = backbone.d_model();
+        for budget in [0, backbone.encoder_cost(4), backbone.encoder_cost(12), full] {
+            let mut arena = ScratchArena::new();
+            let pb = backbone.pooled_batch_within(&batch, budget, &mut arena);
+            assert_eq!(pb.rows.len() + pb.refused.len(), batch.len());
+            for head in &heads {
+                let single = backbone.attach(head);
+                let head_cost = head.head_cost(d_model);
+                // Refusals carry the exact error logits_within reports.
+                for (i, err) in &pb.refused {
+                    let want = single.logits_within(&contexts[*i], budget);
+                    assert_eq!(want.unwrap_err(), err.clone());
+                }
+                let logits_m = head.logits_batch(&pb.pooled);
+                for (row, &(i, enc_spent)) in pb.rows.iter().enumerate() {
+                    let want = single.logits_within(&contexts[i], budget);
+                    if enc_spent + head_cost > budget {
+                        let err = want.unwrap_err();
+                        assert_eq!(
+                            err,
+                            InferError::DeadlineExceeded {
+                                spent: enc_spent,
+                                needed: head_cost,
+                                budget,
+                            }
+                        );
+                    } else {
+                        let (logits, spent) = want.expect("affordable");
+                        assert_eq!(spent, enc_spent + head_cost);
+                        assert_eq!(
+                            logits.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            logits_m.row(row).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            "fan-out logits diverge at budget {budget}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

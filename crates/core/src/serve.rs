@@ -48,7 +48,10 @@ use rand::{Rng, SeedableRng};
 
 use crate::baselines::{GruBaseline, MajorityBaseline};
 use crate::ood::DriftMonitor;
-use crate::pipeline::{argmax_nan_tolerant, FmClassifier, FoundationModel, TextExample};
+use crate::pipeline::{
+    argmax_nan_tolerant, CostedLogits, FmBackbone, FmClassifier, FoundationModel, TaskHead,
+    TextExample,
+};
 
 /// Histogram bucket edges for micro-batch sizes (`serve.batch.size`).
 const BATCH_SIZE_EDGES: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
@@ -490,6 +493,52 @@ impl ServeStats {
     }
 }
 
+/// The set of task lanes a request fans out to, as a bitmask (bit `k` =
+/// task `k`; up to 64 lanes). Single-task engines ignore it; a
+/// [`MultiTaskServer`] runs the shared encoder once and answers exactly
+/// the selected tasks. Defaults to every task, so single-task callers
+/// never have to think about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSet(u64);
+
+impl TaskSet {
+    /// Every task lane.
+    pub const ALL: TaskSet = TaskSet(u64::MAX);
+
+    /// The single task `k` (clamped to the 64 supported lanes).
+    pub fn only(k: usize) -> TaskSet {
+        TaskSet(1u64 << k.min(63))
+    }
+
+    /// A set from a raw bitmask (bit `k` = task `k`), e.g. one entry of
+    /// [`nfm_traffic::faults::task_mask_schedule`]. An empty mask is kept
+    /// as-is: the request fans out to no lane and produces no response.
+    pub fn from_mask(mask: u64) -> TaskSet {
+        TaskSet(mask)
+    }
+
+    /// The raw bitmask.
+    pub fn mask(&self) -> u64 {
+        self.0
+    }
+
+    /// Whether task `k` is selected.
+    pub fn contains(&self, k: usize) -> bool {
+        k < 64 && self.0 & (1u64 << k) != 0
+    }
+
+    /// Selected tasks among the first `n_tasks` lanes.
+    pub fn count(&self, n_tasks: usize) -> usize {
+        (0..n_tasks.min(64)).filter(|&k| self.contains(k)).count()
+    }
+}
+
+impl Default for TaskSet {
+    fn default() -> Self {
+        TaskSet::ALL
+    }
+}
+
 /// One classifiable unit of work: a flow and its token context. Built by
 /// [`assemble_requests`], routed by a cluster supervisor, and offered to an
 /// engine via [`ServeEngine::submit`].
@@ -499,6 +548,8 @@ pub struct ServeRequest {
     pub flow: usize,
     /// Token context for the flow.
     pub tokens: Vec<String>,
+    /// Task lanes this request fans out to (multi-task serving only).
+    pub tasks: TaskSet,
 }
 
 /// Ingest accounting from [`assemble_requests`]. All-integer, so two runs
@@ -546,7 +597,7 @@ pub fn assemble_requests(
             nfm_obs::counter!("serve.empty_contexts").inc();
             continue;
         }
-        requests.push(ServeRequest { flow: flow_idx, tokens });
+        requests.push(ServeRequest { flow: flow_idx, tokens, tasks: TaskSet::ALL });
     }
     (requests, stats)
 }
@@ -1129,6 +1180,423 @@ impl ServeEngine {
     }
 }
 
+/// All-integer accounting for the shared fan-out path of a
+/// [`MultiTaskServer`] — the compute-sharing ledger on top of the
+/// per-task [`ServeStats`]. `head_rows` is what K independent engines
+/// would have paid in *encoder* forwards; `encoder_rows` is what the
+/// shared backbone actually ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiTaskStats {
+    /// Fan-out requests submitted to the server.
+    pub submitted: usize,
+    /// `(request, task)` pairs offered to per-task admission control.
+    pub lane_offers: usize,
+    /// Shared micro-batches run through the packed encoder forward.
+    pub batches: usize,
+    /// Packed encoder rows computed (one per distinct flow per batch).
+    pub encoder_rows: usize,
+    /// Per-task head rows computed across all lanes.
+    pub head_rows: usize,
+}
+
+/// Multi-task serving with shared-encoder fan-out: one frozen
+/// [`FmBackbone`] plus K lightweight [`TaskHead`]s, so answering K tasks
+/// for a flow costs ~1 packed encoder forward + K head GEMMs instead of
+/// K encoder forwards — the paper's amortization argument (§3) at
+/// serving time.
+///
+/// Semantically the server is K independent [`ServeEngine`]s (the
+/// *lanes*), one per task, each with its own admission queue, shed RNG,
+/// circuit breaker, retry/deadline state machine, [`ServeStats`], drift
+/// monitor, and quarantine buffer — all seeded exactly as a standalone
+/// engine with the same [`ServeConfig`] would be. Only the *compute* is
+/// shared: [`MultiTaskServer::drain`] collects every lane's queued work,
+/// runs the packed encoder forward once per distinct flow
+/// ([`FmBackbone::pooled_batch_within`], pooled embeddings cached in the
+/// engine's [`ScratchArena`]), fans the pooled rows out to each task's
+/// head, and replays each lane's answers through the unchanged
+/// [`ServeEngine`] state machine. Responses and statistics are therefore
+/// bitwise identical to K standalone engines fed the same per-task
+/// request streams — the invariant `exp_e19` and the multi-task
+/// proptests assert.
+///
+/// Per-request deadline budgets stay per-task-honest: each lane's answer
+/// is charged its own encoder spend plus its own head cost, exactly as
+/// its standalone engine would charge, while the shared micro-batch is
+/// capped by the *true fan-out cost* (encoder once + every selected
+/// head) against `batch_cost_budget`.
+pub struct MultiTaskServer {
+    backbone: FmBackbone,
+    heads: Vec<TaskHead>,
+    lanes: Vec<ServeEngine>,
+    arena: ScratchArena,
+    config: ServeConfig,
+    stats: MultiTaskStats,
+}
+
+impl MultiTaskServer {
+    /// Build a fan-out server from a shared backbone and one
+    /// `(head, fallback)` pair per task. Lane `k` serves task `k` with
+    /// exactly the state a standalone [`ServeEngine`] over
+    /// [`FmBackbone::attach`]`(&heads[k])` would have. At most 64 tasks
+    /// (the [`TaskSet`] width) are kept; extras are dropped.
+    pub fn new(
+        backbone: FmBackbone,
+        tasks: Vec<(TaskHead, Fallback)>,
+        config: ServeConfig,
+    ) -> MultiTaskServer {
+        let mut config = config;
+        config.queue_capacity = config.queue_capacity.max(1);
+        let mut tasks = tasks;
+        tasks.truncate(64);
+        let mut heads = Vec::with_capacity(tasks.len());
+        let mut lanes = Vec::with_capacity(tasks.len());
+        for (head, fallback) in tasks {
+            lanes.push(ServeEngine::new(backbone.attach(&head), fallback, config));
+            heads.push(head);
+        }
+        MultiTaskServer {
+            backbone,
+            heads,
+            lanes,
+            arena: ScratchArena::new(),
+            config,
+            stats: MultiTaskStats::default(),
+        }
+    }
+
+    /// Number of task lanes.
+    pub fn n_tasks(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Task names, lane order.
+    pub fn task_names(&self) -> Vec<&str> {
+        self.heads.iter().map(|h| h.name.as_str()).collect()
+    }
+
+    /// The shared backbone.
+    pub fn backbone(&self) -> &FmBackbone {
+        &self.backbone
+    }
+
+    /// Task `k`'s head.
+    pub fn head(&self, k: usize) -> Option<&TaskHead> {
+        self.heads.get(k)
+    }
+
+    /// Task `k`'s serving lane (for inspection: breaker, drift monitor,
+    /// quarantine). Lane model mutation must go through
+    /// [`MultiTaskServer::replace_head`] so the lane's classifier and the
+    /// fan-out head stay the same weights.
+    pub fn lane(&self, k: usize) -> Option<&ServeEngine> {
+        self.lanes.get(k)
+    }
+
+    /// Cumulative per-task statistics, lane order — each entry is what
+    /// the corresponding standalone engine would report.
+    pub fn task_stats(&self) -> Vec<ServeStats> {
+        self.lanes.iter().map(|l| l.stats()).collect()
+    }
+
+    /// The shared fan-out compute ledger.
+    pub fn stats(&self) -> MultiTaskStats {
+        self.stats
+    }
+
+    /// Deterministic cost (multiply-accumulate units) of fanning one
+    /// `n_tokens`-token request out to the selected `tasks`: the shared
+    /// encoder forward once, plus each selected head. This is the true
+    /// marginal cost of the request, and what the shared micro-batch
+    /// charges against `batch_cost_budget`.
+    pub fn fanout_cost(&self, n_tokens: usize, tasks: TaskSet) -> u64 {
+        let d_model = self.backbone.d_model();
+        let heads: u64 = self
+            .heads
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| tasks.contains(k))
+            .map(|(_, h)| h.head_cost(d_model))
+            .sum();
+        self.backbone.encoder_cost(n_tokens).saturating_add(heads)
+    }
+
+    /// Replace the per-request deadline budget on every lane (see
+    /// [`ServeEngine::set_deadline_budget`]).
+    pub fn set_deadline_budget(&mut self, budget: u64) {
+        self.config.deadline_budget = budget;
+        for lane in &mut self.lanes {
+            lane.set_deadline_budget(budget);
+        }
+    }
+
+    /// Arm (or replace) task `k`'s drift monitor — monitors are per task,
+    /// so one task drifting never trips or quarantines another.
+    pub fn enable_drift(&mut self, k: usize, monitor: DriftMonitor) {
+        if let Some(lane) = self.lanes.get_mut(k) {
+            lane.enable_drift(monitor);
+        }
+    }
+
+    /// Task `k`'s quarantine buffer of drift-flagged traffic.
+    pub fn quarantine(&self, k: usize) -> Option<&QuarantineBuffer> {
+        self.lanes.get(k).map(|l| l.quarantine())
+    }
+
+    /// Mutable quarantine buffer for task `k` — the per-head adaptation
+    /// path drains exactly one task's capture.
+    pub fn quarantine_mut(&mut self, k: usize) -> Option<&mut QuarantineBuffer> {
+        self.lanes.get_mut(k).map(|l| l.quarantine_mut())
+    }
+
+    /// Apply delayed ground-truth labels for task `k` only (see
+    /// [`ServeEngine::record_feedback`]); labels for one task never feed
+    /// another task's label-drift test. Returns how many times task `k`'s
+    /// detector newly tripped.
+    pub fn record_feedback(
+        &mut self,
+        k: usize,
+        truth: &dyn Fn(&[String]) -> Option<usize>,
+    ) -> usize {
+        self.lanes.get_mut(k).map(|l| l.record_feedback(truth)).unwrap_or(0)
+    }
+
+    /// Hot-swap task `k`'s head — the single-head rollout path: the lane's
+    /// classifier is rebuilt from the unchanged shared backbone plus the
+    /// new head (breaker re-armed exactly like
+    /// [`ServeEngine::replace_model`]), and no other lane is touched, so
+    /// every other task's answers stay bitwise identical.
+    pub fn replace_head(&mut self, k: usize, head: TaskHead) {
+        if k >= self.heads.len() {
+            return;
+        }
+        self.lanes[k].replace_model(self.backbone.attach(&head));
+        self.heads[k] = head;
+    }
+
+    /// Offer one request to the admission control of every lane in its
+    /// [`TaskSet`]. Each lane decides shedding independently with its own
+    /// seeded RNG — exactly the decision a standalone engine receiving
+    /// that task's request stream would make.
+    pub fn submit(&mut self, request: ServeRequest) {
+        self.stats.submitted += 1;
+        nfm_obs::counter!("serve.task.submitted").inc();
+        let fanout = request.tasks.count(self.lanes.len());
+        nfm_obs::histogram!("serve.task.fanout", nfm_obs::Unit::Count, BATCH_SIZE_EDGES)
+            .observe(fanout as u64);
+        for k in 0..self.lanes.len() {
+            if request.tasks.contains(k) {
+                self.stats.lane_offers += 1;
+                nfm_obs::counter!("serve.task.lane_offers").inc();
+                self.lanes[k].offer(request.clone());
+            }
+        }
+    }
+
+    /// Answer every queued request on every lane. Returns one response
+    /// vector per task (lane order), each in that lane's admission order
+    /// and bitwise identical to what the corresponding standalone engine's
+    /// [`ServeEngine::drain_queue`] would return.
+    ///
+    /// The drain dissolves the lanes' queues into a list of *distinct*
+    /// flows, chunks it into shared micro-batches (up to `max_batch`
+    /// flows whose summed [`MultiTaskServer::fanout_cost`] fits
+    /// `batch_cost_budget`; the first flow is always taken), runs the
+    /// packed encoder forward once per chunk with pooled embeddings
+    /// cached in the scratch arena, gathers each task's pending rows out
+    /// of the pooled cache ([`ScratchArena::take_gather`]) for one head
+    /// GEMM per task per chunk, and finally replays every lane's answers
+    /// in admission order through the unchanged breaker/retry/deadline
+    /// state machine.
+    pub fn drain(&mut self) -> Vec<Vec<Response>> {
+        let mut out: Vec<Vec<Response>> = self.lanes.iter().map(|_| Vec::new()).collect();
+        // Dissolve every lane's queue (admission order preserved per lane).
+        let pending: Vec<Vec<ServeRequest>> =
+            self.lanes.iter_mut().map(|l| l.queue.drain(..).collect()).collect();
+        if pending.iter().all(|p| p.is_empty()) {
+            return out;
+        }
+        // Distinct flows in first-appearance order, with the union of the
+        // lanes that queued each one.
+        let mut uniq: Vec<ServeRequest> = Vec::new();
+        let mut need: Vec<u64> = Vec::new();
+        let mut index: std::collections::HashMap<(usize, Vec<String>), usize> =
+            std::collections::HashMap::new();
+        let mut uniq_of: Vec<Vec<usize>> = Vec::with_capacity(pending.len());
+        for (k, reqs) in pending.iter().enumerate() {
+            let mut map = Vec::with_capacity(reqs.len());
+            for r in reqs {
+                let key = (r.flow, r.tokens.clone());
+                let u = *index.entry(key).or_insert_with(|| {
+                    uniq.push(r.clone());
+                    need.push(0);
+                    uniq.len() - 1
+                });
+                need[u] |= 1u64 << k;
+                map.push(u);
+            }
+            uniq_of.push(map);
+        }
+        // Per-(lane, unique) precomputed outcomes, filled chunk by chunk.
+        let budget = self.config.deadline_budget;
+        let d_model = self.backbone.d_model();
+        let mut lane_pre: Vec<std::collections::HashMap<usize, CostedLogits>> =
+            self.lanes.iter().map(|_| std::collections::HashMap::new()).collect();
+        let max_batch = self.config.max_batch.max(1);
+        let mut start = 0usize;
+        while start < uniq.len() {
+            // Chunk boundary: mirror `next_batch`, but charge the true
+            // fan-out cost of each flow (encoder once + selected heads).
+            let mut end = start + 1;
+            let mut planned =
+                self.fanout_cost(uniq[start].tokens.len(), TaskSet::from_mask(need[start]));
+            while end < uniq.len() && end - start < max_batch {
+                let cost = self.fanout_cost(uniq[end].tokens.len(), TaskSet::from_mask(need[end]));
+                if planned.saturating_add(cost) > self.config.batch_cost_budget {
+                    break;
+                }
+                planned = planned.saturating_add(cost);
+                end += 1;
+            }
+            let chunk = &uniq[start..end];
+            let tokens: Vec<&[String]> = chunk.iter().map(|r| r.tokens.as_slice()).collect();
+            let pb = self.backbone.pooled_batch_within(&tokens, budget, &mut self.arena);
+            self.stats.batches += 1;
+            self.stats.encoder_rows += pb.rows.len();
+            nfm_obs::counter!("serve.task.batches").inc();
+            nfm_obs::counter!("serve.task.encoder_rows").add(pb.rows.len() as u64);
+            // Encoder-level refusals replay identically on every lane.
+            for (local, err) in &pb.refused {
+                let u = start + local;
+                for (k, pre) in lane_pre.iter_mut().enumerate() {
+                    if need[u] & (1u64 << k) != 0 {
+                        pre.insert(u, Err(err.clone()));
+                    }
+                }
+            }
+            // Fan the pooled rows out: one gathered head GEMM per task.
+            for (k, pre) in lane_pre.iter_mut().enumerate() {
+                let head_cost = self.heads[k].head_cost(d_model);
+                let mut rows = Vec::new();
+                let mut us = Vec::new();
+                for (row, &(local, enc_spent)) in pb.rows.iter().enumerate() {
+                    let u = start + local;
+                    if need[u] & (1u64 << k) == 0 {
+                        continue;
+                    }
+                    if enc_spent + head_cost > budget {
+                        pre.insert(
+                            u,
+                            Err(InferError::DeadlineExceeded {
+                                spent: enc_spent,
+                                needed: head_cost,
+                                budget,
+                            }),
+                        );
+                    } else {
+                        rows.push(row);
+                        us.push((u, enc_spent));
+                    }
+                }
+                if rows.is_empty() {
+                    continue;
+                }
+                let sub = self.arena.take_gather(&pb.pooled, &rows);
+                let logits_m = self.heads[k].logits_batch(&sub);
+                self.arena.put(sub);
+                self.stats.head_rows += us.len();
+                nfm_obs::counter!("serve.task.head_rows").add(us.len() as u64);
+                for (j, &(u, enc_spent)) in us.iter().enumerate() {
+                    pre.insert(u, Ok((logits_m.row(j).to_vec(), enc_spent + head_cost)));
+                }
+            }
+            self.arena.put(pb.pooled);
+            start = end;
+        }
+        nfm_obs::event(
+            "serve.task.drain",
+            &[
+                ("tasks", nfm_obs::Value::U(self.lanes.len() as u64)),
+                ("flows", nfm_obs::Value::U(uniq.len() as u64)),
+                ("encoder_rows", nfm_obs::Value::U(self.stats.encoder_rows as u64)),
+                ("head_rows", nfm_obs::Value::U(self.stats.head_rows as u64)),
+            ],
+        );
+        // Settle every lane in admission order through the unchanged
+        // serve state machine.
+        for (k, reqs) in pending.into_iter().enumerate() {
+            for (pos, req) in reqs.into_iter().enumerate() {
+                let u = uniq_of[k][pos];
+                let pre = lane_pre[k].get(&u).cloned();
+                out[k].push(self.lanes[k].answer(req, pre));
+            }
+        }
+        out
+    }
+
+    /// Offer pre-assembled requests in bursts (like
+    /// [`ServeEngine::serve_trace`]'s schedule semantics) and drain
+    /// between bursts. Returns one response vector per task, each bitwise
+    /// identical to a standalone engine fed that task's stream with the
+    /// same schedule.
+    pub fn serve_requests(
+        &mut self,
+        requests: Vec<ServeRequest>,
+        schedule: &[usize],
+    ) -> Vec<Vec<Response>> {
+        let mut out: Vec<Vec<Response>> = self.lanes.iter().map(|_| Vec::new()).collect();
+        let fold = |out: &mut Vec<Vec<Response>>, drained: Vec<Vec<Response>>| {
+            for (k, mut v) in drained.into_iter().enumerate() {
+                out[k].append(&mut v);
+            }
+        };
+        let mut pending = requests.into_iter();
+        let mut exhausted = false;
+        for &burst in schedule {
+            for _ in 0..burst {
+                match pending.next() {
+                    Some(r) => self.submit(r),
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+            let drained = self.drain();
+            fold(&mut out, drained);
+            if exhausted {
+                break;
+            }
+        }
+        for request in pending {
+            self.submit(request);
+            let drained = self.drain();
+            fold(&mut out, drained);
+        }
+        out
+    }
+
+    /// Serve every flow in `trace` on every task: assemble once
+    /// ([`assemble_requests`], ingest accounting folded into every lane's
+    /// statistics, mirroring K standalone engines each ingesting the
+    /// capture), then run the burst schedule via
+    /// [`MultiTaskServer::serve_requests`].
+    pub fn serve_trace(
+        &mut self,
+        trace: &Trace,
+        tokenizer: &dyn Tokenizer,
+        schedule: &[usize],
+    ) -> Vec<Vec<Response>> {
+        let (requests, ingest) = assemble_requests(trace, tokenizer, self.config.max_tokens);
+        for lane in &mut self.lanes {
+            lane.stats.malformed_packets += ingest.malformed_packets;
+            lane.stats.flows_assembled += ingest.flows_assembled;
+            lane.stats.empty_contexts += ingest.empty_contexts;
+        }
+        self.serve_requests(requests, schedule)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1562,5 +2030,165 @@ mod tests {
         // GRU fallback produces in-range classes for its own task.
         assert!(responses.iter().all(|r| r.class < 3));
         assert_eq!(engine.stats().answered(), engine.stats().admitted);
+    }
+
+    /// A tiny two-task fixture: shared backbone plus heads with *different*
+    /// class counts, so per-task head costs and argmax ranges differ.
+    /// Fallbacks are returned separately (majority priors are `Copy`) so
+    /// tests can assemble `(head, fallback)` lists as many times as needed.
+    fn tiny_multitask_parts() -> (FmBackbone, Vec<TaskHead>, Vec<MajorityBaseline>, Trace) {
+        let (clf, _, trace) = tiny_engine_parts();
+        let backbone = clf.backbone();
+        let mk_train = |n_classes: usize| -> Vec<TextExample> {
+            (0..12)
+                .map(|i| TextExample {
+                    tokens: vec![format!("PORT_{}", 40 + i % 4), "IP4".to_string()],
+                    label: i % n_classes,
+                })
+                .collect()
+        };
+        let cfg = FineTuneConfig { epochs: 2, ..FineTuneConfig::default() };
+        let mut heads = Vec::new();
+        let mut priors = Vec::new();
+        for (name, n_classes) in [("coarse", 2usize), ("fine", 3usize)] {
+            let train = mk_train(n_classes);
+            let head = TaskHead::fine_tune(&backbone, name, &train, n_classes, &cfg)
+                .expect("head fine-tune failed");
+            priors.push(MajorityBaseline::fit(&train, n_classes));
+            heads.push(head);
+        }
+        (backbone, heads, priors, trace)
+    }
+
+    fn task_list(heads: &[TaskHead], priors: &[MajorityBaseline]) -> Vec<(TaskHead, Fallback)> {
+        heads.iter().cloned().zip(priors.iter().map(|&p| Fallback::Majority(p))).collect()
+    }
+
+    /// Mirror of [`MultiTaskServer::serve_requests`]'s burst loop for one
+    /// standalone engine: lane `k` sees exactly the requests whose task set
+    /// contains `k`, offered and drained on the same burst boundaries.
+    fn run_standalone(
+        engine: &mut ServeEngine,
+        k: usize,
+        requests: &[ServeRequest],
+        schedule: &[usize],
+    ) -> Vec<Response> {
+        let mut out = Vec::new();
+        let mut pending = requests.iter().cloned();
+        let mut exhausted = false;
+        for &burst in schedule {
+            for _ in 0..burst {
+                match pending.next() {
+                    Some(r) => {
+                        if r.tasks.contains(k) {
+                            engine.offer(r);
+                        }
+                    }
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+            out.append(&mut engine.drain_queue());
+            if exhausted {
+                break;
+            }
+        }
+        for r in pending {
+            if r.tasks.contains(k) {
+                engine.offer(r);
+            }
+            out.append(&mut engine.drain_queue());
+        }
+        out
+    }
+
+    #[test]
+    fn fanout_matches_independent_engines_bitwise() {
+        let (backbone, heads, priors, trace) = tiny_multitask_parts();
+        let tok = FieldTokenizer::new();
+        // Deadline tight enough that long flows refuse at the encoder plan
+        // while short ones pass; batching and shedding both exercised.
+        let config = ServeConfig {
+            queue_capacity: 8,
+            shed_watermark: 5,
+            deadline_budget: backbone.encoder_cost(40) + 64,
+            max_batch: 4,
+            batch_cost_budget: 3 * backbone.encoder_cost(40),
+            seed: 41,
+            ..ServeConfig::default()
+        };
+        let (mut requests, _) = assemble_requests(&trace, &tok, config.max_tokens);
+        let masks = nfm_traffic::faults::task_mask_schedule(requests.len(), 2, 0.4, 77);
+        for (r, &m) in requests.iter_mut().zip(&masks) {
+            r.tasks = TaskSet::from_mask(m);
+        }
+        let schedule = [6usize, 0, 9, 3, 7];
+
+        let mut server = MultiTaskServer::new(backbone.clone(), task_list(&heads, &priors), config);
+        let fanned = server.serve_requests(requests.clone(), &schedule);
+
+        for (k, head) in heads.iter().enumerate() {
+            let mut solo =
+                ServeEngine::new(backbone.attach(head), Fallback::Majority(priors[k]), config);
+            let want = run_standalone(&mut solo, k, &requests, &schedule);
+            assert_eq!(fanned[k], want, "task {k} responses diverge from a standalone engine");
+            assert_eq!(
+                server.task_stats()[k],
+                solo.stats(),
+                "task {k} stats diverge from a standalone engine"
+            );
+        }
+        let mt = server.stats();
+        assert_eq!(mt.submitted, requests.len());
+        assert!(mt.batches > 0 && mt.encoder_rows > 0 && mt.head_rows > 0);
+        let agg = server.task_stats();
+        assert!(agg.iter().any(|s| s.answered_model > 0), "some flows fit the deadline");
+        assert!(
+            agg.iter().any(|s| s.deadline_misses > 0),
+            "some flows must exceed the deadline budget"
+        );
+        assert!(
+            mt.encoder_rows <= mt.head_rows,
+            "shared encoder rows must not exceed the fanned-out head rows"
+        );
+        assert!(
+            mt.lane_offers > requests.len(),
+            "with 40% full fan-out, some requests hit both lanes"
+        );
+    }
+
+    #[test]
+    fn replace_head_swaps_one_lane_only() {
+        let (backbone, heads, priors, trace) = tiny_multitask_parts();
+        let tok = FieldTokenizer::new();
+        let config = ServeConfig { seed: 13, max_batch: 4, ..ServeConfig::default() };
+        let (requests, _) = assemble_requests(&trace, &tok, config.max_tokens);
+
+        // Fine-tune a replacement head for task 0 on inverted labels.
+        let retrain: Vec<TextExample> = (0..10)
+            .map(|i| TextExample {
+                tokens: vec![format!("PORT_{}", 40 + i % 4)],
+                label: (i + 1) % 2,
+            })
+            .collect();
+        let swapped = heads[0]
+            .fine_tune_from(
+                &backbone,
+                &retrain,
+                &FineTuneConfig { epochs: 3, lr: 3e-2, ..FineTuneConfig::default() },
+            )
+            .expect("head refresh failed");
+
+        let mut before = MultiTaskServer::new(backbone.clone(), task_list(&heads, &priors), config);
+        let baseline = before.serve_requests(requests.clone(), &[4, 4]);
+
+        let mut after = MultiTaskServer::new(backbone.clone(), task_list(&heads, &priors), config);
+        after.replace_head(0, swapped);
+        let patched = after.serve_requests(requests, &[4, 4]);
+
+        assert_ne!(baseline[0], patched[0], "task 0 must serve the new head");
+        assert_eq!(baseline[1], patched[1], "task 1 is untouched by task 0's rollout");
     }
 }

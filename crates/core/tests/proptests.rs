@@ -9,11 +9,14 @@ use std::sync::OnceLock;
 use nfm_core::baselines::MajorityBaseline;
 use nfm_core::metrics::{auroc, mean_std, Confusion};
 use nfm_core::ood::PageHinkley;
-use nfm_core::pipeline::{FineTuneConfig, FmClassifier, FoundationModel, TextExample};
+use nfm_core::pipeline::{
+    FineTuneConfig, FmBackbone, FmClassifier, FoundationModel, TaskHead, TextExample,
+};
 use nfm_core::report::Table;
 use nfm_core::serve::{
-    retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker, Fallback, QuarantineBuffer,
-    Responder, Response, RetryPolicy, ServeConfig, ServeEngine, ServeRequest,
+    retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker, Fallback, MultiTaskServer,
+    QuarantineBuffer, Responder, Response, RetryPolicy, ServeConfig, ServeEngine, ServeRequest,
+    TaskSet,
 };
 use nfm_model::nn::transformer::{Encoder, EncoderConfig};
 use nfm_model::vocab::Vocab;
@@ -365,7 +368,7 @@ fn serve_fixture() -> &'static (FmClassifier, Vec<ServeRequest>) {
                 let tokens: Vec<String> = (0..len)
                     .map(|j| FIXTURE_TOKENS[(i + j) % FIXTURE_TOKENS.len()].to_string())
                     .collect();
-                ServeRequest { flow: i, tokens }
+                ServeRequest { flow: i, tokens, tasks: TaskSet::ALL }
             })
             .collect();
         (clf, pool)
@@ -506,5 +509,138 @@ proptest! {
             .filter(|r| r.responder == Responder::Model)
             .count();
         prop_assert!(model_answers <= responses_single.len());
+    }
+}
+
+/// Shared backbone + per-task heads for the multi-task fan-out proptest.
+/// Class counts differ across tasks so head costs and argmax ranges differ.
+fn multitask_fixture() -> &'static (FmBackbone, Vec<TaskHead>, Vec<ServeRequest>) {
+    static FIXTURE: OnceLock<(FmBackbone, Vec<TaskHead>, Vec<ServeRequest>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (clf, pool) = serve_fixture();
+        let backbone = clf.backbone();
+        let cfg = FineTuneConfig { epochs: 1, ..FineTuneConfig::default() };
+        let heads: Vec<TaskHead> = [("alpha", 2usize), ("beta", 3), ("gamma", 4)]
+            .iter()
+            .map(|&(name, n)| {
+                let train: Vec<TextExample> = (0..9)
+                    .map(|i| TextExample {
+                        tokens: vec![FIXTURE_TOKENS[i % FIXTURE_TOKENS.len()].to_string()],
+                        label: i % n,
+                    })
+                    .collect();
+                TaskHead::fine_tune(&backbone, name, &train, n, &cfg)
+                    .expect("head fine-tuning failed")
+            })
+            .collect();
+        (backbone, heads, pool.clone())
+    })
+}
+
+/// One step of a multi-task fault schedule.
+#[derive(Debug, Clone)]
+enum FanoutRound {
+    /// NaN-poison one task's head (that lane fails; others are untouched).
+    PoisonHead(usize),
+    /// Restore one task's original head weights.
+    HealHead(usize),
+    /// Submit pool requests with the given per-request task masks, then
+    /// drain every lane.
+    Traffic(Vec<(usize, u64)>),
+}
+
+fn arb_fanout_round(pool_len: usize, n_tasks: usize) -> impl Strategy<Value = FanoutRound> {
+    let full = (1u64 << n_tasks) - 1;
+    prop_oneof![
+        1 => (0..n_tasks).prop_map(FanoutRound::PoisonHead),
+        1 => (0..n_tasks).prop_map(FanoutRound::HealHead),
+        4 => proptest::collection::vec((0..pool_len, 1..=full), 1..12)
+            .prop_map(FanoutRound::Traffic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The multi-task tentpole invariant: for every serving configuration,
+    /// random per-request task subset, and per-head fault schedule, the
+    /// shared-encoder fan-out server answers every task bitwise identically
+    /// — flow-for-flow, cost-for-cost, stat-for-stat — to K independent
+    /// single-task engines fed the same per-task request streams.
+    #[test]
+    fn multitask_fanout_is_bitwise_identical_to_independent_engines(
+        config in arb_serve_config(),
+        max_batch in 1usize..=8,
+        rounds in proptest::collection::vec(arb_fanout_round(24, 3), 1..6),
+    ) {
+        let (backbone, heads, pool) = multitask_fixture();
+        let config = ServeConfig { max_batch, ..config };
+        let n_tasks = heads.len();
+        let poisoned: Vec<TaskHead> = heads
+            .iter()
+            .map(|h| {
+                let mut bad = h.clone();
+                bad.network_mut().visit_params(&mut |p, _| p.fill(f32::NAN));
+                bad
+            })
+            .collect();
+        let mut server = MultiTaskServer::new(
+            backbone.clone(),
+            heads
+                .iter()
+                .map(|h| (h.clone(), Fallback::Majority(MajorityBaseline::fit(&[], h.n_classes))))
+                .collect(),
+            config,
+        );
+        let mut solo: Vec<ServeEngine> = heads
+            .iter()
+            .map(|h| {
+                ServeEngine::new(
+                    backbone.attach(h),
+                    Fallback::Majority(MajorityBaseline::fit(&[], h.n_classes)),
+                    config,
+                )
+            })
+            .collect();
+        let mut fanned: Vec<Vec<Response>> = vec![Vec::new(); n_tasks];
+        let mut independent: Vec<Vec<Response>> = vec![Vec::new(); n_tasks];
+        for round in &rounds {
+            match round {
+                FanoutRound::PoisonHead(k) => {
+                    server.replace_head(*k, poisoned[*k].clone());
+                    solo[*k].replace_model(backbone.attach(&poisoned[*k]));
+                }
+                FanoutRound::HealHead(k) => {
+                    server.replace_head(*k, heads[*k].clone());
+                    solo[*k].replace_model(backbone.attach(&heads[*k]));
+                }
+                FanoutRound::Traffic(items) => {
+                    for &(i, mask) in items {
+                        let mut req = pool[i].clone();
+                        req.tasks = TaskSet::from_mask(mask);
+                        // Fan-out side: one submit reaches every selected lane.
+                        server.submit(req.clone());
+                        // Independent side: each engine sees only its stream.
+                        for (k, eng) in solo.iter_mut().enumerate() {
+                            if req.tasks.contains(k) {
+                                eng.submit(req.clone());
+                            }
+                        }
+                    }
+                    for (k, mut r) in server.drain().into_iter().enumerate() {
+                        fanned[k].append(&mut r);
+                    }
+                    for (k, eng) in solo.iter_mut().enumerate() {
+                        independent[k].append(&mut eng.drain_queue());
+                    }
+                }
+            }
+        }
+        for k in 0..n_tasks {
+            prop_assert_eq!(&fanned[k], &independent[k],
+                "task {} responses diverge from its standalone engine", k);
+            prop_assert_eq!(server.task_stats()[k], solo[k].stats(),
+                "task {} stats diverge from its standalone engine", k);
+        }
     }
 }

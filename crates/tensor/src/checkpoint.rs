@@ -40,6 +40,9 @@ pub const KIND_TRAIN: u8 = 6;
 pub const KIND_CLASSIFIER: u8 = 7;
 /// Record kind: OOD embedding statistics (class centroids + shared variance).
 pub const KIND_OOD: u8 = 8;
+/// Record kind: a per-task classification head (name + pooling + weights)
+/// detached from its shared encoder backbone.
+pub const KIND_TASK_HEAD: u8 = 9;
 
 /// Why a checkpoint could not be read or written.
 #[derive(Debug)]

@@ -69,6 +69,20 @@ impl ScratchArena {
         self.free.push(m.into_data());
     }
 
+    /// Hand out a matrix whose row `j` is an exact copy of `src`'s row
+    /// `rows[j]` — the row-gather the multi-task fan-out path uses to
+    /// slice one task's pending requests out of a shared pooled-embedding
+    /// batch. Backed by the free list like [`ScratchArena::take`]; the
+    /// copies are element-exact, so downstream compute is bitwise
+    /// identical to running on the original rows.
+    pub fn take_gather(&mut self, src: &Matrix, rows: &[usize]) -> Matrix {
+        let mut out = self.take(rows.len(), src.cols());
+        for (j, &r) in rows.iter().enumerate() {
+            out.row_mut(j).copy_from_slice(src.row(r));
+        }
+        out
+    }
+
     /// Number of retired buffers currently available for reuse.
     pub fn available(&self) -> usize {
         self.free.len()
@@ -117,6 +131,21 @@ mod tests {
         // The larger of the two retired buffers was consumed.
         assert_eq!(arena.available(), 1);
         assert_eq!(arena.free[0].capacity(), 2);
+    }
+
+    #[test]
+    fn take_gather_copies_rows_exactly_and_reuses_buffers() {
+        let src = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 2.0);
+        let mut arena = ScratchArena::new();
+        let got = arena.take_gather(&src, &[4, 0, 2]);
+        assert_eq!((got.rows(), got.cols()), (3, 3));
+        assert_eq!(got.row(0), src.row(4));
+        assert_eq!(got.row(1), src.row(0));
+        assert_eq!(got.row(2), src.row(2));
+        arena.put(got);
+        let again = arena.take_gather(&src, &[1]);
+        assert_eq!(again.row(0), src.row(1));
+        assert_eq!(arena.available(), 0, "the retired buffer was recycled");
     }
 
     #[test]

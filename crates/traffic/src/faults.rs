@@ -217,6 +217,35 @@ pub fn burst_schedule(n: usize, config: &FaultConfig) -> Vec<usize> {
     out
 }
 
+/// Seeded schedule of per-request task-subset bitmasks for multi-task
+/// serving sweeps: entry `i` is the mask of task lanes request `i` fans
+/// out to (bit `k` = task `k`). With probability `full_chance` a request
+/// asks for every task; otherwise a uniform non-empty subset of the
+/// `n_tasks` low bits is drawn. Deterministic in `(n, n_tasks,
+/// full_chance, seed)`, so a chaos sweep replays the same fan-out pattern
+/// bit for bit. `n_tasks` is clamped to 1..=64 (a `u64` of lanes);
+/// `full_chance` outside [0, 1] is clamped.
+pub fn task_mask_schedule(n: usize, n_tasks: usize, full_chance: f64, seed: u64) -> Vec<u64> {
+    let n_tasks = n_tasks.clamp(1, 64);
+    let full_chance = if full_chance.is_finite() { full_chance.clamp(0.0, 1.0) } else { 1.0 };
+    let all = if n_tasks == 64 { u64::MAX } else { (1u64 << n_tasks) - 1 };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A_u64.rotate_left(24));
+    (0..n)
+        .map(|_| {
+            if full_chance >= 1.0 || rng.gen_bool(full_chance) {
+                all
+            } else {
+                loop {
+                    let mask = rng.gen::<u64>() & all;
+                    if mask != 0 {
+                        break mask;
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
 /// What a replica-level fault does to one serving replica. Packet-level
 /// faults ([`inject`]) damage the *traffic*; these damage the *server* — the
 /// failure modes a multi-replica cluster exists to survive.
@@ -715,6 +744,21 @@ mod tests {
             let want = 0.5 * (base.weights[i] + base.weights[7 - i]);
             assert!((mid.weights[i] - want).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn task_mask_schedule_is_seeded_nonempty_and_bounded() {
+        let a = task_mask_schedule(200, 4, 0.5, 11);
+        let b = task_mask_schedule(200, 4, 0.5, 11);
+        assert_eq!(a, b, "mask schedule must be deterministic under one seed");
+        assert_eq!(a.len(), 200);
+        assert!(a.iter().all(|&m| m != 0 && m <= 0b1111), "masks stay within the task lanes");
+        let c = task_mask_schedule(50, 4, 0.5, 12);
+        assert_ne!(a[..50], c[..], "different seeds give different schedules");
+        // Full fan-out and clamped degenerate inputs.
+        assert!(task_mask_schedule(20, 4, 1.0, 1).iter().all(|&m| m == 0b1111));
+        assert!(task_mask_schedule(20, 1, 0.0, 1).iter().all(|&m| m == 1));
+        assert!(task_mask_schedule(5, 64, f64::NAN, 1).iter().all(|&m| m == u64::MAX));
     }
 
     #[test]
